@@ -1,0 +1,40 @@
+// Command benchgen emits the synthetic benchmark circuits: their specs
+// and, optionally, the generated sink placements as CSV, for inspection or
+// for use with external tools.
+//
+// Usage:
+//
+//	benchgen                 # list all specs
+//	benchgen -name s35932    # dump that circuit's sinks as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"wavemin/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchgen: ")
+	name := flag.String("name", "", "dump this circuit's sink placements as CSV")
+	flag.Parse()
+
+	if *name == "" {
+		fmt.Printf("%-12s %6s %6s %10s\n", "circuit", "|L|", "n", "die (µm)")
+		for _, s := range bench.Specs() {
+			fmt.Printf("%-12s %6d %6d %5.0fx%-4.0f\n", s.Name, s.NumLeaves, s.TargetN, s.DieW, s.DieH)
+		}
+		return
+	}
+	spec, ok := bench.SpecByName(*name)
+	if !ok {
+		log.Fatalf("unknown circuit %q", *name)
+	}
+	fmt.Println("x_um,y_um,cap_fF")
+	for _, s := range spec.Sinks() {
+		fmt.Printf("%.3f,%.3f,%.3f\n", s.X, s.Y, s.Cap)
+	}
+}

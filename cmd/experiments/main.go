@@ -1,0 +1,217 @@
+// Command experiments regenerates the paper's evaluation tables and
+// figures on the synthetic benchmark substrate.
+//
+// Usage:
+//
+//	experiments -all                # everything (slow)
+//	experiments -table 5           # one table (1, 2, 4, 5, 6, 7)
+//	experiments -fig 2             # one figure (1, 2, 3, 6, 14)
+//	experiments -mc                # the §VII-D Monte Carlo study
+//	experiments -table 5 -quick    # reduced circuits/sampling
+//
+// Output is the text rendering of each table's rows; EXPERIMENTS.md
+// records the paper-vs-measured comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"wavemin/internal/cell"
+	"wavemin/internal/clocktree"
+	"wavemin/internal/experiments"
+	"wavemin/internal/report"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		table     = flag.Int("table", 0, "table number to regenerate (1, 2, 4, 5, 6, 7)")
+		fig       = flag.Int("fig", 0, "figure number to regenerate (1, 2, 3, 6, 14)")
+		mc        = flag.Bool("mc", false, "run the Monte Carlo study (§VII-D)")
+		baselines = flag.Bool("baselines", false, "compare the polarity-assignment lineage [22][23][27] vs WaveMin")
+		all       = flag.Bool("all", false, "run everything")
+		quick     = flag.Bool("quick", false, "reduced configuration (fewer circuits, coarser sampling)")
+	)
+	flag.Parse()
+
+	quickCircuits := []string{"s13207", "s15850", "ispd09f34"}
+
+	runTable := func(n int) {
+		switch n {
+		case 1:
+			res, err := experiments.RunTable1()
+			check(err)
+			fmt.Println("== Table I: impact of sibling replacement on delay, rail peaks, slew")
+			fmt.Println(res.Format())
+			check(res.Check())
+		case 2:
+			fmt.Println("== Table II/III: cell characterization (worked-example library)")
+			fmt.Println(cell.CharacterizationTable(cell.PaperLibrary(), 0, []float64{0.9, 1.1}))
+			fmt.Println("== Default analytic library at 6 fF load")
+			fmt.Println(cell.CharacterizationTable(cell.SizingLibrary(), 6, []float64{0.9, clocktree.NominalVDD}))
+		case 4:
+			res, err := experiments.RunTable4()
+			check(err)
+			fmt.Println("== Table IV: feasible intersections of the two-mode worked example (κ=5)")
+			fmt.Println(res.Format())
+		case 5:
+			cfg := experiments.DefaultTable5Config()
+			if *quick {
+				cfg.Circuits = quickCircuits
+				cfg.Samples = 32
+				cfg.MaxIntervals = 4
+			}
+			res, err := experiments.RunTable5(cfg)
+			check(err)
+			fmt.Println("== Table V: ClkPeakMin vs ClkWaveMin (κ=20 ps, ε=0.01, |S|=", cfg.Samples, ")")
+			fmt.Println(res.Format())
+		case 6:
+			cfg := experiments.DefaultTable6Config()
+			if *quick {
+				cfg.Circuits = quickCircuits
+				cfg.SampleSweeps = []int{4, 8, 32}
+				cfg.FastSamples = 32
+				cfg.MaxIntervals = 4
+			}
+			res, err := experiments.RunTable6(cfg)
+			check(err)
+			fmt.Println("== Table VI: sampling-density sweep and ClkWaveMin-f")
+			fmt.Println(res.Format())
+		case 7:
+			cfg := experiments.DefaultTable7Config()
+			if *quick {
+				cfg.Circuits = quickCircuits
+				cfg.Samples = 16
+				cfg.MaxIntersections = 4
+			}
+			res, err := experiments.RunTable7(cfg)
+			check(err)
+			fmt.Println("== Table VII: multi-mode — ADB-embedding-only vs ClkWaveMin-M")
+			fmt.Println(res.Format())
+		default:
+			log.Fatalf("unknown table %d", n)
+		}
+	}
+
+	runFig := func(n int) {
+		switch n {
+		case 1:
+			res, err := experiments.RunFig1()
+			check(err)
+			fmt.Println("== Fig. 1: buffer vs inverter supply-current waveforms")
+			fmt.Println("-- buffer (IDD/ISS at rising edge):")
+			fmt.Println(report.Plot(64, 10,
+				report.Series{Name: "IDD", W: res.Buffer.IDDRise},
+				report.Series{Name: "ISS", W: res.Buffer.ISSRise}))
+			fmt.Println("-- inverter (IDD/ISS at rising edge):")
+			fmt.Println(report.Plot(64, 10,
+				report.Series{Name: "IDD", W: res.Inverter.IDDRise},
+				report.Series{Name: "ISS", W: res.Inverter.ISSRise}))
+			fmt.Println(res.Format())
+		case 2:
+			res, err := experiments.RunFig2()
+			check(err)
+			fmt.Println("== Fig. 2: leaf-only vs all-node optimal polarity assignment")
+			fmt.Println(res.Format())
+			fmt.Println("-- (c) leaf-optimal assignment: leaf-only vs all-node IDD")
+			fmt.Println(report.Plot(64, 10,
+				report.Series{Name: "leaf-only", W: res.LeafBestLeafWave},
+				report.Series{Name: "all-node", W: res.LeafBestAllWave}))
+			fmt.Println("-- (d) true optimum: leaf-only vs all-node IDD")
+			fmt.Println(report.Plot(64, 10,
+				report.Series{Name: "leaf-only", W: res.AllBestLeafWave},
+				report.Series{Name: "all-node", W: res.AllBestAllWave}))
+			if res.ObservationHolds() {
+				fmt.Println("Observation 1 demonstrated: leaf-optimal != true optimal")
+			}
+		case 3:
+			res, err := experiments.RunFig3()
+			check(err)
+			fmt.Println("== Fig. 3: ADB-only vs ADB+ADI multi-mode optimization")
+			fmt.Println(res.Format())
+		case 6:
+			res, err := experiments.RunFig6()
+			check(err)
+			fmt.Println("== Fig. 6: arrival-time grid and feasible intervals (κ=5)")
+			fmt.Println(res.Format())
+		case 14:
+			circuit := "s35932"
+			per := 8
+			if *quick {
+				circuit, per = "s15850", 5
+			}
+			res, err := experiments.RunFig14(circuit, per)
+			check(err)
+			fmt.Println("== Fig. 14: degree of freedom vs peak noise (", circuit, ")")
+			xs := make([]float64, len(res.Points))
+			ys := make([]float64, len(res.Points))
+			for i, pt := range res.Points {
+				xs[i] = float64(pt.DoF)
+				ys[i] = pt.Peak
+			}
+			fmt.Println(report.Scatter(56, 12, xs, ys, "degree of freedom", "peak (µA)"))
+			fmt.Println(res.Format())
+		default:
+			log.Fatalf("unknown figure %d", n)
+		}
+	}
+
+	runMC := func() {
+		cfg := experiments.DefaultMCConfig()
+		if *quick {
+			cfg.Circuits = quickCircuits
+			cfg.Instances = 200
+			cfg.Samples = 32
+			cfg.MaxIntervals = 4
+		}
+		res, err := experiments.RunMonteCarlo(cfg)
+		check(err)
+		fmt.Printf("== §VII-D Monte Carlo (κ=%g ps, σ=%g, %d instances)\n",
+			cfg.Kappa, cfg.Sigma, cfg.Instances)
+		fmt.Println(res.Format())
+	}
+
+	runBaselines := func() {
+		circuits := []string{"s13207", "s15850", "s35932", "s38584"}
+		samples := 64
+		if *quick {
+			circuits = quickCircuits
+			samples = 16
+		}
+		res, err := experiments.RunBaselineLadder(circuits, samples)
+		check(err)
+		fmt.Println("== Baseline ladder: golden peak (mA) per strategy")
+		fmt.Println(res.Format())
+	}
+
+	switch {
+	case *all:
+		for _, n := range []int{1, 2, 4, 5, 6, 7} {
+			runTable(n)
+		}
+		for _, n := range []int{1, 2, 3, 6, 14} {
+			runFig(n)
+		}
+		runMC()
+		runBaselines()
+	case *table != 0:
+		runTable(*table)
+	case *fig != 0:
+		runFig(*fig)
+	case *mc:
+		runMC()
+	case *baselines:
+		runBaselines()
+	default:
+		flag.Usage()
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

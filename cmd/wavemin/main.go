@@ -1,0 +1,148 @@
+// Command wavemin optimizes a clock tree's peak supply current with the
+// WaveMin polarity assignment.
+//
+// Usage:
+//
+//	wavemin -bench s35932 [-kappa 20] [-samples 158] [-algo wavemin]
+//	wavemin -bench s13207 -modes 4 -domains 6 -kappa 16 -adi
+//
+// Single-mode runs use ClkWaveMin (or -algo fast|peakmin); declaring
+// -modes > 1 switches to the multi-mode flow with ADB insertion.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strings"
+
+	"wavemin"
+	"wavemin/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wavemin: ")
+
+	var (
+		benchName = flag.String("bench", "s13207", "benchmark circuit ("+strings.Join(wavemin.BenchmarkNames(), ", ")+")")
+		sinksPath = flag.String("sinks", "", "synthesize over sinks from this CSV (x_um,y_um,cap_fF; \"-\" = stdin) instead of -bench")
+		loadPath  = flag.String("load", "", "load a previously saved clock tree (JSON) instead of -bench")
+		savePath  = flag.String("save", "", "save the optimized clock tree as JSON")
+		dotPath   = flag.String("dot", "", "dump the optimized clock tree as Graphviz DOT")
+		kappa     = flag.Float64("kappa", 20, "clock skew bound κ, ps")
+		samples   = flag.Int("samples", 158, "number of time sampling points |S|")
+		epsilon   = flag.Float64("eps", 0.01, "approximation parameter ε")
+		algo      = flag.String("algo", "wavemin", "algorithm: wavemin | fast | peakmin")
+		numModes  = flag.Int("modes", 1, "number of power modes (1 = single-mode flow)")
+		domains   = flag.Int("domains", 4, "number of voltage domains (multi-mode only)")
+		adi       = flag.Bool("adi", false, "offer adjustable delay inverters at ADB sites")
+	)
+	flag.Parse()
+
+	var design *wavemin.Design
+	var err error
+	switch {
+	case *sinksPath != "":
+		var r io.Reader = os.Stdin
+		if *sinksPath != "-" {
+			f, ferr := os.Open(*sinksPath)
+			if ferr != nil {
+				log.Fatal(ferr)
+			}
+			defer f.Close()
+			r = f
+		}
+		sinks, lerr := wavemin.LoadSinksCSV(r)
+		if lerr != nil {
+			log.Fatal(lerr)
+		}
+		design, err = wavemin.New(sinks)
+	case *loadPath != "":
+		f, ferr := os.Open(*loadPath)
+		if ferr != nil {
+			log.Fatal(ferr)
+		}
+		defer f.Close()
+		design, err = wavemin.LoadTree(f)
+	default:
+		design, err = wavemin.Benchmark(*benchName)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := wavemin.Config{
+		Kappa: *kappa, Samples: *samples, Epsilon: *epsilon, EnableADI: *adi,
+	}
+	switch *algo {
+	case "wavemin":
+		cfg.Algorithm = wavemin.WaveMin
+	case "fast":
+		cfg.Algorithm = wavemin.WaveMinFast
+	case "peakmin":
+		cfg.Algorithm = wavemin.PeakMin
+	default:
+		log.Fatalf("unknown algorithm %q", *algo)
+	}
+
+	if *numModes > 1 {
+		spec, ok := bench.SpecByName(*benchName)
+		if !ok {
+			log.Fatalf("multi-mode requires a named benchmark, got %q", *benchName)
+		}
+		names := design.PartitionVoltageIslands(*domains)
+		if err := design.SetModes(spec.Modes(names, *numModes)); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: %d modes over %d voltage domains\n", *benchName, *numModes, *domains)
+	}
+
+	label := *benchName
+	switch {
+	case *sinksPath != "":
+		label = "custom(" + *sinksPath + ")"
+	case *loadPath != "":
+		label = "loaded(" + *loadPath + ")"
+	}
+
+	res, err := design.Optimize(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := os.Stdout
+	fmt.Fprintf(w, "circuit      %s (n=%d, |L|=%d)\n", label, design.Tree.Len(), len(design.Tree.Leaves()))
+	fmt.Fprintf(w, "algorithm    %s, κ=%g ps, |S|=%d, ε=%g\n", *algo, *kappa, *samples, *epsilon)
+	fmt.Fprintf(w, "peak current %.3f mA -> %.3f mA (%.1f%% reduction)\n",
+		res.Before.PeakCurrent/1000, res.After.PeakCurrent/1000, res.PeakReduction())
+	fmt.Fprintf(w, "VDD noise    %.2f mV -> %.2f mV\n", res.Before.VDDNoise*1000, res.After.VDDNoise*1000)
+	fmt.Fprintf(w, "Gnd noise    %.2f mV -> %.2f mV\n", res.Before.GndNoise*1000, res.After.GndNoise*1000)
+	fmt.Fprintf(w, "worst skew   %.2f ps -> %.2f ps (bound %g)\n",
+		res.Before.WorstSkew, res.After.WorstSkew, *kappa)
+	fmt.Fprintf(w, "leaf cells   %d buffers, %d inverters, %d ADBs, %d ADIs (%d ADBs inserted)\n",
+		res.NumBuffers, res.NumInverters, res.NumADBs, res.NumADIs, res.ADBInserted)
+	fmt.Fprintf(w, "runtime      %v\n", res.Runtime)
+	if *savePath != "" {
+		f, err := os.Create(*savePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := design.SaveTree(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "saved        %s\n", *savePath)
+	}
+	if *dotPath != "" {
+		f, err := os.Create(*dotPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := design.Tree.WriteDOT(f, label); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(w, "dot          %s\n", *dotPath)
+	}
+}

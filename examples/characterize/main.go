@@ -1,0 +1,47 @@
+// Characterize: build NLDM-style lookup tables for the sizing library by
+// sweeping input slew and output load, dump them in the Liberty-flavoured
+// text format, and cross-check one cell against the transistor-level
+// (switched-conductance) simulation — the characterization flow behind the
+// paper's Fig. 7.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"wavemin/internal/cell"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	lib := cell.SizingLibrary()
+	slews := []float64{10, 20, 40, 80}
+	loads := []float64{2, 4, 8, 16, 32}
+
+	var tables []cell.CellTables
+	for _, c := range lib.Cells() {
+		ct, err := cell.BuildTables(c, 1.1, slews, loads)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tables = append(tables, ct)
+	}
+	if err := cell.WriteLiberty(os.Stdout, "wavemin_45nm", 1.1, tables); err != nil {
+		log.Fatal(err)
+	}
+
+	// Cross-validate the analytic model against the transistor-level
+	// testbench for one operating point.
+	c := lib.MustByName("INV_X8")
+	p, err := cell.SpiceCharacterize(c, cell.Rising, 8, 1.1, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "\ncross-check INV_X8 @ 8 fF, 1.1 V, rising edge:\n")
+	fmt.Fprintf(os.Stderr, "  delay:    analytic %.2f ps, switched-conductance sim %.2f ps\n",
+		c.Delay(8, 1.1), p.TD)
+	fmt.Fprintf(os.Stderr, "  ISS peak: analytic %.1f µA, switched-conductance sim %.1f µA\n",
+		c.PeakMinus(8, 1.1), p.PeakISS())
+}

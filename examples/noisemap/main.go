@@ -1,0 +1,96 @@
+// Noisemap: visualize where on the die the clock tree's switching noise
+// concentrates, before and after the WaveMin assignment — an ASCII heat
+// map of per-zone peak current, the spatial view behind the paper's
+// zone-by-zone optimization.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"wavemin"
+	"wavemin/internal/cell"
+	"wavemin/internal/clocktree"
+	"wavemin/internal/polarity"
+	"wavemin/internal/waveform"
+)
+
+const zoneSize = 50.0
+
+// zonePeaks computes each 50×50 µm tile's worst accumulated current peak.
+func zonePeaks(tree *clocktree.Tree) map[[2]int]float64 {
+	tm := tree.ComputeTiming(clocktree.NominalMode)
+	peaks := make(map[[2]int]float64)
+	for _, zone := range polarity.PartitionZones(tree, zoneSize) {
+		ids := append(append([]clocktree.NodeID(nil), zone.Leaves...), zone.NonLeaves...)
+		var worst float64
+		for _, e := range []cell.Edge{cell.Rising, cell.Falling} {
+			idd, iss := tree.SumCurrents(tm, ids, e)
+			for _, w := range []waveform.Waveform{idd, iss} {
+				if p, _ := w.Peak(); p > worst {
+					worst = p
+				}
+			}
+		}
+		peaks[zone.Key] = worst
+	}
+	return peaks
+}
+
+// render draws the tile grid with one glyph per noise decade.
+func render(peaks map[[2]int]float64, max float64) {
+	glyphs := []byte(" .:-=+*#%@")
+	var maxX, maxY int
+	for k := range peaks {
+		if k[0] > maxX {
+			maxX = k[0]
+		}
+		if k[1] > maxY {
+			maxY = k[1]
+		}
+	}
+	for y := maxY; y >= 0; y-- {
+		fmt.Printf("%4d | ", y)
+		for x := 0; x <= maxX; x++ {
+			p := peaks[[2]int{x, y}]
+			idx := int(math.Round(p / max * float64(len(glyphs)-1)))
+			if idx >= len(glyphs) {
+				idx = len(glyphs) - 1
+			}
+			fmt.Printf("%c ", glyphs[idx])
+		}
+		fmt.Println()
+	}
+}
+
+func main() {
+	log.SetFlags(0)
+	design, err := wavemin.Benchmark("s35932")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	before := zonePeaks(design.Tree)
+	if _, err := design.Optimize(wavemin.Config{Kappa: 20, Samples: 64, MaxIntervals: 6}); err != nil {
+		log.Fatal(err)
+	}
+	after := zonePeaks(design.Tree)
+
+	var max, worstB, worstA float64
+	for _, p := range before {
+		max = math.Max(max, p)
+		worstB = math.Max(worstB, p)
+	}
+	for _, p := range after {
+		max = math.Max(max, p)
+		worstA = math.Max(worstA, p)
+	}
+
+	fmt.Printf("s35932 zone noise map (%g µm tiles; scale ' ' = quiet, '@' = %.1f mA)\n\n", zoneSize, max/1000)
+	fmt.Println("before WaveMin:")
+	render(before, max)
+	fmt.Println("\nafter WaveMin:")
+	render(after, max)
+	fmt.Printf("\nworst zone peak: %.2f mA -> %.2f mA\n", worstB/1000, worstA/1000)
+}

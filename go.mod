@@ -1,0 +1,3 @@
+module wavemin
+
+go 1.22

@@ -1,0 +1,140 @@
+package adb
+
+import (
+	"testing"
+
+	"wavemin/internal/cell"
+	"wavemin/internal/clocktree"
+	"wavemin/internal/cts"
+)
+
+// islandTree builds a balanced tree over two spatial halves and assigns
+// the right half to a voltage island, like the paper's Fig. 10.
+func islandTree(t testing.TB, nPerSide int) (*clocktree.Tree, []clocktree.Mode, *cell.Library) {
+	lib := cell.DefaultLibrary()
+	var sinks []cts.Sink
+	for i := 0; i < nPerSide; i++ {
+		sinks = append(sinks, cts.Sink{X: 20 + float64(i*3), Y: 20 + float64(i%5)*9, Cap: 8})
+		sinks = append(sinks, cts.Sink{X: 220 + float64(i*3), Y: 20 + float64(i%5)*9, Cap: 8})
+	}
+	tree, err := cts.Synthesize(sinks, lib, cts.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.Walk(func(n *clocktree.Node) {
+		if n.X >= 150 {
+			n.Domain = "A2"
+		} else {
+			n.Domain = "A1"
+		}
+	})
+	modes := []clocktree.Mode{
+		{Name: "M1", Supplies: map[string]float64{"A1": 1.1, "A2": 1.1}},
+		{Name: "M2", Supplies: map[string]float64{"A1": 1.1, "A2": 0.9}},
+	}
+	return tree, modes, lib
+}
+
+func TestInsertFixesMultiModeSkew(t *testing.T) {
+	tree, modes, lib := islandTree(t, 12)
+	kappa := 6.0
+	if tree.MeetsSkew(kappa, modes) {
+		t.Fatal("island did not create a violation; test premise broken")
+	}
+	adbCell := lib.MustByName("ADB_X8")
+	res, err := Insert(tree, adbCell, modes, kappa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.MeetsSkew(kappa, modes) {
+		for _, m := range modes {
+			t.Logf("mode %s skew %g", m.Name, tree.ComputeTiming(m).Skew(tree))
+		}
+		t.Fatal("skew still violated after ADB insertion")
+	}
+	if res.NumADBs() == 0 {
+		t.Fatal("no ADBs inserted despite violation")
+	}
+	if len(Sites(tree)) != res.NumADBs() {
+		t.Fatalf("Sites %d != inserted %d", len(Sites(tree)), res.NumADBs())
+	}
+}
+
+func TestInsertIsMinimalOnLooseKappa(t *testing.T) {
+	// With a huge κ the tree already meets the bound: no ADBs.
+	tree, modes, lib := islandTree(t, 6)
+	res, err := Insert(tree, lib.MustByName("ADB_X8"), modes, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumADBs() != 0 {
+		t.Fatalf("inserted %d ADBs with loose κ", res.NumADBs())
+	}
+}
+
+func TestInsertSettingsDifferPerMode(t *testing.T) {
+	tree, modes, lib := islandTree(t, 12)
+	kappa := 6.0
+	if tree.MeetsSkew(kappa, modes) {
+		t.Fatal("island did not create a violation; test premise broken")
+	}
+	if _, err := Insert(tree, lib.MustByName("ADB_X8"), modes, kappa); err != nil {
+		t.Fatal(err)
+	}
+	// At least one ADB should need different bank settings in M1 vs M2
+	// (the island shifts only in M2).
+	differ := false
+	for _, leaf := range Sites(tree) {
+		n := tree.Node(leaf)
+		if n.AdjustSteps["M1"] != n.AdjustSteps["M2"] {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Fatal("expected mode-dependent bank settings")
+	}
+}
+
+func TestInsertErrors(t *testing.T) {
+	tree, modes, lib := islandTree(t, 4)
+	if _, err := Insert(tree, lib.MustByName("BUF_X8"), modes, 10); err == nil {
+		t.Error("non-adjustable cell should error")
+	}
+	if _, err := Insert(tree, lib.MustByName("ADB_X8"), modes, -1); err == nil {
+		t.Error("negative kappa should error")
+	}
+	if _, err := Insert(tree, lib.MustByName("ADB_X8"), nil, 10); err == nil {
+		t.Error("no modes should error")
+	}
+}
+
+func TestInsertFailsWhenBankTooSmall(t *testing.T) {
+	tree, modes, _ := islandTree(t, 12)
+	// A bank with one 1-ps step cannot absorb a multi-ps island shift with
+	// a tight window.
+	tiny := cell.MakeADB(8, 1, 1)
+	if _, err := Insert(tree, tiny, modes, 2); err == nil {
+		skews := []float64{}
+		for _, m := range modes {
+			skews = append(skews, tree.ComputeTiming(m).Skew(tree))
+		}
+		t.Fatalf("expected failure with 1 ps bank; skews now %v", skews)
+	}
+}
+
+func TestInsertKeepsSingleModeNoop(t *testing.T) {
+	// A single nominal mode on a balanced tree needs nothing.
+	lib := cell.DefaultLibrary()
+	sinks := []cts.Sink{{X: 10, Y: 10, Cap: 8}, {X: 90, Y: 90, Cap: 8}}
+	tree, err := cts.Synthesize(sinks, lib, cts.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Insert(tree, lib.MustByName("ADB_X8"), []clocktree.Mode{clocktree.NominalMode}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumADBs() != 0 {
+		t.Fatalf("inserted %d ADBs on a balanced single-mode tree", res.NumADBs())
+	}
+}

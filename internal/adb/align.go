@@ -1,0 +1,156 @@
+package adb
+
+import (
+	"fmt"
+	"math"
+
+	"wavemin/internal/cell"
+	"wavemin/internal/clocktree"
+)
+
+// insertAligned is the heavy-duty ADB allocator for designs whose
+// per-mode arrival spreads exceed a single capacitor bank: it aligns the
+// whole tree per mode by absorbing, at every tree edge, the gap between a
+// child subtree's latest arrival and its siblings' latest arrival — the
+// classic bottom-up delay-alignment. Gaps larger than one bank cascade
+// down the subtree (every node on the path contributes its bank), so the
+// usable range grows with tree depth. The allocation is committed into the
+// tree (cell swaps + per-mode bank settings) and marked in inserted.
+//
+// Quantization residue (≤ one bank step per level) and swap-delta
+// second-order effects are left to the caller's outer verify loop and
+// Retune.
+func insertAligned(t *clocktree.Tree, adbCell *cell.Cell, modes []clocktree.Mode, kappa float64, inserted map[clocktree.NodeID]bool) error {
+	// A swap's base-delay penalty may overshoot a mode whose gap is
+	// already closed (typically the nominal mode); tolerate a bounded
+	// overshoot — the outer verify loop then delays the overshot node's
+	// siblings to match (cascading allocation, the regime of the paper's
+	// Table VII where most of a tree ends up as ADBs).
+	overshootTol := math.Max(2*adbCell.StepPs, kappa/3)
+
+	// Internal positions get drive-matched ADBs (an ADB_X8 replacing a
+	// BUF_X32 would cost tens of ps of base delay); same bank geometry as
+	// the configured leaf ADB.
+	adbByDrive := map[float64]*cell.Cell{adbCell.Drive: adbCell}
+	adbFor := func(c *cell.Cell) *cell.Cell {
+		if a, ok := adbByDrive[c.Drive]; ok {
+			return a
+		}
+		a := cell.MakeADB(c.Drive, adbCell.MaxSteps, adbCell.StepPs)
+		adbByDrive[c.Drive] = a
+		return a
+	}
+	nModes := len(modes)
+	timings := make([]*clocktree.Timing, nModes)
+	for i, m := range modes {
+		timings[i] = t.ComputeTiming(m)
+	}
+	// maxdown[m][node]: latest leaf arrival in the node's subtree.
+	maxdown := make([][]float64, nModes)
+	for i := range modes {
+		md := make([]float64, t.Len())
+		var rec func(clocktree.NodeID) float64
+		rec = func(v clocktree.NodeID) float64 {
+			n := t.Node(v)
+			if n.IsLeaf() {
+				md[v] = timings[i].ATOut[v]
+				return md[v]
+			}
+			worst := math.Inf(-1)
+			for _, ch := range n.Children {
+				if d := rec(ch); d > worst {
+					worst = d
+				}
+			}
+			md[v] = worst
+			return worst
+		}
+		rec(t.Root())
+		maxdown[i] = md
+	}
+
+	changed := false
+	var alloc func(v clocktree.NodeID, carry []float64) error
+	alloc = func(v clocktree.NodeID, carry []float64) error {
+		n := t.Node(v)
+		for _, ch := range n.Children {
+			chN := t.Node(ch)
+			need := make([]float64, nModes)
+			maxNeed := 0.0
+			for i := range modes {
+				need[i] = maxdown[i][v] - maxdown[i][ch] + carry[i]
+				if need[i] > maxNeed {
+					maxNeed = need[i]
+				}
+			}
+			residual := need
+			if maxNeed >= adbCell.StepPs {
+				// Worth allocating here if the cell swap never overshoots
+				// (beyond tolerance).
+				target := chN.Cell
+				if !target.Adjustable() {
+					if chN.IsLeaf() {
+						target = adbCell
+					} else {
+						target = adbFor(chN.Cell)
+					}
+				}
+				delta := make([]float64, nModes)
+				if !chN.Cell.Adjustable() {
+					for i, m := range modes {
+						vdd := m.VDDOf(chN.Domain)
+						load := timings[i].Load[ch]
+						delta[i] = target.Delay(load, vdd) - chN.Cell.Delay(load, vdd)
+					}
+				}
+				safe, useful := true, false
+				add := make([]int, nModes)
+				for i := range modes {
+					if delta[i] > need[i]+overshootTol {
+						safe = false
+						break
+					}
+					room := target.MaxSteps - chN.AdjustSteps[modes[i].Name]
+					sc := int((need[i] - delta[i]) / target.StepPs)
+					if sc > room {
+						sc = room
+					}
+					if sc < 0 {
+						sc = 0
+					}
+					add[i] = sc
+					if sc > 0 {
+						useful = true
+					}
+				}
+				if safe && useful {
+					if !chN.Cell.Adjustable() {
+						t.SetCell(ch, target)
+					}
+					residual = make([]float64, nModes)
+					for i, m := range modes {
+						t.SetAdjustSteps(ch, m.Name, chN.AdjustSteps[m.Name]+add[i])
+						residual[i] = math.Max(0, need[i]-delta[i]-float64(add[i])*target.StepPs)
+					}
+					inserted[ch] = true
+					changed = true
+				}
+			}
+			if chN.IsLeaf() {
+				continue // leaf residue is the outer loop's to verify
+			}
+			if err := alloc(ch, residual); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := alloc(t.Root(), make([]float64, nModes)); err != nil {
+		return err
+	}
+	if !changed {
+		return fmt.Errorf("adb: alignment allocator made no progress (bank range %g ps too small for the design)",
+			adbCell.MaxAdjust())
+	}
+	return nil
+}

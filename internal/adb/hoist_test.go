@@ -1,0 +1,55 @@
+package adb
+
+import (
+	"testing"
+
+	"wavemin/internal/cell"
+)
+
+func TestInsertHoistsToNonLeafWhenBankTooSmall(t *testing.T) {
+	tree, modes, _ := islandTree(t, 12)
+	kappa := 6.0
+	// A 9 ps bank cannot absorb the island's ~14 ps shift at any single
+	// leaf; the insertion must hoist part of the delay into non-leaf ADBs.
+	small := cell.MakeADB(16, 3, 3)
+	res, err := Insert(tree, small, modes, kappa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tree.MeetsSkew(kappa, modes) {
+		for _, m := range modes {
+			t.Logf("mode %s skew %g", m.Name, tree.ComputeTiming(m).Skew(tree))
+		}
+		t.Fatal("skew still violated after hoisted insertion")
+	}
+	// At least one inserted ADB must sit at a non-leaf position.
+	nonLeaf := 0
+	for _, id := range res.Inserted {
+		if !tree.Node(id).IsLeaf() {
+			nonLeaf++
+		}
+	}
+	if nonLeaf == 0 {
+		t.Fatalf("expected non-leaf ADBs among %d inserted", len(res.Inserted))
+	}
+	adbs, adis := CountAdjustables(tree)
+	if adbs != len(res.Inserted) || adis != 0 {
+		t.Fatalf("CountAdjustables %d/%d vs inserted %d", adbs, adis, len(res.Inserted))
+	}
+}
+
+func TestHoistRespectsOnTimeSiblings(t *testing.T) {
+	// A parent whose leaf children include an on-time leaf must not be
+	// hoisted; verify windows still hold everywhere after insertion.
+	tree, modes, lib := islandTree(t, 12)
+	kappa := 6.0
+	if _, err := Insert(tree, lib.MustByName("ADB_X8"), modes, kappa); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range modes {
+		tm := tree.ComputeTiming(m)
+		if s := tm.Skew(tree); s > kappa+1e-9 {
+			t.Fatalf("mode %s skew %g", m.Name, s)
+		}
+	}
+}

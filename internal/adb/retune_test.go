@@ -1,0 +1,82 @@
+package adb
+
+import (
+	"testing"
+
+	"wavemin/internal/cell"
+	"wavemin/internal/clocktree"
+)
+
+func TestRetuneFixesDriftedBanks(t *testing.T) {
+	tree, modes, lib := islandTree(t, 12)
+	kappa := 6.0
+	if _, err := Insert(tree, lib.MustByName("ADB_X8"), modes, kappa); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the bank settings.
+	for _, leaf := range Sites(tree) {
+		tree.SetAdjustSteps(leaf, "M2", 0)
+	}
+	if tree.MeetsSkew(kappa, modes) {
+		t.Fatal("sabotage should have broken the skew")
+	}
+	worst, err := Retune(tree, modes, kappa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > kappa+1e-9 {
+		t.Fatalf("retune left worst skew %g > κ=%g", worst, kappa)
+	}
+	if !tree.MeetsSkew(kappa, modes) {
+		t.Fatal("tree still violates after retune")
+	}
+}
+
+func TestRetuneNoAdjustablesReportsResidual(t *testing.T) {
+	// A plain tree with drift: retune cannot move anything, must report
+	// the residual skew without erroring.
+	tree, modes, _ := islandTree(t, 12)
+	worstBefore, _ := tree.SkewAcrossModes(modes)
+	worst, err := Retune(tree, modes, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst < worstBefore-1e-9 {
+		t.Fatalf("retune claims %g, actual %g", worst, worstBefore)
+	}
+}
+
+func TestRetuneValidatesKappa(t *testing.T) {
+	tree, modes, _ := islandTree(t, 4)
+	if _, err := Retune(tree, modes, 0); err == nil {
+		t.Fatal("zero kappa should error")
+	}
+}
+
+func TestRetuneBankRangeExceeded(t *testing.T) {
+	// An adjustable leaf with a 1-step bank placed very early: retune must
+	// error when the window is unreachable.
+	lib := cell.DefaultLibrary()
+	tiny := cell.MakeADB(8, 1, 1)
+	tree := clocktree.New(lib.MustByName("BUF_X16"), 0, 0)
+	early := tree.AddChild(tree.Root(), tiny, 10, 0, 0.01, 1)
+	tree.SetSinkCap(early, 8)
+	late := tree.AddChild(tree.Root(), lib.MustByName("BUF_X8"), 20, 0, 2.0, 200)
+	tree.SetSinkCap(late, 8)
+	modes := []clocktree.Mode{clocktree.NominalMode}
+	if tree.ComputeTiming(modes[0]).Skew(tree) < 5 {
+		t.Fatal("fixture premise: need large skew")
+	}
+	if _, err := Retune(tree, modes, 3); err == nil {
+		t.Fatal("expected bank-range error")
+	}
+}
+
+func TestInsertMaxPassesFailure(t *testing.T) {
+	// Force non-convergence: κ tiny relative to drift on a tree whose
+	// plain leaves spread more than κ.
+	tree, modes, lib := islandTree(t, 12)
+	if _, err := Insert(tree, lib.MustByName("ADB_X8"), modes, 0.05); err == nil {
+		t.Fatal("expected failure for κ=0.05")
+	}
+}

@@ -1,0 +1,257 @@
+package cell
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindAndEdgeStrings(t *testing.T) {
+	if Buf.String() != "BUF" || Inv.String() != "INV" || ADB.String() != "ADB" || ADI.String() != "ADI" {
+		t.Fatal("Kind strings wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind should still render")
+	}
+	if Rising.String() != "rise" || Falling.String() != "fall" {
+		t.Fatal("Edge strings wrong")
+	}
+	if Rising.Opposite() != Falling || Falling.Opposite() != Rising {
+		t.Fatal("Edge.Opposite wrong")
+	}
+}
+
+func TestInvertingAndAdjustable(t *testing.T) {
+	lib := DefaultLibrary()
+	for _, c := range lib.Cells() {
+		wantInv := c.Kind == Inv || c.Kind == ADI
+		if c.Inverting() != wantInv {
+			t.Errorf("%s: Inverting = %v", c.Name, c.Inverting())
+		}
+		wantAdj := c.Kind == ADB || c.Kind == ADI
+		if c.Adjustable() != wantAdj {
+			t.Errorf("%s: Adjustable = %v", c.Name, c.Adjustable())
+		}
+		if wantAdj && c.MaxAdjust() <= 0 {
+			t.Errorf("%s: MaxAdjust = %g", c.Name, c.MaxAdjust())
+		}
+	}
+}
+
+func TestDelayDecreasesWithDrive(t *testing.T) {
+	// Under a fixed load, a stronger cell must be faster.
+	const load, vdd = 8.0, 1.1
+	lib := DefaultLibrary()
+	for _, kindCells := range [][]*Cell{lib.Buffers(), lib.Inverters()} {
+		for i := 1; i < len(kindCells); i++ {
+			a, b := kindCells[i-1], kindCells[i]
+			// Library is name-sorted; compare by drive explicitly.
+			lo, hi := a, b
+			if lo.Drive > hi.Drive {
+				lo, hi = hi, lo
+			}
+			if lo.Delay(load, vdd) <= hi.Delay(load, vdd) {
+				t.Errorf("%s (%.0fX) not slower than %s (%.0fX): %g vs %g",
+					lo.Name, lo.Drive, hi.Name, hi.Drive,
+					lo.Delay(load, vdd), hi.Delay(load, vdd))
+			}
+		}
+	}
+}
+
+func TestDelayIncreasesWithLoad(t *testing.T) {
+	c := DefaultLibrary().MustByName("BUF_X4")
+	if c.Delay(2, 1.1) >= c.Delay(10, 1.1) {
+		t.Fatal("delay must increase with load")
+	}
+}
+
+func TestDelayIncreasesAsVDDDrops(t *testing.T) {
+	for _, c := range DefaultLibrary().Cells() {
+		d11 := c.Delay(4, 1.1)
+		d09 := c.Delay(4, 0.9)
+		if d09 <= d11 {
+			t.Errorf("%s: delay at 0.9V (%g) not larger than at 1.1V (%g)", c.Name, d09, d11)
+		}
+		// The paper's Tables II/III show ≈10–13 % slowdown.
+		ratio := d09 / d11
+		if ratio < 1.05 || ratio > 1.25 {
+			t.Errorf("%s: VDD slowdown ratio %g out of plausible band", c.Name, ratio)
+		}
+	}
+}
+
+func TestPeaksScaleWithDrive(t *testing.T) {
+	lib := DefaultLibrary()
+	const load, vdd = 4.0, 1.1
+	b1 := lib.MustByName("BUF_X1")
+	b8 := lib.MustByName("BUF_X8")
+	if b8.PeakPlus(load, vdd) <= b1.PeakPlus(load, vdd) {
+		t.Fatal("bigger buffer should have larger P+")
+	}
+}
+
+func TestPolarityOfPeaks(t *testing.T) {
+	// Buffers: P+ >> P− (big IDD pulse at rising edge). Inverters: mirrored.
+	const load, vdd = 4.0, 1.1
+	for _, c := range DefaultLibrary().Cells() {
+		pp, pm := c.PeakPlus(load, vdd), c.PeakMinus(load, vdd)
+		if c.Inverting() {
+			if pm <= pp {
+				t.Errorf("%s: inverting cell should have P- > P+ (got %g, %g)", c.Name, pp, pm)
+			}
+		} else if pp <= pm {
+			t.Errorf("%s: non-inverting cell should have P+ > P- (got %g, %g)", c.Name, pp, pm)
+		}
+	}
+}
+
+func TestPeaksDropWithVDD(t *testing.T) {
+	c := DefaultLibrary().MustByName("INV_X8")
+	if c.PeakMinus(4, 0.9) >= c.PeakMinus(4, 1.1) {
+		t.Fatal("peak current should drop at lower VDD")
+	}
+}
+
+func TestCurrentsMatchPeaksAndCharge(t *testing.T) {
+	const load, vdd, slew = 4.0, 1.1, 20.0
+	for _, c := range DefaultLibrary().Cells() {
+		idd, iss := c.Currents(Rising, load, vdd, slew)
+		// The main pulse lands on IDD for non-inverting, ISS for inverting.
+		pIDD, _ := idd.Peak()
+		pISS, _ := iss.Peak()
+		if c.Inverting() {
+			if pISS <= pIDD {
+				t.Errorf("%s rising: ISS peak %g should exceed IDD peak %g", c.Name, pISS, pIDD)
+			}
+		} else {
+			if pIDD <= pISS && c.Kind != Buf && c.Kind != ADB {
+				t.Errorf("%s rising: IDD peak %g should exceed ISS peak %g", c.Name, pIDD, pISS)
+			}
+		}
+		// Total charge on the switching rail ≈ C·V: within 2x for two-stage cells.
+		q := idd.Charge() + iss.Charge()
+		want := 1000 * (load + c.CparPerX*c.Drive) * vdd
+		if q < 0.5*want || q > 3*want {
+			t.Errorf("%s: total charge %g wildly off C·V = %g", c.Name, q, want)
+		}
+	}
+}
+
+func TestCurrentsEdgeAsymmetry(t *testing.T) {
+	// An inverter's rising-edge ISS pulse (pull-down: narrow, tall) and
+	// falling-edge IDD pulse (pull-up: wide, flat) switch the same charge
+	// but differ in peak by the PMOS/NMOS strength ratio.
+	c := DefaultLibrary().MustByName("INV_X4")
+	_, issR := c.Currents(Rising, 4, 1.1, 20)
+	iddF, _ := c.Currents(Falling, 4, 1.1, 20)
+	pDown, _ := issR.Peak()
+	pUp, _ := iddF.Peak()
+	if pDown <= pUp {
+		t.Fatalf("pull-down peak %g should exceed pull-up peak %g", pDown, pUp)
+	}
+	// Same switched charge within the shaping tolerance.
+	qDown, qUp := issR.Charge(), iddF.Charge()
+	if math.Abs(qDown-qUp) > 0.25*math.Max(qDown, qUp) {
+		t.Fatalf("pulse charges diverged: %g vs %g", qDown, qUp)
+	}
+	// The closed-form peaks reflect the same asymmetry.
+	if c.PeakMinus(4, 1.1) <= c.PeakPlus(4, 1.1) {
+		t.Fatal("inverter P- must stay the dominant peak")
+	}
+}
+
+func TestSlewWidensCurrentPulse(t *testing.T) {
+	c := DefaultLibrary().MustByName("BUF_X8")
+	iddSharp, _ := c.Currents(Rising, 4, 1.1, 5)
+	iddSlow, _ := c.Currents(Rising, 4, 1.1, 60)
+	pSharp, _ := iddSharp.Peak()
+	pSlow, _ := iddSlow.Peak()
+	if pSlow >= pSharp {
+		t.Fatalf("slower input slew should flatten the pulse: %g vs %g", pSlow, pSharp)
+	}
+}
+
+func TestADIHasLongerDelayThanADB(t *testing.T) {
+	lib := DefaultLibrary()
+	adb := lib.MustByName("ADB_X8")
+	adi := lib.MustByName("ADI_X8")
+	if adi.Delay(4, 1.1) <= adb.Delay(4, 1.1) {
+		t.Fatal("ADI must be slower than ADB (three inverters, Fig. 4)")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*Cell{
+		{Name: "", Kind: Buf, Drive: 1, CinPerX: 1, RoutUnit: 1},
+		{Name: "X", Kind: Buf, Drive: 0, CinPerX: 1, RoutUnit: 1},
+		{Name: "X", Kind: Buf, Drive: 1, CinPerX: 0, RoutUnit: 1},
+		{Name: "X", Kind: ADB, Drive: 1, CinPerX: 1, RoutUnit: 1, CparPerX: 1},                         // no steps
+		{Name: "X", Kind: Buf, Drive: 1, CinPerX: 1, RoutUnit: 1, CparPerX: 1, StepPs: 1, MaxSteps: 1}, // steps on plain buf
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d (%+v): expected validation error", i, c)
+		}
+	}
+	for _, c := range DefaultLibrary().Cells() {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%s: unexpected validation error %v", c.Name, err)
+		}
+	}
+}
+
+// Property: delay is monotone in load for every cell at both supplies.
+func TestPropertyDelayMonotoneInLoad(t *testing.T) {
+	cells := DefaultLibrary().Cells()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := cells[rng.Intn(len(cells))]
+		l1 := rng.Float64() * 20
+		l2 := l1 + 0.1 + rng.Float64()*20
+		vdd := 0.9 + rng.Float64()*0.3
+		return c.Delay(l1, vdd) < c.Delay(l2, vdd)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: P+ of a buffer equals P− of "the same" inverter within model
+// tolerance — the mirror image that makes polarity assignment work.
+func TestPropertyBufferInverterMirror(t *testing.T) {
+	lib := DefaultLibrary()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		x := []float64{1, 2, 4, 8, 16, 32}[rng.Intn(6)]
+		load := 1 + rng.Float64()*15
+		vdd := 0.9 + rng.Float64()*0.3
+		b := lib.MustByName("BUF_X" + fmtDrive(x))
+		iv := lib.MustByName("INV_X" + fmtDrive(x))
+		bp := b.PeakPlus(load, vdd)
+		ip := iv.PeakMinus(load, vdd)
+		// Same output stage geometry: peaks within 20 %.
+		return math.Abs(bp-ip) <= 0.2*math.Max(bp, ip)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fmtDrive(x float64) string {
+	switch x {
+	case 1:
+		return "1"
+	case 2:
+		return "2"
+	case 4:
+		return "4"
+	case 8:
+		return "8"
+	case 16:
+		return "16"
+	default:
+		return "32"
+	}
+}

@@ -1,0 +1,204 @@
+package cell
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteLiberty serializes cell tables in a Liberty-flavoured text format:
+//
+//	library (name) {
+//	  time_unit : "1ps";
+//	  voltage : 1.1;
+//	  cell (BUF_X8) {
+//	    table (delay) {
+//	      index_1 ("10, 20, 40");
+//	      index_2 ("2, 4, 8");
+//	      values ("11.2, 12.3, 14.1", "11.5, 12.6, 14.4", ...);
+//	    }
+//	    ...
+//	  }
+//	}
+//
+// The dialect is simplified (one voltage per library, four fixed table
+// names) but structurally faithful, so the characterization can be
+// inspected, diffed, and re-loaded without re-running the models.
+func WriteLiberty(w io.Writer, libName string, vdd float64, tables []CellTables) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "library (%s) {\n", libName)
+	fmt.Fprintf(bw, "  time_unit : \"1ps\";\n")
+	fmt.Fprintf(bw, "  capacitive_load_unit : \"1fF\";\n")
+	fmt.Fprintf(bw, "  current_unit : \"1uA\";\n")
+	fmt.Fprintf(bw, "  voltage : %g;\n", vdd)
+	for i := range tables {
+		ct := &tables[i]
+		if err := ct.Validate(); err != nil {
+			return err
+		}
+		fmt.Fprintf(bw, "  cell (%s) {\n", ct.Cell)
+		writeTable(bw, "delay", &ct.Delay)
+		writeTable(bw, "out_slew", &ct.OutSlew)
+		writeTable(bw, "peak_plus", &ct.PeakPlus)
+		writeTable(bw, "peak_minus", &ct.PeakMinus)
+		fmt.Fprintf(bw, "  }\n")
+	}
+	fmt.Fprintf(bw, "}\n")
+	return bw.Flush()
+}
+
+func writeTable(w io.Writer, name string, t *NLDM) {
+	fmt.Fprintf(w, "    table (%s) {\n", name)
+	fmt.Fprintf(w, "      index_1 (%q);\n", joinFloats(t.Slews))
+	fmt.Fprintf(w, "      index_2 (%q);\n", joinFloats(t.Loads))
+	fmt.Fprintf(w, "      values (")
+	for i, row := range t.Values {
+		if i > 0 {
+			fmt.Fprintf(w, ", ")
+		}
+		fmt.Fprintf(w, "%q", joinFloats(row))
+	}
+	fmt.Fprintf(w, ");\n    }\n")
+}
+
+func joinFloats(xs []float64) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.FormatFloat(x, 'g', 10, 64)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// ParseLiberty reads the dialect WriteLiberty emits, returning the library
+// name, supply voltage, and the per-cell tables.
+func ParseLiberty(r io.Reader) (libName string, vdd float64, tables []CellTables, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var cur *CellTables
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "" || line == "}":
+			continue
+		case strings.HasPrefix(line, "library ("):
+			libName = between(line, "library (", ")")
+		case strings.HasPrefix(line, "voltage :"):
+			v := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(line, "voltage :")), ";")
+			vdd, err = strconv.ParseFloat(v, 64)
+			if err != nil {
+				return "", 0, nil, fmt.Errorf("liberty line %d: bad voltage %q", lineNo, v)
+			}
+		case strings.HasPrefix(line, "time_unit"), strings.HasPrefix(line, "capacitive_load_unit"),
+			strings.HasPrefix(line, "current_unit"):
+			// Units are fixed by the dialect.
+		case strings.HasPrefix(line, "cell ("):
+			tables = append(tables, CellTables{Cell: between(line, "cell (", ")"), VDD: vdd})
+			cur = &tables[len(tables)-1]
+		case strings.HasPrefix(line, "table ("):
+			if cur == nil {
+				return "", 0, nil, fmt.Errorf("liberty line %d: table outside cell", lineNo)
+			}
+			name := between(line, "table (", ")")
+			var tbl NLDM
+			if tbl, err = parseTable(sc, &lineNo); err != nil {
+				return "", 0, nil, fmt.Errorf("liberty line %d: %w", lineNo, err)
+			}
+			switch name {
+			case "delay":
+				cur.Delay = tbl
+			case "out_slew":
+				cur.OutSlew = tbl
+			case "peak_plus":
+				cur.PeakPlus = tbl
+			case "peak_minus":
+				cur.PeakMinus = tbl
+			default:
+				return "", 0, nil, fmt.Errorf("liberty line %d: unknown table %q", lineNo, name)
+			}
+		default:
+			return "", 0, nil, fmt.Errorf("liberty line %d: unexpected %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return "", 0, nil, err
+	}
+	for i := range tables {
+		if err := tables[i].Validate(); err != nil {
+			return "", 0, nil, err
+		}
+	}
+	if libName == "" {
+		return "", 0, nil, fmt.Errorf("liberty: no library block found")
+	}
+	return libName, vdd, tables, nil
+}
+
+func parseTable(sc *bufio.Scanner, lineNo *int) (NLDM, error) {
+	var t NLDM
+	for sc.Scan() {
+		*lineNo++
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "index_1 ("):
+			xs, err := parseFloats(between(line, "index_1 (\"", "\")"))
+			if err != nil {
+				return t, err
+			}
+			t.Slews = xs
+		case strings.HasPrefix(line, "index_2 ("):
+			xs, err := parseFloats(between(line, "index_2 (\"", "\")"))
+			if err != nil {
+				return t, err
+			}
+			t.Loads = xs
+		case strings.HasPrefix(line, "values ("):
+			body := between(line, "values (", ");")
+			for _, q := range strings.Split(body, "\", \"") {
+				q = strings.Trim(q, "\"")
+				row, err := parseFloats(q)
+				if err != nil {
+					return t, err
+				}
+				t.Values = append(t.Values, row)
+			}
+			return t, nil
+		case line == "}":
+			return t, fmt.Errorf("table ended before values")
+		default:
+			return t, fmt.Errorf("unexpected table line %q", line)
+		}
+	}
+	return t, fmt.Errorf("unterminated table")
+}
+
+func parseFloats(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", p)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// between extracts the substring after prefix and before the next
+// occurrence of suffix; empty when not found.
+func between(s, prefix, suffix string) string {
+	i := strings.Index(s, prefix)
+	if i < 0 {
+		return ""
+	}
+	rest := s[i+len(prefix):]
+	j := strings.Index(rest, suffix)
+	if j < 0 {
+		return rest
+	}
+	return rest[:j]
+}

@@ -1,0 +1,37 @@
+package cell
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParseLiberty checks the Liberty-dialect parser never panics and that
+// anything it accepts round-trips through the writer.
+func FuzzParseLiberty(f *testing.F) {
+	// Seed with a real serialization and some near-misses.
+	var buf bytes.Buffer
+	slews, loads := []float64{10, 20}, []float64{2, 4}
+	ct, err := BuildTables(SizingLibrary().MustByName("BUF_X8"), 1.1, slews, loads)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteLiberty(&buf, "seed", 1.1, []CellTables{ct}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add("library (l) {\n  voltage : 1.1;\n}")
+	f.Add("library (l) {\n  cell (c) {\n  }\n}")
+	f.Add("garbage")
+	f.Fuzz(func(t *testing.T, src string) {
+		name, vdd, tables, err := ParseLiberty(strings.NewReader(src))
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		// Accepted input must re-serialize.
+		var out bytes.Buffer
+		if err := WriteLiberty(&out, name, vdd, tables); err != nil {
+			t.Fatalf("accepted input failed to re-serialize: %v", err)
+		}
+	})
+}

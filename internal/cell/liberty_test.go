@@ -1,0 +1,120 @@
+package cell
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func buildTestTables(t *testing.T) []CellTables {
+	t.Helper()
+	slews, loads := testGrid()
+	lib := SizingLibrary()
+	var out []CellTables
+	for _, c := range lib.Cells() {
+		ct, err := BuildTables(c, 1.1, slews, loads)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, ct)
+	}
+	return out
+}
+
+func TestLibertyRoundTrip(t *testing.T) {
+	tables := buildTestTables(t)
+	var buf bytes.Buffer
+	if err := WriteLiberty(&buf, "wavemin_45nm", 1.1, tables); err != nil {
+		t.Fatal(err)
+	}
+	name, vdd, parsed, err := ParseLiberty(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "wavemin_45nm" || vdd != 1.1 {
+		t.Fatalf("header round-trip: %q %g", name, vdd)
+	}
+	if len(parsed) != len(tables) {
+		t.Fatalf("%d cells parsed, want %d", len(parsed), len(tables))
+	}
+	for i := range tables {
+		a, b := &tables[i], &parsed[i]
+		if a.Cell != b.Cell {
+			t.Fatalf("cell %d name %q vs %q", i, a.Cell, b.Cell)
+		}
+		for _, pair := range [][2]*NLDM{
+			{&a.Delay, &b.Delay}, {&a.OutSlew, &b.OutSlew},
+			{&a.PeakPlus, &b.PeakPlus}, {&a.PeakMinus, &b.PeakMinus},
+		} {
+			if !nldmEqual(pair[0], pair[1]) {
+				t.Fatalf("cell %s: table mismatch after round trip", a.Cell)
+			}
+		}
+	}
+}
+
+func nldmEqual(a, b *NLDM) bool {
+	if len(a.Slews) != len(b.Slews) || len(a.Loads) != len(b.Loads) {
+		return false
+	}
+	for i := range a.Slews {
+		if math.Abs(a.Slews[i]-b.Slews[i]) > 1e-9 {
+			return false
+		}
+	}
+	for i := range a.Loads {
+		if math.Abs(a.Loads[i]-b.Loads[i]) > 1e-9 {
+			return false
+		}
+	}
+	for i := range a.Values {
+		for j := range a.Values[i] {
+			if math.Abs(a.Values[i][j]-b.Values[i][j]) > 1e-6*math.Max(1, a.Values[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestLibertyOutputLooksLikeLiberty(t *testing.T) {
+	tables := buildTestTables(t)
+	var buf bytes.Buffer
+	if err := WriteLiberty(&buf, "lib", 1.1, tables[:1]); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"library (lib) {", "time_unit : \"1ps\";", "cell (BUF_X16) {",
+		"table (delay) {", "index_1 (", "index_2 (", "values (",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out[:400])
+		}
+	}
+}
+
+func TestParseLibertyErrors(t *testing.T) {
+	cases := []string{
+		"",                                 // empty
+		"cell (X) {\n}",                    // cell before library... accepted? table outside cell is the guard
+		"library (l) {\n  voltage : x;\n}", // bad voltage
+		"library (l) {\n  bogus line\n}",   // unexpected line
+		"library (l) {\n  cell (c) {\n    table (nope) {\n      index_1 (\"1\");\n      index_2 (\"1\");\n      values (\"1\");\n    }\n  }\n}", // unknown table
+		"library (l) {\n  cell (c) {\n    table (delay) {\n      index_1 (\"1, 2\");\n}",                                                        // truncated table
+	}
+	for i, src := range cases {
+		if _, _, _, err := ParseLiberty(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: expected parse error", i)
+		}
+	}
+}
+
+func TestWriteLibertyValidates(t *testing.T) {
+	var buf bytes.Buffer
+	bad := []CellTables{{Cell: "x"}} // empty tables
+	if err := WriteLiberty(&buf, "l", 1.1, bad); err == nil {
+		t.Fatal("invalid tables should fail to serialize")
+	}
+}

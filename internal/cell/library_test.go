@@ -1,0 +1,149 @@
+package cell
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNewLibraryRejectsDuplicates(t *testing.T) {
+	if _, err := NewLibrary(makeBuf(1), makeBuf(1)); err == nil {
+		t.Fatal("duplicate names should be rejected")
+	}
+}
+
+func TestNewLibraryValidatesCells(t *testing.T) {
+	if _, err := NewLibrary(&Cell{Name: "bad", Kind: Buf, Drive: -1}); err == nil {
+		t.Fatal("invalid cell should be rejected")
+	}
+}
+
+func TestLibraryQueries(t *testing.T) {
+	lib := DefaultLibrary()
+	if lib.Len() != 14 { // 6 buf + 6 inv + ADB + ADI
+		t.Fatalf("default library size = %d, want 14", lib.Len())
+	}
+	if len(lib.Buffers()) != 6 || len(lib.Inverters()) != 6 || len(lib.Adjustables()) != 2 {
+		t.Fatalf("library partition wrong: %d/%d/%d",
+			len(lib.Buffers()), len(lib.Inverters()), len(lib.Adjustables()))
+	}
+	if _, ok := lib.ByName("BUF_X8"); !ok {
+		t.Fatal("BUF_X8 missing")
+	}
+	if _, ok := lib.ByName("nope"); ok {
+		t.Fatal("phantom cell found")
+	}
+}
+
+func TestMustByNamePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	DefaultLibrary().MustByName("nope")
+}
+
+func TestCellsReturnsCopy(t *testing.T) {
+	lib := DefaultLibrary()
+	cs := lib.Cells()
+	cs[0] = nil
+	if lib.Cells()[0] == nil {
+		t.Fatal("Cells must return a defensive copy")
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	lib := DefaultLibrary()
+	sub, err := lib.Restrict("BUF_X8", "INV_X8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Len() != 2 {
+		t.Fatalf("restricted size %d", sub.Len())
+	}
+	if _, err := lib.Restrict("nope"); err == nil {
+		t.Fatal("unknown name should error")
+	}
+}
+
+func TestWithCells(t *testing.T) {
+	lib := SizingLibrary()
+	ext, err := lib.WithCells(MakeADB(8, 16, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ext.Len() != lib.Len()+1 {
+		t.Fatal("WithCells did not extend")
+	}
+	if _, err := lib.WithCells(makeBuf(8)); err == nil {
+		t.Fatal("duplicate extension should error")
+	}
+}
+
+func TestSizingLibraries(t *testing.T) {
+	s := SizingLibrary()
+	for _, n := range []string{"BUF_X8", "BUF_X16", "INV_X8", "INV_X16"} {
+		if _, ok := s.ByName(n); !ok {
+			t.Errorf("sizing library missing %s", n)
+		}
+	}
+	sa := SizingLibraryWithAdjustables()
+	if len(sa.Adjustables()) != 2 {
+		t.Fatal("adjustable sizing library should have ADB and ADI")
+	}
+}
+
+func TestPaperLibraryMatchesTableII(t *testing.T) {
+	lib := PaperLibrary()
+	// Table II (VDD = 1.1 V).
+	cases := []struct {
+		name         string
+		td, pp, pm   float64
+		t9, pp9, pm9 float64 // Table III (VDD = 0.9 V)
+	}{
+		{"BUF_X1", 24, 130, 13, 27, 120, 10},
+		{"BUF_X2", 19, 255, 44, 23, 234, 36},
+		{"INV_X1", 21, 13, 130, 24, 10, 120},
+		{"INV_X2", 17, 44, 255, 22, 36, 234},
+	}
+	for _, tc := range cases {
+		c := lib.MustByName(tc.name)
+		if got := c.Delay(0, 1.1); got != tc.td {
+			t.Errorf("%s TD@1.1 = %g, want %g", tc.name, got, tc.td)
+		}
+		if got := c.PeakPlus(0, 1.1); got != tc.pp {
+			t.Errorf("%s P+@1.1 = %g, want %g", tc.name, got, tc.pp)
+		}
+		if got := c.PeakMinus(0, 1.1); got != tc.pm {
+			t.Errorf("%s P-@1.1 = %g, want %g", tc.name, got, tc.pm)
+		}
+		if got := c.Delay(0, 0.9); got != tc.t9 {
+			t.Errorf("%s TD@0.9 = %g, want %g", tc.name, got, tc.t9)
+		}
+		if got := c.PeakPlus(0, 0.9); got != tc.pp9 {
+			t.Errorf("%s P+@0.9 = %g, want %g", tc.name, got, tc.pp9)
+		}
+		if got := c.PeakMinus(0, 0.9); got != tc.pm9 {
+			t.Errorf("%s P-@0.9 = %g, want %g", tc.name, got, tc.pm9)
+		}
+	}
+}
+
+func TestPaperLibraryFallsBackAnalytically(t *testing.T) {
+	// At an uncharacterized VDD the table-pinned cell uses the analytic model.
+	c := PaperLibrary().MustByName("BUF_X1")
+	if d := c.Delay(4, 1.0); d <= 0 {
+		t.Fatalf("analytic fallback delay = %g", d)
+	}
+}
+
+func TestCharacterizationTableRenders(t *testing.T) {
+	out := CharacterizationTable(PaperLibrary(), 0, []float64{0.9, 1.1})
+	if !strings.Contains(out, "BUF_X1") || !strings.Contains(out, "INV_X2") {
+		t.Fatalf("table missing rows:\n%s", out)
+	}
+	// Spot-check a Table II value appears.
+	if !strings.Contains(out, "255.0") {
+		t.Fatalf("table missing characterized peak:\n%s", out)
+	}
+}

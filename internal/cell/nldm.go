@@ -1,0 +1,138 @@
+package cell
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NLDM is a non-linear delay-model style lookup table: a scalar quantity
+// (delay, output slew, or peak current) tabulated over input slew and
+// output load, with bilinear interpolation between grid points — the same
+// structure commercial .lib files use and the paper's characterization
+// step populates (§IV-B: "every combination ... can be characterized to
+// calculate the approximate values").
+type NLDM struct {
+	Slews  []float64   // index_1: input transition, ps, ascending
+	Loads  []float64   // index_2: output load, fF, ascending
+	Values [][]float64 // [slew index][load index]
+}
+
+// Validate checks the table's shape and index ordering.
+func (t *NLDM) Validate() error {
+	if len(t.Slews) == 0 || len(t.Loads) == 0 {
+		return fmt.Errorf("nldm: empty axes")
+	}
+	if !sort.Float64sAreSorted(t.Slews) || !sort.Float64sAreSorted(t.Loads) {
+		return fmt.Errorf("nldm: axes not ascending")
+	}
+	if len(t.Values) != len(t.Slews) {
+		return fmt.Errorf("nldm: %d rows for %d slews", len(t.Values), len(t.Slews))
+	}
+	for i, row := range t.Values {
+		if len(row) != len(t.Loads) {
+			return fmt.Errorf("nldm: row %d has %d cols for %d loads", i, len(row), len(t.Loads))
+		}
+	}
+	return nil
+}
+
+// At evaluates the table at (slew, load) with bilinear interpolation;
+// queries outside the grid clamp to the boundary (no extrapolation), the
+// usual safe .lib behaviour.
+func (t *NLDM) At(slew, load float64) float64 {
+	si, sf := locate(t.Slews, slew)
+	li, lf := locate(t.Loads, load)
+	v00 := t.Values[si][li]
+	v01 := t.Values[si][li+1]
+	v10 := t.Values[si+1][li]
+	v11 := t.Values[si+1][li+1]
+	return v00*(1-sf)*(1-lf) + v01*(1-sf)*lf + v10*sf*(1-lf) + v11*sf*lf
+}
+
+// locate returns the lower grid index and the interpolation fraction for x
+// on a sorted axis, clamped to the grid.
+func locate(axis []float64, x float64) (int, float64) {
+	n := len(axis)
+	if n == 1 {
+		return 0, 0
+	}
+	if x <= axis[0] {
+		return 0, 0
+	}
+	if x >= axis[n-1] {
+		return n - 2, 1
+	}
+	i := sort.SearchFloat64s(axis, x)
+	if axis[i] == x {
+		if i == n-1 {
+			return n - 2, 1
+		}
+		return i, 0
+	}
+	i--
+	return i, (x - axis[i]) / (axis[i+1] - axis[i])
+}
+
+// CellTables bundles one cell's NLDM tables at one supply voltage.
+type CellTables struct {
+	Cell string  // cell name
+	VDD  float64 // volts
+
+	Delay     NLDM // propagation delay, ps
+	OutSlew   NLDM // output transition, ps
+	PeakPlus  NLDM // P+: peak IDD at rising input, µA
+	PeakMinus NLDM // P−: peak IDD at falling input, µA
+}
+
+// Validate checks all four tables.
+func (ct *CellTables) Validate() error {
+	if ct.Cell == "" {
+		return fmt.Errorf("nldm: unnamed cell tables")
+	}
+	for name, t := range map[string]*NLDM{
+		"delay": &ct.Delay, "slew": &ct.OutSlew,
+		"peak_plus": &ct.PeakPlus, "peak_minus": &ct.PeakMinus,
+	} {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("cell %s %s: %w", ct.Cell, name, err)
+		}
+	}
+	return nil
+}
+
+// BuildTables characterizes a cell over a (slew × load) grid with the
+// analytic model. The tables make the characterization explicit and
+// serializable (see WriteLiberty) and decouple consumers from the model.
+func BuildTables(c *Cell, vdd float64, slews, loads []float64) (CellTables, error) {
+	if len(slews) == 0 || len(loads) == 0 {
+		return CellTables{}, fmt.Errorf("nldm: empty characterization grid")
+	}
+	mk := func(f func(slew, load float64) float64) NLDM {
+		vals := make([][]float64, len(slews))
+		for i, s := range slews {
+			vals[i] = make([]float64, len(loads))
+			for j, l := range loads {
+				vals[i][j] = f(s, l)
+			}
+		}
+		return NLDM{Slews: append([]float64(nil), slews...), Loads: append([]float64(nil), loads...), Values: vals}
+	}
+	ct := CellTables{
+		Cell: c.Name, VDD: vdd,
+		// Delay and slew are slew-in independent in the analytic model;
+		// the peak pulses flatten with slower input edges (cf. Currents).
+		Delay:   mk(func(_, l float64) float64 { return c.Delay(l, vdd) }),
+		OutSlew: mk(func(_, l float64) float64 { return c.Slew(l, vdd) }),
+		PeakPlus: mk(func(s, l float64) float64 {
+			idd, _ := c.Currents(Rising, l, vdd, s)
+			p, _ := idd.Peak()
+			return p
+		}),
+		PeakMinus: mk(func(s, l float64) float64 {
+			idd, _ := c.Currents(Falling, l, vdd, s)
+			p, _ := idd.Peak()
+			return p
+		}),
+	}
+	return ct, ct.Validate()
+}

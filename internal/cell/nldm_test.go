@@ -1,0 +1,124 @@
+package cell
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testGrid() ([]float64, []float64) {
+	return []float64{10, 20, 40, 80}, []float64{2, 4, 8, 16, 32}
+}
+
+func TestNLDMValidate(t *testing.T) {
+	good := NLDM{Slews: []float64{1, 2}, Loads: []float64{1}, Values: [][]float64{{1}, {2}}}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []NLDM{
+		{},
+		{Slews: []float64{2, 1}, Loads: []float64{1}, Values: [][]float64{{1}, {2}}},
+		{Slews: []float64{1, 2}, Loads: []float64{1}, Values: [][]float64{{1}}},
+		{Slews: []float64{1, 2}, Loads: []float64{1}, Values: [][]float64{{1, 9}, {2, 9}}},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestNLDMInterpolation(t *testing.T) {
+	tbl := NLDM{
+		Slews:  []float64{0, 10},
+		Loads:  []float64{0, 10},
+		Values: [][]float64{{0, 10}, {20, 30}},
+	}
+	cases := []struct{ s, l, want float64 }{
+		{0, 0, 0}, {0, 10, 10}, {10, 0, 20}, {10, 10, 30},
+		{5, 5, 15}, // center
+		{0, 5, 5},  // edge midpoints
+		{5, 0, 10},
+		{-5, -5, 0},  // clamped low
+		{99, 99, 30}, // clamped high
+		{0, 7.5, 7.5},
+	}
+	for _, c := range cases {
+		if got := tbl.At(c.s, c.l); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%g,%g) = %g, want %g", c.s, c.l, got, c.want)
+		}
+	}
+}
+
+func TestNLDMExactOnGridPoints(t *testing.T) {
+	slews, loads := testGrid()
+	c := DefaultLibrary().MustByName("BUF_X8")
+	ct, err := BuildTables(c, 1.1, slews, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range slews {
+		for _, l := range loads {
+			if got, want := ct.Delay.At(s, l), c.Delay(l, 1.1); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("delay grid point (%g,%g): %g vs %g", s, l, got, want)
+			}
+			idd, _ := c.Currents(Rising, l, 1.1, s)
+			want, _ := idd.Peak()
+			if got := ct.PeakPlus.At(s, l); math.Abs(got-want) > 1e-9 {
+				t.Fatalf("P+ grid point (%g,%g): %g vs %g", s, l, got, want)
+			}
+		}
+	}
+}
+
+func TestNLDMInterpolatesBetweenGridPoints(t *testing.T) {
+	slews, loads := testGrid()
+	c := DefaultLibrary().MustByName("INV_X8")
+	ct, err := BuildTables(c, 1.1, slews, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Delay is linear in load in the analytic model, so interpolation is
+	// exact between load grid points.
+	got := ct.Delay.At(20, 6)
+	want := c.Delay(6, 1.1)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("linear quantity should interpolate exactly: %g vs %g", got, want)
+	}
+	// Peaks are nonlinear (1/width); interpolation within a few percent.
+	idd, _ := c.Currents(Falling, 6, 1.1, 20)
+	truePeak, _ := idd.Peak()
+	gotPeak := ct.PeakMinus.At(20, 6)
+	if math.Abs(gotPeak-truePeak) > 0.1*truePeak {
+		t.Fatalf("peak interpolation off: %g vs %g", gotPeak, truePeak)
+	}
+}
+
+func TestBuildTablesValidation(t *testing.T) {
+	c := DefaultLibrary().MustByName("BUF_X8")
+	if _, err := BuildTables(c, 1.1, nil, []float64{1}); err == nil {
+		t.Fatal("empty slews should error")
+	}
+}
+
+// Property: At is monotone along each axis when the table values are
+// monotone (delay grows with load).
+func TestPropertyNLDMMonotoneInLoad(t *testing.T) {
+	slews, loads := testGrid()
+	c := DefaultLibrary().MustByName("BUF_X4")
+	ct, err := BuildTables(c, 1.1, slews, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := rng.Float64() * 90
+		l1 := rng.Float64() * 30
+		l2 := l1 + rng.Float64()*5
+		return ct.Delay.At(s, l1) <= ct.Delay.At(s, l2)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,47 @@
+package cell
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPinnedCurrentsMatchTablePeaks(t *testing.T) {
+	lib := PaperLibrary()
+	for _, tc := range []struct {
+		name     string
+		vdd      float64
+		pp, pm   float64
+		inverted bool
+	}{
+		{"BUF_X1", 1.1, 130, 13, false},
+		{"BUF_X2", 0.9, 234, 36, false},
+		{"INV_X1", 1.1, 13, 130, true},
+		{"INV_X2", 0.9, 36, 234, true},
+	} {
+		c := lib.MustByName(tc.name)
+		iddR, issR := c.Currents(Rising, 0, tc.vdd, 20)
+		iddF, issF := c.Currents(Falling, 0, tc.vdd, 20)
+		if p, _ := iddR.Peak(); math.Abs(p-tc.pp) > 1e-9 {
+			t.Errorf("%s IDD@rise peak %g, want %g", tc.name, p, tc.pp)
+		}
+		if p, _ := iddF.Peak(); math.Abs(p-tc.pm) > 1e-9 {
+			t.Errorf("%s IDD@fall peak %g, want %g", tc.name, p, tc.pm)
+		}
+		// Rail symmetry: ISS mirrors IDD across edges.
+		if p, _ := issR.Peak(); math.Abs(p-tc.pm) > 1e-9 {
+			t.Errorf("%s ISS@rise peak %g, want %g", tc.name, p, tc.pm)
+		}
+		if p, _ := issF.Peak(); math.Abs(p-tc.pp) > 1e-9 {
+			t.Errorf("%s ISS@fall peak %g, want %g", tc.name, p, tc.pp)
+		}
+	}
+}
+
+func TestPinnedCurrentsPeakNearTableDelay(t *testing.T) {
+	c := PaperLibrary().MustByName("BUF_X2")
+	idd, _ := c.Currents(Rising, 0, 1.1, 20)
+	_, at := idd.Peak()
+	if math.Abs(at-19) > 1 {
+		t.Fatalf("pinned pulse peaks at %g, want ≈ TD=19", at)
+	}
+}

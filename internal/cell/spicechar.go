@@ -1,0 +1,161 @@
+package cell
+
+import (
+	"fmt"
+	"math"
+
+	"wavemin/internal/spice"
+	"wavemin/internal/waveform"
+)
+
+// SpiceProfile is a transistor-level characterization of one cell at one
+// operating point, produced by simulating a switched-conductance CMOS
+// stage model in internal/spice — the in-repo stand-in for the paper's
+// HSPICE characterization runs, and the golden reference the closed-form
+// Currents model is cross-validated against.
+type SpiceProfile struct {
+	Cell *Cell
+	Load float64
+	VDD  float64
+	Slew float64
+
+	TD  float64           // input edge to output 50 % crossing, ps
+	IDD waveform.Waveform // current delivered by the VDD pad, µA
+	ISS waveform.Waveform // current into the ground pad, µA
+	Out waveform.Waveform // output voltage, V
+}
+
+// spiceEdgeAt is when the input edge arrives in the testbench, ps. Leaving
+// headroom lets the DC point settle visibly and keeps pre-edge samples.
+const spiceEdgeAt = 50.0
+
+// SpiceCharacterize simulates the cell's output stage (and, for two-stage
+// buffers/ADBs, its first stage feeding it) as switched pull-up/pull-down
+// conductances with the PMOS/NMOS strength asymmetry, driving the load,
+// and records the supply currents and propagation delay for one input
+// edge.
+//
+// The transistor linearization: a MOS channel is an off→on conductance
+// ramp while the gate traverses the input transition. The brief overlap of
+// the turning-off and turning-on devices reproduces crowbar current
+// naturally.
+func SpiceCharacterize(c *Cell, e Edge, load, vdd, slewIn float64) (SpiceProfile, error) {
+	if load < 0 || vdd <= 0 || slewIn <= 0 {
+		return SpiceProfile{}, fmt.Errorf("cell: bad operating point load=%g vdd=%g slew=%g", load, vdd, slewIn)
+	}
+	ckt := spice.NewCircuit()
+	vddPad := ckt.Node("vdd")
+	ckt.V(vddPad, vdd) // source 0: IDD probe
+	gndPad := ckt.Node("gndpad")
+	ckt.V(gndPad, 0) // source 1: ISS probe
+	gndRail := ckt.Node("gndrail")
+	ckt.R(gndPad, gndRail, 1e-5)
+
+	// Stage schedule: each inverting stage switches at a start time with a
+	// transition time; stage k's output drives stage k+1.
+	type stage struct {
+		start, tt float64 // gate ramp window
+		rises     bool    // output rises?
+		rOn       float64 // on-resistance of the switching stage, kΩ
+		cl        float64 // load at the stage output, fF
+	}
+	var stages []stage
+	outRises := c.outputRises(e)
+	switch c.Kind {
+	case Buf, ADB:
+		s1 := math.Max(1, c.Drive/4)
+		r1 := c.RoutUnit / s1
+		c1 := c.CinPerX*c.Drive + c.CparPerX*s1
+		// Stage 1 inverts the input; stage 2 inverts again.
+		st1 := stage{start: spiceEdgeAt, tt: slewIn, rises: e == Falling, rOn: r1, cl: c1}
+		// Stage 2's gate sees stage 1's output: it switches roughly when
+		// stage 1's output passes threshold, with stage 1's RC transition.
+		t1 := 0.69 * r1 * c1 * vddDelayFactor(vdd)
+		tt2 := math.Max(2, 2.2*r1*c1*vddDelayFactor(vdd))
+		st2 := stage{start: spiceEdgeAt + t1, tt: tt2, rises: outRises,
+			rOn: c.OutputRes(), cl: load + c.CparPerX*c.Drive}
+		stages = []stage{st1, st2}
+	default: // Inv, ADI: single inverting stage
+		stages = []stage{{start: spiceEdgeAt, tt: slewIn, rises: outRises,
+			rOn: c.OutputRes(), cl: load + c.CparPerX*c.Drive}}
+	}
+
+	var lastOut int
+	for i, st := range stages {
+		out := ckt.Node(fmt.Sprintf("out%d", i))
+		// Pull-up strength reflects the PMOS handicap.
+		gUp := 1 / (st.rOn * pullUpWiden) * vddDelayFactor(1.1) / vddDelayFactor(vdd)
+		gDn := 1 / (st.rOn * pullDownNarrow) * vddDelayFactor(1.1) / vddDelayFactor(vdd)
+		var up, dn waveform.Waveform
+		if st.rises {
+			up = spice.RampOn(st.start, st.tt, gUp)
+			dn = spice.RampOff(st.start, st.tt, gDn)
+		} else {
+			up = spice.RampOff(st.start, st.tt, gUp)
+			dn = spice.RampOn(st.start, st.tt, gDn)
+		}
+		ckt.SwitchedR(vddPad, out, up)
+		ckt.SwitchedR(out, gndRail, dn)
+		ckt.C(out, spice.Ground, st.cl)
+		lastOut = out
+	}
+
+	horizon := spiceEdgeAt + slewIn
+	for _, st := range stages {
+		horizon = math.Max(horizon, st.start+st.tt)
+	}
+	horizon += 12 * stages[len(stages)-1].rOn * stages[len(stages)-1].cl // settle
+	res, err := ckt.Transient(0, horizon, 0.25)
+	if err != nil {
+		return SpiceProfile{}, err
+	}
+
+	p := SpiceProfile{Cell: c, Load: load, VDD: vdd, Slew: slewIn,
+		IDD: res.SupplyCurrent(0), Out: res.Voltage(lastOut)}
+	// ISS: current delivered *into* the circuit by the 0 V pad is the
+	// negative of the current the circuit dumps into ground.
+	p.ISS = res.SupplyCurrent(1).Scale(-1)
+	td, err := crossing(p.Out, vdd/2, outRises, spiceEdgeAt)
+	if err != nil {
+		return SpiceProfile{}, err
+	}
+	p.TD = td - spiceEdgeAt
+	return p, nil
+}
+
+// crossing finds the first time after tMin the waveform passes level in
+// the given direction.
+func crossing(w waveform.Waveform, level float64, rising bool, tMin float64) (float64, error) {
+	pts := w.Points()
+	for i := 1; i < len(pts); i++ {
+		a, b := pts[i-1], pts[i]
+		if b.T < tMin {
+			continue
+		}
+		var hit bool
+		if rising {
+			hit = a.I < level && b.I >= level
+		} else {
+			hit = a.I > level && b.I <= level
+		}
+		if hit {
+			frac := (level - a.I) / (b.I - a.I)
+			return a.T + frac*(b.T-a.T), nil
+		}
+	}
+	return 0, fmt.Errorf("cell: output never crossed %g", level)
+}
+
+// PeakIDD returns the peak current drawn from the VDD pad during the
+// switching event (after the edge; the DC pre-charge current is excluded).
+func (p SpiceProfile) PeakIDD() float64 {
+	peak, _ := p.IDD.Clip(spiceEdgeAt-1, p.IDD.Last()).Peak()
+	return peak
+}
+
+// PeakISS returns the peak current pushed into the ground pad during the
+// switching event.
+func (p SpiceProfile) PeakISS() float64 {
+	peak, _ := p.ISS.Clip(spiceEdgeAt-1, p.ISS.Last()).Peak()
+	return peak
+}

@@ -1,0 +1,165 @@
+package cell
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSpiceCharacterizeInverterBasics(t *testing.T) {
+	c := DefaultLibrary().MustByName("INV_X8")
+	p, err := SpiceCharacterize(c, Rising, 6, 1.1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rising input → inverter output falls: big ISS event, small IDD
+	// (crowbar only).
+	if p.PeakISS() <= p.PeakIDD() {
+		t.Fatalf("inverter@rise: ISS %g should exceed IDD %g", p.PeakISS(), p.PeakIDD())
+	}
+	if p.TD <= 0 || p.TD > 100 {
+		t.Fatalf("implausible TD %g", p.TD)
+	}
+	// Output must settle near ground.
+	if v := p.Out.At(p.Out.Last()); v > 0.1 {
+		t.Fatalf("output did not discharge: %g V", v)
+	}
+}
+
+func TestSpiceCharacterizeInverterFallingEdge(t *testing.T) {
+	c := DefaultLibrary().MustByName("INV_X8")
+	p, err := SpiceCharacterize(c, Falling, 6, 1.1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Falling input → output charges: big IDD event.
+	if p.PeakIDD() <= p.PeakISS() {
+		t.Fatalf("inverter@fall: IDD %g should exceed ISS %g", p.PeakIDD(), p.PeakISS())
+	}
+	if v := p.Out.At(p.Out.Last()); v < 1.0 {
+		t.Fatalf("output did not charge: %g V", v)
+	}
+}
+
+func TestSpiceCharacterizeBufferTwoStage(t *testing.T) {
+	c := DefaultLibrary().MustByName("BUF_X8")
+	p, err := SpiceCharacterize(c, Rising, 6, 1.1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buffer at rising edge: output rises → IDD dominates, but the first
+	// stage discharges → nonzero ISS too.
+	if p.PeakIDD() <= p.PeakISS() {
+		t.Fatalf("buffer@rise: IDD %g should exceed ISS %g", p.PeakIDD(), p.PeakISS())
+	}
+	if p.PeakISS() <= 0 {
+		t.Fatal("first-stage ISS event missing")
+	}
+	if v := p.Out.At(p.Out.Last()); v < 1.0 {
+		t.Fatalf("buffer output did not charge: %g V", v)
+	}
+}
+
+// The headline cross-validation: the closed-form analytic model the
+// optimizer uses must agree with the transistor-level simulation on
+// delay and peak magnitude within modeling tolerance, across cells,
+// loads, and supplies.
+func TestAnalyticModelMatchesSpiceLevel(t *testing.T) {
+	lib := DefaultLibrary()
+	for _, name := range []string{"INV_X4", "INV_X8", "INV_X16", "BUF_X8"} {
+		c := lib.MustByName(name)
+		for _, load := range []float64{4, 10} {
+			for _, vdd := range []float64{0.9, 1.1} {
+				p, err := SpiceCharacterize(c, Rising, load, vdd, 20)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				// Delay within 2.5× either way (linearized switches vs
+				// closed-form Elmore constants).
+				analytic := c.Delay(load, vdd)
+				if p.TD > 2.5*analytic || analytic > 2.5*p.TD {
+					t.Errorf("%s load=%g vdd=%g: spice TD %.1f vs analytic %.1f",
+						name, load, vdd, p.TD, analytic)
+				}
+				// Dominant-rail peak within 3× either way.
+				var spicePeak, modelPeak float64
+				if c.Inverting() {
+					spicePeak = p.PeakISS()
+					modelPeak = c.PeakMinus(load, vdd) // = ISS@rise by rail symmetry
+				} else {
+					spicePeak = p.PeakIDD()
+					modelPeak = c.PeakPlus(load, vdd)
+				}
+				if spicePeak > 3*modelPeak || modelPeak > 3*spicePeak {
+					t.Errorf("%s load=%g vdd=%g: spice peak %.0f vs analytic %.0f",
+						name, load, vdd, spicePeak, modelPeak)
+				}
+			}
+		}
+	}
+}
+
+func TestSpiceLevelShowsCrowbar(t *testing.T) {
+	// During the input transition both devices conduct briefly: the quiet
+	// rail must see a nonzero blip.
+	c := DefaultLibrary().MustByName("INV_X16")
+	p, err := SpiceCharacterize(c, Rising, 6, 1.1, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PeakIDD() <= 0 {
+		t.Fatal("no crowbar current on the quiet rail")
+	}
+	// But it stays well below the main event.
+	if p.PeakIDD() > 0.8*p.PeakISS() {
+		t.Fatalf("crowbar %g implausibly close to main %g", p.PeakIDD(), p.PeakISS())
+	}
+}
+
+func TestSpiceLevelChargeConservation(t *testing.T) {
+	// The charge delivered by VDD when the output charges must equal
+	// C·VDD within integration tolerance.
+	c := DefaultLibrary().MustByName("INV_X8")
+	load := 10.0
+	p, err := SpiceCharacterize(c, Falling, load, 1.1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.IDD.Clip(spiceEdgeAt-1, p.IDD.Last()).Charge()
+	want := 1000 * (load + c.CparPerX*c.Drive) * 1.1 // µA·ps
+	if math.Abs(got-want) > 0.4*want {
+		t.Fatalf("delivered charge %g vs C·V %g", got, want)
+	}
+}
+
+func TestSpiceCharacterizeValidation(t *testing.T) {
+	c := DefaultLibrary().MustByName("INV_X8")
+	if _, err := SpiceCharacterize(c, Rising, -1, 1.1, 20); err == nil {
+		t.Error("negative load should error")
+	}
+	if _, err := SpiceCharacterize(c, Rising, 4, 0, 20); err == nil {
+		t.Error("zero vdd should error")
+	}
+	if _, err := SpiceCharacterize(c, Rising, 4, 1.1, 0); err == nil {
+		t.Error("zero slew should error")
+	}
+}
+
+func TestSpiceLevelVDDTrend(t *testing.T) {
+	// Lower supply → slower and weaker, like the analytic model and the
+	// paper's Table III.
+	c := DefaultLibrary().MustByName("INV_X8")
+	hi, err := SpiceCharacterize(c, Rising, 6, 1.1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, err := SpiceCharacterize(c, Rising, 6, 0.9, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.TD <= hi.TD {
+		t.Fatalf("0.9 V should be slower: %g vs %g", lo.TD, hi.TD)
+	}
+	if lo.PeakISS() >= hi.PeakISS() {
+		t.Fatalf("0.9 V should peak lower: %g vs %g", lo.PeakISS(), hi.PeakISS())
+	}
+}

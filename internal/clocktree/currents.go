@@ -1,0 +1,73 @@
+package clocktree
+
+import (
+	"wavemin/internal/cell"
+	"wavemin/internal/waveform"
+)
+
+// NodeCurrents returns the IDD and ISS waveforms drawn by one node when
+// the clock source launches edge e at t = 0, in absolute time: the cell's
+// characterized pulses shifted to the node's input arrival time, with the
+// edge flipped once per inverting ancestor.
+func (t *Tree) NodeCurrents(tm *Timing, id NodeID, e cell.Edge) (idd, iss waveform.Waveform) {
+	nd := t.nodes[id]
+	edgeIn := t.EdgeAtInput(id, e)
+	vdd := tm.Mode.VDDOf(nd.Domain)
+	idd, iss = nd.Cell.Currents(edgeIn, tm.Load[id], vdd, tm.SlewIn[id])
+	if s := nd.currentScale(); s != 1 {
+		idd, iss = idd.Scale(s), iss.Scale(s)
+	}
+	return idd.Shift(tm.ATIn[id]), iss.Shift(tm.ATIn[id])
+}
+
+// SumCurrents accumulates the IDD and ISS waveforms of the given nodes for
+// source edge e.
+func (t *Tree) SumCurrents(tm *Timing, ids []NodeID, e cell.Edge) (idd, iss waveform.Waveform) {
+	idds := make([]waveform.Waveform, 0, len(ids))
+	isss := make([]waveform.Waveform, 0, len(ids))
+	for _, id := range ids {
+		i1, i2 := t.NodeCurrents(tm, id, e)
+		idds = append(idds, i1)
+		isss = append(isss, i2)
+	}
+	return waveform.Sum(idds...), waveform.Sum(isss...)
+}
+
+// TreeCurrents accumulates IDD/ISS over every node — the "blue solid
+// curve" of the paper's Fig. 2 (all clock nodes).
+func (t *Tree) TreeCurrents(tm *Timing, e cell.Edge) (idd, iss waveform.Waveform) {
+	ids := make([]NodeID, len(t.nodes))
+	for i := range t.nodes {
+		ids[i] = NodeID(i)
+	}
+	return t.SumCurrents(tm, ids, e)
+}
+
+// LeafCurrents accumulates IDD/ISS over leaves only — the "dark dotted
+// curve" of Fig. 2.
+func (t *Tree) LeafCurrents(tm *Timing, e cell.Edge) (idd, iss waveform.Waveform) {
+	return t.SumCurrents(tm, t.Leaves(), e)
+}
+
+// NonLeafCurrents accumulates IDD/ISS over internal nodes only — the
+// waveform Observation 1 says polarity assignment must account for.
+func (t *Tree) NonLeafCurrents(tm *Timing, e cell.Edge) (idd, iss waveform.Waveform) {
+	return t.SumCurrents(tm, t.NonLeaves(), e)
+}
+
+// PeakCurrent returns the worst peak over both rails and both source
+// edges for the whole tree — the golden scalar the experiments report as
+// "peak current" (µA).
+func (t *Tree) PeakCurrent(tm *Timing) float64 {
+	var worst float64
+	for _, e := range []cell.Edge{cell.Rising, cell.Falling} {
+		idd, iss := t.TreeCurrents(tm, e)
+		if p, _ := idd.Peak(); p > worst {
+			worst = p
+		}
+		if p, _ := iss.Peak(); p > worst {
+			worst = p
+		}
+	}
+	return worst
+}

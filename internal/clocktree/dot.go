@@ -1,0 +1,48 @@
+package clocktree
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteDOT renders the tree in Graphviz DOT form for visual inspection:
+// one node per buffering element labeled with its cell (and per-mode bank
+// settings for adjustable cells), shaped by role — box for buffers,
+// inverted triangle for inverters, diamond for adjustable cells — and one
+// edge per wire labeled with its Elmore-relevant parasitics.
+func (t *Tree) WriteDOT(w io.Writer, title string) error {
+	if _, err := fmt.Fprintf(w, "digraph %q {\n  rankdir=TB;\n  node [fontsize=9];\n", title); err != nil {
+		return err
+	}
+	var err error
+	t.Walk(func(n *Node) {
+		if err != nil {
+			return
+		}
+		shape := "box"
+		switch {
+		case n.Cell.Adjustable():
+			shape = "diamond"
+		case n.Cell.Inverting():
+			shape = "invtriangle"
+		}
+		label := fmt.Sprintf("%d: %s", n.ID, n.Cell.Name)
+		if n.IsLeaf() {
+			label += fmt.Sprintf("\\n%.1f fF", n.SinkCap)
+		}
+		if n.Cell.Adjustable() && len(n.AdjustSteps) > 0 {
+			label += fmt.Sprintf("\\nsteps %v", n.AdjustSteps)
+		}
+		_, err = fmt.Fprintf(w, "  n%d [label=%q shape=%s];\n", n.ID, label, shape)
+		if err != nil || n.Parent == NoNode {
+			return
+		}
+		_, err = fmt.Fprintf(w, "  n%d -> n%d [label=\"%.2gkΩ/%.3gfF\"];\n",
+			n.Parent, n.ID, n.WireRes, n.WireCap)
+	})
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, "}")
+	return err
+}

@@ -1,0 +1,31 @@
+package clocktree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	tr, lib := buildBalanced(t)
+	tr.SetCell(tr.Leaves()[0], lib.MustByName("INV_X4"))
+	tr.SetCell(tr.Leaves()[1], lib.MustByName("ADB_X8"))
+	tr.SetAdjustSteps(tr.Leaves()[1], "M2", 3)
+	var buf bytes.Buffer
+	if err := tr.WriteDOT(&buf, "test"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"digraph \"test\"", "shape=box", "shape=invtriangle", "shape=diamond",
+		"n0 -> n1", "steps map[M2:3]", "}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// One node line per tree node.
+	if got := strings.Count(out, "[label="); got < tr.Len() {
+		t.Fatalf("only %d labeled nodes for %d", got, tr.Len())
+	}
+}

@@ -1,0 +1,102 @@
+package clocktree
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"wavemin/internal/cell"
+)
+
+// jsonNode is the serialized form of one tree node. Cells are stored by
+// library name and re-resolved on load, so a serialized tree is portable
+// across processes sharing a cell library.
+type jsonNode struct {
+	ID          NodeID         `json:"id"`
+	Parent      NodeID         `json:"parent"`
+	Cell        string         `json:"cell"`
+	X           float64        `json:"x"`
+	Y           float64        `json:"y"`
+	WireRes     float64        `json:"wire_res,omitempty"`
+	WireCap     float64        `json:"wire_cap,omitempty"`
+	SinkCap     float64        `json:"sink_cap,omitempty"`
+	Domain      string         `json:"domain,omitempty"`
+	AdjustSteps map[string]int `json:"adjust_steps,omitempty"`
+}
+
+type jsonTree struct {
+	Format string     `json:"format"`
+	Nodes  []jsonNode `json:"nodes"`
+}
+
+// jsonFormat tags the serialization for forward compatibility.
+const jsonFormat = "wavemin-clocktree-v1"
+
+// WriteJSON serializes the tree.
+func (t *Tree) WriteJSON(w io.Writer) error {
+	out := jsonTree{Format: jsonFormat, Nodes: make([]jsonNode, 0, len(t.nodes))}
+	for _, n := range t.nodes {
+		out.Nodes = append(out.Nodes, jsonNode{
+			ID: n.ID, Parent: n.Parent, Cell: n.Cell.Name,
+			X: n.X, Y: n.Y, WireRes: n.WireRes, WireCap: n.WireCap,
+			SinkCap: n.SinkCap, Domain: n.Domain, AdjustSteps: n.AdjustSteps,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON deserializes a tree, resolving cells by name from lib.
+func ReadJSON(r io.Reader, lib *cell.Library) (*Tree, error) {
+	var in jsonTree
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("clocktree: decode: %w", err)
+	}
+	if in.Format != jsonFormat {
+		return nil, fmt.Errorf("clocktree: unknown format %q", in.Format)
+	}
+	if len(in.Nodes) == 0 {
+		return nil, fmt.Errorf("clocktree: empty tree")
+	}
+	t := &Tree{nodes: make([]*Node, len(in.Nodes))}
+	for _, jn := range in.Nodes {
+		if int(jn.ID) < 0 || int(jn.ID) >= len(in.Nodes) {
+			return nil, fmt.Errorf("clocktree: node ID %d out of range", jn.ID)
+		}
+		if t.nodes[jn.ID] != nil {
+			return nil, fmt.Errorf("clocktree: duplicate node ID %d", jn.ID)
+		}
+		c, ok := lib.ByName(jn.Cell)
+		if !ok {
+			return nil, fmt.Errorf("clocktree: node %d references unknown cell %q", jn.ID, jn.Cell)
+		}
+		domain := jn.Domain
+		if domain == "" {
+			domain = DefaultDomain
+		}
+		t.nodes[jn.ID] = &Node{
+			ID: jn.ID, Parent: jn.Parent, Cell: c,
+			X: jn.X, Y: jn.Y, WireRes: jn.WireRes, WireCap: jn.WireCap,
+			SinkCap: jn.SinkCap, Domain: domain, AdjustSteps: jn.AdjustSteps,
+		}
+	}
+	// Rebuild children lists in ID order for determinism.
+	for _, n := range t.nodes {
+		if n.Parent == NoNode {
+			continue
+		}
+		if int(n.Parent) < 0 || int(n.Parent) >= len(t.nodes) {
+			return nil, fmt.Errorf("clocktree: node %d has bad parent %d", n.ID, n.Parent)
+		}
+		p := t.nodes[n.Parent]
+		p.Children = append(p.Children, n.ID)
+	}
+	if t.nodes[0].Parent != NoNode {
+		return nil, fmt.Errorf("clocktree: node 0 must be the root")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,41 @@
+package clocktree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wavemin/internal/cell"
+)
+
+// FuzzReadJSON checks the tree deserializer never panics and that accepted
+// trees are valid and re-serializable.
+func FuzzReadJSON(f *testing.F) {
+	lib := cell.DefaultLibrary()
+	tr := New(lib.MustByName("BUF_X16"), 0, 0)
+	leaf := tr.AddChild(tr.Root(), lib.MustByName("BUF_X8"), 10, 10, 0.1, 5)
+	tr.SetSinkCap(leaf, 8)
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"format":"wavemin-clocktree-v1","nodes":[{"id":0,"parent":-1,"cell":"BUF_X8","x":0,"y":0}]}`)
+	f.Add(`{"format":"wavemin-clocktree-v1","nodes":[{"id":0,"parent":0,"cell":"BUF_X8"}]}`)
+	f.Add(`{}`)
+	f.Fuzz(func(t *testing.T, src string) {
+		got, err := ReadJSON(strings.NewReader(src), lib)
+		if err != nil {
+			return
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("accepted an invalid tree: %v", err)
+		}
+		var out bytes.Buffer
+		if err := got.WriteJSON(&out); err != nil {
+			t.Fatalf("accepted tree failed to serialize: %v", err)
+		}
+		// Timing must not panic either.
+		_ = got.ComputeTiming(NominalMode)
+	})
+}

@@ -1,0 +1,78 @@
+package clocktree
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"wavemin/internal/cell"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	tr, lib := buildBalanced(t)
+	// Decorate with domains, ADB settings, and mixed cells.
+	tr.SetDomainSubtree(tr.Leaves()[2], "islandA")
+	tr.SetCell(tr.Leaves()[0], lib.MustByName("ADB_X8"))
+	tr.SetAdjustSteps(tr.Leaves()[0], "M2", 5)
+	tr.SetCell(tr.Leaves()[1], lib.MustByName("INV_X4"))
+
+	var buf bytes.Buffer
+	if err := tr.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != tr.Len() {
+		t.Fatalf("node count %d vs %d", got.Len(), tr.Len())
+	}
+	for i := 0; i < tr.Len(); i++ {
+		a, b := tr.Node(NodeID(i)), got.Node(NodeID(i))
+		if a.Cell.Name != b.Cell.Name || a.Domain != b.Domain ||
+			a.X != b.X || a.WireRes != b.WireRes || a.SinkCap != b.SinkCap {
+			t.Fatalf("node %d mismatch: %+v vs %+v", i, a, b)
+		}
+	}
+	// Timing must agree exactly (including ADB settings).
+	mode := Mode{Name: "M2"}
+	tmA := tr.ComputeTiming(mode)
+	tmB := got.ComputeTiming(mode)
+	for i := range tmA.ATOut {
+		if math.Abs(tmA.ATOut[i]-tmB.ATOut[i]) > 1e-12 {
+			t.Fatalf("timing mismatch at node %d", i)
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	lib := cell.DefaultLibrary()
+	cases := []string{
+		``,
+		`{"format":"bogus","nodes":[]}`,
+		`{"format":"wavemin-clocktree-v1","nodes":[]}`,
+		`{"format":"wavemin-clocktree-v1","nodes":[{"id":0,"parent":-1,"cell":"NOPE","x":0,"y":0}]}`,
+		`{"format":"wavemin-clocktree-v1","nodes":[{"id":5,"parent":-1,"cell":"BUF_X8","x":0,"y":0}]}`,
+		`{"format":"wavemin-clocktree-v1","nodes":[{"id":0,"parent":-1,"cell":"BUF_X8","x":0,"y":0},{"id":0,"parent":0,"cell":"BUF_X8","x":0,"y":0}]}`,
+		`{"format":"wavemin-clocktree-v1","nodes":[{"id":0,"parent":-1,"cell":"BUF_X8","x":0,"y":0},{"id":1,"parent":7,"cell":"BUF_X8","x":0,"y":0}]}`,
+		`{"format":"wavemin-clocktree-v1","nodes":[{"id":0,"parent":1,"cell":"BUF_X8","x":0,"y":0},{"id":1,"parent":-1,"cell":"BUF_X8","x":0,"y":0}]}`,
+	}
+	for i, src := range cases {
+		if _, err := ReadJSON(strings.NewReader(src), lib); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestJSONDefaultDomain(t *testing.T) {
+	lib := cell.DefaultLibrary()
+	src := `{"format":"wavemin-clocktree-v1","nodes":[{"id":0,"parent":-1,"cell":"BUF_X8","x":0,"y":0}]}`
+	tr, err := ReadJSON(strings.NewReader(src), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Node(0).Domain != DefaultDomain {
+		t.Fatalf("domain = %q", tr.Node(0).Domain)
+	}
+}

@@ -1,0 +1,82 @@
+package clocktree
+
+import (
+	"math"
+	"testing"
+
+	"wavemin/internal/cell"
+)
+
+func TestSplitWire(t *testing.T) {
+	lib := cell.DefaultLibrary()
+	tr := New(lib.MustByName("BUF_X16"), 0, 0)
+	leaf := tr.AddChild(tr.Root(), lib.MustByName("BUF_X4"), 100, 0, 0.4, 40)
+	tr.SetSinkCap(leaf, 8)
+
+	mid := tr.SplitWire(leaf, lib.MustByName("BUF_X8"))
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	m := tr.Node(mid)
+	l := tr.Node(leaf)
+	if m.Parent != tr.Root() || l.Parent != mid {
+		t.Fatal("split re-parenting wrong")
+	}
+	if m.WireRes != 0.2 || m.WireCap != 20 || l.WireRes != 0.2 || l.WireCap != 20 {
+		t.Fatalf("parasitics not halved: mid %g/%g leaf %g/%g", m.WireRes, m.WireCap, l.WireRes, l.WireCap)
+	}
+	if m.X != 50 || m.Y != 0 {
+		t.Fatalf("midpoint placement wrong: (%g,%g)", m.X, m.Y)
+	}
+	// Timing must traverse through the repeater: the leaf is now later.
+	tm := tr.ComputeTiming(NominalMode)
+	if tm.ATIn[leaf] <= tm.ATOut[mid]-1e-9 {
+		t.Fatal("leaf arrival must follow repeater output")
+	}
+	// Leaf count unchanged.
+	if len(tr.Leaves()) != 1 {
+		t.Fatalf("leaves = %d, want 1", len(tr.Leaves()))
+	}
+}
+
+func TestSplitWireKeepsPolarityWithInvertingRepeater(t *testing.T) {
+	lib := cell.DefaultLibrary()
+	tr := New(lib.MustByName("BUF_X16"), 0, 0)
+	leaf := tr.AddChild(tr.Root(), lib.MustByName("BUF_X4"), 100, 0, 0.4, 40)
+	tr.SetSinkCap(leaf, 8)
+	tr.SplitWire(leaf, lib.MustByName("INV_X8"))
+	if tr.PolarityOf(leaf) {
+		t.Fatal("inverting repeater must flip downstream polarity")
+	}
+}
+
+func TestSplitWireRootPanics(t *testing.T) {
+	lib := cell.DefaultLibrary()
+	tr := New(lib.MustByName("BUF_X16"), 0, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.SplitWire(tr.Root(), lib.MustByName("BUF_X8"))
+}
+
+func TestSplitWirePreservesTotalWireDelayApproximately(t *testing.T) {
+	// Splitting with a repeater changes delay (adds a cell) but the total
+	// wire RC must be conserved.
+	lib := cell.DefaultLibrary()
+	tr := New(lib.MustByName("BUF_X16"), 0, 0)
+	leaf := tr.AddChild(tr.Root(), lib.MustByName("BUF_X4"), 200, 0, 0.8, 80)
+	tr.SetSinkCap(leaf, 8)
+	totalR := tr.Node(leaf).WireRes
+	totalC := tr.Node(leaf).WireCap
+	mid := tr.SplitWire(leaf, lib.MustByName("BUF_X8"))
+	gotR := tr.Node(leaf).WireRes + tr.Node(mid).WireRes
+	gotC := tr.Node(leaf).WireCap + tr.Node(mid).WireCap
+	if math.Abs(gotR-totalR) > 1e-12 || math.Abs(gotC-totalC) > 1e-12 {
+		t.Fatalf("wire RC not conserved: %g/%g vs %g/%g", gotR, gotC, totalR, totalC)
+	}
+}

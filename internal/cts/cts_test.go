@@ -1,0 +1,207 @@
+package cts
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wavemin/internal/cell"
+	"wavemin/internal/clocktree"
+)
+
+func randomSinks(rng *rand.Rand, n int, die float64) []Sink {
+	sinks := make([]Sink, n)
+	for i := range sinks {
+		sinks[i] = Sink{
+			X:   rng.Float64() * die,
+			Y:   rng.Float64() * die,
+			Cap: 4 + rng.Float64()*8,
+		}
+	}
+	return sinks
+}
+
+func TestSynthesizeBasics(t *testing.T) {
+	lib := cell.DefaultLibrary()
+	rng := rand.New(rand.NewSource(1))
+	sinks := randomSinks(rng, 40, 300)
+	tree, err := Synthesize(sinks, lib, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tree.Leaves()); got != len(sinks) {
+		t.Fatalf("leaves = %d, want %d", got, len(sinks))
+	}
+	// Every leaf carries its sink load.
+	for _, id := range tree.Leaves() {
+		if tree.Node(id).SinkCap <= 0 {
+			t.Fatalf("leaf %d missing sink cap", id)
+		}
+	}
+}
+
+func TestSynthesizeMeetsSkewTarget(t *testing.T) {
+	lib := cell.DefaultLibrary()
+	opt := DefaultOptions()
+	for _, n := range []int{5, 17, 64, 150} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		sinks := randomSinks(rng, n, 400)
+		tree, err := Synthesize(sinks, lib, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tm := tree.ComputeTiming(clocktree.NominalMode)
+		if s := tm.Skew(tree); s > opt.TargetSkew {
+			t.Errorf("n=%d: skew %g > target %g", n, s, opt.TargetSkew)
+		}
+	}
+}
+
+func TestSynthesizeSingleSink(t *testing.T) {
+	lib := cell.DefaultLibrary()
+	tree, err := Synthesize([]Sink{{X: 10, Y: 10, Cap: 5}}, lib, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Leaves()) != 1 || tree.Len() != 2 {
+		t.Fatalf("single sink: %d nodes, %d leaves", tree.Len(), len(tree.Leaves()))
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	lib := cell.DefaultLibrary()
+	if _, err := Synthesize(nil, lib, DefaultOptions()); err == nil {
+		t.Error("no sinks should error")
+	}
+	bad := DefaultOptions()
+	bad.MaxFanout = 1
+	if _, err := Synthesize([]Sink{{}}, lib, bad); err == nil {
+		t.Error("fanout 1 should error")
+	}
+	bad2 := DefaultOptions()
+	bad2.LeafCell = "nope"
+	if _, err := Synthesize([]Sink{{}}, lib, bad2); err == nil {
+		t.Error("unknown leaf cell should error")
+	}
+	bad3 := DefaultOptions()
+	bad3.RootCell = "nope"
+	if _, err := Synthesize([]Sink{{}}, lib, bad3); err == nil {
+		t.Error("unknown root cell should error")
+	}
+}
+
+func TestFanoutRespected(t *testing.T) {
+	lib := cell.DefaultLibrary()
+	opt := DefaultOptions()
+	rng := rand.New(rand.NewSource(3))
+	tree, err := Synthesize(randomSinks(rng, 100, 500), lib, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.Walk(func(n *clocktree.Node) {
+		if len(n.Children) > opt.MaxFanout {
+			t.Errorf("node %d has fanout %d > %d", n.ID, len(n.Children), opt.MaxFanout)
+		}
+	})
+}
+
+func TestInternalBuffersSizedToLoad(t *testing.T) {
+	lib := cell.DefaultLibrary()
+	rng := rand.New(rand.NewSource(4))
+	tree, err := Synthesize(randomSinks(rng, 60, 400), lib, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := tree.ComputeTiming(clocktree.NominalMode)
+	for _, id := range tree.NonLeaves() {
+		n := tree.Node(id)
+		if n.Cell.Kind != cell.Buf {
+			t.Fatalf("internal node %d is %v, want buffer", id, n.Cell.Kind)
+		}
+		// No internal buffer should be hopelessly overloaded (unless it is
+		// already the largest in the library).
+		if tm.Load[id] > 4*n.Cell.Drive && n.Cell.Drive < 32 {
+			t.Errorf("node %d: load %.1f fF on %s", id, tm.Load[id], n.Cell.Name)
+		}
+	}
+}
+
+func TestMedianSplitBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sinks := randomSinks(rng, 31, 100)
+	a, b := medianSplit(sinks)
+	if len(a)+len(b) != 31 {
+		t.Fatal("split lost sinks")
+	}
+	if math.Abs(float64(len(a)-len(b))) > 1 {
+		t.Fatalf("unbalanced split: %d vs %d", len(a), len(b))
+	}
+}
+
+func TestSnakeAddsRequestedDelay(t *testing.T) {
+	lib := cell.DefaultLibrary()
+	tree := clocktree.New(lib.MustByName("BUF_X16"), 0, 0)
+	leaf := tree.AddChild(tree.Root(), lib.MustByName("BUF_X4"), 100, 0, 0.04, 20)
+	tree.SetSinkCap(leaf, 8)
+	opt := DefaultOptions()
+	wireDelay := func() float64 {
+		n := tree.Node(leaf)
+		return n.WireRes * (n.WireCap/2 + n.Cell.InputCap())
+	}
+	before := wireDelay()
+	snake(tree.Node(leaf), 15, opt)
+	got := wireDelay() - before
+	// The quadratic solves the wire's own Elmore contribution exactly.
+	if math.Abs(got-15) > 1e-6 {
+		t.Fatalf("snake added %g ps to the wire delay, want 15", got)
+	}
+}
+
+// Property: synthesis is deterministic for a fixed sink list.
+func TestPropertyDeterministic(t *testing.T) {
+	lib := cell.DefaultLibrary()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sinks := randomSinks(rng, 5+rng.Intn(50), 300)
+		t1, err1 := Synthesize(sinks, lib, DefaultOptions())
+		t2, err2 := Synthesize(sinks, lib, DefaultOptions())
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if t1.Len() != t2.Len() {
+			return false
+		}
+		for i := 0; i < t1.Len(); i++ {
+			a, b := t1.Node(clocktree.NodeID(i)), t2.Node(clocktree.NodeID(i))
+			if a.Cell.Name != b.Cell.Name || a.WireRes != b.WireRes || a.X != b.X {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: skew target met across random instances.
+func TestPropertySkewMet(t *testing.T) {
+	lib := cell.DefaultLibrary()
+	opt := DefaultOptions()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sinks := randomSinks(rng, 3+rng.Intn(80), 100+rng.Float64()*500)
+		tree, err := Synthesize(sinks, lib, opt)
+		if err != nil {
+			return false
+		}
+		return tree.ComputeTiming(clocktree.NominalMode).Skew(tree) <= opt.TargetSkew+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

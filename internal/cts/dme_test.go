@@ -1,0 +1,164 @@
+package cts
+
+import (
+	"math/rand"
+	"testing"
+
+	"wavemin/internal/cell"
+	"wavemin/internal/clocktree"
+)
+
+func TestDMEBasics(t *testing.T) {
+	lib := cell.DefaultLibrary()
+	rng := rand.New(rand.NewSource(2))
+	sinks := randomSinks(rng, 40, 300)
+	tree, err := SynthesizeDME(sinks, lib, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tree.Leaves()); got != len(sinks) {
+		t.Fatalf("leaves = %d, want %d", got, len(sinks))
+	}
+	for _, id := range tree.Leaves() {
+		if tree.Node(id).SinkCap <= 0 {
+			t.Fatalf("leaf %d missing sink cap", id)
+		}
+	}
+}
+
+func TestDMEMeetsSkewTarget(t *testing.T) {
+	lib := cell.DefaultLibrary()
+	opt := DefaultOptions()
+	for _, n := range []int{3, 10, 33, 120} {
+		rng := rand.New(rand.NewSource(int64(n * 7)))
+		sinks := randomSinks(rng, n, 400)
+		tree, err := SynthesizeDME(sinks, lib, opt)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		tm := tree.ComputeTiming(clocktree.NominalMode)
+		if s := tm.Skew(tree); s > opt.TargetSkew {
+			t.Errorf("n=%d: skew %g > %g", n, s, opt.TargetSkew)
+		}
+	}
+}
+
+func TestDMESingleSink(t *testing.T) {
+	lib := cell.DefaultLibrary()
+	tree, err := SynthesizeDME([]Sink{{X: 20, Y: 20, Cap: 6}}, lib, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tree.Leaves()) != 1 {
+		t.Fatal("single-sink DME broken")
+	}
+}
+
+func TestDMEErrors(t *testing.T) {
+	lib := cell.DefaultLibrary()
+	if _, err := SynthesizeDME(nil, lib, DefaultOptions()); err == nil {
+		t.Error("no sinks should error")
+	}
+	bad := DefaultOptions()
+	bad.LeafCell = "nope"
+	if _, err := SynthesizeDME([]Sink{{}}, lib, bad); err == nil {
+		t.Error("unknown leaf cell should error")
+	}
+	bad2 := DefaultOptions()
+	bad2.RootCell = "nope"
+	if _, err := SynthesizeDME([]Sink{{}}, lib, bad2); err == nil {
+		t.Error("unknown root cell should error")
+	}
+}
+
+func TestDMEUsesLessWireThanBinaryBisection(t *testing.T) {
+	// The classic DME result: for *binary* topologies, deferred merging
+	// spends far less wire than top-down bisection at the same skew
+	// target. (The default 4-ary star topology is a different trade: fewer
+	// levels, so less total wire but more load per buffer.) Compare
+	// against bisection restricted to fanout 2.
+	lib := cell.DefaultLibrary()
+	opt := DefaultOptions()
+	binary := DefaultOptions()
+	binary.MaxFanout = 2
+	var dmeTotal, bisTotal float64
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sinks := randomSinks(rng, 60, 400)
+		dme, err := SynthesizeDME(sinks, lib, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bis, err := Synthesize(sinks, lib, binary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dmeTotal += TotalWireCap(dme)
+		bisTotal += TotalWireCap(bis)
+	}
+	if dmeTotal >= 0.7*bisTotal {
+		t.Fatalf("DME wire %g should clearly beat binary bisection %g", dmeTotal, bisTotal)
+	}
+}
+
+func TestDMEDeterministic(t *testing.T) {
+	lib := cell.DefaultLibrary()
+	rng := rand.New(rand.NewSource(9))
+	sinks := randomSinks(rng, 30, 200)
+	a, err := SynthesizeDME(sinks, lib, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SynthesizeDME(sinks, lib, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() {
+		t.Fatal("node counts differ")
+	}
+	for i := 0; i < a.Len(); i++ {
+		na, nb := a.Node(clocktree.NodeID(i)), b.Node(clocktree.NodeID(i))
+		if na.X != nb.X || na.WireRes != nb.WireRes || na.Cell.Name != nb.Cell.Name {
+			t.Fatalf("node %d differs", i)
+		}
+	}
+}
+
+func TestMergePairBalancesDelays(t *testing.T) {
+	opt := DefaultOptions()
+	a := &mergeNode{x: 0, y: 0, cap: 10, delay: 5}
+	b := &mergeNode{x: 100, y: 0, cap: 20, delay: 0}
+	m := mergePair(a, b, opt)
+	r, c := opt.WireResPerUm, opt.WireCapPerUm
+	dA := a.delay + r*a.wireLen*(c*a.wireLen/2+a.cap)
+	dB := b.delay + r*b.wireLen*(c*b.wireLen/2+b.cap)
+	if diff := dA - dB; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("merge not balanced: %g vs %g", dA, dB)
+	}
+	if m.cap <= a.cap+b.cap {
+		t.Fatal("merge cap must include the wire")
+	}
+}
+
+func TestMergePairElongatesWhenUnbalanced(t *testing.T) {
+	opt := DefaultOptions()
+	// a is far slower than any point on the direct wire can compensate.
+	a := &mergeNode{x: 0, y: 0, cap: 10, delay: 500}
+	b := &mergeNode{x: 10, y: 0, cap: 10, delay: 0}
+	m := mergePair(a, b, opt)
+	if b.wireLen <= 10 {
+		t.Fatalf("expected snaked wire > 10, got %g", b.wireLen)
+	}
+	if a.wireLen != 0 {
+		t.Fatalf("slow side should get zero wire, got %g", a.wireLen)
+	}
+	r, c := opt.WireResPerUm, opt.WireCapPerUm
+	dB := b.delay + r*b.wireLen*(c*b.wireLen/2+b.cap)
+	if diff := dB - a.delay; diff > 1e-6 || diff < -1e-6 {
+		t.Fatalf("elongated side unbalanced: %g vs %g", dB, a.delay)
+	}
+	_ = m
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"wavemin/internal/clocktree"
+	"wavemin/internal/polarity"
+)
+
+// BaselineLadderRow is one circuit evaluated under every polarity
+// strategy in the paper's lineage.
+type BaselineLadderRow struct {
+	Name    string
+	NoOpt   Golden // the synthesized tree as-is (all buffers)
+	Nieh    Golden // [22] global opposite-phase split
+	Samanta Golden // [23] per-zone balanced split
+	PeakMin Golden // [27] two-corner knapsack with sizing
+	WaveMin Golden // this paper
+}
+
+// BaselineLadder compares the whole lineage under the golden evaluator.
+type BaselineLadder struct {
+	Rows []BaselineLadderRow
+}
+
+// RunBaselineLadder evaluates each strategy on each circuit (single mode,
+// κ = 20 ps).
+func RunBaselineLadder(circuits []string, samples int) (*BaselineLadder, error) {
+	out := &BaselineLadder{}
+	for _, name := range circuits {
+		ckt, err := LoadCircuit(name)
+		if err != nil {
+			return nil, err
+		}
+		lib := sizingLib(ckt.Lib)
+		eval := func(a polarity.Assignment) (Golden, error) {
+			work := ckt.Tree.Clone()
+			polarity.Apply(work, a)
+			return Evaluate(work, clocktree.NominalMode, ckt.Grid)
+		}
+		row := BaselineLadderRow{Name: name}
+		if row.NoOpt, err = Evaluate(ckt.Tree, clocktree.NominalMode, ckt.Grid); err != nil {
+			return nil, err
+		}
+		nieh, err := polarity.NiehBaseline(ckt.Tree, lib, clocktree.NominalMode)
+		if err != nil {
+			return nil, err
+		}
+		if row.Nieh, err = eval(nieh); err != nil {
+			return nil, err
+		}
+		sam, err := polarity.SamantaBaseline(ckt.Tree, lib, clocktree.NominalMode, polarity.DefaultZoneSize)
+		if err != nil {
+			return nil, err
+		}
+		if row.Samanta, err = eval(sam); err != nil {
+			return nil, err
+		}
+		for _, algo := range []polarity.Algorithm{polarity.ClkPeakMinBaseline, polarity.ClkWaveMin} {
+			res, err := polarity.Optimize(ckt.Tree, polarity.Config{
+				Library: lib, Kappa: 20, Samples: samples, Epsilon: 0.01,
+				Algorithm: algo, MaxIntervals: 6,
+			})
+			if err != nil {
+				return nil, err
+			}
+			g, err := eval(res.Assignment)
+			if err != nil {
+				return nil, err
+			}
+			if algo == polarity.ClkPeakMinBaseline {
+				row.PeakMin = g
+			} else {
+				row.WaveMin = g
+			}
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Format renders the ladder (golden peak, mA).
+func (b *BaselineLadder) Format() string {
+	w := &tableWriter{}
+	w.row(cellf(10, "Circuit"), cellf(10, "no-opt"), cellf(10, "Nieh[22]"),
+		cellf(12, "Samanta[23]"), cellf(12, "PeakMin[27]"), cellf(10, "WaveMin"))
+	for _, r := range b.Rows {
+		w.row(cellf(10, "%s", r.Name),
+			cellf(10, "%.2f", mA(r.NoOpt.Peak)), cellf(10, "%.2f", mA(r.Nieh.Peak)),
+			cellf(12, "%.2f", mA(r.Samanta.Peak)), cellf(12, "%.2f", mA(r.PeakMin.Peak)),
+			cellf(10, "%.2f", mA(r.WaveMin.Peak)))
+	}
+	return w.String()
+}

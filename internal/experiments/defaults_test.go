@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultConfigsCoverAllCircuits(t *testing.T) {
+	if got := len(DefaultTable5Config().Circuits); got != 7 {
+		t.Fatalf("table5 circuits %d", got)
+	}
+	if got := len(DefaultTable6Config().Circuits); got != 7 {
+		t.Fatalf("table6 circuits %d", got)
+	}
+	if got := len(DefaultTable7Config().Circuits); got != 7 {
+		t.Fatalf("table7 circuits %d", got)
+	}
+	if got := len(DefaultMCConfig().Circuits); got != 7 {
+		t.Fatalf("mc circuits %d", got)
+	}
+	// Paper parameters.
+	if c := DefaultTable5Config(); c.Kappa != 20 || c.Samples != 158 || c.Epsilon != 0.01 {
+		t.Fatalf("table5 defaults %+v", c)
+	}
+	if c := DefaultMCConfig(); c.Kappa != 100 || c.Sigma != 0.05 || c.Instances != 1000 {
+		t.Fatalf("mc defaults %+v", c)
+	}
+	if c := DefaultTable6Config(); len(c.SampleSweeps) != 3 || c.SampleSweeps[2] != 158 {
+		t.Fatalf("table6 sweeps %+v", c.SampleSweeps)
+	}
+}
+
+func TestFormatsRenderSomething(t *testing.T) {
+	// Exercise the Format paths on small real results.
+	t5, err := RunTable5(Table5Config{Circuits: []string{"s15850"}, Kappa: 20, Samples: 8, Epsilon: 0.1, MaxIntervals: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := t5.Format(); !strings.Contains(out, "Average") {
+		t.Fatal("table5 format missing average")
+	}
+	f1, err := RunFig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := f1.Format(); !strings.Contains(out, "IDD @ rising") {
+		t.Fatal("fig1 format missing sections")
+	}
+	f2, err := RunFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := f2.Format(); !strings.Contains(out, "<-true-opt") {
+		t.Fatal("fig2 format missing optimum marker")
+	}
+	f3, err := RunFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := f3.Format(); !strings.Contains(out, "ADI") {
+		t.Fatal("fig3 format missing")
+	}
+	f6, err := RunFig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := f6.Format(); !strings.Contains(out, "ival") {
+		t.Fatal("fig6 format missing intervals")
+	}
+	f14, err := RunFig14("s15850", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := f14.Format(); !strings.Contains(out, "r =") {
+		t.Fatal("fig14 format missing correlation")
+	}
+	mc, err := RunMonteCarlo(MCConfig{Circuits: []string{"s15850"}, Kappa: 100, Samples: 8,
+		Epsilon: 0.1, Sigma: 0.05, Correlation: 0.8, Instances: 20, Seed: 1, MaxIntervals: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := mc.Format(); !strings.Contains(out, "yield") {
+		t.Fatal("mc format missing yields")
+	}
+	t7, err := RunTable7(Table7Config{Circuits: []string{"s15850"}, SkewBounds: []float64{16},
+		NumModes: 2, Samples: 8, Epsilon: 0.1, MaxIntersections: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := t7.Format(); !strings.Contains(out, "Average") {
+		t.Fatal("table7 format missing average")
+	}
+	t6, err := RunTable6(Table6Config{Circuits: []string{"s15850"}, Kappa: 20, Epsilon: 0.1,
+		SampleSweeps: []int{4}, FastSamples: 4, MaxIntervals: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := t6.Format(); !strings.Contains(out, "Fast") {
+		t.Fatal("table6 format missing fast column")
+	}
+	t1, err := RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := t1.Format(); !strings.Contains(out, "#Invs") {
+		t.Fatal("table1 format missing header")
+	}
+}

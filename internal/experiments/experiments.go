@@ -1,0 +1,134 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VII) on the synthetic benchmark substrate. Each Run*
+// function returns a structured result with a Format method that prints
+// rows shaped like the paper's; cmd/experiments exposes them on the
+// command line and bench_test.go wraps them as benchmarks.
+//
+// Scaling note: absolute numbers differ from the paper (our substrate is
+// a behavioural simulator, not the authors' HSPICE testbed), but the
+// comparisons — who wins, by roughly what factor, and how trends move
+// with |S|, κ, and the degree of freedom — are the reproduction targets.
+// EXPERIMENTS.md records paper-vs-measured for every experiment.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"wavemin/internal/bench"
+	"wavemin/internal/cell"
+	"wavemin/internal/clocktree"
+	"wavemin/internal/cts"
+	"wavemin/internal/powergrid"
+)
+
+// Circuit is a loaded benchmark: synthesized tree plus its power grid.
+type Circuit struct {
+	Spec bench.Spec
+	Tree *clocktree.Tree
+	Grid *powergrid.Grid
+	Lib  *cell.Library
+}
+
+// LoadCircuit synthesizes one named benchmark with the experiment
+// defaults: BUF_X8 leaves (inside the sizing library's range) and an
+// ISPD-dense or ISCAS-sparse power grid per the circuit family.
+func LoadCircuit(name string) (*Circuit, error) {
+	spec, ok := bench.SpecByName(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown benchmark %q", name)
+	}
+	lib := cell.DefaultLibrary()
+	opt := cts.DefaultOptions()
+	opt.LeafCell = "BUF_X8"
+	tree, err := spec.Synthesize(lib, opt)
+	if err != nil {
+		return nil, err
+	}
+	gridOpt := powergrid.DefaultOptions()
+	if spec.Clustered {
+		gridOpt = powergrid.DenseOptions()
+	}
+	grid, err := powergrid.New(spec.DieW, spec.DieH, gridOpt)
+	if err != nil {
+		return nil, err
+	}
+	return &Circuit{Spec: spec, Tree: tree, Grid: grid, Lib: lib}, nil
+}
+
+// Golden is the "HSPICE-measured" evaluation of one tree configuration:
+// the total-waveform peak current and the worst rail deviations from the
+// power-grid transient.
+type Golden struct {
+	Peak float64 // µA
+	VDD  float64 // volts
+	Gnd  float64 // volts
+}
+
+// Evaluate measures the tree in one mode.
+func Evaluate(tree *clocktree.Tree, mode clocktree.Mode, grid *powergrid.Grid) (Golden, error) {
+	tm := tree.ComputeTiming(mode)
+	g := Golden{Peak: tree.PeakCurrent(tm)}
+	if grid != nil {
+		v, gn, err := grid.MeasureTreeNoise(tree, tm)
+		if err != nil {
+			return Golden{}, err
+		}
+		g.VDD, g.Gnd = v, gn
+	}
+	return g, nil
+}
+
+// EvaluateModes measures across modes and keeps the worst of each metric
+// (the paper's multi-mode reporting).
+func EvaluateModes(tree *clocktree.Tree, modes []clocktree.Mode, grid *powergrid.Grid) (Golden, error) {
+	var worst Golden
+	for _, m := range modes {
+		g, err := Evaluate(tree, m, grid)
+		if err != nil {
+			return Golden{}, err
+		}
+		worst.Peak = math.Max(worst.Peak, g.Peak)
+		worst.VDD = math.Max(worst.VDD, g.VDD)
+		worst.Gnd = math.Max(worst.Gnd, g.Gnd)
+	}
+	return worst, nil
+}
+
+// improvement returns the percent reduction from base to opt (positive =
+// opt is better), the paper's "Improvement (%)" columns.
+func improvement(base, opt float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - opt) / base
+}
+
+// mA formats µA as the paper's mA columns.
+func mA(uA float64) float64 { return uA / 1000 }
+
+// mV formats volts as the paper's mV columns.
+func mV(v float64) float64 { return v * 1000 }
+
+// tableWriter accumulates fixed-width rows.
+type tableWriter struct {
+	b strings.Builder
+}
+
+func (w *tableWriter) row(cols ...string) {
+	for i, c := range cols {
+		if i > 0 {
+			w.b.WriteString("  ")
+		}
+		w.b.WriteString(c)
+	}
+	w.b.WriteString("\n")
+}
+
+// String returns the accumulated table text.
+func (w *tableWriter) String() string { return w.b.String() }
+
+func cellf(width int, format string, args ...interface{}) string {
+	return fmt.Sprintf("%*s", width, fmt.Sprintf(format, args...))
+}

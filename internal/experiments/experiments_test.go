@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// The experiment tests run reduced configurations (one small circuit,
+// coarse sampling) to keep the suite fast; the full paper parameters are
+// exercised by cmd/experiments and the benchmarks in bench_test.go.
+
+func TestLoadCircuit(t *testing.T) {
+	ckt, err := LoadCircuit("s15850")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckt.Tree.Len() == 0 || ckt.Grid.NodeCount() == 0 {
+		t.Fatal("empty circuit")
+	}
+	if _, err := LoadCircuit("nope"); err == nil {
+		t.Fatal("unknown circuit should error")
+	}
+}
+
+func TestTable1ShowsObservation4(t *testing.T) {
+	res, err := RunTable1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 16 {
+		t.Fatalf("%d rows, want 16", len(res.Rows))
+	}
+	if err := res.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Format(), "#Invs") {
+		t.Fatal("format missing header")
+	}
+	// Slew grows monotonically with replacements (INV_X8 loads the parent
+	// more than BUF_X4).
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Slew <= res.Rows[i-1].Slew {
+			t.Fatalf("slew not monotone at row %d", i)
+		}
+	}
+}
+
+func TestFig1MirroredProfiles(t *testing.T) {
+	res, err := RunFig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Buffer.PeakPlus() <= res.Buffer.PeakMinus() {
+		t.Fatal("buffer should peak at rising edge")
+	}
+	if res.Inverter.PeakPlus() >= res.Inverter.PeakMinus() {
+		t.Fatal("inverter should peak at falling edge")
+	}
+	if res.Format() == "" {
+		t.Fatal("empty format")
+	}
+}
+
+func TestFig2Observation1(t *testing.T) {
+	res, err := RunFig2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != 16 {
+		t.Fatalf("%d assignments, want 16", len(res.Assignments))
+	}
+	if !res.ObservationHolds() {
+		t.Fatal("leaf-optimal assignment should differ from the true optimum (Observation 1)")
+	}
+}
+
+func TestFig3ADIBenefit(t *testing.T) {
+	res, err := RunFig3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumADIs == 0 {
+		t.Fatal("the toy should assign ADIs")
+	}
+	if res.WithADI.Peak >= res.WithoutADI.Peak {
+		t.Fatalf("ADIs should reduce the peak: %g vs %g", res.WithADI.Peak, res.WithoutADI.Peak)
+	}
+}
+
+func TestFig6MatchesPaperGrid(t *testing.T) {
+	res, err := RunFig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Fig. 6: e2's arrivals include 68 (INV_X2) … 75 (BUF_X1).
+	if got := res.Arrivals["INV_X2"][1]; got != 68 {
+		t.Fatalf("INV_X2 on e2: %g, want 68", got)
+	}
+	if got := res.Arrivals["BUF_X1"][1]; got != 75 {
+		t.Fatalf("BUF_X1 on e2: %g, want 75", got)
+	}
+	// The highlighted interval [69, 74] must be present.
+	found := false
+	for _, iv := range res.Intervals {
+		if iv.Lo == 69 && iv.Hi == 74 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("interval [69,74] missing")
+	}
+}
+
+func TestFig14NegativeCorrelation(t *testing.T) {
+	res, err := RunFig14("s15850", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 5 {
+		t.Fatalf("only %d intersections", len(res.Points))
+	}
+	if res.Correlation >= 0 {
+		t.Fatalf("expected negative DoF/noise correlation, got %g", res.Correlation)
+	}
+}
+
+func TestTable5SmallCircuit(t *testing.T) {
+	cfg := Table5Config{Circuits: []string{"s15850"}, Kappa: 20, Samples: 32, Epsilon: 0.05, MaxIntervals: 4}
+	res, err := RunTable5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Rows[0]
+	if r.WaveMin.Peak <= 0 || r.PeakMin.Peak <= 0 {
+		t.Fatal("missing golden peaks")
+	}
+	// The headline: WaveMin at least matches the baseline here.
+	if r.WaveMin.Peak > r.PeakMin.Peak*1.02 {
+		t.Fatalf("WaveMin %g worse than PeakMin %g", r.WaveMin.Peak, r.PeakMin.Peak)
+	}
+	// Both respect κ (+drift slack).
+	if r.SkewPM > cfg.Kappa+2 || r.SkewWM > cfg.Kappa+2 {
+		t.Fatalf("skew violated: PM %g, WM %g", r.SkewPM, r.SkewWM)
+	}
+	if !strings.Contains(res.Format(), "s15850") {
+		t.Fatal("format missing row")
+	}
+}
+
+func TestTable6SamplingTrend(t *testing.T) {
+	cfg := Table6Config{Circuits: []string{"s15850"}, Kappa: 20, Epsilon: 0.05,
+		SampleSweeps: []int{4, 32}, FastSamples: 32, MaxIntervals: 4}
+	res, err := RunTable6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Rows[0]
+	// Denser sampling should not be (much) worse than |S|=4.
+	if r.Sweep[1].Peak > r.Sweep[0].Peak*1.10 {
+		t.Fatalf("|S|=32 peak %g much worse than |S|=4 %g", r.Sweep[1].Peak, r.Sweep[0].Peak)
+	}
+	// And WaveMin variants beat the PeakMin baseline.
+	if r.Sweep[1].Peak > r.PeakMin.Peak*1.02 {
+		t.Fatalf("WaveMin %g worse than PeakMin %g", r.Sweep[1].Peak, r.PeakMin.Peak)
+	}
+	if r.Fast.Exec <= 0 || r.Sweep[0].Exec <= 0 {
+		t.Fatal("missing timings")
+	}
+}
+
+func TestTable7MultiMode(t *testing.T) {
+	cfg := Table7Config{Circuits: []string{"s15850"}, SkewBounds: []float64{12, 20},
+		NumModes: 3, Samples: 16, Epsilon: 0.05, MaxIntersections: 4}
+	res, err := RunTable7(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if !r.SkewOK {
+			t.Fatalf("κ=%g: skew violated", r.Kappa)
+		}
+		if r.Wave.Peak > r.Base.Peak*1.02 {
+			t.Fatalf("κ=%g: ClkWaveMin-M %g worse than baseline %g", r.Kappa, r.Wave.Peak, r.Base.Peak)
+		}
+	}
+	// Tighter κ needs at least as many ADBs.
+	if res.Rows[0].BaseADB < res.Rows[1].BaseADB {
+		t.Fatalf("ADB count should not grow with κ: %d @12 vs %d @20",
+			res.Rows[0].BaseADB, res.Rows[1].BaseADB)
+	}
+}
+
+func TestMonteCarloStudy(t *testing.T) {
+	cfg := MCConfig{Circuits: []string{"s15850"}, Kappa: 100, Samples: 16, Epsilon: 0.05,
+		Sigma: 0.05, Instances: 100, Seed: 1, MaxIntervals: 4}
+	res, err := RunMonteCarlo(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Rows[0]
+	// At the paper's κ=100 both yields are high.
+	if r.PeakMin.Yield < 0.7 || r.WaveMin.Yield < 0.7 {
+		t.Fatalf("yields too low: PM %g, WM %g", r.PeakMin.Yield, r.WaveMin.Yield)
+	}
+	// σ̂/µ̂ in the paper's 0.05–0.09 decade.
+	if r.WaveMin.NormSDev < 0.01 || r.WaveMin.NormSDev > 0.2 {
+		t.Fatalf("implausible normalized sdev %g", r.WaveMin.NormSDev)
+	}
+}
+
+func TestBaselineLadderOrdering(t *testing.T) {
+	res, err := RunBaselineLadder([]string{"s15850"}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := res.Rows[0]
+	// Each generation improves on no optimization; WaveMin ends best (or
+	// within a whisker).
+	if r.Nieh.Peak >= r.NoOpt.Peak {
+		t.Fatalf("Nieh %g should beat no-opt %g", r.Nieh.Peak, r.NoOpt.Peak)
+	}
+	if r.WaveMin.Peak > r.PeakMin.Peak*1.02 {
+		t.Fatalf("WaveMin %g should not lose to PeakMin %g", r.WaveMin.Peak, r.PeakMin.Peak)
+	}
+	if r.WaveMin.Peak > r.Nieh.Peak*1.02 || r.WaveMin.Peak > r.Samanta.Peak*1.02 {
+		t.Fatalf("WaveMin %g should not lose to the early baselines %g/%g",
+			r.WaveMin.Peak, r.Nieh.Peak, r.Samanta.Peak)
+	}
+	if !strings.Contains(res.Format(), "Nieh[22]") {
+		t.Fatal("format missing header")
+	}
+}
+
+func TestTable4MatchesPaper(t *testing.T) {
+	res, err := RunTable4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Intersections) != 3 {
+		t.Fatalf("%d intersections, want 3", len(res.Intersections))
+	}
+	// The Fig. 12 optimum: BUF_X1 on e1/e2, INV_X1 on e3/e4, window (75,79).
+	want := []string{"BUF_X1", "BUF_X1", "INV_X1", "INV_X1"}
+	for i := range want {
+		if res.Assignment[i] != want[i] {
+			t.Fatalf("assignment %v, want %v", res.Assignment, want)
+		}
+	}
+	if res.Windows[0].Hi != 75 || res.Windows[1].Hi != 79 {
+		t.Fatalf("windows (%g,%g)", res.Windows[0].Hi, res.Windows[1].Hi)
+	}
+	if res.SkewM1 > 3.5 || res.SkewM2 > 4.5 {
+		t.Fatalf("skews %g/%g, want ≈3/4", res.SkewM1, res.SkewM2)
+	}
+	out := res.Format()
+	for _, wantStr := range []string{"(75, 79)", "(75, 78)", "(72, 77)", "fsbl", "infsbl"} {
+		if !strings.Contains(out, wantStr) {
+			t.Fatalf("format missing %q:\n%s", wantStr, out)
+		}
+	}
+}

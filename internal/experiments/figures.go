@@ -1,0 +1,393 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"wavemin/internal/adb"
+	"wavemin/internal/bench"
+	"wavemin/internal/cell"
+	"wavemin/internal/clocktree"
+	"wavemin/internal/multimode"
+	"wavemin/internal/polarity"
+	"wavemin/internal/waveform"
+)
+
+// Fig1 characterizes one buffer and one inverter: the mirrored IDD/ISS
+// pulses that motivate polarity assignment (paper Fig. 1).
+type Fig1 struct {
+	Buffer, Inverter cell.Profile
+}
+
+// RunFig1 profiles BUF_X8 and INV_X8 at a typical leaf load.
+func RunFig1() (*Fig1, error) {
+	lib := cell.DefaultLibrary()
+	return &Fig1{
+		Buffer:   cell.Characterize(lib.MustByName("BUF_X8"), 6, clocktree.NominalVDD),
+		Inverter: cell.Characterize(lib.MustByName("INV_X8"), 6, clocktree.NominalVDD),
+	}, nil
+}
+
+// Format dumps the four waveform tables per cell.
+func (f *Fig1) Format() string {
+	var b strings.Builder
+	dump := func(name string, p cell.Profile) {
+		fmt.Fprintf(&b, "== %s (TD %.2f ps, P+ %.1f µA, P- %.1f µA)\n",
+			name, p.TD, p.PeakPlus(), p.PeakMinus())
+		fmt.Fprintf(&b, "-- IDD @ rising\n%s", p.IDDRise.Table())
+		fmt.Fprintf(&b, "-- ISS @ rising\n%s", p.ISSRise.Table())
+		fmt.Fprintf(&b, "-- IDD @ falling\n%s", p.IDDFall.Table())
+		fmt.Fprintf(&b, "-- ISS @ falling\n%s", p.ISSFall.Table())
+	}
+	dump(f.Buffer.Cell.Name, f.Buffer)
+	dump(f.Inverter.Cell.Name, f.Inverter)
+	return b.String()
+}
+
+// Fig2Assignment is one row of the 16-assignment enumeration.
+type Fig2Assignment struct {
+	Polarity []bool  // true = positive (buffer) per leaf
+	LeafPeak float64 // peak of the leaf-only accumulated waveform, µA
+	AllPeak  float64 // peak including the non-leaf elements, µA
+}
+
+// Fig2 reproduces the paper's motivating example: for a 4-leaf tree with
+// 2 internal buffers, the assignment minimizing the *leaf-only* peak is
+// not the assignment minimizing the *true* (all-node) peak — Observations
+// 1 and 2.
+type Fig2 struct {
+	Assignments []Fig2Assignment
+	LeafBest    int // index minimizing LeafPeak
+	AllBest     int // index minimizing AllPeak
+
+	// Waveforms for the paper's Fig. 2(c)/(d) panels: the leaf-only and
+	// all-node IDD waveforms of the leaf-optimal assignment (c) and of the
+	// true optimum (d), at the rising source edge.
+	LeafBestLeafWave waveform.Waveform
+	LeafBestAllWave  waveform.Waveform
+	AllBestLeafWave  waveform.Waveform
+	AllBestAllWave   waveform.Waveform
+}
+
+// RunFig2 enumerates all 16 polarity assignments of the toy tree.
+func RunFig2() (*Fig2, error) {
+	lib := cell.DefaultLibrary()
+	buf := lib.MustByName("BUF_X8")
+	inv := lib.MustByName("INV_X8")
+	// Staggered arrivals: two mid buffers with different wire delays, two
+	// leaves each; the mid buffers' own pulses skew the total waveform to
+	// early times, like the paper's Fig. 2(c).
+	tree := clocktree.New(lib.MustByName("BUF_X16"), 25, 25)
+	m1 := tree.AddChild(tree.Root(), lib.MustByName("BUF_X8"), 20, 25, 0.05, 12)
+	m2 := tree.AddChild(tree.Root(), lib.MustByName("BUF_X8"), 30, 25, 0.25, 40)
+	var leaves []clocktree.NodeID
+	for i, parent := range []clocktree.NodeID{m1, m1, m2, m2} {
+		leaf := tree.AddChild(parent, buf, float64(20+4*i), 20, 0.02+0.06*float64(i), 8+6*float64(i))
+		tree.SetSinkCap(leaf, 8)
+		leaves = append(leaves, leaf)
+	}
+	out := &Fig2{}
+	apply := func(mask int) {
+		for i, leaf := range leaves {
+			if mask&(1<<i) == 0 {
+				tree.SetCell(leaf, buf)
+			} else {
+				tree.SetCell(leaf, inv)
+			}
+		}
+	}
+	bestLeaf, bestAll := math.Inf(1), math.Inf(1)
+	for mask := 0; mask < 16; mask++ {
+		apply(mask)
+		pol := make([]bool, 4)
+		for i := range leaves {
+			pol[i] = mask&(1<<i) == 0
+		}
+		tm := tree.ComputeTiming(clocktree.NominalMode)
+		row := Fig2Assignment{Polarity: pol}
+		for _, e := range []cell.Edge{cell.Rising, cell.Falling} {
+			lIDD, lISS := tree.LeafCurrents(tm, e)
+			tIDD, tISS := tree.TreeCurrents(tm, e)
+			for _, wv := range []waveform.Waveform{lIDD, lISS} {
+				if p, _ := wv.Peak(); p > row.LeafPeak {
+					row.LeafPeak = p
+				}
+			}
+			for _, wv := range []waveform.Waveform{tIDD, tISS} {
+				if p, _ := wv.Peak(); p > row.AllPeak {
+					row.AllPeak = p
+				}
+			}
+		}
+		if row.LeafPeak < bestLeaf {
+			bestLeaf, out.LeafBest = row.LeafPeak, mask
+		}
+		if row.AllPeak < bestAll {
+			bestAll, out.AllBest = row.AllPeak, mask
+		}
+		out.Assignments = append(out.Assignments, row)
+	}
+	// Capture the Fig. 2(c)/(d) waveform panels.
+	capture := func(mask int) (leafW, allW waveform.Waveform) {
+		apply(mask)
+		tm := tree.ComputeTiming(clocktree.NominalMode)
+		leafW, _ = tree.LeafCurrents(tm, cell.Rising)
+		allW, _ = tree.TreeCurrents(tm, cell.Rising)
+		return leafW, allW
+	}
+	out.LeafBestLeafWave, out.LeafBestAllWave = capture(out.LeafBest)
+	out.AllBestLeafWave, out.AllBestAllWave = capture(out.AllBest)
+	return out, nil
+}
+
+// Format renders the 16-row table of Fig. 2(b) extended with the all-node
+// peak.
+func (f *Fig2) Format() string {
+	w := &tableWriter{}
+	w.row(cellf(4, "#"), cellf(14, "assignment"), cellf(12, "leaf-only"), cellf(12, "all-node"))
+	for i, a := range f.Assignments {
+		var pol []string
+		for _, p := range a.Polarity {
+			if p {
+				pol = append(pol, "P")
+			} else {
+				pol = append(pol, "N")
+			}
+		}
+		mark := ""
+		if i == f.LeafBest {
+			mark += " <-leaf-opt"
+		}
+		if i == f.AllBest {
+			mark += " <-true-opt"
+		}
+		w.row(cellf(4, "%d", i), cellf(14, "(%s)", strings.Join(pol, ",")),
+			cellf(12, "%.1f", a.LeafPeak), cellf(12, "%.1f", a.AllPeak)+mark)
+	}
+	return w.String()
+}
+
+// ObservationHolds reports whether the toy demonstrates Observation 1:
+// the leaf-optimal assignment is strictly worse than the true optimum on
+// the all-node waveform.
+func (f *Fig2) ObservationHolds() bool {
+	return f.Assignments[f.LeafBest].AllPeak > f.Assignments[f.AllBest].AllPeak+1e-9
+}
+
+// Fig3 demonstrates Observation 3: offering ADIs at ADB sites reduces the
+// multi-mode peak further (the paper's 26 → 25 toy, on our scale).
+type Fig3 struct {
+	WithoutADI Golden
+	WithADI    Golden
+	NumADIs    int
+}
+
+// RunFig3 builds a three-mode, two-island toy where every leaf needs an
+// ADB, then optimizes with and without ADIs in the library.
+func RunFig3() (*Fig3, error) {
+	build := func() (*clocktree.Tree, []clocktree.Mode, *cell.Library) {
+		lib := cell.DefaultLibrary()
+		// Internal nodes live >50 µm from the leaves: the leaf zone's noise
+		// is leaf-only, so the polarity choice is what the solver sees.
+		tree := clocktree.New(lib.MustByName("BUF_X16"), 25, 100)
+		midA := tree.AddChild(tree.Root(), lib.MustByName("BUF_X8"), 23, 90, 0.01, 4)
+		midB := tree.AddChild(tree.Root(), lib.MustByName("BUF_X8"), 27, 90, 0.01, 4)
+		var leaves []clocktree.NodeID
+		for i, parent := range []clocktree.NodeID{midA, midA, midB, midB} {
+			leaf := tree.AddChild(parent, lib.MustByName("BUF_X8"), float64(22+2*i), 22, 0.02, 6)
+			tree.SetSinkCap(leaf, 8)
+			leaves = append(leaves, leaf)
+		}
+		// Two islands of (mid + two leaves) each; the extra modes slow one
+		// island by two cell levels, so every leaf ends up on an ADB site
+		// in some mode.
+		tree.SetDomainSubtree(midA, "A")
+		tree.SetDomainSubtree(midB, "B")
+		modes := []clocktree.Mode{
+			{Name: "M1", Supplies: map[string]float64{"A": 1.1, "B": 1.1}},
+			{Name: "M2", Supplies: map[string]float64{"A": 0.8, "B": 1.1}},
+			{Name: "M3", Supplies: map[string]float64{"A": 1.1, "B": 0.8}},
+		}
+		return tree, modes, lib
+	}
+	run := func(withADI bool) (Golden, int, error) {
+		tree, modes, lib := build()
+		cfg := multimode.Config{
+			Library: sizingLib(lib),
+			ADBCell: lib.MustByName("ADB_X8"),
+			Kappa:   4, Samples: 16, Epsilon: 0.01,
+			PerModeIntervals: 8, MaxIntersections: 24,
+		}
+		if withADI {
+			cfg.ADICell = lib.MustByName("ADI_X8")
+		}
+		res, err := multimode.Optimize(tree, modes, cfg)
+		if err != nil {
+			return Golden{}, 0, err
+		}
+		if err := multimode.ApplyResult(tree, modes, cfg.Kappa, res); err != nil {
+			return Golden{}, 0, err
+		}
+		g, err := EvaluateModes(tree, modes, nil)
+		return g, res.NumADIs, err
+	}
+	without, _, err := run(false)
+	if err != nil {
+		return nil, fmt.Errorf("fig3 without ADI: %w", err)
+	}
+	with, numADIs, err := run(true)
+	if err != nil {
+		return nil, fmt.Errorf("fig3 with ADI: %w", err)
+	}
+	return &Fig3{WithoutADI: without, WithADI: with, NumADIs: numADIs}, nil
+}
+
+// Format renders the toy comparison.
+func (f *Fig3) Format() string {
+	return fmt.Sprintf(
+		"ADB-only  peak %.1f µA\nwith ADI  peak %.1f µA (%d ADIs assigned)\n",
+		f.WithoutADI.Peak, f.WithADI.Peak, f.NumADIs)
+}
+
+// Fig6 reproduces the interval-construction example (paper Figs. 5–6):
+// the per-sink candidate arrival times and the feasible intervals for
+// κ = 5 on the Table II library.
+type Fig6 struct {
+	Arrivals  map[string][]float64 // cell name → per-sink arrival
+	Intervals []polarity.Interval
+}
+
+// RunFig6 rebuilds the worked example.
+func RunFig6() (*Fig6, error) {
+	lib := cell.PaperLibrary()
+	buf2 := lib.MustByName("BUF_X2")
+	tree := clocktree.New(buf2, 25, 25)
+	for i, wd := range []float64{31, 32, 33, 32} {
+		leaf := tree.AddChild(tree.Root(), buf2, float64(10+10*i), 10, wd/0.5, 0)
+		tree.SetSinkCap(leaf, 0)
+	}
+	cs := polarity.BuildCandidates(tree, lib, clocktree.NominalMode)
+	ivs, err := polarity.FeasibleIntervals(cs, 5)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig6{Arrivals: make(map[string][]float64), Intervals: ivs}
+	for _, leaf := range cs.Leaves() {
+		for _, c := range cs.ByLeaf[leaf] {
+			out.Arrivals[c.Cell.Name] = append(out.Arrivals[c.Cell.Name], c.AT)
+		}
+	}
+	return out, nil
+}
+
+// Format renders the grid of Fig. 6.
+func (f *Fig6) Format() string {
+	w := &tableWriter{}
+	names := make([]string, 0, len(f.Arrivals))
+	for n := range f.Arrivals {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		var ats []string
+		for _, at := range f.Arrivals[n] {
+			ats = append(ats, fmt.Sprintf("%.0f", at))
+		}
+		w.row(cellf(8, "%s", n), cellf(0, "%s", strings.Join(ats, " ")))
+	}
+	for _, iv := range f.Intervals {
+		w.row(cellf(8, "ival"), cellf(0, "[%.0f, %.0f] dof=%d", iv.Lo, iv.Hi, iv.DegreeOfFreedom()))
+	}
+	return w.String()
+}
+
+// Fig14Point is one feasible intersection's (degree of freedom, peak).
+type Fig14Point struct {
+	DoF  int
+	Peak float64
+}
+
+// Fig14 reproduces the degree-of-freedom/noise scatter (paper Fig. 14):
+// across feasible intersections of a two-mode design, peak noise (the
+// mean optimized zone peak — the max alone saturates on one dominant zone
+// for larger circuits) correlates negatively with the intersection's
+// degree of freedom.
+type Fig14 struct {
+	Circuit     string
+	Points      []Fig14Point
+	Correlation float64 // Pearson r
+}
+
+// RunFig14 evaluates every feasible intersection of a benchmark under two
+// power modes.
+func RunFig14(circuit string, perModeIntervals int) (*Fig14, error) {
+	ckt, err := LoadCircuit(circuit)
+	if err != nil {
+		return nil, err
+	}
+	domains := bench.AssignDomains(ckt.Tree, ckt.Spec.DieW, ckt.Spec.DieH, 4)
+	modes := ckt.Spec.Modes(domains, 2)
+	adbCell := ckt.Lib.MustByName("ADB_X8")
+	kappa := 16.0
+	if !ckt.Tree.MeetsSkew(kappa, modes) {
+		if _, err := adb.Insert(ckt.Tree, adbCell, modes, kappa); err != nil {
+			return nil, err
+		}
+	}
+	p, err := multimode.NewProblem(ckt.Tree, modes, multimode.Config{
+		Library: sizingLib(ckt.Lib), ADBCell: adbCell,
+		Kappa: kappa, Samples: 16, Epsilon: 0.05,
+		PerModeIntervals: perModeIntervals, IntervalSpread: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig14{Circuit: circuit}
+	for _, ix := range p.Intersections() {
+		res, err := p.OptimizeIntersection(&ix)
+		if err != nil {
+			return nil, err
+		}
+		out.Points = append(out.Points, Fig14Point{DoF: ix.DoF, Peak: res.MeanZonePeak})
+	}
+	out.Correlation = pearson(out.Points)
+	return out, nil
+}
+
+func pearson(pts []Fig14Point) float64 {
+	n := float64(len(pts))
+	if n < 2 {
+		return 0
+	}
+	var mx, my float64
+	for _, p := range pts {
+		mx += float64(p.DoF)
+		my += p.Peak
+	}
+	mx /= n
+	my /= n
+	var sxy, sxx, syy float64
+	for _, p := range pts {
+		dx, dy := float64(p.DoF)-mx, p.Peak-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Format renders the scatter data.
+func (f *Fig14) Format() string {
+	w := &tableWriter{}
+	w.row(cellf(8, "DoF"), cellf(12, "peak (µA)"))
+	for _, p := range f.Points {
+		w.row(cellf(8, "%d", p.DoF), cellf(12, "%.1f", p.Peak))
+	}
+	w.row(cellf(8, "r ="), cellf(12, "%.3f", f.Correlation))
+	return w.String()
+}

@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"wavemin/internal/polarity"
+	"wavemin/internal/variation"
+)
+
+// MCConfig mirrors the paper's §VII-D study: trees optimized at κ = 100 ps
+// and |S| = 158, then 1000 Monte Carlo instances with 5 % Gaussian
+// variation on wires, cell widths and thresholds. At the paper's κ = 100
+// our substrate also lands near the paper's ~95 % yield regime.
+type MCConfig struct {
+	Circuits     []string
+	Kappa        float64
+	Samples      int
+	Epsilon      float64
+	Sigma        float64
+	Correlation  float64 // die-wide share of σ (see variation.Params)
+	Instances    int
+	Seed         int64
+	WithGrid     bool // also measure rail noise (slower)
+	MaxIntervals int
+}
+
+// DefaultMCConfig returns the scaled defaults over all benchmarks.
+func DefaultMCConfig() MCConfig {
+	names := make([]string, 0, 7)
+	for _, s := range allSpecs() {
+		names = append(names, s.Name)
+	}
+	return MCConfig{
+		Circuits: names, Kappa: 100, Samples: 158, Epsilon: 0.01,
+		Sigma: 0.05, Correlation: 0.8, Instances: 1000, Seed: 1, MaxIntervals: 8,
+	}
+}
+
+// MCRow is one circuit's yields and spreads for both optimizers.
+type MCRow struct {
+	Name             string
+	PeakMin, WaveMin *variation.Stats
+	NominalSkewPM    float64
+	NominalSkewWM    float64
+}
+
+// MCResult aggregates the study.
+type MCResult struct {
+	Config MCConfig
+	Rows   []MCRow
+	// Averages over circuits, paper-style.
+	AvgYieldPM, AvgYieldWM       float64
+	AvgNormPeakPM, AvgNormPeakWM float64
+	AvgNormVDDPM, AvgNormVDDWM   float64
+	AvgNormGndPM, AvgNormGndWM   float64
+}
+
+// RunMonteCarlo optimizes each circuit with both algorithms and evaluates
+// both products under process variation.
+func RunMonteCarlo(cfg MCConfig) (*MCResult, error) {
+	out := &MCResult{Config: cfg}
+	for _, name := range cfg.Circuits {
+		ckt, err := LoadCircuit(name)
+		if err != nil {
+			return nil, err
+		}
+		lib := sizingLib(ckt.Lib)
+		row := MCRow{Name: name}
+		for _, algo := range []polarity.Algorithm{polarity.ClkPeakMinBaseline, polarity.ClkWaveMin} {
+			res, err := polarity.Optimize(ckt.Tree, polarity.Config{
+				Library: lib, Kappa: cfg.Kappa, Samples: cfg.Samples,
+				Epsilon: cfg.Epsilon, Algorithm: algo, MaxIntervals: cfg.MaxIntervals,
+			})
+			if err != nil {
+				return nil, err
+			}
+			work := ckt.Tree.Clone()
+			polarity.Apply(work, res.Assignment)
+			p := variation.Params{
+				Sigma: cfg.Sigma, Correlation: cfg.Correlation,
+				N: cfg.Instances, Kappa: cfg.Kappa, Seed: cfg.Seed,
+			}
+			if cfg.WithGrid {
+				p.Grid = ckt.Grid
+			}
+			st, err := variation.MonteCarlo(work, p)
+			if err != nil {
+				return nil, err
+			}
+			nominal := work.ComputeTiming(p.Mode).Skew(work)
+			if algo == polarity.ClkPeakMinBaseline {
+				row.PeakMin, row.NominalSkewPM = st, nominal
+			} else {
+				row.WaveMin, row.NominalSkewWM = st, nominal
+			}
+		}
+		out.Rows = append(out.Rows, row)
+		out.AvgYieldPM += row.PeakMin.Yield
+		out.AvgYieldWM += row.WaveMin.Yield
+		out.AvgNormPeakPM += row.PeakMin.NormSDev
+		out.AvgNormPeakWM += row.WaveMin.NormSDev
+		out.AvgNormVDDPM += row.PeakMin.NormVDD
+		out.AvgNormVDDWM += row.WaveMin.NormVDD
+		out.AvgNormGndPM += row.PeakMin.NormGnd
+		out.AvgNormGndWM += row.WaveMin.NormGnd
+	}
+	if n := float64(len(out.Rows)); n > 0 {
+		out.AvgYieldPM /= n
+		out.AvgYieldWM /= n
+		out.AvgNormPeakPM /= n
+		out.AvgNormPeakWM /= n
+		out.AvgNormVDDPM /= n
+		out.AvgNormVDDWM /= n
+		out.AvgNormGndPM /= n
+		out.AvgNormGndWM /= n
+	}
+	return out, nil
+}
+
+// Format renders the §VII-D summary.
+func (r *MCResult) Format() string {
+	w := &tableWriter{}
+	w.row(cellf(10, "Circuit"),
+		cellf(9, "PM yield"), cellf(9, "WM yield"),
+		cellf(9, "PM σ̂/µ̂"), cellf(9, "WM σ̂/µ̂"),
+		cellf(9, "PM skew"), cellf(9, "WM skew"))
+	for _, row := range r.Rows {
+		w.row(cellf(10, "%s", row.Name),
+			cellf(9, "%.1f%%", row.PeakMin.Yield*100), cellf(9, "%.1f%%", row.WaveMin.Yield*100),
+			cellf(9, "%.3f", row.PeakMin.NormSDev), cellf(9, "%.3f", row.WaveMin.NormSDev),
+			cellf(9, "%.1f", row.NominalSkewPM), cellf(9, "%.1f", row.NominalSkewWM))
+	}
+	w.row(cellf(10, "Average"),
+		cellf(9, "%.1f%%", r.AvgYieldPM*100), cellf(9, "%.1f%%", r.AvgYieldWM*100),
+		cellf(9, "%.3f", r.AvgNormPeakPM), cellf(9, "%.3f", r.AvgNormPeakWM),
+		cellf(9, ""), cellf(9, ""))
+	if r.Config.WithGrid {
+		w.row(cellf(10, "Noise σ̂/µ̂"),
+			cellf(9, "V:%.3f", r.AvgNormVDDPM), cellf(9, "V:%.3f", r.AvgNormVDDWM),
+			cellf(9, "G:%.3f", r.AvgNormGndPM), cellf(9, "G:%.3f", r.AvgNormGndWM),
+			cellf(9, ""), cellf(9, ""))
+	}
+	return w.String()
+}

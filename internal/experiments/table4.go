@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wavemin/internal/cell"
+	"wavemin/internal/clocktree"
+	"wavemin/internal/multimode"
+)
+
+// Table4 reproduces the paper's Table IV: the feasible intersections of
+// the two-mode worked example (Fig. 10/11) with their per-sink feasible
+// cell types, plus the downstream Fig. 12 optimum.
+type Table4 struct {
+	Intersections []multimode.Intersection
+	LeafCells     [][]string // per leaf: candidate cell names
+	Feasible      [][][]string
+	// Fig. 12 outcome.
+	Assignment []string
+	Windows    []multimode.Window
+	SkewM1     float64
+	SkewM2     float64
+}
+
+// fig10Tree rebuilds the paper's Fig. 10 design: a BUF_X2 root, two BUF_X2
+// voltage-island internals (A1/A2), four BUF_X2 leaves; arrivals 70 in M1
+// and 70/70/78/78 in M2 (island A2 at 0.9 V).
+func fig10Tree() (*clocktree.Tree, []clocktree.Mode, *cell.Library) {
+	lib := cell.PaperLibrary()
+	buf2 := lib.MustByName("BUF_X2")
+	tr := clocktree.New(buf2, 25, 140)
+	m1 := tr.AddChild(tr.Root(), buf2, 15, 120, 0.5, 27) // 7 ps wire
+	m2 := tr.AddChild(tr.Root(), buf2, 35, 120, 0.5, 27)
+	for i, mid := range []clocktree.NodeID{m1, m1, m2, m2} {
+		leaf := tr.AddChild(mid, buf2, float64(10+8*i), 10, 0.5, 23) // 6 ps wire
+		tr.SetSinkCap(leaf, 0)
+	}
+	tr.SetDomainSubtree(tr.Root(), "A1")
+	tr.SetDomainSubtree(m2, "A2")
+	modes := []clocktree.Mode{
+		{Name: "M1", Supplies: map[string]float64{"A1": 1.1, "A2": 1.1}},
+		{Name: "M2", Supplies: map[string]float64{"A1": 1.1, "A2": 0.9}},
+	}
+	return tr, modes, lib
+}
+
+// RunTable4 enumerates the worked example's feasible intersections and
+// solves the best one.
+func RunTable4() (*Table4, error) {
+	tr, modes, lib := fig10Tree()
+	cfg := multimode.Config{Library: lib, Kappa: 5, Samples: 16, Epsilon: 0.01}
+	p, err := multimode.NewProblem(tr, modes, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table4{Intersections: p.Intersections()}
+	for li := range p.Leaves() {
+		var names []string
+		for _, c := range p.CandidateCells(li) {
+			names = append(names, c.Name)
+		}
+		out.LeafCells = append(out.LeafCells, names)
+	}
+	for _, ix := range out.Intersections {
+		perLeaf := make([][]string, len(ix.Feasible))
+		for li, cis := range ix.Feasible {
+			for _, ci := range cis {
+				perLeaf[li] = append(perLeaf[li], out.LeafCells[li][ci])
+			}
+		}
+		out.Feasible = append(out.Feasible, perLeaf)
+	}
+	res, err := multimode.Optimize(tr, modes, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for _, leaf := range tr.Leaves() {
+		out.Assignment = append(out.Assignment, res.Assignment[leaf].Name)
+	}
+	out.Windows = res.Windows
+	if err := multimode.ApplyResult(tr, modes, cfg.Kappa, res); err != nil {
+		return nil, err
+	}
+	out.SkewM1 = tr.ComputeTiming(modes[0]).Skew(tr)
+	out.SkewM2 = tr.ComputeTiming(modes[1]).Skew(tr)
+	return out, nil
+}
+
+// Format renders the paper's fsbl/infsbl table plus the Fig. 12 outcome.
+func (t *Table4) Format() string {
+	w := &tableWriter{}
+	header := []string{cellf(14, "Intersection"), cellf(5, "Node")}
+	for _, n := range t.LeafCells[0] {
+		header = append(header, cellf(8, "%s", n))
+	}
+	w.row(header...)
+	for i, ix := range t.Intersections {
+		name := fmt.Sprintf("(%.0f, %.0f)", ix.Windows[0].Hi, ix.Windows[1].Hi)
+		for li := range t.Feasible[i] {
+			cols := []string{cellf(14, "%s", name), cellf(5, "e%d", li+1)}
+			name = "" // only on the first row of the block
+			for _, cn := range t.LeafCells[li] {
+				mark := "infsbl"
+				for _, f := range t.Feasible[i][li] {
+					if f == cn {
+						mark = "fsbl"
+					}
+				}
+				cols = append(cols, cellf(8, "%s", mark))
+			}
+			w.row(cols...)
+		}
+	}
+	w.row(cellf(14, "optimum"), cellf(5, ""),
+		cellf(0, "windows (%.0f, %.0f): %v; skew M1=%.1f M2=%.1f",
+			t.Windows[0].Hi, t.Windows[1].Hi, t.Assignment, t.SkewM1, t.SkewM2))
+	return w.String()
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wavemin/internal/cell"
+	"wavemin/internal/polarity"
+)
+
+// Table5Config mirrors the setup of the paper's Table V: κ = 20 ps,
+// ε = 0.01, |S| = 158, leaves assigned among BUF_X8/BUF_X16/INV_X8/INV_X16.
+type Table5Config struct {
+	Circuits     []string
+	Kappa        float64
+	Samples      int
+	Epsilon      float64
+	MaxIntervals int // cap on fully optimized intervals per circuit
+}
+
+// DefaultTable5Config returns the paper's parameters over all seven
+// benchmarks.
+func DefaultTable5Config() Table5Config {
+	names := make([]string, 0, 7)
+	for _, s := range allSpecs() {
+		names = append(names, s.Name)
+	}
+	return Table5Config{Circuits: names, Kappa: 20, Samples: 158, Epsilon: 0.01, MaxIntervals: 8}
+}
+
+// Table5Row is one benchmark's comparison.
+type Table5Row struct {
+	Name    string
+	N, L    int
+	PeakMin Golden // ClkPeakMin [27]
+	WaveMin Golden // ClkWaveMin
+	ImpVDD  float64
+	ImpGnd  float64
+	ImpPeak float64
+	SkewPM  float64 // realized skew, ps
+	SkewWM  float64
+}
+
+// Table5 is the full result.
+type Table5 struct {
+	Config                  Table5Config
+	Rows                    []Table5Row
+	AvgVDD, AvgGnd, AvgPeak float64
+}
+
+// sizingLib restricts the default library to the paper's four leaf types.
+func sizingLib(lib *cell.Library) *cell.Library {
+	sub, err := lib.Restrict("BUF_X8", "BUF_X16", "INV_X8", "INV_X16")
+	if err != nil {
+		panic(err)
+	}
+	return sub
+}
+
+// RunTable5 compares ClkPeakMin and ClkWaveMin per circuit under the
+// golden evaluator.
+func RunTable5(cfg Table5Config) (*Table5, error) {
+	out := &Table5{Config: cfg}
+	for _, name := range cfg.Circuits {
+		ckt, err := LoadCircuit(name)
+		if err != nil {
+			return nil, err
+		}
+		row := Table5Row{Name: name, N: ckt.Tree.Len(), L: len(ckt.Tree.Leaves())}
+		lib := sizingLib(ckt.Lib)
+		base := polarity.Config{
+			Library: lib, Kappa: cfg.Kappa, Samples: cfg.Samples,
+			Epsilon: cfg.Epsilon, MaxIntervals: cfg.MaxIntervals,
+		}
+		run := func(algo polarity.Algorithm) (Golden, float64, error) {
+			c := base
+			c.Algorithm = algo
+			res, err := polarity.Optimize(ckt.Tree, c)
+			if err != nil {
+				return Golden{}, 0, fmt.Errorf("%s/%v: %w", name, algo, err)
+			}
+			work := ckt.Tree.Clone()
+			polarity.Apply(work, res.Assignment)
+			g, err := Evaluate(work, base.Mode, ckt.Grid)
+			if err != nil {
+				return Golden{}, 0, err
+			}
+			skew := work.ComputeTiming(base.Mode).Skew(work)
+			return g, skew, nil
+		}
+		if row.PeakMin, row.SkewPM, err = run(polarity.ClkPeakMinBaseline); err != nil {
+			return nil, err
+		}
+		if row.WaveMin, row.SkewWM, err = run(polarity.ClkWaveMin); err != nil {
+			return nil, err
+		}
+		row.ImpVDD = improvement(row.PeakMin.VDD, row.WaveMin.VDD)
+		row.ImpGnd = improvement(row.PeakMin.Gnd, row.WaveMin.Gnd)
+		row.ImpPeak = improvement(row.PeakMin.Peak, row.WaveMin.Peak)
+		out.Rows = append(out.Rows, row)
+		out.AvgVDD += row.ImpVDD
+		out.AvgGnd += row.ImpGnd
+		out.AvgPeak += row.ImpPeak
+	}
+	n := float64(len(out.Rows))
+	if n > 0 {
+		out.AvgVDD /= n
+		out.AvgGnd /= n
+		out.AvgPeak /= n
+	}
+	return out, nil
+}
+
+// Format renders the paper's Table V layout.
+func (t *Table5) Format() string {
+	w := &tableWriter{}
+	w.row(cellf(10, "Circuit"), cellf(5, "n"), cellf(5, "|L|"),
+		cellf(9, "PM VDD"), cellf(9, "PM Gnd"), cellf(9, "PM Peak"),
+		cellf(9, "WM VDD"), cellf(9, "WM Gnd"), cellf(9, "WM Peak"),
+		cellf(8, "VDD %%"), cellf(8, "Gnd %%"), cellf(8, "Peak %%"))
+	w.row(cellf(10, ""), cellf(5, ""), cellf(5, ""),
+		cellf(9, "(mV)"), cellf(9, "(mV)"), cellf(9, "(mA)"),
+		cellf(9, "(mV)"), cellf(9, "(mV)"), cellf(9, "(mA)"),
+		cellf(8, ""), cellf(8, ""), cellf(8, ""))
+	for _, r := range t.Rows {
+		w.row(cellf(10, "%s", r.Name), cellf(5, "%d", r.N), cellf(5, "%d", r.L),
+			cellf(9, "%.2f", mV(r.PeakMin.VDD)), cellf(9, "%.2f", mV(r.PeakMin.Gnd)), cellf(9, "%.3f", mA(r.PeakMin.Peak)),
+			cellf(9, "%.2f", mV(r.WaveMin.VDD)), cellf(9, "%.2f", mV(r.WaveMin.Gnd)), cellf(9, "%.3f", mA(r.WaveMin.Peak)),
+			cellf(8, "%.2f", r.ImpVDD), cellf(8, "%.2f", r.ImpGnd), cellf(8, "%.2f", r.ImpPeak))
+	}
+	w.row(cellf(10, "Average"), cellf(5, ""), cellf(5, ""),
+		cellf(9, ""), cellf(9, ""), cellf(9, ""),
+		cellf(9, ""), cellf(9, ""), cellf(9, ""),
+		cellf(8, "%.2f", t.AvgVDD), cellf(8, "%.2f", t.AvgGnd), cellf(8, "%.2f", t.AvgPeak))
+	return w.String()
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"time"
+
+	"wavemin/internal/bench"
+	"wavemin/internal/polarity"
+)
+
+func allSpecs() []bench.Spec { return bench.Specs() }
+
+// Table6Config mirrors the paper's Table VI: sampling-density sweep plus
+// the fast heuristic, κ = 20 ps.
+type Table6Config struct {
+	Circuits     []string
+	Kappa        float64
+	Epsilon      float64
+	SampleSweeps []int // paper: 4, 8, 158
+	FastSamples  int   // paper: 158
+	MaxIntervals int
+}
+
+// DefaultTable6Config returns the paper's parameters.
+func DefaultTable6Config() Table6Config {
+	names := make([]string, 0, 7)
+	for _, s := range allSpecs() {
+		names = append(names, s.Name)
+	}
+	return Table6Config{
+		Circuits: names, Kappa: 20, Epsilon: 0.01,
+		SampleSweeps: []int{4, 8, 158}, FastSamples: 158, MaxIntervals: 8,
+	}
+}
+
+// Table6Cell is one (circuit, variant) measurement.
+type Table6Cell struct {
+	Peak float64       // golden peak, µA
+	Exec time.Duration // optimization wall time
+}
+
+// Table6Row covers one circuit.
+type Table6Row struct {
+	Name    string
+	PeakMin Table6Cell   // the [27] baseline
+	Sweep   []Table6Cell // per SampleSweeps entry
+	Fast    Table6Cell   // ClkWaveMin-f at FastSamples
+}
+
+// Table6 is the full sweep.
+type Table6 struct {
+	Config Table6Config
+	Rows   []Table6Row
+}
+
+// RunTable6 measures peak current and execution time per variant.
+func RunTable6(cfg Table6Config) (*Table6, error) {
+	out := &Table6{Config: cfg}
+	for _, name := range cfg.Circuits {
+		ckt, err := LoadCircuit(name)
+		if err != nil {
+			return nil, err
+		}
+		lib := sizingLib(ckt.Lib)
+		row := Table6Row{Name: name}
+		measure := func(algo polarity.Algorithm, samples int) (Table6Cell, error) {
+			c := polarity.Config{
+				Library: lib, Kappa: cfg.Kappa, Samples: samples,
+				Epsilon: cfg.Epsilon, Algorithm: algo, MaxIntervals: cfg.MaxIntervals,
+			}
+			start := time.Now()
+			res, err := polarity.Optimize(ckt.Tree, c)
+			elapsed := time.Since(start)
+			if err != nil {
+				return Table6Cell{}, err
+			}
+			work := ckt.Tree.Clone()
+			polarity.Apply(work, res.Assignment)
+			tm := work.ComputeTiming(c.Mode)
+			return Table6Cell{Peak: work.PeakCurrent(tm), Exec: elapsed}, nil
+		}
+		if row.PeakMin, err = measure(polarity.ClkPeakMinBaseline, 4); err != nil {
+			return nil, err
+		}
+		for _, s := range cfg.SampleSweeps {
+			c, err := measure(polarity.ClkWaveMin, s)
+			if err != nil {
+				return nil, err
+			}
+			row.Sweep = append(row.Sweep, c)
+		}
+		if row.Fast, err = measure(polarity.ClkWaveMinF, cfg.FastSamples); err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Format renders the paper's Table VI layout.
+func (t *Table6) Format() string {
+	w := &tableWriter{}
+	head := []string{cellf(10, "Circuit"), cellf(9, "PM peak"), cellf(9, "PM ms")}
+	for _, s := range t.Config.SampleSweeps {
+		head = append(head, cellf(9, "|S|=%d", s), cellf(9, "ms"))
+	}
+	head = append(head, cellf(9, "Fast"), cellf(9, "ms"))
+	w.row(head...)
+	for _, r := range t.Rows {
+		cols := []string{cellf(10, "%s", r.Name),
+			cellf(9, "%.2f", mA(r.PeakMin.Peak)), cellf(9, "%.2f", msOf(r.PeakMin.Exec))}
+		for _, c := range r.Sweep {
+			cols = append(cols, cellf(9, "%.2f", mA(c.Peak)), cellf(9, "%.2f", msOf(c.Exec)))
+		}
+		cols = append(cols, cellf(9, "%.2f", mA(r.Fast.Peak)), cellf(9, "%.2f", msOf(r.Fast.Exec)))
+		w.row(cols...)
+	}
+	return w.String()
+}
+
+func msOf(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }

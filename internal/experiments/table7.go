@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wavemin/internal/adb"
+	"wavemin/internal/bench"
+	"wavemin/internal/multimode"
+)
+
+// Table7Config mirrors the paper's Table VII: four power modes over 4–10
+// voltage domains at 0.9/1.1 V, three skew bounds, ADB-embedding-only
+// baseline vs ClkWaveMin-M.
+//
+// Scaling substitution: the paper's testbed trees carry nanosecond-scale
+// insertion delays, so its κ ∈ {90, 110, 130} ps bounds bind. Our
+// synthetic 45 nm trees have ~10× smaller arrival spreads; the default
+// bounds are scaled to {12, 16, 20} ps so the same regimes appear (tight
+// bounds force many ADBs, loose bounds few or none — cf. s15850@130 in
+// the paper with zero ADBs).
+type Table7Config struct {
+	Circuits         []string
+	SkewBounds       []float64
+	NumModes         int
+	Samples          int // per mode
+	Epsilon          float64
+	MaxIntersections int
+}
+
+// DefaultTable7Config returns the scaled defaults over all benchmarks.
+func DefaultTable7Config() Table7Config {
+	names := make([]string, 0, 7)
+	for _, s := range allSpecs() {
+		names = append(names, s.Name)
+	}
+	return Table7Config{
+		Circuits: names, SkewBounds: []float64{12, 16, 20},
+		NumModes: 4, Samples: 32, Epsilon: 0.01, MaxIntersections: 8,
+	}
+}
+
+// Table7Row is one (circuit, κ) comparison.
+type Table7Row struct {
+	Name    string
+	Kappa   float64
+	Base    Golden // ADB-embedding-only
+	BaseADB int
+	Wave    Golden // ClkWaveMin-M
+	WaveADB int
+	WaveADI int
+	ImpPeak float64
+	ImpVDD  float64
+	ImpGnd  float64
+	SkewOK  bool // ClkWaveMin-M result meets κ (with retune slack)
+}
+
+// Table7 is the full result.
+type Table7 struct {
+	Config                  Table7Config
+	Rows                    []Table7Row
+	AvgPeak, AvgVDD, AvgGnd float64
+}
+
+// domainsFor picks the paper's "four to ten power domains" by size.
+func domainsFor(spec bench.Spec) int {
+	n := spec.NumLeaves / 30
+	if n < 4 {
+		n = 4
+	}
+	if n > 10 {
+		n = 10
+	}
+	return n
+}
+
+// RunTable7 runs the multi-mode comparison.
+func RunTable7(cfg Table7Config) (*Table7, error) {
+	out := &Table7{Config: cfg}
+	for _, name := range cfg.Circuits {
+		for _, kappa := range cfg.SkewBounds {
+			ckt, err := LoadCircuit(name)
+			if err != nil {
+				return nil, err
+			}
+			nd := domainsFor(ckt.Spec)
+			domains := bench.AssignDomains(ckt.Tree, ckt.Spec.DieW, ckt.Spec.DieH, nd)
+			modes := ckt.Spec.Modes(domains, cfg.NumModes)
+			adbCell := ckt.Lib.MustByName("ADB_X8")
+			adiCell := ckt.Lib.MustByName("ADI_X8")
+
+			// Baseline: ADB embedding only (noise-unaware), per [17].
+			baseTree := ckt.Tree.Clone()
+			baseADBs := 0
+			if !baseTree.MeetsSkew(kappa, modes) {
+				ins, err := adb.Insert(baseTree, adbCell, modes, kappa)
+				if err != nil {
+					return nil, fmt.Errorf("%s κ=%g baseline: %w", name, kappa, err)
+				}
+				baseADBs = ins.NumADBs()
+			}
+			baseG, err := EvaluateModes(baseTree, modes, ckt.Grid)
+			if err != nil {
+				return nil, err
+			}
+
+			// ClkWaveMin-M on the same ADB-embedded tree.
+			waveTree := baseTree.Clone()
+			res, err := multimode.Optimize(waveTree, modes, multimode.Config{
+				Library: sizingLib(ckt.Lib), ADBCell: adbCell, ADICell: adiCell,
+				Kappa: kappa, Samples: cfg.Samples, Epsilon: cfg.Epsilon,
+				MaxIntersections: cfg.MaxIntersections,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s κ=%g wavemin-m: %w", name, kappa, err)
+			}
+			if err := multimode.ApplyResult(waveTree, modes, kappa, res); err != nil {
+				return nil, fmt.Errorf("%s κ=%g apply: %w", name, kappa, err)
+			}
+			waveG, err := EvaluateModes(waveTree, modes, ckt.Grid)
+			if err != nil {
+				return nil, err
+			}
+
+			// Count adjustable cells at both leaf and non-leaf positions
+			// (the paper's #ADBs accounting).
+			waveADB, waveADI := adb.CountAdjustables(waveTree)
+			row := Table7Row{
+				Name: name, Kappa: kappa,
+				Base: baseG, BaseADB: baseADBs,
+				Wave: waveG, WaveADB: waveADB, WaveADI: waveADI,
+				ImpPeak: improvement(baseG.Peak, waveG.Peak),
+				ImpVDD:  improvement(baseG.VDD, waveG.VDD),
+				ImpGnd:  improvement(baseG.Gnd, waveG.Gnd),
+				SkewOK:  waveTree.MeetsSkew(kappa+2, modes),
+			}
+			out.Rows = append(out.Rows, row)
+			out.AvgPeak += row.ImpPeak
+			out.AvgVDD += row.ImpVDD
+			out.AvgGnd += row.ImpGnd
+		}
+	}
+	if n := float64(len(out.Rows)); n > 0 {
+		out.AvgPeak /= n
+		out.AvgVDD /= n
+		out.AvgGnd /= n
+	}
+	return out, nil
+}
+
+// Format renders the paper's Table VII layout.
+func (t *Table7) Format() string {
+	w := &tableWriter{}
+	w.row(cellf(10, "Circuit"), cellf(6, "κ(ps)"),
+		cellf(9, "B peak"), cellf(8, "B VDD"), cellf(8, "B Gnd"), cellf(6, "#ADB"),
+		cellf(9, "W peak"), cellf(8, "W VDD"), cellf(8, "W Gnd"), cellf(6, "#ADB"), cellf(6, "#ADI"),
+		cellf(8, "Peak %%"), cellf(8, "VDD %%"), cellf(8, "Gnd %%"), cellf(5, "skew"))
+	for _, r := range t.Rows {
+		ok := "ok"
+		if !r.SkewOK {
+			ok = "VIOL"
+		}
+		w.row(cellf(10, "%s", r.Name), cellf(6, "%.0f", r.Kappa),
+			cellf(9, "%.3f", mA(r.Base.Peak)), cellf(8, "%.2f", mV(r.Base.VDD)), cellf(8, "%.2f", mV(r.Base.Gnd)), cellf(6, "%d", r.BaseADB),
+			cellf(9, "%.3f", mA(r.Wave.Peak)), cellf(8, "%.2f", mV(r.Wave.VDD)), cellf(8, "%.2f", mV(r.Wave.Gnd)), cellf(6, "%d", r.WaveADB), cellf(6, "%d", r.WaveADI),
+			cellf(8, "%.2f", r.ImpPeak), cellf(8, "%.2f", r.ImpVDD), cellf(8, "%.2f", r.ImpGnd), cellf(5, "%s", ok))
+	}
+	w.row(cellf(10, "Average"), cellf(6, ""), cellf(9, ""), cellf(8, ""), cellf(8, ""), cellf(6, ""),
+		cellf(9, ""), cellf(8, ""), cellf(8, ""), cellf(6, ""), cellf(6, ""),
+		cellf(8, "%.2f", t.AvgPeak), cellf(8, "%.2f", t.AvgVDD), cellf(8, "%.2f", t.AvgGnd), cellf(5, ""))
+	return w.String()
+}

@@ -1,0 +1,491 @@
+// Package mosp solves the multi-objective shortest path problem on the
+// layered DAGs produced by the WaveMin→MOSP conversion (paper §V-B,
+// Algorithm 1, Fig. 9).
+//
+// Graph shape: one layer per sink; one vertex per feasible (sink, cell)
+// assignment; every vertex of layer i has an arc from every vertex of
+// layer i−1; arc weights depend only on the destination vertex (the noise
+// vector of that assignment over the sample set S); arcs into the dest
+// vertex carry the non-leaf baseline vector (Observation 1). A src→dest
+// path therefore picks exactly one vertex per layer and its cost is the
+// component-wise sum of the picked weights plus the baseline.
+//
+// Solvers:
+//
+//   - Solve: label-correcting Pareto dynamic programming with Warburton's
+//     coordinate-scaling ε-approximation [33] plus an admissible incumbent
+//     bound, returning the min–max (max-ordering) path.
+//   - SolveGreedy: layer-by-layer greedy; used for the incumbent bound.
+//   - SolveFast: the paper's ClkWaveMin-f vertex-selection heuristic.
+//   - SolveExhaustive: brute force, the test oracle.
+package mosp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Vertex is one assignment option in a layer.
+type Vertex struct {
+	// Weight is the option's noise vector over the sample set (length =
+	// the graph dimension r).
+	Weight []float64
+	// Tag is an opaque caller identifier (e.g. index into a cell list).
+	Tag int
+}
+
+// Graph is a layered MOSP instance.
+type Graph struct {
+	// Baseline is the weight of every arc into dest: the accumulated
+	// non-leaf noise vector. May be nil (treated as zero).
+	Baseline []float64
+	// Layers holds the per-sink option vertices. Every layer must be
+	// non-empty.
+	Layers [][]Vertex
+}
+
+// Dim returns the weight dimension r.
+func (g *Graph) Dim() int {
+	if len(g.Baseline) > 0 {
+		return len(g.Baseline)
+	}
+	for _, l := range g.Layers {
+		for _, v := range l {
+			return len(v.Weight)
+		}
+	}
+	return 0
+}
+
+// Validate checks structural consistency: non-empty layers, uniform
+// dimension, non-negative finite weights (noise values are currents).
+func (g *Graph) Validate() error {
+	r := g.Dim()
+	if r == 0 {
+		return fmt.Errorf("mosp: zero-dimensional graph")
+	}
+	if g.Baseline != nil && len(g.Baseline) != r {
+		return fmt.Errorf("mosp: baseline dim %d != %d", len(g.Baseline), r)
+	}
+	for _, b := range g.Baseline {
+		if b < 0 || math.IsNaN(b) || math.IsInf(b, 0) {
+			return fmt.Errorf("mosp: bad baseline value %g", b)
+		}
+	}
+	if len(g.Layers) == 0 {
+		return fmt.Errorf("mosp: no layers")
+	}
+	for i, l := range g.Layers {
+		if len(l) == 0 {
+			return fmt.Errorf("mosp: layer %d empty (infeasible instance)", i)
+		}
+		for j, v := range l {
+			if len(v.Weight) != r {
+				return fmt.Errorf("mosp: layer %d vertex %d dim %d != %d", i, j, len(v.Weight), r)
+			}
+			for _, w := range v.Weight {
+				if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+					return fmt.Errorf("mosp: layer %d vertex %d bad weight %g", i, j, w)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Solution is a src→dest path: one pick per layer.
+type Solution struct {
+	Picks []int     // vertex index per layer
+	Cost  []float64 // exact summed vector including the baseline
+	Max   float64   // max over Cost — the min–max objective value
+}
+
+func (g *Graph) solutionFor(picks []int) Solution {
+	r := g.Dim()
+	cost := make([]float64, r)
+	copy(cost, g.Baseline)
+	if g.Baseline == nil {
+		for i := range cost {
+			cost[i] = 0
+		}
+	}
+	for li, pi := range picks {
+		for s, w := range g.Layers[li][pi].Weight {
+			cost[s] += w
+		}
+	}
+	m := math.Inf(-1)
+	for _, c := range cost {
+		if c > m {
+			m = c
+		}
+	}
+	return Solution{Picks: picks, Cost: cost, Max: m}
+}
+
+// SolveGreedy picks, layer by layer, the vertex minimizing the running
+// max (baseline included). Fast, and its value upper-bounds the optimum —
+// used as the incumbent for Solve's pruning.
+func SolveGreedy(g *Graph) (Solution, error) {
+	if err := g.Validate(); err != nil {
+		return Solution{}, err
+	}
+	r := g.Dim()
+	run := make([]float64, r)
+	copy(run, g.Baseline)
+	picks := make([]int, len(g.Layers))
+	for li, layer := range g.Layers {
+		best, bestMax := -1, math.Inf(1)
+		for vi, v := range layer {
+			m := math.Inf(-1)
+			for s := 0; s < r; s++ {
+				if c := run[s] + v.Weight[s]; c > m {
+					m = c
+				}
+			}
+			if m < bestMax {
+				best, bestMax = vi, m
+			}
+		}
+		picks[li] = best
+		for s := 0; s < r; s++ {
+			run[s] += layer[best].Weight[s]
+		}
+	}
+	return g.solutionFor(picks), nil
+}
+
+// SolveFast implements the paper's ClkWaveMin-f (§V-C): starting from the
+// non-leaf baseline, repeatedly select — over all still-unassigned layers
+// and all their vertices — the vertex v with the least noise-worsening
+// M(v) = max_s(sum_s + noise(v,s)), assign it, and remove its layer.
+// O(|S|·|L|²·maxWidth) time, O(|S|) extra space.
+func SolveFast(g *Graph) (Solution, error) {
+	if err := g.Validate(); err != nil {
+		return Solution{}, err
+	}
+	r := g.Dim()
+	sum := make([]float64, r)
+	copy(sum, g.Baseline)
+	picks := make([]int, len(g.Layers))
+	for i := range picks {
+		picks[i] = -1
+	}
+	for remaining := len(g.Layers); remaining > 0; remaining-- {
+		bestLayer, bestVertex, bestM := -1, -1, math.Inf(1)
+		for li, layer := range g.Layers {
+			if picks[li] >= 0 {
+				continue
+			}
+			for vi, v := range layer {
+				m := math.Inf(-1)
+				for s := 0; s < r; s++ {
+					if c := sum[s] + v.Weight[s]; c > m {
+						m = c
+					}
+				}
+				if m < bestM {
+					bestLayer, bestVertex, bestM = li, vi, m
+				}
+			}
+		}
+		picks[bestLayer] = bestVertex
+		for s, w := range g.Layers[bestLayer][bestVertex].Weight {
+			sum[s] += w
+		}
+	}
+	return g.solutionFor(picks), nil
+}
+
+// SolveExhaustive enumerates every path — the test oracle. It refuses
+// instances with more than ~200k paths.
+func SolveExhaustive(g *Graph) (Solution, error) {
+	if err := g.Validate(); err != nil {
+		return Solution{}, err
+	}
+	paths := 1
+	for _, l := range g.Layers {
+		paths *= len(l)
+		if paths > 200_000 {
+			return Solution{}, fmt.Errorf("mosp: exhaustive refused (%d+ paths)", paths)
+		}
+	}
+	r := g.Dim()
+	picks := make([]int, len(g.Layers))
+	best := Solution{Max: math.Inf(1)}
+	run := make([]float64, r)
+	var rec func(li int)
+	rec = func(li int) {
+		if li == len(g.Layers) {
+			m := math.Inf(-1)
+			for _, c := range run {
+				if c > m {
+					m = c
+				}
+			}
+			if m < best.Max {
+				best = g.solutionFor(append([]int(nil), picks...))
+			}
+			return
+		}
+		for vi, v := range g.Layers[li] {
+			picks[li] = vi
+			for s, w := range v.Weight {
+				run[s] += w
+			}
+			rec(li + 1)
+			for s, w := range v.Weight {
+				run[s] -= w
+			}
+		}
+	}
+	copy(run, g.Baseline)
+	if g.Baseline == nil {
+		for i := range run {
+			run[i] = 0
+		}
+	}
+	rec(0)
+	return best, nil
+}
+
+// label is a partial path in the Pareto DP.
+type label struct {
+	cost  []float64 // exact, baseline included
+	max   float64   // max over cost
+	layer int       // last assigned layer
+	pick  int       // vertex picked in that layer
+	prev  *label
+}
+
+// Options tunes Solve.
+type Options struct {
+	// Epsilon is Warburton's approximation parameter: the returned min–max
+	// value is within (1+Epsilon) of optimal (subject to MaxLabels).
+	Epsilon float64
+	// MaxLabels caps the label set per layer as a memory/time safety
+	// valve. When hit, the labels with the smallest current max survive;
+	// the ε guarantee then degrades gracefully. 0 = default.
+	MaxLabels int
+}
+
+// DefaultMaxLabels bounds the per-layer Pareto set.
+const DefaultMaxLabels = 50_000
+
+// Solve finds the (1+ε)-approximate min–max path via Pareto dynamic
+// programming with coordinate scaling and incumbent pruning.
+func Solve(g *Graph, opt Options) (Solution, error) {
+	if err := g.Validate(); err != nil {
+		return Solution{}, err
+	}
+	if opt.Epsilon < 0 {
+		return Solution{}, fmt.Errorf("mosp: negative epsilon %g", opt.Epsilon)
+	}
+	if opt.MaxLabels <= 0 {
+		opt.MaxLabels = DefaultMaxLabels
+	}
+	r := g.Dim()
+	// Incumbent from the greedy; its value bounds the optimum from above.
+	greedy, err := SolveGreedy(g)
+	if err != nil {
+		return Solution{}, err
+	}
+	ub := greedy.Max
+
+	// Warburton scaling: rounding each coordinate down to a multiple of δ
+	// changes any path's coordinate by < |L|·δ = ε·UB ≤ ε·OPT-scale, so
+	// dedup on rounded keys preserves a (1+ε)-optimal representative.
+	delta := 0.0
+	if opt.Epsilon > 0 && ub > 0 {
+		delta = opt.Epsilon * ub / float64(len(g.Layers))
+	}
+
+	base := make([]float64, r)
+	copy(base, g.Baseline)
+	start := &label{cost: base, max: maxOf(base), layer: -1, pick: -1}
+	frontier := []*label{start}
+
+	for li, layer := range g.Layers {
+		seen := make(map[string]*label, len(frontier)*len(layer))
+		next := make([]*label, 0, len(frontier)*len(layer))
+		for _, lb := range frontier {
+			for vi := range layer {
+				v := &layer[vi]
+				cost := make([]float64, r)
+				m := math.Inf(-1)
+				for s := 0; s < r; s++ {
+					cost[s] = lb.cost[s] + v.Weight[s]
+					if cost[s] > m {
+						m = cost[s]
+					}
+				}
+				// Incumbent prune: weights are non-negative, so the final
+				// max can only grow; anything already above UB is dead
+				// (ties kept to preserve the greedy path itself).
+				if m > ub+1e-12 {
+					continue
+				}
+				nl := &label{cost: cost, max: m, layer: li, pick: vi, prev: lb}
+				if delta > 0 {
+					key := roundKey(cost, delta)
+					if old, ok := seen[key]; ok {
+						if nl.max < old.max {
+							*old = *nl // keep the better representative
+						}
+						continue
+					}
+					seen[key] = nl
+				}
+				next = append(next, nl)
+			}
+		}
+		// Pareto dominance filter (exact costs) when affordable.
+		if len(next) <= 2048 {
+			next = paretoFilter(next, r)
+		}
+		// Safety valve.
+		if len(next) > opt.MaxLabels {
+			sort.Slice(next, func(i, j int) bool { return next[i].max < next[j].max })
+			next = next[:opt.MaxLabels]
+		}
+		if len(next) == 0 {
+			// Numerical corner: everything pruned against UB. The greedy
+			// solution is then optimal within tolerance.
+			return greedy, nil
+		}
+		frontier = next
+	}
+
+	best := frontier[0]
+	for _, lb := range frontier[1:] {
+		if lb.max < best.max {
+			best = lb
+		}
+	}
+	if best.max >= greedy.Max {
+		return greedy, nil
+	}
+	picks := make([]int, len(g.Layers))
+	for lb := best; lb != nil && lb.layer >= 0; lb = lb.prev {
+		picks[lb.layer] = lb.pick
+	}
+	return g.solutionFor(picks), nil
+}
+
+// ParetoSize reports how many labels survive at the dest layer for the
+// given ε — an observability hook for the complexity experiments.
+func ParetoSize(g *Graph, opt Options) (int, error) {
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	return paretoCount(g, opt), nil
+}
+
+func paretoCount(g *Graph, opt Options) int {
+	r := g.Dim()
+	base := make([]float64, r)
+	copy(base, g.Baseline)
+	frontier := []*label{{cost: base, max: maxOf(base), layer: -1, pick: -1}}
+	greedy, _ := SolveGreedy(g)
+	ub := greedy.Max
+	delta := 0.0
+	if opt.Epsilon > 0 && ub > 0 {
+		delta = opt.Epsilon * ub / float64(len(g.Layers))
+	}
+	if opt.MaxLabels <= 0 {
+		opt.MaxLabels = DefaultMaxLabels
+	}
+	for _, layer := range g.Layers {
+		seen := make(map[string]bool)
+		var next []*label
+		for _, lb := range frontier {
+			for vi := range layer {
+				v := &layer[vi]
+				cost := make([]float64, r)
+				m := math.Inf(-1)
+				for s := 0; s < r; s++ {
+					cost[s] = lb.cost[s] + v.Weight[s]
+					if cost[s] > m {
+						m = cost[s]
+					}
+				}
+				if m > ub+1e-12 {
+					continue
+				}
+				if delta > 0 {
+					key := roundKey(cost, delta)
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+				}
+				next = append(next, &label{cost: cost, max: m})
+			}
+		}
+		if len(next) <= 2048 {
+			next = paretoFilter(next, r)
+		}
+		if len(next) > opt.MaxLabels {
+			sort.Slice(next, func(i, j int) bool { return next[i].max < next[j].max })
+			next = next[:opt.MaxLabels]
+		}
+		frontier = next
+	}
+	return len(frontier)
+}
+
+func maxOf(v []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	if len(v) == 0 {
+		return 0
+	}
+	return m
+}
+
+// roundKey encodes the cost vector rounded down to multiples of delta.
+func roundKey(cost []float64, delta float64) string {
+	buf := make([]byte, 8*len(cost))
+	for i, c := range cost {
+		binary.LittleEndian.PutUint64(buf[8*i:], uint64(c/delta))
+	}
+	return string(buf)
+}
+
+// paretoFilter removes labels dominated by another label (≤ on every
+// coordinate, < on at least one implied by distinctness handling: we treat
+// equal vectors as mutually dominating and keep one).
+func paretoFilter(labels []*label, r int) []*label {
+	// Sort by max ascending: a label can only be dominated by one with a
+	// smaller-or-equal max.
+	sort.Slice(labels, func(i, j int) bool { return labels[i].max < labels[j].max })
+	out := labels[:0]
+	for _, cand := range labels {
+		dominated := false
+		for _, kept := range out {
+			if dominates(kept.cost, cand.cost, r) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, cand)
+		}
+	}
+	return out
+}
+
+func dominates(a, b []float64, r int) bool {
+	for s := 0; s < r; s++ {
+		if a[s] > b[s]+1e-15 {
+			return false
+		}
+	}
+	return true
+}

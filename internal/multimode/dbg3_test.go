@@ -1,0 +1,44 @@
+package multimode
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"wavemin/internal/adb"
+)
+
+func TestDebug3(t *testing.T) {
+	tree, modes, lib := violatingTree(t)
+	cfg := mmConfig(lib, true)
+	ins, err := adb.Insert(tree, cfg.ADBCell, modes, cfg.Kappa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("inserted %d ADBs; skews:", ins.NumADBs())
+	for _, m := range modes {
+		fmt.Printf(" %s=%.2f", m.Name, tree.ComputeTiming(m).Skew(tree))
+	}
+	fmt.Println()
+	p, err := NewProblem(tree, modes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mi := range modes {
+		ws := p.modeIntervals(mi)
+		fmt.Printf("mode %d: %d windows\n", mi, len(ws))
+		if len(ws) == 0 {
+			// find the blocking leaf for a sample anchor
+			// print per-leaf candidate AT ranges
+			for li, leaf := range p.leaves {
+				lo, hi := math.Inf(1), math.Inf(-1)
+				for _, c := range p.cands[li] {
+					lo = math.Min(lo, c.baseAT[mi])
+					hi = math.Max(hi, c.baseAT[mi]+c.adjMax())
+				}
+				fmt.Printf("  leaf %d (%s): [%0.2f, %0.2f]\n", leaf, tree.Node(leaf).Cell.Name, lo, hi)
+			}
+		}
+	}
+	fmt.Println("intersections:", len(p.Intersections()))
+}

@@ -1,0 +1,568 @@
+// Package multimode implements ClkWaveMin-M (paper §VI, Fig. 13): clock
+// buffer polarity assignment with sizing for designs with multiple power
+// modes.
+//
+// The clock skew bound must hold in *every* mode. Feasible arrival-time
+// intervals are computed per mode, then intersected: an intersection keeps,
+// for each sink, the cell types feasible in all modes' windows at once
+// (paper Fig. 11, Table IV). Intersections are pruned by their degree of
+// freedom (Fig. 14: more freedom correlates with lower noise). The noise
+// of each mode becomes extra dimensions of the MOSP weight vectors
+// (Fig. 12), so the single-mode machinery of internal/mosp solves the
+// multi-mode min–max directly.
+//
+// When sizing and polarity alone cannot satisfy κ, ADBs are inserted first
+// (internal/adb); ADB sites may then be re-assigned to ADIs — the paper's
+// proposed adjustable delay inverter — but never back to plain cells, and
+// plain sites never become adjustable (paper §VI restriction).
+package multimode
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"wavemin/internal/adb"
+	"wavemin/internal/cell"
+	"wavemin/internal/clocktree"
+	"wavemin/internal/mosp"
+	"wavemin/internal/polarity"
+	"wavemin/internal/waveform"
+)
+
+// Config parameterizes the multi-mode optimization.
+type Config struct {
+	// Library provides the plain cells (B ∪ I) offered at non-ADB sites.
+	Library *cell.Library
+	// ADBCell is used for skew-fixing insertion and offered at ADB sites.
+	ADBCell *cell.Cell
+	// ADICell, when non-nil, is offered at ADB sites as the inverting
+	// alternative. Nil disables ADIs (the Observation-3 ablation).
+	ADICell *cell.Cell
+
+	Kappa    float64 // skew bound, every mode, ps
+	Samples  int     // |S| per mode (split over the four rail/edge groups)
+	Epsilon  float64 // Warburton ε for the per-zone solver
+	ZoneSize float64 // µm; 0 = polarity.DefaultZoneSize
+	Fast     bool    // use the ClkWaveMin-f per-zone heuristic
+
+	// PerModeIntervals caps the per-mode feasible interval lists before
+	// the cartesian product (taken in DoF order); 0 = 6.
+	PerModeIntervals int
+	// MaxIntersections caps how many feasible intersections are fully
+	// optimized (DoF order); 0 = 12.
+	MaxIntersections int
+	// MaxLabels caps the per-layer Pareto label set (0 = 4000).
+	MaxLabels int
+	// IntervalSpread changes the per-mode interval cap from "top N by
+	// degree of freedom" to "N evenly spaced across the DoF range" —
+	// used by the Fig. 14 study, which needs poor intersections too.
+	IntervalSpread bool
+}
+
+// Window is one mode's arrival-time window [Lo, Hi].
+type Window struct{ Lo, Hi float64 }
+
+// Intersection is one combination of per-mode windows with the per-leaf
+// surviving candidate sets.
+type Intersection struct {
+	Windows  []Window
+	Feasible [][]int // [leaf index][candidate index into Problem cands]
+	DoF      int
+}
+
+// cand is one (leaf, cell) option characterized across modes.
+type cand struct {
+	c      *cell.Cell
+	baseAT []float64             // per mode, zero bank steps
+	waves  [][]waveform.Waveform // [mode][group], zero bank steps, absolute t
+}
+
+func (c *cand) adjMax() float64 {
+	if c.c.Adjustable() {
+		return c.c.MaxAdjust()
+	}
+	return 0
+}
+
+// stepsFor returns the minimal bank steps putting the candidate's arrival
+// inside [lo, hi] in the given mode, and whether that is possible.
+func (c *cand) stepsFor(mode int, lo, hi float64) (int, bool) {
+	at := c.baseAT[mode]
+	if at > hi+1e-9 {
+		return 0, false
+	}
+	if at >= lo-1e-9 {
+		return 0, true
+	}
+	if !c.c.Adjustable() {
+		return 0, false
+	}
+	steps := int(math.Ceil((lo-at)/c.c.StepPs - 1e-9))
+	if steps > c.c.MaxSteps {
+		return 0, false
+	}
+	if at+float64(steps)*c.c.StepPs > hi+1e-9 {
+		return 0, false
+	}
+	return steps, true
+}
+
+// Problem is the assembled multi-mode instance.
+type Problem struct {
+	tree    *clocktree.Tree
+	modes   []clocktree.Mode
+	cfg     Config
+	timings []*clocktree.Timing
+	leaves  []clocktree.NodeID
+	cands   [][]cand // [leaf index][candidate]
+	zones   []polarity.Zone
+}
+
+// NewProblem characterizes candidates for every leaf in every mode. The
+// tree must already meet κ via ADBs if sizing alone cannot (see Optimize,
+// which handles insertion).
+func NewProblem(t *clocktree.Tree, modes []clocktree.Mode, cfg Config) (*Problem, error) {
+	if cfg.Library == nil {
+		return nil, fmt.Errorf("multimode: nil library")
+	}
+	if cfg.Kappa <= 0 {
+		return nil, fmt.Errorf("multimode: non-positive kappa")
+	}
+	if len(modes) == 0 {
+		return nil, fmt.Errorf("multimode: no modes")
+	}
+	if cfg.Samples <= 0 {
+		cfg.Samples = 4
+	}
+	p := &Problem{tree: t, modes: modes, cfg: cfg}
+	for _, m := range modes {
+		p.timings = append(p.timings, t.ComputeTiming(m))
+	}
+	p.leaves = t.Leaves()
+	p.zones = polarity.LeafZones(polarity.PartitionZones(t, cfg.ZoneSize))
+
+	var plain []*cell.Cell
+	for _, c := range cfg.Library.Cells() {
+		if !c.Adjustable() {
+			plain = append(plain, c)
+		}
+	}
+	for _, leaf := range p.leaves {
+		nd := t.Node(leaf)
+		var options []*cell.Cell
+		if nd.Cell.Adjustable() {
+			// ADB site: ADB or (if enabled) ADI only (§VI restriction).
+			adbCell := cfg.ADBCell
+			if adbCell == nil {
+				adbCell = nd.Cell
+			}
+			options = append(options, adbCell)
+			if cfg.ADICell != nil {
+				options = append(options, cfg.ADICell)
+			}
+		} else {
+			options = plain
+		}
+		var cs []cand
+		for _, c := range options {
+			k := cand{c: c, baseAT: make([]float64, len(modes))}
+			for mi, m := range modes {
+				tm := p.timings[mi]
+				vdd := m.VDDOf(nd.Domain)
+				load := tm.Load[leaf]
+				atIn := tm.ATIn[leaf] + polarity.SelfLoadShift(t, tm, m, leaf, c)
+				edge := t.EdgeAtInput(leaf, cell.Rising)
+				k.baseAT[mi] = atIn + c.Delay(load, vdd)
+				iddR, issR := c.Currents(edge, load, vdd, tm.SlewIn[leaf])
+				iddF, issF := c.Currents(edge.Opposite(), load, vdd, tm.SlewIn[leaf])
+				k.waves = append(k.waves, []waveform.Waveform{
+					iddR.Shift(atIn), issR.Shift(atIn), iddF.Shift(atIn), issF.Shift(atIn),
+				})
+			}
+			cs = append(cs, k)
+		}
+		p.cands = append(p.cands, cs)
+	}
+	return p, nil
+}
+
+// Leaves exposes the leaf order used by candidate/feasibility indexing.
+func (p *Problem) Leaves() []clocktree.NodeID { return p.leaves }
+
+// CandidateCells lists the cells offered to the leaf at index li.
+func (p *Problem) CandidateCells(li int) []*cell.Cell {
+	out := make([]*cell.Cell, len(p.cands[li]))
+	for i, c := range p.cands[li] {
+		out[i] = c.c
+	}
+	return out
+}
+
+// modeIntervals enumerates feasible windows for one mode, DoF-ordered.
+func (p *Problem) modeIntervals(mi int) []Window {
+	var anchors []float64
+	for _, cs := range p.cands {
+		for _, c := range cs {
+			anchors = append(anchors, c.baseAT[mi], c.baseAT[mi]+c.adjMax())
+		}
+	}
+	sort.Float64s(anchors)
+	type scored struct {
+		w   Window
+		dof int
+		sig string
+	}
+	var out []scored
+	seen := map[string]bool{}
+	for i, t := range anchors {
+		if i > 0 && t-anchors[i-1] < 1e-9 {
+			continue
+		}
+		w := Window{Lo: t - p.cfg.Kappa, Hi: t}
+		dof := 0
+		ok := true
+		var sig strings.Builder
+		for li := range p.cands {
+			n := 0
+			for ci := range p.cands[li] {
+				if _, feas := p.cands[li][ci].stepsFor(mi, w.Lo, w.Hi); feas {
+					n++
+					fmt.Fprintf(&sig, "%d.%d,", li, ci)
+				}
+			}
+			if n == 0 {
+				ok = false
+				break
+			}
+			dof += n
+		}
+		if !ok || seen[sig.String()] {
+			continue
+		}
+		seen[sig.String()] = true
+		out = append(out, scored{w: w, dof: dof})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].dof > out[j].dof })
+	limit := p.cfg.PerModeIntervals
+	if limit <= 0 {
+		limit = 6
+	}
+	if len(out) > limit {
+		if p.cfg.IntervalSpread {
+			// Even subsample across the DoF-sorted list: keeps the best
+			// first but also the poor tail (the Fig. 14 scatter).
+			picked := make([]scored, 0, limit)
+			for i := 0; i < limit; i++ {
+				picked = append(picked, out[i*(len(out)-1)/(limit-1)])
+			}
+			out = picked
+		} else {
+			out = out[:limit]
+		}
+	}
+	ws := make([]Window, len(out))
+	for i, s := range out {
+		ws[i] = s.w
+	}
+	return ws
+}
+
+// Intersections enumerates feasible intersections of per-mode windows,
+// sorted by decreasing degree of freedom.
+func (p *Problem) Intersections() []Intersection {
+	perMode := make([][]Window, len(p.modes))
+	for mi := range p.modes {
+		perMode[mi] = p.modeIntervals(mi)
+		if len(perMode[mi]) == 0 {
+			return nil
+		}
+	}
+	var out []Intersection
+	combo := make([]int, len(p.modes))
+	var rec func(mi int)
+	rec = func(mi int) {
+		if mi == len(p.modes) {
+			ix := Intersection{Windows: make([]Window, len(p.modes))}
+			for m, c := range combo {
+				ix.Windows[m] = perMode[m][c]
+			}
+			ix.Feasible = make([][]int, len(p.cands))
+			for li := range p.cands {
+				for ci := range p.cands[li] {
+					feasAll := true
+					for m := range p.modes {
+						if _, feas := p.cands[li][ci].stepsFor(m, ix.Windows[m].Lo, ix.Windows[m].Hi); !feas {
+							feasAll = false
+							break
+						}
+					}
+					if feasAll {
+						ix.Feasible[li] = append(ix.Feasible[li], ci)
+					}
+				}
+				if len(ix.Feasible[li]) == 0 {
+					return // infeasible intersection
+				}
+				ix.DoF += len(ix.Feasible[li])
+			}
+			out = append(out, ix)
+			return
+		}
+		for c := range perMode[mi] {
+			combo[mi] = c
+			rec(mi + 1)
+		}
+	}
+	rec(0)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].DoF > out[j].DoF })
+	return out
+}
+
+// Result is a committed multi-mode optimization outcome.
+type Result struct {
+	Assignment   polarity.Assignment
+	Steps        map[clocktree.NodeID]map[string]int // adjustable sites
+	NumADBs      int
+	NumADIs      int
+	ADBInserted  int // ADBs placed by the insertion phase
+	PeakEstimate float64
+	// MeanZonePeak averages the per-zone optimized peak estimates — a
+	// smoother per-intersection quality signal than the max (used by the
+	// Fig. 14 study).
+	MeanZonePeak float64
+	Windows      []Window // chosen per-mode windows
+	Feasible     int      // feasible intersections found
+	Tried        int      // intersections fully optimized
+}
+
+// OptimizeIntersection solves every zone within one intersection.
+func (p *Problem) OptimizeIntersection(ix *Intersection) (*Result, error) {
+	res := &Result{
+		Assignment: make(polarity.Assignment),
+		Steps:      make(map[clocktree.NodeID]map[string]int),
+		Windows:    ix.Windows,
+	}
+	leafIdx := make(map[clocktree.NodeID]int, len(p.leaves))
+	for i, l := range p.leaves {
+		leafIdx[l] = i
+	}
+	perGroup := p.cfg.Samples / int(polarity.NumGroups)
+	if perGroup < 1 {
+		perGroup = 1
+	}
+	for _, zone := range p.zones {
+		// Shifted candidate waveforms and steps per (leaf, candidate).
+		type zcand struct {
+			ci    int
+			steps []int // per mode
+			waves [][]waveform.Waveform
+		}
+		feas := make([][]zcand, len(zone.Leaves))
+		for zi, leaf := range zone.Leaves {
+			li := leafIdx[leaf]
+			for _, ci := range ix.Feasible[li] {
+				c := &p.cands[li][ci]
+				zc := zcand{ci: ci, steps: make([]int, len(p.modes))}
+				ok := true
+				for mi := range p.modes {
+					s, feasOK := c.stepsFor(mi, ix.Windows[mi].Lo, ix.Windows[mi].Hi)
+					if !feasOK {
+						ok = false
+						break
+					}
+					zc.steps[mi] = s
+				}
+				if !ok {
+					continue
+				}
+				zc.waves = make([][]waveform.Waveform, len(p.modes))
+				for mi := range p.modes {
+					shift := float64(zc.steps[mi]) * stepPsOf(c.c)
+					ws := make([]waveform.Waveform, polarity.NumGroups)
+					for g := 0; g < int(polarity.NumGroups); g++ {
+						ws[g] = c.waves[mi][g].Shift(shift)
+					}
+					zc.waves[mi] = ws
+				}
+				feas[zi] = append(feas[zi], zc)
+			}
+			if len(feas[zi]) == 0 {
+				return nil, fmt.Errorf("multimode: zone %v leaf %d infeasible", zone.Key, leaf)
+			}
+		}
+		// Per-mode, per-group baselines and sample sets.
+		baselines := make([][]waveform.Waveform, len(p.modes))
+		samples := make([][]waveform.SampleSet, len(p.modes))
+		for mi := range p.modes {
+			baselines[mi] = make([]waveform.Waveform, polarity.NumGroups)
+			samples[mi] = make([]waveform.SampleSet, polarity.NumGroups)
+			for _, id := range zone.NonLeaves {
+				iddR, issR := p.tree.NodeCurrents(p.timings[mi], id, cell.Rising)
+				iddF, issF := p.tree.NodeCurrents(p.timings[mi], id, cell.Falling)
+				for g, w := range []waveform.Waveform{iddR, issR, iddF, issF} {
+					baselines[mi][g] = waveform.Add(baselines[mi][g], w)
+				}
+			}
+			for g := 0; g < int(polarity.NumGroups); g++ {
+				ws := []waveform.Waveform{baselines[mi][g]}
+				for zi := range feas {
+					for _, zc := range feas[zi] {
+						ws = append(ws, zc.waves[mi][g])
+					}
+				}
+				samples[mi][g] = waveform.HotSpots(perGroup, ws...)
+			}
+		}
+		vector := func(sel func(mi, g int) waveform.Waveform) []float64 {
+			var out []float64
+			for mi := range p.modes {
+				for g := 0; g < int(polarity.NumGroups); g++ {
+					out = append(out, samples[mi][g].Vector(sel(mi, g))...)
+				}
+			}
+			return out
+		}
+		graph := &mosp.Graph{Baseline: vector(func(mi, g int) waveform.Waveform { return baselines[mi][g] })}
+		for zi := range feas {
+			var layer []mosp.Vertex
+			for fi, zc := range feas[zi] {
+				zc := zc
+				layer = append(layer, mosp.Vertex{
+					Weight: vector(func(mi, g int) waveform.Waveform { return zc.waves[mi][g] }),
+					Tag:    fi,
+				})
+			}
+			graph.Layers = append(graph.Layers, layer)
+		}
+		var sol mosp.Solution
+		var err error
+		maxLabels := p.cfg.MaxLabels
+		if maxLabels <= 0 {
+			maxLabels = 4000
+		}
+		if p.cfg.Fast {
+			sol, err = mosp.SolveFast(graph)
+		} else {
+			sol, err = mosp.Solve(graph, mosp.Options{Epsilon: p.cfg.Epsilon, MaxLabels: maxLabels})
+		}
+		if err != nil {
+			return nil, err
+		}
+		for zi, leaf := range zone.Leaves {
+			zc := feas[zi][graph.Layers[zi][sol.Picks[zi]].Tag]
+			chosen := p.cands[leafIdx[leaf]][zc.ci]
+			res.Assignment[leaf] = chosen.c
+			if chosen.c.Adjustable() {
+				st := make(map[string]int, len(p.modes))
+				for mi, m := range p.modes {
+					st[m.Name] = zc.steps[mi]
+				}
+				res.Steps[leaf] = st
+			}
+		}
+		if sol.Max > res.PeakEstimate {
+			res.PeakEstimate = sol.Max
+		}
+		res.MeanZonePeak += sol.Max
+	}
+	if len(p.zones) > 0 {
+		res.MeanZonePeak /= float64(len(p.zones))
+	}
+	for _, c := range res.Assignment {
+		switch c.Kind {
+		case cell.ADB:
+			res.NumADBs++
+		case cell.ADI:
+			res.NumADIs++
+		}
+	}
+	return res, nil
+}
+
+func stepPsOf(c *cell.Cell) float64 {
+	if c.Adjustable() {
+		return c.StepPs
+	}
+	return 0
+}
+
+// Optimize runs the full ClkWaveMin-M flow on the tree: if sizing and
+// polarity cannot meet κ in all modes, ADBs are inserted (mutating the
+// tree); then candidates are built, intersections enumerated, and the
+// best-DoF intersections optimized. The returned result is not yet
+// applied; call ApplyResult.
+func Optimize(t *clocktree.Tree, modes []clocktree.Mode, cfg Config) (*Result, error) {
+	inserted := 0
+	p, err := NewProblem(t, modes, cfg)
+	if err != nil {
+		return nil, err
+	}
+	ixs := p.Intersections()
+	if len(ixs) == 0 {
+		// Sizing/polarity alone cannot hold κ everywhere: insert ADBs
+		// (Fig. 13's Insert-ADB module) and rebuild.
+		adbCell := cfg.ADBCell
+		if adbCell == nil {
+			return nil, fmt.Errorf("multimode: infeasible without ADBs and no ADB cell configured")
+		}
+		ins, err := adb.Insert(t, adbCell, modes, cfg.Kappa)
+		if err != nil {
+			return nil, fmt.Errorf("multimode: ADB insertion: %w", err)
+		}
+		inserted = ins.NumADBs()
+		p, err = NewProblem(t, modes, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ixs = p.Intersections()
+		if len(ixs) == 0 {
+			return nil, fmt.Errorf("multimode: no feasible intersection even after %d ADBs", inserted)
+		}
+	}
+	maxIx := cfg.MaxIntersections
+	if maxIx <= 0 {
+		maxIx = 12
+	}
+	tried := ixs
+	if len(tried) > maxIx {
+		tried = tried[:maxIx]
+	}
+	var best *Result
+	for i := range tried {
+		res, err := p.OptimizeIntersection(&tried[i])
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || res.PeakEstimate < best.PeakEstimate {
+			best = res
+		}
+	}
+	best.Feasible = len(ixs)
+	best.Tried = len(tried)
+	best.ADBInserted = inserted
+	return best, nil
+}
+
+// ApplyResult commits the assignment and bank settings to the tree, then
+// retunes the adjustable sites against the realized timing: committing the
+// assignment shifts parent loads slightly (the second-order effect
+// Observation 4 neglects), and the per-mode banks absorb that drift. The
+// retune error is returned when the drift exceeds what the banks can fix
+// (only possible with very tight κ and no adjustable sites).
+func ApplyResult(t *clocktree.Tree, modes []clocktree.Mode, kappa float64, res *Result) error {
+	for leaf, c := range res.Assignment {
+		t.SetCell(leaf, c)
+		if st, ok := res.Steps[leaf]; ok {
+			for mode, steps := range st {
+				t.SetAdjustSteps(leaf, mode, steps)
+			}
+		}
+	}
+	if len(adb.Sites(t)) == 0 {
+		return nil // nothing to retune; callers tolerate plain-cell drift
+	}
+	_, err := adb.Retune(t, modes, kappa)
+	return err
+}

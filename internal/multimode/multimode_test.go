@@ -1,0 +1,225 @@
+package multimode
+
+import (
+	"testing"
+
+	"wavemin/internal/adb"
+	"wavemin/internal/cell"
+	"wavemin/internal/clocktree"
+	"wavemin/internal/cts"
+)
+
+// violatingTree builds a two-island design whose M2 skew violates κ badly
+// enough that sizing alone cannot fix it: the ADB path of Fig. 13.
+func violatingTree(t testing.TB) (*clocktree.Tree, []clocktree.Mode, *cell.Library) {
+	lib := cell.DefaultLibrary()
+	var sinks []cts.Sink
+	for i := 0; i < 12; i++ {
+		sinks = append(sinks, cts.Sink{X: 15 + float64(i*4)/1.5, Y: 20 + float64(i%5)*8, Cap: 8})
+		sinks = append(sinks, cts.Sink{X: 215 + float64(i*4)/1.5, Y: 20 + float64(i%5)*8, Cap: 8})
+	}
+	// Leaves start as BUF_X8 so the initial cells lie inside the sizing
+	// library's delay range (the paper's setup: leaves are assigned among
+	// BUF_X8/BUF_X16/INV_X8/INV_X16).
+	opt := cts.DefaultOptions()
+	opt.LeafCell = "BUF_X8"
+	tree, err := cts.Synthesize(sinks, lib, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree.Walk(func(n *clocktree.Node) {
+		if n.X >= 150 {
+			n.Domain = "A2"
+		} else {
+			n.Domain = "A1"
+		}
+	})
+	modes := []clocktree.Mode{
+		{Name: "M1", Supplies: map[string]float64{"A1": 1.1, "A2": 1.1}},
+		{Name: "M2", Supplies: map[string]float64{"A1": 1.1, "A2": 0.9}},
+	}
+	// Premise of the ADB tests: sizing alone cannot fix this design.
+	if s := tree.ComputeTiming(modes[1]).Skew(tree); s < 10 {
+		t.Fatalf("fixture premise broken: M2 skew %g too small", s)
+	}
+	return tree, modes, lib
+}
+
+func mmConfig(lib *cell.Library, withADI bool) Config {
+	sub, err := lib.Restrict("BUF_X8", "BUF_X16", "INV_X8", "INV_X16")
+	if err != nil {
+		panic(err)
+	}
+	cfg := Config{
+		Library: sub,
+		ADBCell: lib.MustByName("ADB_X8"),
+		Kappa:   6, Samples: 16, Epsilon: 0.01,
+	}
+	if withADI {
+		cfg.ADICell = lib.MustByName("ADI_X8")
+	}
+	return cfg
+}
+
+func TestOptimizeInsertsADBsWhenNeeded(t *testing.T) {
+	tree, modes, lib := violatingTree(t)
+	cfg := mmConfig(lib, true)
+	if tree.MeetsSkew(cfg.Kappa, modes) {
+		t.Skip("premise broken: no violation to fix")
+	}
+	res, err := Optimize(tree, modes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ADBInserted == 0 {
+		t.Fatal("expected ADB insertion")
+	}
+	if res.NumADBs+res.NumADIs == 0 {
+		t.Fatal("adjustable sites vanished from the assignment")
+	}
+	if err := ApplyResult(tree, modes, cfg.Kappa, res); err != nil {
+		t.Fatal(err)
+	}
+	if !tree.MeetsSkew(cfg.Kappa+2.0, modes) {
+		for _, m := range modes {
+			t.Logf("mode %s skew %g", m.Name, tree.ComputeTiming(m).Skew(tree))
+		}
+		t.Fatal("multi-mode skew violated after ClkWaveMin-M")
+	}
+}
+
+func TestADBSitesNeverBecomePlainAndViceVersa(t *testing.T) {
+	tree, modes, lib := violatingTree(t)
+	cfg := mmConfig(lib, true)
+	// Pre-insert so we know the sites.
+	if _, err := adb.Insert(tree, cfg.ADBCell, modes, cfg.Kappa); err != nil {
+		t.Fatal(err)
+	}
+	sites := map[clocktree.NodeID]bool{}
+	for _, s := range adb.Sites(tree) {
+		sites[s] = true
+	}
+	res, err := Optimize(tree, modes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for leaf, c := range res.Assignment {
+		if sites[leaf] && !c.Adjustable() {
+			t.Errorf("ADB site %d demoted to plain cell %s", leaf, c.Name)
+		}
+		if !sites[leaf] && c.Adjustable() {
+			t.Errorf("plain site %d promoted to adjustable %s", leaf, c.Name)
+		}
+	}
+}
+
+func TestADIEnabledNeverWorseThanDisabled(t *testing.T) {
+	// Observation 3: offering ADIs at ADB sites can only enlarge the
+	// search space. With generous caps, the estimate must not get worse.
+	treeA, modesA, lib := violatingTree(t)
+	cfgOff := mmConfig(lib, false)
+	cfgOff.PerModeIntervals = 10
+	cfgOff.MaxIntersections = 40
+	resOff, err := Optimize(treeA, modesA, cfgOff)
+	if err != nil {
+		t.Fatal(err)
+	}
+	treeB, modesB, _ := violatingTree(t)
+	cfgOn := mmConfig(lib, true)
+	cfgOn.PerModeIntervals = 10
+	cfgOn.MaxIntersections = 40
+	resOn, err := Optimize(treeB, modesB, cfgOn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resOn.PeakEstimate > resOff.PeakEstimate*1.05+1e-9 {
+		t.Fatalf("ADI-enabled estimate %g worse than disabled %g",
+			resOn.PeakEstimate, resOff.PeakEstimate)
+	}
+}
+
+func TestAdjustableStepsRecordedPerMode(t *testing.T) {
+	tree, modes, lib := violatingTree(t)
+	res, err := Optimize(tree, modes, mmConfig(lib, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ADBInserted > 0 && len(res.Steps) == 0 {
+		t.Fatal("adjustable assignment lost its bank settings")
+	}
+	for leaf, st := range res.Steps {
+		if !res.Assignment[leaf].Adjustable() {
+			t.Errorf("steps recorded for non-adjustable leaf %d", leaf)
+		}
+		for _, m := range modes {
+			if _, ok := st[m.Name]; !ok {
+				t.Errorf("leaf %d missing steps for mode %s", leaf, m.Name)
+			}
+		}
+	}
+}
+
+func TestFastModeProducesValidResult(t *testing.T) {
+	tree, modes, lib := violatingTree(t)
+	cfg := mmConfig(lib, true)
+	cfg.Fast = true
+	res, err := Optimize(tree, modes, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyResult(tree, modes, cfg.Kappa, res); err != nil {
+		t.Fatal(err)
+	}
+	if !tree.MeetsSkew(cfg.Kappa+2.0, modes) {
+		t.Fatal("fast mode violated skew")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tree, modes, lib := violatingTree(t)
+	if _, err := NewProblem(tree, modes, Config{Library: nil, Kappa: 5}); err == nil {
+		t.Error("nil library should error")
+	}
+	if _, err := NewProblem(tree, modes, Config{Library: lib, Kappa: 0}); err == nil {
+		t.Error("zero kappa should error")
+	}
+	if _, err := NewProblem(tree, nil, Config{Library: lib, Kappa: 5}); err == nil {
+		t.Error("no modes should error")
+	}
+	// Infeasible without an ADB cell configured.
+	cfg := mmConfig(lib, false)
+	cfg.ADBCell = nil
+	if _, err := Optimize(tree, modes, cfg); err == nil {
+		t.Error("expected error: violation but no ADB cell")
+	}
+}
+
+func TestSingleModeDegeneratesToPolarity(t *testing.T) {
+	// With one nominal mode, ClkWaveMin-M is just ClkWaveMin: it should
+	// find a feasible assignment without ADBs on a balanced tree.
+	lib := cell.DefaultLibrary()
+	var sinks []cts.Sink
+	for i := 0; i < 6; i++ {
+		sinks = append(sinks, cts.Sink{X: 20 + float64(i*3), Y: 20, Cap: 8})
+	}
+	tree, err := cts.Synthesize(sinks, lib, cts.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := mmConfig(lib, false)
+	cfg.Kappa = 20
+	res, err := Optimize(tree, []clocktree.Mode{clocktree.NominalMode}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ADBInserted != 0 || res.NumADBs != 0 {
+		t.Fatalf("unexpected ADBs in single-mode: %d/%d", res.ADBInserted, res.NumADBs)
+	}
+	counts := map[cell.Kind]int{}
+	for _, c := range res.Assignment {
+		counts[c.Kind]++
+	}
+	if counts[cell.Inv] == 0 {
+		t.Fatalf("expected polarity mixing, got %v", counts)
+	}
+}

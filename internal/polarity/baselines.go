@@ -1,0 +1,99 @@
+package polarity
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"wavemin/internal/cell"
+	"wavemin/internal/clocktree"
+)
+
+// SamantaBaseline implements the placement-aware polarity assignment of
+// Samanta, Venkataraman & Hu (ICCAD 2006 — the paper's reference [23]):
+// within every local region ("zone"), roughly half of the buffering
+// elements get each polarity, so the two opposing current spikes cancel
+// *locally*, not just chip-wide. Still arrival-time blind — the flaw
+// WaveMin fixes — but strictly stronger than the global split of [22].
+func SamantaBaseline(t *clocktree.Tree, lib *cell.Library, mode clocktree.Mode, zoneSize float64) (Assignment, error) {
+	bufs, invs := lib.Buffers(), lib.Inverters()
+	if len(bufs) == 0 || len(invs) == 0 {
+		return nil, fmt.Errorf("polarity: Samanta baseline needs both buffers and inverters")
+	}
+	tm := t.ComputeTiming(mode)
+	a := make(Assignment)
+	for _, zone := range LeafZones(PartitionZones(t, zoneSize)) {
+		for i, id := range zone.Leaves {
+			nd := t.Node(id)
+			vdd := mode.VDDOf(nd.Domain)
+			load := tm.Load[id]
+			ref := nd.Cell.Delay(load, vdd)
+			cands := bufs
+			if i%2 == 1 { // alternate within the zone → ⌈n/2⌉ / ⌊n/2⌋ split
+				cands = invs
+			}
+			best, bestD := cands[0], math.Inf(1)
+			for _, c := range cands {
+				if d := math.Abs(c.Delay(load, vdd) - ref); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			a[id] = best
+		}
+	}
+	return a, nil
+}
+
+// NiehBaseline implements the earliest polarity-assignment scheme (Nieh,
+// Huang & Hsu, DAC 2005 — the paper's reference [22]): split the design
+// into two halves and drive one half with inverters, so the two halves'
+// current spikes land on opposite clock edges. No arrival-time awareness,
+// no sizing, no zones — the global 50/50 split the later work refines.
+//
+// The tree is split by the median leaf x-coordinate (the geometric
+// equivalent of [22]'s two-subtree split). For each leaf the buffer and
+// inverter are chosen from the library to minimize the delay change, which
+// keeps the skew impact of the flip minimal.
+func NiehBaseline(t *clocktree.Tree, lib *cell.Library, mode clocktree.Mode) (Assignment, error) {
+	bufs, invs := lib.Buffers(), lib.Inverters()
+	if len(bufs) == 0 || len(invs) == 0 {
+		return nil, fmt.Errorf("polarity: Nieh baseline needs both buffers and inverters")
+	}
+	leaves := t.Leaves()
+	if len(leaves) == 0 {
+		return nil, fmt.Errorf("polarity: no leaves")
+	}
+	tm := t.ComputeTiming(mode)
+
+	// Median split by x.
+	xs := make([]float64, len(leaves))
+	for i, id := range leaves {
+		xs[i] = t.Node(id).X
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	median := sorted[len(sorted)/2]
+
+	a := make(Assignment, len(leaves))
+	for i, id := range leaves {
+		nd := t.Node(id)
+		vdd := mode.VDDOf(nd.Domain)
+		load := tm.Load[id]
+		ref := nd.Cell.Delay(load, vdd)
+		pick := func(cands []*cell.Cell) *cell.Cell {
+			best, bestD := cands[0], math.Inf(1)
+			for _, c := range cands {
+				if d := math.Abs(c.Delay(load, vdd) - ref); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			return best
+		}
+		if xs[i] < median {
+			a[id] = pick(bufs)
+		} else {
+			a[id] = pick(invs)
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,94 @@
+package polarity
+
+import (
+	"testing"
+
+	"wavemin/internal/cell"
+	"wavemin/internal/clocktree"
+)
+
+func TestNiehBaselineSplitsHalfHalf(t *testing.T) {
+	tree, lib := clusterTree(t, 8)
+	sub, err := lib.Restrict("BUF_X8", "BUF_X16", "INV_X8", "INV_X16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := NiehBaseline(tree, sub, clocktree.NominalMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(tree); err != nil {
+		t.Fatal(err)
+	}
+	counts := CountKinds(a)
+	if counts[cell.Buf] != 4 || counts[cell.Inv] != 4 {
+		t.Fatalf("expected 4/4 split, got %v", counts)
+	}
+}
+
+func TestNiehBaselineSkewCost(t *testing.T) {
+	// The known weakness of the opposite-phase scheme (which Samanta et
+	// al. and the paper both call out): flipping half the tree without
+	// delay awareness costs skew. It must grow versus the balanced tree,
+	// but the minimal-delay-change cell picks keep it bounded.
+	tree, lib := clusterTree(t, 8)
+	sub, err := lib.Restrict("BUF_X8", "BUF_X16", "INV_X8", "INV_X16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tree.ComputeTiming(clocktree.NominalMode).Skew(tree)
+	a, err := NiehBaseline(tree, sub, clocktree.NominalMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Apply(tree, a)
+	after := tree.ComputeTiming(clocktree.NominalMode).Skew(tree)
+	if after <= before {
+		t.Fatalf("expected the delay-unaware flip to cost skew: %g → %g", before, after)
+	}
+	if after > 30 {
+		t.Fatalf("Nieh baseline skew %g implausibly large", after)
+	}
+}
+
+func TestNiehBaselineRequiresBothKinds(t *testing.T) {
+	tree, lib := clusterTree(t, 4)
+	bufsOnly, err := lib.Restrict("BUF_X8", "BUF_X16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NiehBaseline(tree, bufsOnly, clocktree.NominalMode); err == nil {
+		t.Fatal("expected error without inverters")
+	}
+}
+
+func TestWaveMinBeatsNiehOnStaggeredArrivals(t *testing.T) {
+	// Nieh's split ignores arrival times; on a design whose halves switch
+	// at different instants, WaveMin's fine-grained view wins under the
+	// golden evaluator.
+	tree, lib := clusterTree(t, 10)
+	sub, err := lib.Restrict("BUF_X8", "BUF_X16", "INV_X8", "INV_X16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nieh, err := NiehBaseline(tree, sub, clocktree.NominalMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, err := Optimize(tree, Config{
+		Library: sub, Kappa: 20, Samples: 32, Epsilon: 0.01, Algorithm: ClkWaveMin,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := func(a Assignment) float64 {
+		work := tree.Clone()
+		Apply(work, a)
+		tm := work.ComputeTiming(clocktree.NominalMode)
+		return work.PeakCurrent(tm)
+	}
+	gn, gw := golden(nieh), golden(wm.Assignment)
+	if gw > gn*1.05 {
+		t.Fatalf("WaveMin %g should not lose to Nieh %g", gw, gn)
+	}
+}

@@ -1,0 +1,75 @@
+package polarity
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Interval is a feasible arrival-time window [Lo, Hi] with Hi−Lo = κ
+// (paper §IV-A, Step 2): any assignment whose every leaf arrival lands
+// inside meets the skew bound.
+type Interval struct {
+	Lo, Hi float64
+	// Feasible[leaf index in CandidateSet.Leaves() order] lists the
+	// indices (into ByLeaf[leaf]) of candidates inside the window.
+	Feasible [][]int
+}
+
+// DegreeOfFreedom counts the total feasible (leaf, cell) options — the
+// paper's §VI pruning metric; more freedom correlates with lower noise
+// (Fig. 14).
+func (iv *Interval) DegreeOfFreedom() int {
+	n := 0
+	for _, f := range iv.Feasible {
+		n += len(f)
+	}
+	return n
+}
+
+// FeasibleIntervals enumerates the candidate windows [t−κ, t] anchored at
+// every distinct achievable arrival time t and keeps the feasible ones:
+// windows where every leaf retains at least one candidate. Intervals with
+// identical feasibility sets are deduplicated (they define the same
+// optimization instance).
+func FeasibleIntervals(cs *CandidateSet, kappa float64) ([]Interval, error) {
+	if kappa < 0 {
+		return nil, fmt.Errorf("polarity: negative skew bound %g", kappa)
+	}
+	leaves := cs.Leaves()
+	if len(leaves) == 0 {
+		return nil, fmt.Errorf("polarity: no leaves")
+	}
+	var out []Interval
+	seen := make(map[string]bool)
+	for _, t := range cs.ArrivalTimes() {
+		lo, hi := t-kappa, t
+		feas := make([][]int, len(leaves))
+		ok := true
+		var sig strings.Builder
+		for li, leaf := range leaves {
+			for ci, c := range cs.ByLeaf[leaf] {
+				if c.AT >= lo-1e-9 && c.AT <= hi+1e-9 {
+					feas[li] = append(feas[li], ci)
+					fmt.Fprintf(&sig, "%d.%d,", li, ci)
+				}
+			}
+			if len(feas[li]) == 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		key := sig.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, Interval{Lo: lo, Hi: hi, Feasible: feas})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("polarity: no feasible interval for κ=%g (arrival spread too large)", kappa)
+	}
+	return out, nil
+}

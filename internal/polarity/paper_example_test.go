@@ -1,0 +1,143 @@
+package polarity
+
+import (
+	"math"
+	"testing"
+
+	"wavemin/internal/cell"
+	"wavemin/internal/clocktree"
+)
+
+// fig5Tree reconstructs the paper's Fig. 5 example: four leaf nodes,
+// initially all BUF_X2 from the Table II library, with arrival times 69,
+// 70, 71, 70. Using the table-pinned PaperLibrary (BUF_X2 delay = 19 at
+// 1.1 V), the leaves need input arrivals of 50, 51, 52, 51, arranged here
+// with pure-R wire delays under a BUF_X2 root (delay 19, wire delay
+// R·Cin with Cin(BUF_X2) = 0.5 fF).
+func fig5Tree(t testing.TB) (*clocktree.Tree, *cell.Library) {
+	lib := cell.PaperLibrary()
+	buf2 := lib.MustByName("BUF_X2")
+	tr := clocktree.New(buf2, 25, 25)
+	// Input arrivals: root ATOut = 19, so wire delays 31, 32, 33, 32.
+	// Wire delay = R·(C/2 + 0.5) with C = 0 → R = 2·delay.
+	for i, wd := range []float64{31, 32, 33, 32} {
+		leaf := tr.AddChild(tr.Root(), buf2, float64(10+10*i), 10, wd/0.5, 0)
+		tr.SetSinkCap(leaf, 0) // Table II delays are load-independent
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tr, lib
+}
+
+func TestPaperFig5ArrivalTimes(t *testing.T) {
+	tr, _ := fig5Tree(t)
+	tm := tr.ComputeTiming(clocktree.NominalMode)
+	want := []float64{69, 70, 71, 70}
+	for i, leaf := range tr.Leaves() {
+		if got := tm.ATOut[leaf]; math.Abs(got-want[i]) > 1e-9 {
+			t.Errorf("leaf %d arrival = %g, want %g", i, got, want[i])
+		}
+	}
+	if s := tm.Skew(tr); math.Abs(s-2) > 1e-9 {
+		t.Errorf("initial skew = %g, want 2", s)
+	}
+}
+
+func TestPaperFig6CandidateArrivals(t *testing.T) {
+	// Step 1 of PeakMin review: e2's collected arrival times must be
+	// {68, 70, 72, 75} (paper §IV-A).
+	tr, lib := fig5Tree(t)
+	cs := BuildCandidates(tr, lib, clocktree.NominalMode)
+	e2 := tr.Leaves()[1]
+	got := map[string]float64{}
+	for _, c := range cs.ByLeaf[e2] {
+		got[c.Cell.Name] = c.AT
+	}
+	want := map[string]float64{"BUF_X1": 75, "BUF_X2": 70, "INV_X1": 72, "INV_X2": 68}
+	for name, at := range want {
+		if math.Abs(got[name]-at) > 1e-9 {
+			t.Errorf("e2 with %s: AT = %g, want %g", name, got[name], at)
+		}
+	}
+}
+
+func TestPaperFig6FeasibleInterval(t *testing.T) {
+	// With κ = 5, the window [69, 74] anchored at t = 74 is feasible:
+	// every sink keeps at least one type inside (the yellow area of
+	// Fig. 6).
+	tr, lib := fig5Tree(t)
+	cs := BuildCandidates(tr, lib, clocktree.NominalMode)
+	intervals, err := FeasibleIntervals(cs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, iv := range intervals {
+		if math.Abs(iv.Lo-69) < 1e-9 && math.Abs(iv.Hi-74) < 1e-9 {
+			found = true
+			for li, f := range iv.Feasible {
+				if len(f) == 0 {
+					t.Errorf("interval [69,74]: leaf %d has no feasible type", li)
+				}
+			}
+		}
+	}
+	if !found {
+		got := make([][2]float64, len(intervals))
+		for i, iv := range intervals {
+			got[i] = [2]float64{iv.Lo, iv.Hi}
+		}
+		t.Fatalf("interval [69,74] not found among feasible %v", got)
+	}
+}
+
+func TestPaperFig6InfeasibleWhenKappaTiny(t *testing.T) {
+	// κ = 0.5: no window can hold all four sinks (arrivals differ by ≥1).
+	tr, lib := fig5Tree(t)
+	cs := BuildCandidates(tr, lib, clocktree.NominalMode)
+	if _, err := FeasibleIntervals(cs, 0.5); err == nil {
+		t.Fatal("expected infeasibility for tiny κ")
+	}
+}
+
+func TestPaperExampleOptimizeMixesPolarity(t *testing.T) {
+	// With Table II peaks (buffers spike on P+, inverters on P−, same
+	// magnitudes), the min–max optimum for four co-located equal sinks is
+	// a 2/2 split between polarities.
+	tr, lib := fig5Tree(t)
+	res, err := Optimize(tr, Config{
+		Library: lib, Kappa: 5, Samples: 8, Epsilon: 0.01,
+		Algorithm: ClkWaveMin,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Assignment.Validate(tr); err != nil {
+		t.Fatal(err)
+	}
+	counts := CountKinds(res.Assignment)
+	if counts[cell.Inv] == 0 || counts[cell.Buf] == 0 {
+		t.Fatalf("expected mixed polarity, got %v", counts)
+	}
+	if res.SkewEstimate > 5+1e-9 {
+		t.Fatalf("skew estimate %g exceeds κ=5", res.SkewEstimate)
+	}
+}
+
+func TestPaperExampleSkewHeldAfterApply(t *testing.T) {
+	tr, lib := fig5Tree(t)
+	res, err := Optimize(tr, Config{
+		Library: lib, Kappa: 5, Samples: 8, Epsilon: 0.01, Algorithm: ClkWaveMin,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Apply(tr, res.Assignment)
+	tm := tr.ComputeTiming(clocktree.NominalMode)
+	// Table-pinned delays are load-independent, so the candidate model is
+	// exact here: the realized skew must respect κ exactly.
+	if s := tm.Skew(tr); s > 5+1e-9 {
+		t.Fatalf("realized skew %g exceeds κ=5", s)
+	}
+}

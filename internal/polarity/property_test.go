@@ -1,0 +1,173 @@
+package polarity
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"wavemin/internal/cell"
+	"wavemin/internal/clocktree"
+	"wavemin/internal/cts"
+)
+
+// randTree synthesizes a small random design.
+func randTree(rng *rand.Rand, lib *cell.Library) (*clocktree.Tree, error) {
+	n := 4 + rng.Intn(8)
+	sinks := make([]cts.Sink, n)
+	for i := range sinks {
+		sinks[i] = cts.Sink{
+			X:   10 + rng.Float64()*80,
+			Y:   10 + rng.Float64()*80,
+			Cap: 4 + rng.Float64()*8,
+		}
+	}
+	opt := cts.DefaultOptions()
+	opt.LeafCell = "BUF_X8"
+	return cts.Synthesize(sinks, lib, opt)
+}
+
+// Property: every assignment Optimize returns stays inside the chosen
+// interval under the candidate model — the skew guarantee.
+func TestPropertyOptimizeRespectsInterval(t *testing.T) {
+	lib := cell.DefaultLibrary()
+	sub, err := lib.Restrict("BUF_X8", "BUF_X16", "INV_X8", "INV_X16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree, err := randTree(rng, lib)
+		if err != nil {
+			return false
+		}
+		kappa := 10 + rng.Float64()*20
+		algo := []Algorithm{ClkWaveMin, ClkWaveMinF, ClkPeakMinBaseline}[rng.Intn(3)]
+		res, err := Optimize(tree, Config{
+			Library: sub, Kappa: kappa, Samples: 8, Epsilon: 0.1,
+			Algorithm: algo, MaxIntervals: 3,
+		})
+		if err != nil {
+			return false
+		}
+		if res.SkewEstimate > kappa+1e-6 {
+			t.Logf("seed %d: skew estimate %g > κ %g", seed, res.SkewEstimate, kappa)
+			return false
+		}
+		// Every chosen cell must come from the library.
+		for _, c := range res.Assignment {
+			if _, ok := sub.ByName(c.Name); !ok {
+				return false
+			}
+		}
+		return res.Assignment.Validate(tree) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Optimize is deterministic — same tree, same config, same
+// assignment.
+func TestPropertyOptimizeDeterministic(t *testing.T) {
+	lib := cell.DefaultLibrary()
+	sub, err := lib.Restrict("BUF_X8", "BUF_X16", "INV_X8", "INV_X16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree, err := randTree(rng, lib)
+		if err != nil {
+			return false
+		}
+		cfg := Config{Library: sub, Kappa: 20, Samples: 8, Epsilon: 0.05,
+			Algorithm: ClkWaveMin, MaxIntervals: 3}
+		a, err1 := Optimize(tree, cfg)
+		b, err2 := Optimize(tree, cfg)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for leaf, c := range a.Assignment {
+			if b.Assignment[leaf] != c {
+				return false
+			}
+		}
+		return a.PeakEstimate == b.PeakEstimate
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the ClkWaveMin estimate never exceeds the ClkWaveMin-f
+// estimate (per shared interval set the exact solver dominates; across
+// interval selection both pick their own best, preserving the order).
+func TestPropertyExactBeatsGreedyEstimate(t *testing.T) {
+	lib := cell.DefaultLibrary()
+	sub, err := lib.Restrict("BUF_X8", "BUF_X16", "INV_X8", "INV_X16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree, err := randTree(rng, lib)
+		if err != nil {
+			return false
+		}
+		base := Config{Library: sub, Kappa: 20, Samples: 8, Epsilon: 0,
+			MaxIntervals: 2}
+		exact := base
+		exact.Algorithm = ClkWaveMin
+		fast := base
+		fast.Algorithm = ClkWaveMinF
+		a, err1 := Optimize(tree, exact)
+		b, err2 := Optimize(tree, fast)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return a.PeakEstimate <= b.PeakEstimate*1.001+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: applying the assignment then rebuilding candidates, the
+// currently-assigned cell reproduces the realized arrival exactly (the
+// self-load shift bookkeeping closes).
+func TestPropertySelfLoadShiftCloses(t *testing.T) {
+	lib := cell.DefaultLibrary()
+	sub, err := lib.Restrict("BUF_X8", "BUF_X16", "INV_X8", "INV_X16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		tree, err := randTree(rng, lib)
+		if err != nil {
+			return false
+		}
+		res, err := Optimize(tree, Config{Library: sub, Kappa: 20, Samples: 8,
+			Epsilon: 0.1, Algorithm: ClkWaveMinF, MaxIntervals: 2})
+		if err != nil {
+			return false
+		}
+		Apply(tree, res.Assignment)
+		tm := tree.ComputeTiming(clocktree.NominalMode)
+		cs := BuildCandidates(tree, sub, clocktree.NominalMode)
+		for _, leaf := range tree.Leaves() {
+			cur := tree.Node(leaf).Cell
+			for _, c := range cs.ByLeaf[leaf] {
+				if c.Cell == cur {
+					if d := c.AT - tm.ATOut[leaf]; d > 1e-9 || d < -1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,133 @@
+package polarity
+
+import (
+	"testing"
+
+	"wavemin/internal/cell"
+	"wavemin/internal/clocktree"
+	"wavemin/internal/cts"
+)
+
+// spreadTree places two clusters of leaves in different zones.
+func spreadTree(t testing.TB) (*clocktree.Tree, *cell.Library) {
+	lib := cell.DefaultLibrary()
+	var sinks []cts.Sink
+	for i := 0; i < 6; i++ {
+		sinks = append(sinks, cts.Sink{X: 10 + float64(i*3), Y: 15, Cap: 8})
+		sinks = append(sinks, cts.Sink{X: 210 + float64(i*3), Y: 15, Cap: 8})
+	}
+	opt := cts.DefaultOptions()
+	opt.LeafCell = "BUF_X8"
+	tree, err := cts.Synthesize(sinks, lib, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, lib
+}
+
+func TestSamantaBalancesEveryZone(t *testing.T) {
+	tree, lib := spreadTree(t)
+	sub, err := lib.Restrict("BUF_X8", "BUF_X16", "INV_X8", "INV_X16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := SamantaBaseline(tree, sub, clocktree.NominalMode, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(tree); err != nil {
+		t.Fatal(err)
+	}
+	// Every leaf zone must be split within one cell of half/half.
+	for _, zone := range LeafZones(PartitionZones(tree, 50)) {
+		pos, neg := 0, 0
+		for _, leaf := range zone.Leaves {
+			if a[leaf].Inverting() {
+				neg++
+			} else {
+				pos++
+			}
+		}
+		if diff := pos - neg; diff > 1 || diff < -1 {
+			t.Fatalf("zone %v unbalanced: %d buffers vs %d inverters", zone.Key, pos, neg)
+		}
+	}
+}
+
+func TestSamantaBeatsNiehLocally(t *testing.T) {
+	// Nieh splits globally: with two separate clusters, one cluster can end
+	// up all-buffer and the other all-inverter — locally unbalanced. The
+	// per-zone worst peak under Samanta must not exceed Nieh's.
+	tree, lib := spreadTree(t)
+	sub, err := lib.Restrict("BUF_X8", "BUF_X16", "INV_X8", "INV_X16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	worstZonePeak := func(a Assignment) float64 {
+		work := tree.Clone()
+		Apply(work, a)
+		tm := work.ComputeTiming(clocktree.NominalMode)
+		worst := 0.0
+		for _, zone := range LeafZones(PartitionZones(work, 50)) {
+			for _, e := range []cell.Edge{cell.Rising, cell.Falling} {
+				idd, iss := work.SumCurrents(tm, zone.Leaves, e)
+				if p, _ := idd.Peak(); p > worst {
+					worst = p
+				}
+				if p, _ := iss.Peak(); p > worst {
+					worst = p
+				}
+			}
+		}
+		return worst
+	}
+	nieh, err := NiehBaseline(tree, sub, clocktree.NominalMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sam, err := SamantaBaseline(tree, sub, clocktree.NominalMode, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws, wn := worstZonePeak(sam), worstZonePeak(nieh); ws > wn*1.02 {
+		t.Fatalf("Samanta local peak %g should not exceed Nieh %g", ws, wn)
+	}
+}
+
+func TestSamantaRequiresBothKinds(t *testing.T) {
+	tree, lib := spreadTree(t)
+	bufsOnly, err := lib.Restrict("BUF_X8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SamantaBaseline(tree, bufsOnly, clocktree.NominalMode, 50); err == nil {
+		t.Fatal("expected error without inverters")
+	}
+}
+
+func TestWaveMinBeatsSamantaGolden(t *testing.T) {
+	tree, lib := spreadTree(t)
+	sub, err := lib.Restrict("BUF_X8", "BUF_X16", "INV_X8", "INV_X16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sam, err := SamantaBaseline(tree, sub, clocktree.NominalMode, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm, err := Optimize(tree, Config{
+		Library: sub, Kappa: 20, Samples: 32, Epsilon: 0.01, Algorithm: ClkWaveMin,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := func(a Assignment) float64 {
+		work := tree.Clone()
+		Apply(work, a)
+		return work.PeakCurrent(work.ComputeTiming(clocktree.NominalMode))
+	}
+	gs, gw := golden(sam), golden(wm.Assignment)
+	if gw > gs*1.05 {
+		t.Fatalf("WaveMin %g should not lose to Samanta %g", gw, gs)
+	}
+}

@@ -1,0 +1,123 @@
+// Package report renders waveforms and scatter data as ASCII charts — the
+// in-terminal form of the paper's figures, used by cmd/experiments.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"wavemin/internal/waveform"
+)
+
+// Plot renders one or more named waveforms as an ASCII line chart of the
+// given width×height characters (plus axes). Series are drawn with
+// distinct glyphs; later series overdraw earlier ones where they collide.
+func Plot(width, height int, series ...Series) string {
+	if width < 10 {
+		width = 10
+	}
+	if height < 4 {
+		height = 4
+	}
+	if len(series) == 0 {
+		return "(no data)\n"
+	}
+	t0, t1 := math.Inf(1), math.Inf(-1)
+	vMax := 0.0
+	for _, s := range series {
+		if s.W.IsZero() {
+			continue
+		}
+		t0 = math.Min(t0, s.W.First())
+		t1 = math.Max(t1, s.W.Last())
+		if p, _ := s.W.Peak(); p > vMax {
+			vMax = p
+		}
+	}
+	if math.IsInf(t0, 1) || vMax <= 0 {
+		return "(all series empty)\n"
+	}
+	glyphs := []byte("*o+x#%@")
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for col := 0; col < width; col++ {
+			t := t0 + (t1-t0)*float64(col)/float64(width-1)
+			v := s.W.At(t)
+			row := int(math.Round(v / vMax * float64(height-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row > height-1 {
+				row = height - 1
+			}
+			grid[height-1-row][col] = g
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10.1f ┤%s\n", vMax, string(grid[0]))
+	for r := 1; r < height-1; r++ {
+		fmt.Fprintf(&b, "%10s │%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%10.1f ┼%s\n", 0.0, string(grid[height-1]))
+	fmt.Fprintf(&b, "%10s  %-*.1f%*.1f\n", "", width/2, t0, width-width/2, t1)
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", glyphs[si%len(glyphs)], s.Name))
+	}
+	fmt.Fprintf(&b, "%10s  %s\n", "", strings.Join(legend, "  "))
+	return b.String()
+}
+
+// Series names one waveform in a Plot.
+type Series struct {
+	Name string
+	W    waveform.Waveform
+}
+
+// Scatter renders (x, y) points as an ASCII scatter chart.
+func Scatter(width, height int, xs, ys []float64, xLabel, yLabel string) string {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return "(no data)\n"
+	}
+	if width < 10 {
+		width = 10
+	}
+	if height < 4 {
+		height = 4
+	}
+	xMin, xMax := xs[0], xs[0]
+	yMin, yMax := ys[0], ys[0]
+	for i := range xs {
+		xMin, xMax = math.Min(xMin, xs[i]), math.Max(xMax, xs[i])
+		yMin, yMax = math.Min(yMin, ys[i]), math.Max(yMax, ys[i])
+	}
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for i := range xs {
+		col := int(math.Round((xs[i] - xMin) / (xMax - xMin) * float64(width-1)))
+		row := int(math.Round((ys[i] - yMin) / (yMax - yMin) * float64(height-1)))
+		grid[height-1-row][col] = '*'
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%10.1f ┤%s\n", yMax, string(grid[0]))
+	for r := 1; r < height-1; r++ {
+		fmt.Fprintf(&b, "%10s │%s\n", "", string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%10.1f ┼%s\n", yMin, string(grid[height-1]))
+	fmt.Fprintf(&b, "%10s  %-*.0f%*.0f\n", "", width/2, xMin, width-width/2, xMax)
+	fmt.Fprintf(&b, "%10s  x=%s, y=%s\n", "", xLabel, yLabel)
+	return b.String()
+}

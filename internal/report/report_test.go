@@ -1,0 +1,65 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"wavemin/internal/waveform"
+)
+
+func TestPlotRendersSeries(t *testing.T) {
+	a := waveform.Triangle(0, 10, 10, 100)
+	b := waveform.Triangle(15, 5, 5, 60)
+	out := Plot(40, 8, Series{Name: "idd", W: a}, Series{Name: "iss", W: b})
+	if !strings.Contains(out, "*=idd") || !strings.Contains(out, "o=iss") {
+		t.Fatalf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "100.0") {
+		t.Fatalf("y-axis max missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 8+2 { // height rows + x axis + legend
+		t.Fatalf("unexpected line count %d:\n%s", len(lines), out)
+	}
+}
+
+func TestPlotEmpty(t *testing.T) {
+	if out := Plot(20, 5); !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot: %q", out)
+	}
+	if out := Plot(20, 5, Series{Name: "z"}); !strings.Contains(out, "empty") {
+		t.Fatalf("zero series: %q", out)
+	}
+}
+
+func TestPlotClampsTinyDimensions(t *testing.T) {
+	w := waveform.Triangle(0, 1, 1, 10)
+	out := Plot(1, 1, Series{Name: "w", W: w})
+	if out == "" {
+		t.Fatal("clamped plot empty")
+	}
+}
+
+func TestScatter(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{10, 8, 6, 4, 2}
+	out := Scatter(30, 8, xs, ys, "dof", "peak")
+	if !strings.Contains(out, "x=dof, y=peak") {
+		t.Fatalf("labels missing:\n%s", out)
+	}
+	if strings.Count(out, "*") < 4 {
+		t.Fatalf("points missing:\n%s", out)
+	}
+}
+
+func TestScatterDegenerate(t *testing.T) {
+	if out := Scatter(20, 5, nil, nil, "x", "y"); !strings.Contains(out, "no data") {
+		t.Fatalf("empty scatter: %q", out)
+	}
+	if out := Scatter(20, 5, []float64{1}, []float64{1}, "x", "y"); out == "" {
+		t.Fatal("single-point scatter empty")
+	}
+	if out := Scatter(20, 5, []float64{1, 2}, []float64{3}, "x", "y"); !strings.Contains(out, "no data") {
+		t.Fatal("mismatched lengths should be rejected")
+	}
+}

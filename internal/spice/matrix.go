@@ -1,0 +1,96 @@
+package spice
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// lu is a dense LU factorization with partial pivoting. Transient analysis
+// of a linear circuit with a fixed time step solves the same matrix every
+// step, so we factor once and back-substitute per step.
+type lu struct {
+	n    int
+	a    [][]float64 // packed L (unit diagonal, below) and U (on/above)
+	perm []int       // row permutation
+}
+
+// errSingular is returned when the system matrix cannot be factored; in
+// circuit terms: a floating node or an inconsistent source loop.
+var errSingular = errors.New("spice: singular matrix (floating node or source loop?)")
+
+// factor computes the LU decomposition of a (which is overwritten).
+func factor(a [][]float64) (*lu, error) {
+	n := len(a)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for k := 0; k < n; k++ {
+		// Partial pivot.
+		p, best := k, math.Abs(a[k][k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(a[i][k]); v > best {
+				p, best = i, v
+			}
+		}
+		if best < 1e-18 {
+			return nil, fmt.Errorf("%w: pivot %d", errSingular, k)
+		}
+		if p != k {
+			a[p], a[k] = a[k], a[p]
+			perm[p], perm[k] = perm[k], perm[p]
+		}
+		inv := 1 / a[k][k]
+		for i := k + 1; i < n; i++ {
+			f := a[i][k] * inv
+			a[i][k] = f
+			if f == 0 {
+				continue
+			}
+			row, pivRow := a[i], a[k]
+			for j := k + 1; j < n; j++ {
+				row[j] -= f * pivRow[j]
+			}
+		}
+	}
+	return &lu{n: n, a: a, perm: perm}, nil
+}
+
+// solve computes x such that A·x = b, writing into x (len n). b is not
+// modified.
+func (f *lu) solve(b, x []float64) {
+	n := f.n
+	// Apply permutation and forward-substitute L·y = P·b.
+	for i := 0; i < n; i++ {
+		x[i] = b[f.perm[i]]
+	}
+	for i := 0; i < n; i++ {
+		row := f.a[i]
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s
+	}
+	// Back-substitute U·x = y.
+	for i := n - 1; i >= 0; i-- {
+		row := f.a[i]
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= row[j] * x[j]
+		}
+		x[i] = s / row[i]
+	}
+}
+
+// newMatrix allocates an n×n zero matrix as row slices over one backing
+// array.
+func newMatrix(n int) [][]float64 {
+	backing := make([]float64, n*n)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = backing[i*n : (i+1)*n]
+	}
+	return m
+}

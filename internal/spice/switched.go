@@ -1,0 +1,58 @@
+package spice
+
+import (
+	"fmt"
+
+	"wavemin/internal/waveform"
+)
+
+// switchedR is a time-varying conductance — the linearized stand-in for a
+// MOS transistor channel: its conductance ramps between "off" and "on" as
+// the (externally known) gate waveform sweeps through the threshold.
+type switchedR struct {
+	a, b int
+	g    waveform.Waveform // conductance vs time, mS; evaluated per step
+}
+
+// SwitchedR adds a time-varying resistor between a and b whose conductance
+// follows g (mS as a function of ps). Conductances below gmin are clamped
+// so an "off" switch never floats its nodes.
+//
+// Switched elements make the system matrix time-dependent: the transient
+// solver re-stamps and re-factors it every step, so simulations with
+// switches cost O(steps·n³) instead of O(n³ + steps·n²). Intended for the
+// small transistor-level characterization testbenches in internal/cell,
+// not for full-chip runs.
+func (c *Circuit) SwitchedR(a, b int, g waveform.Waveform) {
+	if g.IsZero() {
+		panic("spice: switched resistor with zero conductance waveform")
+	}
+	c.switched = append(c.switched, switchedR{a: a, b: b, g: g})
+}
+
+// RampOn builds a conductance waveform that is off before t0, ramps
+// linearly to gOn (mS) over the transition time tt, and stays on. The
+// linearized model of a transistor whose gate passes through threshold at
+// t0.
+func RampOn(t0, tt, gOn float64) waveform.Waveform {
+	if tt <= 0 || gOn <= 0 {
+		panic(fmt.Sprintf("spice: bad ramp tt=%g gOn=%g", tt, gOn))
+	}
+	return waveform.MustNew([]waveform.Point{
+		{T: t0, I: 0},
+		{T: t0 + tt, I: gOn},
+		{T: t0 + tt + 1e6, I: gOn}, // hold on "forever"
+	})
+}
+
+// RampOff mirrors RampOn: on at gOn until t0, off after t0+tt.
+func RampOff(t0, tt, gOn float64) waveform.Waveform {
+	if tt <= 0 || gOn <= 0 {
+		panic(fmt.Sprintf("spice: bad ramp tt=%g gOn=%g", tt, gOn))
+	}
+	return waveform.MustNew([]waveform.Point{
+		{T: t0 - 1e6, I: gOn},
+		{T: t0, I: gOn},
+		{T: t0 + tt, I: 0},
+	})
+}

@@ -1,0 +1,196 @@
+package spice
+
+import (
+	"fmt"
+)
+
+// gmin is a tiny conductance added from every node to ground so that nodes
+// connected only through capacitors still have a defined DC operating
+// point. Standard SPICE practice.
+const gmin = 1e-9 // mS
+
+// Transient simulates the circuit from t0 to t1 with a fixed step dt (ps)
+// using trapezoidal integration. The initial condition is the DC operating
+// point at t0 (capacitors open, sources evaluated at t0).
+func (c *Circuit) Transient(t0, t1, dt float64) (*Result, error) {
+	if dt <= 0 || t1 <= t0 {
+		return nil, fmt.Errorf("spice: bad time window [%g,%g] dt=%g", t0, t1, dt)
+	}
+	nn := len(c.names) // includes ground
+	nv := len(c.vsources)
+	dim := (nn - 1) + nv // unknowns: node voltages (minus ground) + branch currents
+
+	if dim == 0 {
+		return nil, fmt.Errorf("spice: empty circuit")
+	}
+
+	// idx maps a node number to its matrix row, -1 for ground.
+	idx := func(node int) int { return node - 1 }
+
+	stampG := func(m [][]float64, a, b int, g float64) {
+		if a != Ground {
+			m[idx(a)][idx(a)] += g
+		}
+		if b != Ground {
+			m[idx(b)][idx(b)] += g
+		}
+		if a != Ground && b != Ground {
+			m[idx(a)][idx(b)] -= g
+			m[idx(b)][idx(a)] -= g
+		}
+	}
+
+	buildMatrix := func(withCaps bool, t float64) ([][]float64, error) {
+		m := newMatrix(dim)
+		for i := 0; i < nn-1; i++ {
+			m[i][i] += gmin
+		}
+		for _, r := range c.resistors {
+			stampG(m, r.a, r.b, r.g)
+		}
+		for _, sw := range c.switched {
+			g := sw.g.At(t)
+			if g < gmin {
+				g = gmin
+			}
+			stampG(m, sw.a, sw.b, g)
+		}
+		if withCaps {
+			for _, cp := range c.caps {
+				stampG(m, cp.a, cp.b, 2*cp.c/dt)
+			}
+		}
+		for k, vs := range c.vsources {
+			row := (nn - 1) + k
+			if vs.node == Ground {
+				return nil, fmt.Errorf("spice: voltage source %d on ground", k)
+			}
+			m[idx(vs.node)][row] += 1 // branch current leaves the node
+			m[row][idx(vs.node)] += 1 // v_node = V
+		}
+		return m, nil
+	}
+
+	// DC operating point: caps open, switches at their t0 state.
+	mDC, err := buildMatrix(false, t0)
+	if err != nil {
+		return nil, err
+	}
+	luDC, err := factor(mDC)
+	if err != nil {
+		return nil, fmt.Errorf("spice: DC solve: %w", err)
+	}
+	rhs := make([]float64, dim)
+	x := make([]float64, dim)
+	fillSources := func(t float64) {
+		for i := range rhs {
+			rhs[i] = 0
+		}
+		for _, is := range c.isources {
+			cur := is.w.At(t) / 1000 // µA → mA
+			if is.from != Ground {
+				rhs[idx(is.from)] -= cur
+			}
+			if is.to != Ground {
+				rhs[idx(is.to)] += cur
+			}
+		}
+		for k, vs := range c.vsources {
+			rhs[(nn-1)+k] = vs.v
+		}
+	}
+	fillSources(t0)
+	luDC.solve(rhs, x)
+
+	// Capacitor state: branch voltage and branch current at current step.
+	vc := make([]float64, len(c.caps))
+	ic := make([]float64, len(c.caps))
+	volt := func(sol []float64, node int) float64 {
+		if node == Ground {
+			return 0
+		}
+		return sol[idx(node)]
+	}
+	for i, cp := range c.caps {
+		vc[i] = volt(x, cp.a) - volt(x, cp.b)
+		ic[i] = 0 // DC: no current through caps
+	}
+
+	// Transient matrix: caps as trapezoidal companions. With switched
+	// elements the matrix is time-dependent and re-factored per step;
+	// otherwise one factorization serves the whole run.
+	timeVarying := len(c.switched) > 0
+	var luTR *lu
+	if !timeVarying {
+		mTR, err := buildMatrix(true, t0)
+		if err != nil {
+			return nil, err
+		}
+		luTR, err = factor(mTR)
+		if err != nil {
+			return nil, fmt.Errorf("spice: transient factor: %w", err)
+		}
+	}
+
+	steps := int((t1-t0)/dt+0.5) + 1
+	res := &Result{
+		circuit: c,
+		Times:   make([]float64, steps),
+		v:       make([][]float64, steps),
+		isrcV:   make([][]float64, steps),
+	}
+	record := func(k int, t float64, sol []float64) {
+		res.Times[k] = t
+		row := make([]float64, nn)
+		for node := 1; node < nn; node++ {
+			row[node] = sol[idx(node)]
+		}
+		res.v[k] = row
+		br := make([]float64, nv)
+		for i := range br {
+			// Branch unknown is current flowing out of the node into the
+			// source; the supply *delivers* the negative of that.
+			br[i] = -sol[(nn-1)+i]
+		}
+		res.isrcV[k] = br
+	}
+	record(0, t0, x)
+
+	xNext := make([]float64, dim)
+	for k := 1; k < steps; k++ {
+		t := t0 + float64(k)*dt
+		if timeVarying {
+			mTR, err := buildMatrix(true, t)
+			if err != nil {
+				return nil, err
+			}
+			luTR, err = factor(mTR)
+			if err != nil {
+				return nil, fmt.Errorf("spice: transient factor at t=%g: %w", t, err)
+			}
+		}
+		fillSources(t)
+		for i, cp := range c.caps {
+			geq := 2 * cp.c / dt
+			ieq := geq*vc[i] + ic[i]
+			// Companion current source pushes ieq from b to a.
+			if cp.a != Ground {
+				rhs[idx(cp.a)] += ieq
+			}
+			if cp.b != Ground {
+				rhs[idx(cp.b)] -= ieq
+			}
+		}
+		luTR.solve(rhs, xNext)
+		// Update capacitor states.
+		for i, cp := range c.caps {
+			geq := 2 * cp.c / dt
+			newVc := volt(xNext, cp.a) - volt(xNext, cp.b)
+			newIc := geq*(newVc-vc[i]) - ic[i]
+			vc[i], ic[i] = newVc, newIc
+		}
+		record(k, t, xNext)
+		x, xNext = xNext, x
+	}
+	return res, nil
+}

@@ -1,0 +1,165 @@
+// Package variation runs the paper's Monte Carlo process-variation study
+// (§VII-D): wire widths/lengths, buffer/inverter widths and threshold
+// voltages are randomized as Gaussians N(µ, (σ/µ·µ)²) around their
+// nominal values, and each randomized instance is re-evaluated for clock
+// skew (yield against κ) and peak current / rail noise (normalized
+// standard deviations σ̂/µ̂).
+package variation
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wavemin/internal/clocktree"
+	"wavemin/internal/powergrid"
+)
+
+// Params configures a Monte Carlo run.
+type Params struct {
+	Sigma float64 // relative σ (paper: 0.05)
+	N     int     // instances (paper: 1000)
+	Kappa float64 // skew bound for yield, ps (paper: 100)
+	Seed  int64
+	// Correlation in [0,1] splits the variation into a die-wide
+	// (correlated) component and a per-device (random) component:
+	// σ_global = Correlation·σ, σ_local = (1−Correlation)·σ. Correlated
+	// variation shifts every path together and barely moves skew; the
+	// local remainder drives mismatch. 0 = fully independent devices.
+	Correlation float64
+	// Grid, when non-nil, additionally measures VDD/Gnd noise per
+	// instance (markedly slower: two transient solves each).
+	Grid *powergrid.Grid
+	Mode clocktree.Mode // zero value = nominal
+}
+
+// Stats aggregates a run.
+type Stats struct {
+	N         int
+	YieldOK   int     // instances meeting κ
+	Yield     float64 // fraction
+	MeanSkew  float64
+	MeanPeak  float64 // µA
+	NormSDev  float64 // σ̂/µ̂ of peak current
+	MeanVDD   float64 // volts, 0 when Grid nil
+	NormVDD   float64
+	MeanGnd   float64
+	NormGnd   float64
+	WorstSkew float64
+}
+
+// Perturb returns a randomized clone of the tree: every wire's R and C and
+// every node's delay/current scale drawn from N(1, σ²) (clamped at ±4σ to
+// avoid nonphysical negatives). Correlation ∈ [0,1] makes that fraction of
+// σ a die-wide shared draw (process corner) with the remainder per-device.
+func Perturb(t *clocktree.Tree, sigma, correlation float64, rng *rand.Rand) *clocktree.Tree {
+	if correlation < 0 {
+		correlation = 0
+	}
+	if correlation > 1 {
+		correlation = 1
+	}
+	cp := t.Clone()
+	sGlobal := sigma * correlation
+	sLocal := sigma * (1 - correlation)
+	// One shared draw per physical quantity (the process corner of this
+	// die), plus an independent draw per device.
+	globalWire := 1 + sGlobal*clampN(rng.NormFloat64())
+	globalDelay := 1 + sGlobal*clampN(rng.NormFloat64())
+	globalCurrent := 1 + sGlobal*clampN(rng.NormFloat64())
+	draw := func(global float64) float64 {
+		f := global * (1 + sLocal*clampN(rng.NormFloat64()))
+		if f < 0.01 {
+			f = 0.01
+		}
+		return f
+	}
+	cp.Walk(func(n *clocktree.Node) {
+		n.WireRes *= draw(globalWire)
+		n.WireCap *= draw(globalWire)
+		n.DelayScale = draw(globalDelay)
+		n.CurrentScale = draw(globalCurrent)
+	})
+	return cp
+}
+
+func clampN(x float64) float64 {
+	if x > 4 {
+		return 4
+	}
+	if x < -4 {
+		return -4
+	}
+	return x
+}
+
+// MonteCarlo evaluates N randomized instances of the tree.
+func MonteCarlo(t *clocktree.Tree, p Params) (*Stats, error) {
+	if p.N <= 0 {
+		return nil, fmt.Errorf("variation: non-positive N")
+	}
+	if p.Sigma < 0 {
+		return nil, fmt.Errorf("variation: negative sigma")
+	}
+	if p.Kappa <= 0 {
+		return nil, fmt.Errorf("variation: non-positive kappa")
+	}
+	mode := p.Mode
+	if mode.Name == "" {
+		mode = clocktree.NominalMode
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	st := &Stats{N: p.N}
+	var peaks, vdds, gnds []float64
+	for i := 0; i < p.N; i++ {
+		inst := Perturb(t, p.Sigma, p.Correlation, rng)
+		tm := inst.ComputeTiming(mode)
+		skew := tm.Skew(inst)
+		if skew <= p.Kappa {
+			st.YieldOK++
+		}
+		if skew > st.WorstSkew {
+			st.WorstSkew = skew
+		}
+		st.MeanSkew += skew
+		peak := inst.PeakCurrent(tm)
+		peaks = append(peaks, peak)
+		if p.Grid != nil {
+			v, g, err := p.Grid.MeasureTreeNoise(inst, tm)
+			if err != nil {
+				return nil, fmt.Errorf("variation: instance %d noise: %w", i, err)
+			}
+			vdds = append(vdds, v)
+			gnds = append(gnds, g)
+		}
+	}
+	st.MeanSkew /= float64(p.N)
+	st.Yield = float64(st.YieldOK) / float64(p.N)
+	st.MeanPeak, st.NormSDev = meanNorm(peaks)
+	if p.Grid != nil {
+		st.MeanVDD, st.NormVDD = meanNorm(vdds)
+		st.MeanGnd, st.NormGnd = meanNorm(gnds)
+	}
+	return st, nil
+}
+
+// meanNorm returns the mean and the normalized standard deviation σ̂/µ̂
+// (the paper's per-circuit normalization).
+func meanNorm(xs []float64) (mean, norm float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if mean == 0 {
+		return 0, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	return mean, math.Sqrt(ss/float64(len(xs))) / mean
+}

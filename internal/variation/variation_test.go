@@ -1,0 +1,156 @@
+package variation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wavemin/internal/cell"
+	"wavemin/internal/clocktree"
+	"wavemin/internal/cts"
+	"wavemin/internal/powergrid"
+)
+
+func testTree(t testing.TB) *clocktree.Tree {
+	lib := cell.DefaultLibrary()
+	var sinks []cts.Sink
+	for i := 0; i < 12; i++ {
+		sinks = append(sinks, cts.Sink{X: float64(10 + i*12), Y: float64(10 + (i%4)*30), Cap: 8})
+	}
+	tree, err := cts.Synthesize(sinks, lib, cts.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestPerturbZeroSigmaIsIdentity(t *testing.T) {
+	tree := testTree(t)
+	rng := rand.New(rand.NewSource(1))
+	cp := Perturb(tree, 0, 0, rng)
+	tm0 := tree.ComputeTiming(clocktree.NominalMode)
+	tm1 := cp.ComputeTiming(clocktree.NominalMode)
+	for id := range tm0.ATOut {
+		if math.Abs(tm0.ATOut[id]-tm1.ATOut[id]) > 1e-12 {
+			t.Fatalf("zero-sigma perturbation moved node %d", id)
+		}
+	}
+	if math.Abs(tree.PeakCurrent(tm0)-cp.PeakCurrent(tm1)) > 1e-9 {
+		t.Fatal("zero-sigma perturbation changed peak")
+	}
+}
+
+func TestPerturbDoesNotTouchOriginal(t *testing.T) {
+	tree := testTree(t)
+	before := tree.ComputeTiming(clocktree.NominalMode).Skew(tree)
+	_ = Perturb(tree, 0.2, 0.5, rand.New(rand.NewSource(2)))
+	after := tree.ComputeTiming(clocktree.NominalMode).Skew(tree)
+	if before != after {
+		t.Fatal("Perturb mutated the original tree")
+	}
+}
+
+func TestMonteCarloDeterministicWithSeed(t *testing.T) {
+	tree := testTree(t)
+	p := Params{Sigma: 0.05, N: 40, Kappa: 20, Seed: 7}
+	a, err := MonteCarlo(tree, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MonteCarlo(tree, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Yield != b.Yield || a.MeanPeak != b.MeanPeak || a.NormSDev != b.NormSDev {
+		t.Fatal("same seed gave different stats")
+	}
+}
+
+func TestMonteCarloYieldDropsWithSigma(t *testing.T) {
+	tree := testTree(t)
+	// κ barely above nominal skew so variation causes misses.
+	nominal := tree.ComputeTiming(clocktree.NominalMode).Skew(tree)
+	kappa := nominal + 3
+	low, err := MonteCarlo(tree, Params{Sigma: 0.01, N: 120, Kappa: kappa, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := MonteCarlo(tree, Params{Sigma: 0.15, N: 120, Kappa: kappa, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.Yield >= low.Yield {
+		t.Fatalf("yield should drop with sigma: %g → %g", low.Yield, high.Yield)
+	}
+	if high.NormSDev <= low.NormSDev {
+		t.Fatalf("peak spread should grow with sigma: %g → %g", low.NormSDev, high.NormSDev)
+	}
+}
+
+func TestMonteCarloWithGridNoise(t *testing.T) {
+	tree := testTree(t)
+	grid, err := powergrid.New(160, 120, powergrid.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := MonteCarlo(tree, Params{Sigma: 0.05, N: 5, Kappa: 20, Seed: 1, Grid: grid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MeanVDD <= 0 || st.MeanGnd <= 0 {
+		t.Fatalf("grid noise not measured: %g/%g", st.MeanVDD, st.MeanGnd)
+	}
+}
+
+func TestMonteCarloValidation(t *testing.T) {
+	tree := testTree(t)
+	if _, err := MonteCarlo(tree, Params{Sigma: 0.05, N: 0, Kappa: 10}); err == nil {
+		t.Error("zero N should error")
+	}
+	if _, err := MonteCarlo(tree, Params{Sigma: -1, N: 5, Kappa: 10}); err == nil {
+		t.Error("negative sigma should error")
+	}
+	if _, err := MonteCarlo(tree, Params{Sigma: 0.05, N: 5, Kappa: 0}); err == nil {
+		t.Error("zero kappa should error")
+	}
+}
+
+func TestMeanNorm(t *testing.T) {
+	m, n := meanNorm([]float64{10, 10, 10})
+	if m != 10 || n != 0 {
+		t.Fatalf("constant data: mean %g norm %g", m, n)
+	}
+	m, n = meanNorm([]float64{9, 11})
+	if math.Abs(m-10) > 1e-12 || math.Abs(n-0.1) > 1e-12 {
+		t.Fatalf("mean %g norm %g, want 10/0.1", m, n)
+	}
+	if m, n := meanNorm(nil); m != 0 || n != 0 {
+		t.Fatal("empty data should be zeros")
+	}
+}
+
+func TestCorrelatedVariationNarrowsSkewSpread(t *testing.T) {
+	tree := testTree(t)
+	nominal := tree.ComputeTiming(clocktree.NominalMode).Skew(tree)
+	kappa := nominal + 4
+	indep, err := MonteCarlo(tree, Params{Sigma: 0.08, Correlation: 0, N: 150, Kappa: kappa, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	corr, err := MonteCarlo(tree, Params{Sigma: 0.08, Correlation: 0.8, N: 150, Kappa: kappa, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Die-wide variation moves every path together: mean skew (and hence
+	// misses) must shrink, while the peak spread stays (currents scale
+	// with the corner).
+	if corr.MeanSkew >= indep.MeanSkew {
+		t.Fatalf("correlated mean skew %g should be below independent %g", corr.MeanSkew, indep.MeanSkew)
+	}
+	if corr.Yield < indep.Yield {
+		t.Fatalf("correlated yield %g should be at least independent %g", corr.Yield, indep.Yield)
+	}
+	if corr.NormSDev < 0.5*indep.NormSDev {
+		t.Fatalf("peak spread should survive correlation: %g vs %g", corr.NormSDev, indep.NormSDev)
+	}
+}

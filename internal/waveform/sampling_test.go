@@ -1,0 +1,142 @@
+package waveform
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSampleSetValidates(t *testing.T) {
+	if _, err := NewSampleSet(nil); err == nil {
+		t.Fatal("empty sample set should be rejected")
+	}
+	if _, err := NewSampleSet([]float64{1, 1}); err == nil {
+		t.Fatal("duplicate sampling points should be rejected")
+	}
+	s, err := NewSampleSet([]float64{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Times[0] != 1 || s.Times[2] != 3 {
+		t.Fatal("sample set not sorted")
+	}
+}
+
+func TestUniformSampleSet(t *testing.T) {
+	s := UniformSampleSet(0, 10, 5)
+	want := []float64{0, 2.5, 5, 7.5, 10}
+	for i, w := range want {
+		if s.Times[i] != w {
+			t.Fatalf("Times[%d] = %g, want %g", i, s.Times[i], w)
+		}
+	}
+	one := UniformSampleSet(0, 10, 1)
+	if len(one.Times) != 1 || one.Times[0] != 5 {
+		t.Fatalf("n=1 should give midpoint, got %v", one.Times)
+	}
+}
+
+func TestVectorAndMaxAt(t *testing.T) {
+	w := Triangle(0, 1, 1, 10)
+	s := UniformSampleSet(0, 2, 5)
+	v := s.Vector(w)
+	want := []float64{0, 5, 10, 5, 0}
+	for i := range want {
+		if !almostEq(v[i], want[i], 1e-12) {
+			t.Fatalf("Vector[%d] = %g, want %g", i, v[i], want[i])
+		}
+	}
+	peak, at := s.MaxAt(w)
+	if !almostEq(peak, 10, 1e-12) || !almostEq(at, 1, 1e-12) {
+		t.Fatalf("MaxAt = (%g,%g), want (10,1)", peak, at)
+	}
+}
+
+func TestMaxAtUndersamplesPeak(t *testing.T) {
+	// A sparse sample set can miss the true peak — exactly the inaccuracy
+	// the paper attributes to 4-corner models. The sampled max must be a
+	// lower bound on the true peak.
+	w := Triangle(0, 0.1, 0.1, 100)
+	s := UniformSampleSet(0, 2, 3) // samples at 0, 1, 2 — misses t=0.1
+	peak, _ := s.MaxAt(w)
+	truePeak, _ := w.Peak()
+	if peak >= truePeak {
+		t.Fatalf("expected undersampling: sampled %g, true %g", peak, truePeak)
+	}
+}
+
+func TestHotSpotsPrefersLargeMagnitude(t *testing.T) {
+	small := Triangle(10, 1, 1, 1)
+	big := Triangle(0, 1, 1, 100)
+	s := HotSpots(3, small, big)
+	// The three retained breakpoints must include t=1 (the big peak).
+	found := false
+	for _, tm := range s.Times {
+		if tm == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("hot spots %v should contain the big peak time 1", s.Times)
+	}
+}
+
+func TestHotSpotsOnZero(t *testing.T) {
+	s := HotSpots(4, Waveform{})
+	if s.Size() != 1 {
+		t.Fatalf("zero waveform hotspots: %v", s.Times)
+	}
+}
+
+func TestHotSpotsSortedUnique(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ws := make([]Waveform, 4)
+		for i := range ws {
+			ws[i] = Triangle(rng.Float64()*20, 0.1+rng.Float64(), 0.1+rng.Float64(), rng.Float64()*50)
+		}
+		s := HotSpots(1+rng.Intn(12), ws...)
+		for i := 1; i < len(s.Times); i++ {
+			if s.Times[i] <= s.Times[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := SampleSet{Times: []float64{1, 3, 5}}
+	b := SampleSet{Times: []float64{2, 3, 6}}
+	u := Union(a, b)
+	want := []float64{1, 2, 3, 5, 6}
+	if len(u.Times) != len(want) {
+		t.Fatalf("union %v, want %v", u.Times, want)
+	}
+	for i := range want {
+		if u.Times[i] != want[i] {
+			t.Fatalf("union %v, want %v", u.Times, want)
+		}
+	}
+}
+
+// Property: MaxAt over a union is >= MaxAt over each constituent set.
+func TestPropertyUnionMaxMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		w := Triangle(rng.Float64()*5, 0.1+rng.Float64(), 0.1+rng.Float64(), rng.Float64()*50)
+		a := UniformSampleSet(0, 8, 1+rng.Intn(6))
+		b := UniformSampleSet(rng.Float64(), 8+rng.Float64(), 1+rng.Intn(6))
+		u := Union(a, b)
+		ma, _ := a.MaxAt(w)
+		mb, _ := b.MaxAt(w)
+		mu, _ := u.MaxAt(w)
+		return mu >= ma-1e-12 && mu >= mb-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,334 @@
+// Package waveform provides piecewise-linear current waveforms and the
+// sampling machinery used throughout the WaveMin flow.
+//
+// A Waveform is a piecewise-linear (PWL) function of time, the same
+// representation circuit simulators use for transient sources and the
+// representation the paper's characterization step produces (Fig. 7):
+// a handful of (time, current) samples near the clock edges, linearly
+// interpolated in between and zero outside the sampled span.
+//
+// Units follow the rest of the module: time in picoseconds (ps), current
+// in microamperes (µA). Nothing in this package enforces the units; they
+// are a convention shared with internal/cell and internal/spice.
+package waveform
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is a single PWL sample.
+type Point struct {
+	T float64 // time, ps
+	I float64 // current, µA
+}
+
+// Waveform is a piecewise-linear function of time. The zero value is the
+// identically-zero waveform. Points are kept sorted by time with strictly
+// increasing T. Outside [First, Last] the waveform evaluates to zero, so a
+// waveform whose edge samples are nonzero has an implicit step there;
+// constructors in this package always emit zero-valued end points to avoid
+// that.
+type Waveform struct {
+	pts []Point
+}
+
+// New builds a waveform from the given samples. Samples are sorted by time.
+// Duplicate times are rejected because they would make interpolation
+// ambiguous.
+func New(pts []Point) (Waveform, error) {
+	cp := make([]Point, len(pts))
+	copy(cp, pts)
+	sort.Slice(cp, func(i, j int) bool { return cp[i].T < cp[j].T })
+	for i := 1; i < len(cp); i++ {
+		if cp[i].T == cp[i-1].T {
+			return Waveform{}, fmt.Errorf("waveform: duplicate sample time %g", cp[i].T)
+		}
+	}
+	for _, p := range cp {
+		if math.IsNaN(p.T) || math.IsInf(p.T, 0) || math.IsNaN(p.I) || math.IsInf(p.I, 0) {
+			return Waveform{}, errors.New("waveform: non-finite sample")
+		}
+	}
+	return Waveform{pts: cp}, nil
+}
+
+// MustNew is New but panics on error; for literals in tests and tables.
+func MustNew(pts []Point) Waveform {
+	w, err := New(pts)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Triangle returns an asymmetric triangular pulse that starts at t0, rises
+// linearly to peak at t0+rise, and decays linearly to zero at t0+rise+fall.
+// Triangular pulses are the behavioural stand-in for a CMOS stage's supply
+// current spike: the area equals the delivered charge and the peak equals
+// the paper's P+/P− characterization value.
+func Triangle(t0, rise, fall, peak float64) Waveform {
+	if rise <= 0 || fall <= 0 {
+		panic(fmt.Sprintf("waveform: non-positive triangle edges rise=%g fall=%g", rise, fall))
+	}
+	return Waveform{pts: []Point{
+		{T: t0, I: 0},
+		{T: t0 + rise, I: peak},
+		{T: t0 + rise + fall, I: 0},
+	}}
+}
+
+// Points returns a copy of the waveform's samples.
+func (w Waveform) Points() []Point {
+	cp := make([]Point, len(w.pts))
+	copy(cp, w.pts)
+	return cp
+}
+
+// Len reports the number of PWL samples.
+func (w Waveform) Len() int { return len(w.pts) }
+
+// IsZero reports whether the waveform has no samples (identically zero).
+func (w Waveform) IsZero() bool { return len(w.pts) == 0 }
+
+// First returns the time of the first sample; zero waveforms return 0.
+func (w Waveform) First() float64 {
+	if len(w.pts) == 0 {
+		return 0
+	}
+	return w.pts[0].T
+}
+
+// Last returns the time of the last sample; zero waveforms return 0.
+func (w Waveform) Last() float64 {
+	if len(w.pts) == 0 {
+		return 0
+	}
+	return w.pts[len(w.pts)-1].T
+}
+
+// At evaluates the waveform at time t with linear interpolation. Times
+// outside the sampled span evaluate to zero.
+func (w Waveform) At(t float64) float64 {
+	n := len(w.pts)
+	if n == 0 || t < w.pts[0].T || t > w.pts[n-1].T {
+		return 0
+	}
+	// Binary search for the segment containing t.
+	k := sort.Search(n, func(i int) bool { return w.pts[i].T >= t })
+	if k < n && w.pts[k].T == t {
+		return w.pts[k].I
+	}
+	a, b := w.pts[k-1], w.pts[k]
+	frac := (t - a.T) / (b.T - a.T)
+	return a.I + frac*(b.I-a.I)
+}
+
+// Shift returns the waveform translated by dt along the time axis.
+func (w Waveform) Shift(dt float64) Waveform {
+	if len(w.pts) == 0 || dt == 0 {
+		return w
+	}
+	pts := make([]Point, len(w.pts))
+	for i, p := range w.pts {
+		pts[i] = Point{T: p.T + dt, I: p.I}
+	}
+	return Waveform{pts: pts}
+}
+
+// Scale returns the waveform with every current multiplied by k.
+func (w Waveform) Scale(k float64) Waveform {
+	if len(w.pts) == 0 {
+		return w
+	}
+	pts := make([]Point, len(w.pts))
+	for i, p := range w.pts {
+		pts[i] = Point{T: p.T, I: p.I * k}
+	}
+	return Waveform{pts: pts}
+}
+
+// Add superposes two waveforms. The result samples the union of both
+// breakpoint sets, so it is exact for PWL inputs.
+func Add(a, b Waveform) Waveform {
+	if a.IsZero() {
+		return b
+	}
+	if b.IsZero() {
+		return a
+	}
+	times := mergeTimes(a.pts, b.pts)
+	pts := make([]Point, len(times))
+	for i, t := range times {
+		pts[i] = Point{T: t, I: a.At(t) + b.At(t)}
+	}
+	return Waveform{pts: pts}
+}
+
+// Sum superposes any number of waveforms. Summing pairwise would be
+// quadratic in breakpoints; Sum merges all breakpoint sets once.
+func Sum(ws ...Waveform) Waveform {
+	nonzero := ws[:0:0]
+	for _, w := range ws {
+		if !w.IsZero() {
+			nonzero = append(nonzero, w)
+		}
+	}
+	switch len(nonzero) {
+	case 0:
+		return Waveform{}
+	case 1:
+		return nonzero[0]
+	}
+	var all []Point
+	for _, w := range nonzero {
+		all = append(all, w.pts...)
+	}
+	times := mergeTimes(all)
+	pts := make([]Point, len(times))
+	for i, t := range times {
+		var s float64
+		for _, w := range nonzero {
+			s += w.At(t)
+		}
+		pts[i] = Point{T: t, I: s}
+	}
+	return Waveform{pts: pts}
+}
+
+func mergeTimes(sets ...[]Point) []float64 {
+	var times []float64
+	for _, s := range sets {
+		for _, p := range s {
+			times = append(times, p.T)
+		}
+	}
+	sort.Float64s(times)
+	out := times[:0]
+	for i, t := range times {
+		if i == 0 || t != times[i-1] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Peak returns the maximum current over all time and the time at which it
+// occurs. For PWL waveforms the maximum is attained at a breakpoint.
+func (w Waveform) Peak() (peak, at float64) {
+	for _, p := range w.pts {
+		if p.I > peak {
+			peak, at = p.I, p.T
+		}
+	}
+	return peak, at
+}
+
+// PeakIn returns the maximum current within [t0, t1] (inclusive) and its
+// time. Breakpoints inside the window and the window edges are candidates.
+func (w Waveform) PeakIn(t0, t1 float64) (peak, at float64) {
+	peak, at = w.At(t0), t0
+	if v := w.At(t1); v > peak {
+		peak, at = v, t1
+	}
+	for _, p := range w.pts {
+		if p.T > t0 && p.T < t1 && p.I > peak {
+			peak, at = p.I, p.T
+		}
+	}
+	return peak, at
+}
+
+// Charge integrates the waveform over all time (trapezoidal, exact for
+// PWL). With µA and ps conventions the result is in femto-coulombs × 10⁻³
+// (1 µA·ps = 10⁻¹⁸ C); callers only use it for relative comparisons.
+func (w Waveform) Charge() float64 {
+	var q float64
+	for i := 1; i < len(w.pts); i++ {
+		a, b := w.pts[i-1], w.pts[i]
+		q += (a.I + b.I) / 2 * (b.T - a.T)
+	}
+	return q
+}
+
+// SampleUniform evaluates the waveform on n uniformly spaced points across
+// [t0, t1], inclusive of both ends. n must be at least 2.
+func (w Waveform) SampleUniform(t0, t1 float64, n int) []Point {
+	if n < 2 {
+		panic("waveform: SampleUniform needs n >= 2")
+	}
+	out := make([]Point, n)
+	step := (t1 - t0) / float64(n-1)
+	for i := range out {
+		t := t0 + float64(i)*step
+		out[i] = Point{T: t, I: w.At(t)}
+	}
+	return out
+}
+
+// Resample returns a waveform whose breakpoints are exactly the given
+// times, evaluated from w. This loses information unless every breakpoint
+// of w is included. Used to place characterization data on a shared grid.
+func (w Waveform) Resample(times []float64) Waveform {
+	ts := append([]float64(nil), times...)
+	sort.Float64s(ts)
+	pts := make([]Point, 0, len(ts))
+	for i, t := range ts {
+		if i > 0 && t == ts[i-1] {
+			continue
+		}
+		pts = append(pts, Point{T: t, I: w.At(t)})
+	}
+	return Waveform{pts: pts}
+}
+
+// Clip returns the waveform restricted to [t0, t1], with exact boundary
+// samples inserted; everything outside is dropped.
+func (w Waveform) Clip(t0, t1 float64) Waveform {
+	if w.IsZero() || t1 <= t0 {
+		return Waveform{}
+	}
+	pts := []Point{{T: t0, I: w.At(t0)}}
+	for _, p := range w.pts {
+		if p.T > t0 && p.T < t1 {
+			pts = append(pts, p)
+		}
+	}
+	pts = append(pts, Point{T: t1, I: w.At(t1)})
+	return Waveform{pts: pts}
+}
+
+// Equal reports whether two waveforms evaluate identically within tol at
+// every breakpoint of either.
+func Equal(a, b Waveform, tol float64) bool {
+	for _, t := range mergeTimes(a.pts, b.pts) {
+		if math.Abs(a.At(t)-b.At(t)) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a short human-readable summary.
+func (w Waveform) String() string {
+	if w.IsZero() {
+		return "waveform{zero}"
+	}
+	peak, at := w.Peak()
+	return fmt.Sprintf("waveform{%d pts, [%.3g,%.3g] ps, peak %.4g µA @ %.3g ps}",
+		len(w.pts), w.First(), w.Last(), peak, at)
+}
+
+// Table renders the samples as a two-column text table, for dumping the
+// figures' waveform data.
+func (w Waveform) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%12s %14s\n", "t(ps)", "I(uA)")
+	for _, p := range w.pts {
+		fmt.Fprintf(&b, "%12.4f %14.5f\n", p.T, p.I)
+	}
+	return b.String()
+}

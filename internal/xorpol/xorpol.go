@@ -1,0 +1,169 @@
+// Package xorpol implements dynamically reconfigurable polarity assignment
+// after Lu & Taskin (ISVLSI 2010) and Lu, Teng & Taskin (TVLSI 2012) — the
+// paper's references [30] and [31]: each leaf buffering element drives its
+// flip-flops through an XOR gate with a mode-programmable control bit, and
+// the flip-flops are double-edge triggered. The leaf's *polarity* then
+// becomes a per-power-mode choice with (idealized) no timing impact, so
+// every mode is optimized independently — the ultimate flexibility the
+// static assignment of the main flow approximates.
+//
+// The cost is the XOR's own switching current, charged per leaf on both
+// rails at every edge.
+package xorpol
+
+import (
+	"fmt"
+	"math"
+
+	"wavemin/internal/cell"
+	"wavemin/internal/clocktree"
+	"wavemin/internal/mosp"
+	"wavemin/internal/polarity"
+	"wavemin/internal/waveform"
+)
+
+// Config parameterizes Optimize.
+type Config struct {
+	Samples  int     // |S| per mode (split over four rail/edge groups)
+	ZoneSize float64 // µm; 0 = polarity.DefaultZoneSize
+	// XOROverheadFrac scales the XOR gate's own current pulse relative to
+	// the leaf's main pulse peak (default 0.08).
+	XOROverheadFrac float64
+}
+
+// Result is a per-mode polarity program.
+type Result struct {
+	// Positive[leaf][modeName] reports the XOR control: true = the leaf's
+	// output follows the clock (positive polarity) in that mode.
+	Positive map[clocktree.NodeID]map[string]bool
+	// PeakPerMode is the optimizer's estimate per mode, µA.
+	PeakPerMode map[string]float64
+	// WorstPeak is the max over modes.
+	WorstPeak float64
+}
+
+// Optimize chooses each leaf's polarity independently per mode. The tree's
+// cells (and hence timing) are untouched: an ideal XOR adds equal delay on
+// both polarities, so the skew is whatever the tree already has.
+func Optimize(t *clocktree.Tree, modes []clocktree.Mode, cfg Config) (*Result, error) {
+	if len(modes) == 0 {
+		return nil, fmt.Errorf("xorpol: no modes")
+	}
+	if cfg.Samples <= 0 {
+		cfg.Samples = 16
+	}
+	if cfg.XOROverheadFrac == 0 {
+		cfg.XOROverheadFrac = 0.08
+	}
+	perGroup := cfg.Samples / int(polarity.NumGroups)
+	if perGroup < 1 {
+		perGroup = 1
+	}
+	res := &Result{
+		Positive:    make(map[clocktree.NodeID]map[string]bool),
+		PeakPerMode: make(map[string]float64),
+	}
+	for _, leaf := range t.Leaves() {
+		res.Positive[leaf] = make(map[string]bool, len(modes))
+	}
+	zones := polarity.LeafZones(polarity.PartitionZones(t, cfg.ZoneSize))
+
+	for _, mode := range modes {
+		tm := t.ComputeTiming(mode)
+		var modePeak float64
+		for _, zone := range zones {
+			// Baseline: non-leaf currents plus every leaf's XOR overhead
+			// (the XOR switches in both polarities).
+			var base [4]waveform.Waveform
+			for _, id := range zone.NonLeaves {
+				iddR, issR := t.NodeCurrents(tm, id, cell.Rising)
+				iddF, issF := t.NodeCurrents(tm, id, cell.Falling)
+				base[0] = waveform.Add(base[0], iddR)
+				base[1] = waveform.Add(base[1], issR)
+				base[2] = waveform.Add(base[2], iddF)
+				base[3] = waveform.Add(base[3], issF)
+			}
+			// Per-leaf option waveforms: keep (parity as built) or flip
+			// (swap the edges), plus the XOR overhead on the baseline.
+			type opt struct{ w [4]waveform.Waveform }
+			options := make([][2]opt, len(zone.Leaves))
+			for li, leaf := range zone.Leaves {
+				iddR, issR := t.NodeCurrents(tm, leaf, cell.Rising)
+				iddF, issF := t.NodeCurrents(tm, leaf, cell.Falling)
+				keep := opt{w: [4]waveform.Waveform{iddR, issR, iddF, issF}}
+				flip := opt{w: [4]waveform.Waveform{iddF, issF, iddR, issR}}
+				options[li] = [2]opt{keep, flip}
+				pk, _ := iddR.Peak()
+				if p2, _ := issR.Peak(); p2 > pk {
+					pk = p2
+				}
+				over := xorPulse(tm, leaf, pk*cfg.XOROverheadFrac)
+				for g := 0; g < 4; g++ {
+					base[g] = waveform.Add(base[g], over)
+				}
+			}
+			// Sample sets per group from everything in play.
+			var samples [4]waveform.SampleSet
+			for g := 0; g < 4; g++ {
+				ws := []waveform.Waveform{base[g]}
+				for li := range options {
+					ws = append(ws, options[li][0].w[g], options[li][1].w[g])
+				}
+				samples[g] = waveform.HotSpots(perGroup, ws...)
+			}
+			vec := func(w [4]waveform.Waveform) []float64 {
+				var out []float64
+				for g := 0; g < 4; g++ {
+					out = append(out, samples[g].Vector(w[g])...)
+				}
+				return out
+			}
+			g := &mosp.Graph{Baseline: vec(base)}
+			for li := range options {
+				g.Layers = append(g.Layers, []mosp.Vertex{
+					{Weight: vec(options[li][0].w), Tag: 0},
+					{Weight: vec(options[li][1].w), Tag: 1},
+				})
+			}
+			sol, err := mosp.Solve(g, mosp.Options{Epsilon: 0.01})
+			if err != nil {
+				return nil, err
+			}
+			for li, leaf := range zone.Leaves {
+				res.Positive[leaf][mode.Name] = g.Layers[li][sol.Picks[li]].Tag == 0 == t.PolarityOf(leaf)
+			}
+			if sol.Max > modePeak {
+				modePeak = sol.Max
+			}
+		}
+		res.PeakPerMode[mode.Name] = modePeak
+		res.WorstPeak = math.Max(res.WorstPeak, modePeak)
+	}
+	return res, nil
+}
+
+// xorPulse models the XOR gate's own supply pulse at the leaf's switching
+// time.
+func xorPulse(tm *clocktree.Timing, leaf clocktree.NodeID, peak float64) waveform.Waveform {
+	if peak <= 0 {
+		return waveform.Waveform{}
+	}
+	at := tm.ATOut[leaf]
+	return waveform.Triangle(math.Max(0, at-2), 2, 3, peak)
+}
+
+// Flips counts, per mode, how many leaves run with flipped (relative to
+// the tree's built-in parity) polarity.
+func (r *Result) Flips(t *clocktree.Tree, modes []clocktree.Mode) map[string]int {
+	out := make(map[string]int, len(modes))
+	for _, m := range modes {
+		n := 0
+		for leaf, byMode := range r.Positive {
+			if byMode[m.Name] != t.PolarityOf(leaf) {
+				n++
+			}
+		}
+		out[m.Name] = n
+	}
+	return out
+}

@@ -1,0 +1,149 @@
+package xorpol
+
+import (
+	"testing"
+
+	"wavemin/internal/bench"
+	"wavemin/internal/cell"
+	"wavemin/internal/clocktree"
+	"wavemin/internal/cts"
+	"wavemin/internal/waveform"
+)
+
+func testDesign(t testing.TB) (*clocktree.Tree, []clocktree.Mode) {
+	lib := cell.DefaultLibrary()
+	var sinks []cts.Sink
+	for i := 0; i < 12; i++ {
+		sinks = append(sinks, cts.Sink{X: 15 + float64(i%4)*8, Y: 15 + float64(i/4)*8, Cap: 8})
+	}
+	opt := cts.DefaultOptions()
+	opt.LeafCell = "BUF_X8"
+	tree, err := cts.Synthesize(sinks, lib, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	domains := bench.AssignDomains(tree, 60, 50, 2)
+	modes := []clocktree.Mode{
+		{Name: "M1", Supplies: map[string]float64{domains[0]: 1.1, domains[1]: 1.1}},
+		{Name: "M2", Supplies: map[string]float64{domains[0]: 0.9, domains[1]: 1.1}},
+	}
+	return tree, modes
+}
+
+// goldenPeak evaluates a polarity program for one mode by superposing the
+// (possibly edge-flipped) leaf currents plus non-leaf currents.
+func goldenPeak(t *clocktree.Tree, mode clocktree.Mode, res *Result) float64 {
+	tm := t.ComputeTiming(mode)
+	var worst float64
+	for gi, pair := range [][2]cell.Edge{{cell.Rising, cell.Rising}, {cell.Falling, cell.Falling}} {
+		_ = gi
+		var idd, iss waveform.Waveform
+		for _, id := range t.NonLeaves() {
+			i1, i2 := t.NodeCurrents(tm, id, pair[0])
+			idd = waveform.Add(idd, i1)
+			iss = waveform.Add(iss, i2)
+		}
+		for _, leaf := range t.Leaves() {
+			e := pair[0]
+			if res.Positive[leaf][mode.Name] != t.PolarityOf(leaf) {
+				e = e.Opposite()
+			}
+			i1, i2 := t.NodeCurrents(tm, leaf, e)
+			idd = waveform.Add(idd, i1)
+			iss = waveform.Add(iss, i2)
+		}
+		if p, _ := idd.Peak(); p > worst {
+			worst = p
+		}
+		if p, _ := iss.Peak(); p > worst {
+			worst = p
+		}
+	}
+	return worst
+}
+
+func TestOptimizeProgramsEveryLeafAndMode(t *testing.T) {
+	tree, modes := testDesign(t)
+	res, err := Optimize(tree, modes, Config{Samples: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, leaf := range tree.Leaves() {
+		for _, m := range modes {
+			if _, ok := res.Positive[leaf][m.Name]; !ok {
+				t.Fatalf("leaf %d missing polarity for %s", leaf, m.Name)
+			}
+		}
+	}
+	if res.WorstPeak <= 0 {
+		t.Fatal("missing peak estimate")
+	}
+}
+
+func TestXORPolarityBeatsAllPositive(t *testing.T) {
+	tree, modes := testDesign(t)
+	res, err := Optimize(tree, modes, Config{Samples: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All-positive program (everything as built).
+	allPos := &Result{Positive: make(map[clocktree.NodeID]map[string]bool)}
+	for _, leaf := range tree.Leaves() {
+		allPos.Positive[leaf] = map[string]bool{}
+		for _, m := range modes {
+			allPos.Positive[leaf][m.Name] = tree.PolarityOf(leaf)
+		}
+	}
+	for _, m := range modes {
+		opt := goldenPeak(tree, m, res)
+		base := goldenPeak(tree, m, allPos)
+		if opt > base*1.02 {
+			t.Fatalf("mode %s: XOR program %g worse than all-positive %g", m.Name, opt, base)
+		}
+	}
+	// And it actually flips a meaningful number of leaves.
+	flips := res.Flips(tree, modes)
+	for _, m := range modes {
+		if flips[m.Name] == 0 {
+			t.Fatalf("mode %s: no flips chosen", m.Name)
+		}
+	}
+}
+
+func TestPerModeProgramsDiffer(t *testing.T) {
+	// With a voltage island shifting arrivals in M2, the per-mode optima
+	// generally differ — that is the point of dynamic polarity.
+	tree, modes := testDesign(t)
+	res, err := Optimize(tree, modes, Config{Samples: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	differ := false
+	for _, byMode := range res.Positive {
+		if byMode["M1"] != byMode["M2"] {
+			differ = true
+		}
+	}
+	if !differ {
+		t.Log("per-mode programs identical (acceptable but unusual); peaks:", res.PeakPerMode)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	tree, _ := testDesign(t)
+	if _, err := Optimize(tree, nil, Config{}); err == nil {
+		t.Fatal("no modes should error")
+	}
+}
+
+func TestTimingUntouched(t *testing.T) {
+	tree, modes := testDesign(t)
+	before := tree.ComputeTiming(modes[1]).Skew(tree)
+	if _, err := Optimize(tree, modes, Config{Samples: 16}); err != nil {
+		t.Fatal(err)
+	}
+	after := tree.ComputeTiming(modes[1]).Skew(tree)
+	if before != after {
+		t.Fatal("XOR polarity must not touch timing")
+	}
+}

@@ -1,0 +1,27 @@
+package wavemin
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzLoadSinksCSV checks the CSV loader never panics and accepted sinks
+// are physically sane.
+func FuzzLoadSinksCSV(f *testing.F) {
+	f.Add("x_um,y_um,cap_fF\n10,20,8\n")
+	f.Add("1,2,3\n")
+	f.Add("x_um,y_um,cap_fF\n")
+	f.Add(",,\n")
+	f.Add("a,b,c\n1,2,3")
+	f.Fuzz(func(t *testing.T, src string) {
+		sinks, err := LoadSinksCSV(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		for _, s := range sinks {
+			if s.Cap <= 0 {
+				t.Fatalf("accepted non-positive cap %g", s.Cap)
+			}
+		}
+	})
+}

@@ -1,0 +1,364 @@
+// Package wavemin is a clock-tree peak-current and power-noise optimizer:
+// a Go implementation of WaveMin (Joo & Kim, DAC 2011; extended in IEEE
+// TCAD 33(2), 2014), the fine-grained clock buffer polarity assignment
+// combined with buffer sizing.
+//
+// Given a placed, buffered clock tree, WaveMin re-assigns every leaf
+// buffering element to a buffer or inverter from a sizing library so that
+// the accumulated supply-current waveform — sampled at many time points,
+// with non-leaf contributions and per-sink arrival times modeled — has a
+// minimal peak, while the clock skew stays within a bound κ in every power
+// mode. Designs whose multi-mode skew cannot be fixed by sizing alone get
+// adjustable delay buffers (ADBs) and, optionally, the paper's adjustable
+// delay inverters (ADIs).
+//
+// The package is a facade over the internal engine:
+//
+//   - internal/polarity, internal/mosp: the WaveMin formulation and its
+//     ε-approximate multi-objective shortest path solver;
+//   - internal/multimode, internal/adb: the multi-power-mode extension;
+//   - internal/peakmin: the ClkPeakMin comparison baseline;
+//   - internal/cell, internal/clocktree, internal/cts, internal/spice,
+//     internal/powergrid, internal/bench: the EDA substrate (cell models,
+//     tree timing, synthesis, transient simulation, rail-noise analysis,
+//     benchmark generation).
+//
+// See examples/ for runnable walkthroughs and cmd/experiments for the
+// paper's evaluation tables.
+package wavemin
+
+import (
+	"fmt"
+	"time"
+
+	"wavemin/internal/bench"
+	"wavemin/internal/cell"
+	"wavemin/internal/clocktree"
+	"wavemin/internal/cts"
+	"wavemin/internal/multimode"
+	"wavemin/internal/polarity"
+	"wavemin/internal/powergrid"
+	"wavemin/internal/xorpol"
+)
+
+// Sink is a clock consumer: a flip-flop group at a die location with a
+// lumped load (fF), driven by one leaf buffering element.
+type Sink = cts.Sink
+
+// Mode is a power mode: a named assignment of supply voltages to voltage
+// domains.
+type Mode = clocktree.Mode
+
+// NominalMode runs every domain at the nominal 1.1 V supply.
+var NominalMode = clocktree.NominalMode
+
+// Algorithm selects the optimizer.
+type Algorithm int
+
+const (
+	// WaveMin is the ε-approximate fine-grained optimizer (ClkWaveMin).
+	WaveMin Algorithm = iota
+	// WaveMinFast is the fast greedy variant (ClkWaveMin-f).
+	WaveMinFast
+	// PeakMin is the two-corner baseline of Jang et al. (ClkPeakMin),
+	// provided for comparison studies.
+	PeakMin
+)
+
+// Config parameterizes Optimize. The zero value is completed with the
+// paper's defaults.
+type Config struct {
+	Kappa     float64   // clock skew bound, ps (default 20)
+	Samples   int       // |S| time sampling points (default 158)
+	Epsilon   float64   // approximation parameter (default 0.01)
+	ZoneSize  float64   // noise-zone tile, µm (default 50)
+	Algorithm Algorithm // default WaveMin
+	// EnableADI offers adjustable delay inverters at ADB sites in
+	// multi-mode designs (the paper's Observation 3).
+	EnableADI bool
+	// MaxIntervals / MaxIntersections bound the search breadth (0 = the
+	// experiment defaults).
+	MaxIntervals     int
+	MaxIntersections int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Kappa == 0 {
+		c.Kappa = 20
+	}
+	if c.Samples == 0 {
+		c.Samples = 158
+	}
+	if c.Epsilon == 0 {
+		c.Epsilon = 0.01
+	}
+	if c.ZoneSize == 0 {
+		c.ZoneSize = polarity.DefaultZoneSize
+	}
+	if c.MaxIntervals == 0 {
+		c.MaxIntervals = 8
+	}
+	if c.MaxIntersections == 0 {
+		c.MaxIntersections = 8
+	}
+	return c
+}
+
+// Design is a buffered clock tree with its power grid and operating modes.
+type Design struct {
+	Tree  *clocktree.Tree
+	Grid  *powergrid.Grid
+	Modes []Mode
+
+	lib        *cell.Library
+	dieW, dieH float64
+}
+
+// New synthesizes a near-zero-skew buffered clock tree over the sinks and
+// builds a matching power grid. The die is inferred from the sink bounding
+// box.
+func New(sinks []Sink) (*Design, error) {
+	if len(sinks) == 0 {
+		return nil, fmt.Errorf("wavemin: no sinks")
+	}
+	lib := cell.DefaultLibrary()
+	opt := cts.DefaultOptions()
+	opt.LeafCell = "BUF_X8"
+	tree, err := cts.Synthesize(sinks, lib, opt)
+	if err != nil {
+		return nil, err
+	}
+	var w, h float64
+	for _, s := range sinks {
+		if s.X > w {
+			w = s.X
+		}
+		if s.Y > h {
+			h = s.Y
+		}
+	}
+	grid, err := powergrid.New(w+10, h+10, powergrid.DefaultOptions())
+	if err != nil {
+		return nil, err
+	}
+	return &Design{Tree: tree, Grid: grid, Modes: []Mode{NominalMode}, lib: lib, dieW: w + 10, dieH: h + 10}, nil
+}
+
+// Benchmark loads one of the built-in synthetic benchmark circuits
+// (s13207, s15850, s35932, s38417, s38584, ispd09f31, ispd09f34).
+func Benchmark(name string) (*Design, error) {
+	spec, ok := bench.SpecByName(name)
+	if !ok {
+		return nil, fmt.Errorf("wavemin: unknown benchmark %q", name)
+	}
+	lib := cell.DefaultLibrary()
+	opt := cts.DefaultOptions()
+	opt.LeafCell = "BUF_X8"
+	tree, err := spec.Synthesize(lib, opt)
+	if err != nil {
+		return nil, err
+	}
+	gopt := powergrid.DefaultOptions()
+	if spec.Clustered {
+		gopt = powergrid.DenseOptions()
+	}
+	grid, err := powergrid.New(spec.DieW, spec.DieH, gopt)
+	if err != nil {
+		return nil, err
+	}
+	return &Design{Tree: tree, Grid: grid, Modes: []Mode{NominalMode}, lib: lib,
+		dieW: spec.DieW, dieH: spec.DieH}, nil
+}
+
+// BenchmarkNames lists the built-in circuits.
+func BenchmarkNames() []string {
+	var out []string
+	for _, s := range bench.Specs() {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// PartitionVoltageIslands splits the die into n region-based voltage
+// domains, assigns every tree node to its region, and returns the domain
+// names (for building Modes).
+func (d *Design) PartitionVoltageIslands(n int) []string {
+	return bench.AssignDomains(d.Tree, d.dieW, d.dieH, n)
+}
+
+// SetModes declares the design's power modes. At least one is required;
+// the skew bound will be enforced in every mode.
+func (d *Design) SetModes(modes []Mode) error {
+	if len(modes) == 0 {
+		return fmt.Errorf("wavemin: empty mode list")
+	}
+	d.Modes = append([]Mode(nil), modes...)
+	return nil
+}
+
+// Metrics is a golden ("simulator-measured") evaluation of the design.
+type Metrics struct {
+	PeakCurrent float64 // µA, worst over modes and edges
+	VDDNoise    float64 // volts
+	GndNoise    float64 // volts
+	WorstSkew   float64 // ps, worst over modes
+}
+
+// Measure evaluates the design as-is: total-waveform peak current, rail
+// noise from the power-grid transient, and worst-mode skew.
+func (d *Design) Measure() (Metrics, error) {
+	var m Metrics
+	for _, mode := range d.Modes {
+		tm := d.Tree.ComputeTiming(mode)
+		if p := d.Tree.PeakCurrent(tm); p > m.PeakCurrent {
+			m.PeakCurrent = p
+		}
+		if s := tm.Skew(d.Tree); s > m.WorstSkew {
+			m.WorstSkew = s
+		}
+		v, g, err := d.Grid.MeasureTreeNoise(d.Tree, tm)
+		if err != nil {
+			return Metrics{}, err
+		}
+		if v > m.VDDNoise {
+			m.VDDNoise = v
+		}
+		if g > m.GndNoise {
+			m.GndNoise = g
+		}
+	}
+	return m, nil
+}
+
+// Result reports an optimization.
+type Result struct {
+	Before, After Metrics
+	NumBuffers    int // leaves assigned plain buffers
+	NumInverters  int // leaves assigned plain inverters
+	NumADBs       int
+	NumADIs       int
+	ADBInserted   int // ADBs added to fix multi-mode skew
+	Runtime       time.Duration
+}
+
+// PeakReduction returns the percent peak-current improvement.
+func (r *Result) PeakReduction() float64 {
+	if r.Before.PeakCurrent == 0 {
+		return 0
+	}
+	return 100 * (r.Before.PeakCurrent - r.After.PeakCurrent) / r.Before.PeakCurrent
+}
+
+// Optimize runs the WaveMin flow on the design, modifying its tree in
+// place: single-mode designs use ClkWaveMin (or the selected variant);
+// multi-mode designs use ClkWaveMin-M with ADB insertion as needed.
+func (d *Design) Optimize(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	before, err := d.Measure()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	res := &Result{Before: before}
+
+	sizing, err := d.lib.Restrict("BUF_X8", "BUF_X16", "INV_X8", "INV_X16")
+	if err != nil {
+		return nil, err
+	}
+
+	if len(d.Modes) == 1 {
+		algo := polarity.ClkWaveMin
+		switch cfg.Algorithm {
+		case WaveMinFast:
+			algo = polarity.ClkWaveMinF
+		case PeakMin:
+			algo = polarity.ClkPeakMinBaseline
+		}
+		opt, err := polarity.Optimize(d.Tree, polarity.Config{
+			Library: sizing, Kappa: cfg.Kappa, Samples: cfg.Samples,
+			Epsilon: cfg.Epsilon, ZoneSize: cfg.ZoneSize, Algorithm: algo,
+			Mode: d.Modes[0], MaxIntervals: cfg.MaxIntervals,
+		})
+		if err != nil {
+			return nil, err
+		}
+		polarity.Apply(d.Tree, opt.Assignment)
+		countCells(d.Tree, res)
+	} else {
+		mcfg := multimode.Config{
+			Library: sizing,
+			ADBCell: d.lib.MustByName("ADB_X8"),
+			Kappa:   cfg.Kappa, Samples: cfg.Samples, Epsilon: cfg.Epsilon,
+			ZoneSize: cfg.ZoneSize, Fast: cfg.Algorithm == WaveMinFast,
+			MaxIntersections: cfg.MaxIntersections,
+		}
+		if cfg.EnableADI {
+			mcfg.ADICell = d.lib.MustByName("ADI_X8")
+		}
+		opt, err := multimode.Optimize(d.Tree, d.Modes, mcfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := multimode.ApplyResult(d.Tree, d.Modes, cfg.Kappa, opt); err != nil {
+			return nil, err
+		}
+		res.ADBInserted = opt.ADBInserted
+		countCells(d.Tree, res)
+	}
+	res.Runtime = time.Since(start)
+	after, err := d.Measure()
+	if err != nil {
+		return nil, err
+	}
+	res.After = after
+	return res, nil
+}
+
+// DynamicPolarityResult reports OptimizeDynamicPolarity.
+type DynamicPolarityResult struct {
+	// Positive[leaf][modeName]: the XOR control program (true = the leaf
+	// follows the clock polarity in that mode).
+	Positive map[clocktree.NodeID]map[string]bool
+	// PeakPerMode is the optimizer's per-mode estimate, µA.
+	PeakPerMode map[string]float64
+	// FlipsPerMode counts leaves running flipped relative to the built
+	// tree, per mode.
+	FlipsPerMode map[string]int
+}
+
+// OptimizeDynamicPolarity computes a per-power-mode polarity program in
+// the style of XOR-gate/double-edge-triggered-FF clocking (the research
+// direction the paper cites as [30, 31]): instead of committing one
+// static buffer/inverter choice, each leaf's polarity becomes a
+// mode-programmable bit with no timing impact. The design itself is not
+// modified.
+func (d *Design) OptimizeDynamicPolarity(cfg Config) (*DynamicPolarityResult, error) {
+	cfg = cfg.withDefaults()
+	res, err := xorpol.Optimize(d.Tree, d.Modes, xorpol.Config{
+		Samples: cfg.Samples, ZoneSize: cfg.ZoneSize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &DynamicPolarityResult{
+		Positive:     res.Positive,
+		PeakPerMode:  res.PeakPerMode,
+		FlipsPerMode: res.Flips(d.Tree, d.Modes),
+	}, nil
+}
+
+func countCells(t *clocktree.Tree, res *Result) {
+	res.NumBuffers, res.NumInverters, res.NumADBs, res.NumADIs = 0, 0, 0, 0
+	for _, leaf := range t.Leaves() {
+		switch t.Node(leaf).Cell.Kind {
+		case cell.Buf:
+			res.NumBuffers++
+		case cell.Inv:
+			res.NumInverters++
+		case cell.ADB:
+			res.NumADBs++
+		case cell.ADI:
+			res.NumADIs++
+		}
+	}
+}
