@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test vet race verify
+
+build:
+	$(GO) build ./...
+
+# Tier 1: the fast correctness gate.
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Tier 2: static analysis plus the full suite under the race detector.
+# Slower, but the cancellation and fault-injection paths are concurrent,
+# so this is the tier that must pass before a release.
+race: vet
+	$(GO) test -race ./...
+
+verify: test race

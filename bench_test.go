@@ -7,6 +7,7 @@ package wavemin
 // full-parameter runs live in cmd/experiments.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -194,7 +195,7 @@ func BenchmarkAblationEpsilon(b *testing.B) {
 			cfg := ablationConfig(lib)
 			cfg.Epsilon = eps
 			for i := 0; i < b.N; i++ {
-				res, err := polarity.Optimize(tree, cfg)
+				res, err := polarity.Optimize(context.Background(), tree, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -217,7 +218,7 @@ func BenchmarkAblationZoneSize(b *testing.B) {
 			cfg := ablationConfig(lib)
 			cfg.ZoneSize = zs
 			for i := 0; i < b.N; i++ {
-				res, err := polarity.Optimize(d.Tree, cfg)
+				res, err := polarity.Optimize(context.Background(), d.Tree, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -240,7 +241,7 @@ func BenchmarkAblationDoFPruning(b *testing.B) {
 			cfg := ablationConfig(lib)
 			cfg.MaxIntervals = max
 			for i := 0; i < b.N; i++ {
-				res, err := polarity.Optimize(tree, cfg)
+				res, err := polarity.Optimize(context.Background(), tree, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -267,7 +268,7 @@ func BenchmarkAblationNonLeaf(b *testing.B) {
 			cfg := ablationConfig(lib)
 			cfg.IgnoreNonLeaf = ignore
 			for i := 0; i < b.N; i++ {
-				res, err := polarity.Optimize(d.Tree, cfg)
+				res, err := polarity.Optimize(context.Background(), d.Tree, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -297,7 +298,7 @@ func BenchmarkMOSPSolve(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := mosp.Solve(g, mosp.Options{Epsilon: 0.01}); err != nil {
+		if _, err := mosp.Solve(context.Background(), g, mosp.Options{Epsilon: 0.01}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -319,7 +320,7 @@ func BenchmarkSpiceTransient(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := build().Transient(0, 300, 1); err != nil {
+		if _, err := build().Transient(context.Background(), 0, 300, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -347,7 +348,7 @@ func BenchmarkPerturbAndTiming(b *testing.B) {
 	p := variation.Params{Sigma: 0.05, N: 1, Kappa: 100, Seed: 1}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := variation.MonteCarlo(d.Tree, p); err != nil {
+		if _, err := variation.MonteCarlo(context.Background(), d.Tree, p); err != nil {
 			b.Fatal(err)
 		}
 		p.Seed++
@@ -399,7 +400,7 @@ func BenchmarkBaselines(b *testing.B) {
 		algo := algo
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				res, err := polarity.Optimize(d.Tree, polarity.Config{
+				res, err := polarity.Optimize(context.Background(), d.Tree, polarity.Config{
 					Library: sizing, Kappa: 20, Samples: 32, Epsilon: 0.01,
 					Algorithm: algo, MaxIntervals: 4,
 				})
@@ -430,7 +431,7 @@ func BenchmarkNonLeafExtension(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := polarity.OptimizeWithNonLeafFlips(d.Tree, lib, cfg, 2)
+		res, err := polarity.OptimizeWithNonLeafFlips(context.Background(), d.Tree, lib, cfg, 2)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -487,7 +488,7 @@ func BenchmarkXORPolarity(b *testing.B) {
 	modes := spec.Modes(domains, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := xorpol.Optimize(d.Tree, modes, xorpol.Config{Samples: 16})
+		res, err := xorpol.Optimize(context.Background(), d.Tree, modes, xorpol.Config{Samples: 16})
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -11,12 +11,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
 	"wavemin"
 	"wavemin/internal/bench"
@@ -39,6 +42,7 @@ func main() {
 		numModes  = flag.Int("modes", 1, "number of power modes (1 = single-mode flow)")
 		domains   = flag.Int("domains", 4, "number of voltage domains (multi-mode only)")
 		adi       = flag.Bool("adi", false, "offer adjustable delay inverters at ADB sites")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the optimization (0 = unlimited); on expiry the flow degrades to faster algorithms, down to returning the tree unmodified")
 	)
 	flag.Parse()
 
@@ -75,6 +79,7 @@ func main() {
 	}
 	cfg := wavemin.Config{
 		Kappa: *kappa, Samples: *samples, Epsilon: *epsilon, EnableADI: *adi,
+		Budget: *timeout,
 	}
 	switch *algo {
 	case "wavemin":
@@ -107,7 +112,15 @@ func main() {
 		label = "loaded(" + *loadPath + ")"
 	}
 
-	res, err := design.Optimize(cfg)
+	if err := cfg.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Ctrl-C cancels the optimization promptly and leaves the tree as
+	// loaded; the -timeout budget degrades instead of aborting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := design.Optimize(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -122,7 +135,12 @@ func main() {
 		res.Before.WorstSkew, res.After.WorstSkew, *kappa)
 	fmt.Fprintf(w, "leaf cells   %d buffers, %d inverters, %d ADBs, %d ADIs (%d ADBs inserted)\n",
 		res.NumBuffers, res.NumInverters, res.NumADBs, res.NumADIs, res.ADBInserted)
-	fmt.Fprintf(w, "runtime      %v\n", res.Runtime)
+	fmt.Fprintf(w, "runtime      %v\n", res.Runtime.Round(time.Millisecond))
+	if res.Degraded {
+		fmt.Fprintf(w, "degraded     budget %v exceeded; answered by %s\n", *timeout, res.AlgorithmUsed)
+	} else if res.AlgorithmUsed != "" {
+		fmt.Fprintf(w, "answered by  %s\n", res.AlgorithmUsed)
+	}
 	if *savePath != "" {
 		f, err := os.Create(*savePath)
 		if err != nil {

@@ -1,0 +1,73 @@
+package wavemin
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestConfigValidateAcceptsZeroAndSaneValues(t *testing.T) {
+	if err := (Config{}).Validate(); err != nil {
+		t.Fatalf("zero config must be valid (defaults): %v", err)
+	}
+	full := Config{
+		Kappa: 20, Samples: 64, Epsilon: 0.05, ZoneSize: 50,
+		Algorithm: PeakMin, MaxIntervals: 4, MaxIntersections: 8,
+		Budget: time.Second, EnableADI: true,
+	}
+	if err := full.Validate(); err != nil {
+		t.Fatalf("fully-specified config must be valid: %v", err)
+	}
+}
+
+func TestConfigValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"negative kappa", func(c *Config) { c.Kappa = -1 }},
+		{"NaN kappa", func(c *Config) { c.Kappa = math.NaN() }},
+		{"samples below 2", func(c *Config) { c.Samples = 1 }},
+		{"negative epsilon", func(c *Config) { c.Epsilon = -0.01 }},
+		{"NaN epsilon", func(c *Config) { c.Epsilon = math.NaN() }},
+		{"negative zone size", func(c *Config) { c.ZoneSize = -5 }},
+		{"NaN zone size", func(c *Config) { c.ZoneSize = math.NaN() }},
+		{"unknown algorithm", func(c *Config) { c.Algorithm = Algorithm(42) }},
+		{"negative algorithm", func(c *Config) { c.Algorithm = Algorithm(-1) }},
+		{"negative interval cap", func(c *Config) { c.MaxIntervals = -1 }},
+		{"negative intersection cap", func(c *Config) { c.MaxIntersections = -3 }},
+		{"negative budget", func(c *Config) { c.Budget = -time.Second }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			var cfg Config
+			tc.mut(&cfg)
+			err := cfg.Validate()
+			if err == nil {
+				t.Fatalf("Validate accepted %+v", cfg)
+			}
+			if !strings.HasPrefix(err.Error(), "wavemin: ") {
+				t.Fatalf("error %q missing package prefix", err)
+			}
+		})
+	}
+}
+
+// TestOptimizeRejectsInvalidConfig: both facade entry points must refuse a
+// bad configuration before touching the tree.
+func TestOptimizeRejectsInvalidConfig(t *testing.T) {
+	d, err := New(gridSinks(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := Config{Samples: 1}
+	if _, err := d.Optimize(context.Background(), bad); err == nil {
+		t.Fatal("Optimize accepted invalid config")
+	}
+	if _, err := d.OptimizeDynamicPolarity(context.Background(), bad); err == nil {
+		t.Fatal("OptimizeDynamicPolarity accepted invalid config")
+	}
+}

@@ -1,0 +1,34 @@
+package wavemin
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// InternalError reports that the optimization engine hit an internal
+// invariant violation (a panic) that the facade converted into an error.
+// The design is left exactly as it was before the failing call: the
+// pipeline commits results atomically, so a mid-solve panic cannot leave
+// a half-optimized tree behind.
+//
+// An InternalError is always a bug — in the engine or in a hand-built
+// input that bypassed validation — so callers should report it rather
+// than retry.
+type InternalError struct {
+	Value any    // the recovered panic value
+	Stack []byte // goroutine stack captured at the recovery point
+}
+
+// Error implements the error interface.
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("wavemin: internal error: %v", e.Value)
+}
+
+// recoverToError converts an in-flight panic into an *InternalError. It
+// must be deferred directly from an exported facade function so the
+// recover boundary sits at the public API surface.
+func recoverToError(errp *error) {
+	if r := recover(); r != nil {
+		*errp = &InternalError{Value: r, Stack: debug.Stack()}
+	}
+}

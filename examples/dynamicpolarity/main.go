@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +30,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	res, err := design.OptimizeDynamicPolarity(wavemin.Config{Samples: 32})
+	res, err := design.OptimizeDynamicPolarity(context.Background(), wavemin.Config{Samples: 32})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -33,13 +34,13 @@ func main() {
 		log.Fatal(err)
 	}
 
-	before, err := design.Measure()
+	before, err := design.Measure(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("worst-mode skew before optimization: %.2f ps\n", before.WorstSkew)
 
-	res, err := design.Optimize(wavemin.Config{
+	res, err := design.Optimize(context.Background(), wavemin.Config{
 		Kappa:     14,
 		Samples:   32,
 		EnableADI: true,

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -72,7 +73,7 @@ func main() {
 	}
 
 	before := zonePeaks(design.Tree)
-	if _, err := design.Optimize(wavemin.Config{Kappa: 20, Samples: 64, MaxIntervals: 6}); err != nil {
+	if _, err := design.Optimize(context.Background(), wavemin.Config{Kappa: 20, Samples: 64, MaxIntervals: 6}); err != nil {
 		log.Fatal(err)
 	}
 	after := zonePeaks(design.Tree)

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -30,7 +31,7 @@ func main() {
 	fmt.Printf("synthesized clock tree: %d buffering elements, %d leaves\n",
 		design.Tree.Len(), len(design.Tree.Leaves()))
 
-	res, err := design.Optimize(wavemin.Config{
+	res, err := design.Optimize(context.Background(), wavemin.Config{
 		Kappa:   20, // clock skew bound, ps
 		Samples: 64, // fine-grained time sampling
 	})

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,12 +21,12 @@ func main() {
 		log.Fatal(err)
 	}
 	const kappa = 100.0
-	if _, err := design.Optimize(wavemin.Config{Kappa: kappa, Samples: 64, MaxIntervals: 6}); err != nil {
+	if _, err := design.Optimize(context.Background(), wavemin.Config{Kappa: kappa, Samples: 64, MaxIntervals: 6}); err != nil {
 		log.Fatal(err)
 	}
 
 	for _, sigma := range []float64{0.03, 0.05, 0.08} {
-		stats, err := variation.MonteCarlo(design.Tree, variation.Params{
+		stats, err := variation.MonteCarlo(context.Background(), design.Tree, variation.Params{
 			Sigma: sigma,
 			N:     400,
 			Kappa: kappa,

@@ -1,6 +1,7 @@
 package wavemin
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -16,14 +17,14 @@ func TestEndToEndSingleMode(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	before, err := d.Measure()
+	before, err := d.Measure(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if before.WorstSkew > 10 {
 		t.Fatalf("CTS delivered %g ps skew, want <10 (the paper's zero-skew input)", before.WorstSkew)
 	}
-	res, err := d.Optimize(Config{Kappa: 20, Samples: 64, MaxIntervals: 6})
+	res, err := d.Optimize(context.Background(), Config{Kappa: 20, Samples: 64, MaxIntervals: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestEndToEndSingleMode(t *testing.T) {
 		t.Fatalf("degenerate assignment: %d buffers / %d inverters", res.NumBuffers, res.NumInverters)
 	}
 	// The Result metrics must match an independent re-measurement.
-	again, err := d.Measure()
+	again, err := d.Measure(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestEndToEndMultiMode(t *testing.T) {
 	if err := d.SetModes(modes); err != nil {
 		t.Fatal(err)
 	}
-	res, err := d.Optimize(Config{Kappa: 14, Samples: 16, EnableADI: true, MaxIntersections: 4})
+	res, err := d.Optimize(context.Background(), Config{Kappa: 14, Samples: 16, EnableADI: true, MaxIntersections: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,7 +120,7 @@ func TestOptimizerEstimateRanksLikeGoldenNoise(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	opt, err := polarity.Optimize(d.Tree, cfg)
+	opt, err := polarity.Optimize(context.Background(), d.Tree, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestOptimizerEstimateRanksLikeGoldenNoise(t *testing.T) {
 		work := d.Tree.Clone()
 		polarity.Apply(work, a)
 		tm := work.ComputeTiming(clocktree.NominalMode)
-		v, g, err := d.Grid.MeasureTreeNoise(work, tm)
+		v, g, err := d.Grid.MeasureTreeNoise(context.Background(), work, tm)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package cell
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -105,7 +106,7 @@ func SpiceCharacterize(c *Cell, e Edge, load, vdd, slewIn float64) (SpiceProfile
 		horizon = math.Max(horizon, st.start+st.tt)
 	}
 	horizon += 12 * stages[len(stages)-1].rOn * stages[len(stages)-1].cl // settle
-	res, err := ckt.Transient(0, horizon, 0.25)
+	res, err := ckt.Transient(context.Background(), 0, horizon, 0.25)
 	if err != nil {
 		return SpiceProfile{}, err
 	}

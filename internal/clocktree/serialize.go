@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"wavemin/internal/cell"
 )
@@ -70,6 +71,34 @@ func ReadJSON(r io.Reader, lib *cell.Library) (*Tree, error) {
 		c, ok := lib.ByName(jn.Cell)
 		if !ok {
 			return nil, fmt.Errorf("clocktree: node %d references unknown cell %q", jn.ID, jn.Cell)
+		}
+		// Untrusted input: reject values that would trip invariant panics
+		// (or corrupt timing) deep inside the engine later.
+		for _, v := range [...]struct {
+			name string
+			val  float64
+		}{
+			{"x", jn.X}, {"y", jn.Y},
+			{"wire_res", jn.WireRes}, {"wire_cap", jn.WireCap},
+			{"sink_cap", jn.SinkCap},
+		} {
+			if math.IsNaN(v.val) || math.IsInf(v.val, 0) {
+				return nil, fmt.Errorf("clocktree: node %d has non-finite %s %g", jn.ID, v.name, v.val)
+			}
+		}
+		if jn.WireRes < 0 || jn.WireCap < 0 {
+			return nil, fmt.Errorf("clocktree: node %d has negative wire parasitics R=%g C=%g", jn.ID, jn.WireRes, jn.WireCap)
+		}
+		if jn.SinkCap < 0 {
+			return nil, fmt.Errorf("clocktree: node %d has negative sink cap %g", jn.ID, jn.SinkCap)
+		}
+		if len(jn.AdjustSteps) > 0 && !c.Adjustable() {
+			return nil, fmt.Errorf("clocktree: node %d has adjust steps but cell %s is not adjustable", jn.ID, c.Name)
+		}
+		for mode, steps := range jn.AdjustSteps {
+			if steps < 0 || steps > c.MaxSteps {
+				return nil, fmt.Errorf("clocktree: node %d mode %q: steps %d out of range [0,%d]", jn.ID, mode, steps, c.MaxSteps)
+			}
 		}
 		domain := jn.Domain
 		if domain == "" {

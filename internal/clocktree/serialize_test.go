@@ -65,6 +65,42 @@ func TestReadJSONErrors(t *testing.T) {
 	}
 }
 
+// TestReadJSONRejectsInvalidValues: untrusted JSON carrying values that
+// would corrupt timing or trip invariant panics deep in the engine must be
+// rejected at load time with a descriptive error.
+func TestReadJSONRejectsInvalidValues(t *testing.T) {
+	lib := cell.DefaultLibrary()
+	const hdr = `{"format":"wavemin-clocktree-v1","nodes":[`
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"negative wire_res",
+			hdr + `{"id":0,"parent":-1,"cell":"BUF_X8","x":0,"y":0},{"id":1,"parent":0,"cell":"BUF_X8","x":1,"y":1,"wire_res":-2}]}`},
+		{"negative wire_cap",
+			hdr + `{"id":0,"parent":-1,"cell":"BUF_X8","x":0,"y":0},{"id":1,"parent":0,"cell":"BUF_X8","x":1,"y":1,"wire_cap":-8}]}`},
+		{"negative sink_cap",
+			hdr + `{"id":0,"parent":-1,"cell":"BUF_X8","x":0,"y":0},{"id":1,"parent":0,"cell":"BUF_X8","x":1,"y":1,"sink_cap":-1}]}`},
+		{"adjust steps on plain cell",
+			hdr + `{"id":0,"parent":-1,"cell":"BUF_X8","x":0,"y":0,"adjust_steps":{"M1":3}}]}`},
+		{"adjust steps out of range",
+			hdr + `{"id":0,"parent":-1,"cell":"ADB_X8","x":0,"y":0,"adjust_steps":{"M1":100000}}]}`},
+		{"negative adjust steps",
+			hdr + `{"id":0,"parent":-1,"cell":"ADB_X8","x":0,"y":0,"adjust_steps":{"M1":-1}}]}`},
+		{"two-node parent cycle",
+			hdr + `{"id":0,"parent":1,"cell":"BUF_X8","x":0,"y":0},{"id":1,"parent":0,"cell":"BUF_X8","x":1,"y":1}]}`},
+		{"non-finite coordinate",
+			hdr + `{"id":0,"parent":-1,"cell":"BUF_X8","x":1e999,"y":0}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ReadJSON(strings.NewReader(tc.src), lib); err == nil {
+				t.Fatal("expected error")
+			}
+		})
+	}
+}
+
 func TestJSONDefaultDomain(t *testing.T) {
 	lib := cell.DefaultLibrary()
 	src := `{"format":"wavemin-clocktree-v1","nodes":[{"id":0,"parent":-1,"cell":"BUF_X8","x":0,"y":0}]}`

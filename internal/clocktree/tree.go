@@ -330,6 +330,12 @@ func (t *Tree) SplitWire(child NodeID, c *cell.Cell) NodeID {
 	return mid.ID
 }
 
+// ReplaceWith makes t adopt o's node storage, keeping t's identity: every
+// existing *Tree reference observes the new state. Used to commit an
+// optimization performed on a Clone atomically — either the whole
+// optimized tree lands, or (on error or panic) t is untouched.
+func (t *Tree) ReplaceWith(o *Tree) { t.nodes = o.nodes }
+
 // Clone deep-copies the tree (nodes, children slices, ADB settings). Cell
 // pointers are shared: cells are immutable library entries.
 func (t *Tree) Clone() *Tree {

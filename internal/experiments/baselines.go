@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"wavemin/internal/clocktree"
 	"wavemin/internal/polarity"
 )
@@ -55,7 +56,7 @@ func RunBaselineLadder(circuits []string, samples int) (*BaselineLadder, error) 
 			return nil, err
 		}
 		for _, algo := range []polarity.Algorithm{polarity.ClkPeakMinBaseline, polarity.ClkWaveMin} {
-			res, err := polarity.Optimize(ckt.Tree, polarity.Config{
+			res, err := polarity.Optimize(context.Background(), ckt.Tree, polarity.Config{
 				Library: lib, Kappa: 20, Samples: samples, Epsilon: 0.01,
 				Algorithm: algo, MaxIntervals: 6,
 			})

@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -71,7 +72,7 @@ func Evaluate(tree *clocktree.Tree, mode clocktree.Mode, grid *powergrid.Grid) (
 	tm := tree.ComputeTiming(mode)
 	g := Golden{Peak: tree.PeakCurrent(tm)}
 	if grid != nil {
-		v, gn, err := grid.MeasureTreeNoise(tree, tm)
+		v, gn, err := grid.MeasureTreeNoise(context.Background(), tree, tm)
 		if err != nil {
 			return Golden{}, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -223,7 +224,7 @@ func RunFig3() (*Fig3, error) {
 		if withADI {
 			cfg.ADICell = lib.MustByName("ADI_X8")
 		}
-		res, err := multimode.Optimize(tree, modes, cfg)
+		res, err := multimode.Optimize(context.Background(), tree, modes, cfg)
 		if err != nil {
 			return Golden{}, 0, err
 		}
@@ -346,7 +347,7 @@ func RunFig14(circuit string, perModeIntervals int) (*Fig14, error) {
 	}
 	out := &Fig14{Circuit: circuit}
 	for _, ix := range p.Intersections() {
-		res, err := p.OptimizeIntersection(&ix)
+		res, err := p.OptimizeIntersection(context.Background(), &ix)
 		if err != nil {
 			return nil, err
 		}

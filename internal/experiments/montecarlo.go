@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"wavemin/internal/polarity"
 	"wavemin/internal/variation"
 )
@@ -65,7 +66,7 @@ func RunMonteCarlo(cfg MCConfig) (*MCResult, error) {
 		lib := sizingLib(ckt.Lib)
 		row := MCRow{Name: name}
 		for _, algo := range []polarity.Algorithm{polarity.ClkPeakMinBaseline, polarity.ClkWaveMin} {
-			res, err := polarity.Optimize(ckt.Tree, polarity.Config{
+			res, err := polarity.Optimize(context.Background(), ckt.Tree, polarity.Config{
 				Library: lib, Kappa: cfg.Kappa, Samples: cfg.Samples,
 				Epsilon: cfg.Epsilon, Algorithm: algo, MaxIntervals: cfg.MaxIntervals,
 			})
@@ -81,7 +82,7 @@ func RunMonteCarlo(cfg MCConfig) (*MCResult, error) {
 			if cfg.WithGrid {
 				p.Grid = ckt.Grid
 			}
-			st, err := variation.MonteCarlo(work, p)
+			st, err := variation.MonteCarlo(context.Background(), work, p)
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"wavemin/internal/cell"
@@ -70,7 +71,7 @@ func RunTable4() (*Table4, error) {
 		}
 		out.Feasible = append(out.Feasible, perLeaf)
 	}
-	res, err := multimode.Optimize(tr, modes, cfg)
+	res, err := multimode.Optimize(context.Background(), tr, modes, cfg)
 	if err != nil {
 		return nil, err
 	}

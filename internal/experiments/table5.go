@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"wavemin/internal/cell"
@@ -74,7 +75,7 @@ func RunTable5(cfg Table5Config) (*Table5, error) {
 		run := func(algo polarity.Algorithm) (Golden, float64, error) {
 			c := base
 			c.Algorithm = algo
-			res, err := polarity.Optimize(ckt.Tree, c)
+			res, err := polarity.Optimize(context.Background(), ckt.Tree, c)
 			if err != nil {
 				return Golden{}, 0, fmt.Errorf("%s/%v: %w", name, algo, err)
 			}

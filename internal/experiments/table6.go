@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"wavemin/internal/bench"
@@ -68,7 +69,7 @@ func RunTable6(cfg Table6Config) (*Table6, error) {
 				Epsilon: cfg.Epsilon, Algorithm: algo, MaxIntervals: cfg.MaxIntervals,
 			}
 			start := time.Now()
-			res, err := polarity.Optimize(ckt.Tree, c)
+			res, err := polarity.Optimize(context.Background(), ckt.Tree, c)
 			elapsed := time.Since(start)
 			if err != nil {
 				return Table6Cell{}, err

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"wavemin/internal/adb"
@@ -105,7 +106,7 @@ func RunTable7(cfg Table7Config) (*Table7, error) {
 
 			// ClkWaveMin-M on the same ADB-embedded tree.
 			waveTree := baseTree.Clone()
-			res, err := multimode.Optimize(waveTree, modes, multimode.Config{
+			res, err := multimode.Optimize(context.Background(), waveTree, modes, multimode.Config{
 				Library: sizingLib(ckt.Lib), ADBCell: adbCell, ADICell: adiCell,
 				Kappa: kappa, Samples: cfg.Samples, Epsilon: cfg.Epsilon,
 				MaxIntersections: cfg.MaxIntersections,

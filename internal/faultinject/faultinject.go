@@ -1,0 +1,85 @@
+// Package faultinject provides named, hook-based fault-injection sites for
+// testing the robustness of the optimization pipeline: panics, delays and
+// cancellations can be injected at well-known points inside the solvers
+// without build tags or test-only compilation units.
+//
+// Production code calls At("pkg.Site") at interesting points; the call is
+// a single atomic load when no hooks are registered, so instrumented hot
+// loops pay essentially nothing in normal operation. Tests register hooks
+// with Set and must Reset (typically via t.Cleanup) when done.
+//
+// Hooks run synchronously on the calling goroutine, so a hook may panic
+// (to exercise recover boundaries), sleep (to exercise deadlines), or
+// block on a channel until the test cancels a context (to exercise prompt
+// cancellation) — whatever the test needs.
+package faultinject
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Well-known site names. Production code should use these constants so
+// tests and implementation cannot drift apart.
+const (
+	SiteMospSolve      = "mosp.Solve"       // entry of the ε-approximate solver
+	SiteMospSolveLayer = "mosp.Solve.layer" // before each layer expansion
+	SiteMospSolveFast  = "mosp.SolveFast"   // entry of the greedy variant
+	SiteMultimodeZone  = "multimode.zone"   // before each per-zone solve
+	SitePowergridSim   = "powergrid.Simulate"
+	SitePolarityZone   = "polarity.zone" // before each per-zone solve
+	SitePeakminSolve   = "peakmin.Solve"
+)
+
+var (
+	active atomic.Int32 // number of registered hooks; 0 = fast path
+	mu     sync.Mutex
+	hooks  = make(map[string]func())
+)
+
+// At runs the hook registered for site, if any. Safe for concurrent use;
+// near-zero cost when no hooks are registered.
+func At(site string) {
+	if active.Load() == 0 {
+		return
+	}
+	mu.Lock()
+	fn := hooks[site]
+	mu.Unlock()
+	if fn != nil {
+		fn()
+	}
+}
+
+// Set registers fn to run at every subsequent At(site), replacing any
+// previous hook for that site. A nil fn clears the site.
+func Set(site string, fn func()) {
+	mu.Lock()
+	defer mu.Unlock()
+	_, had := hooks[site]
+	if fn == nil {
+		if had {
+			delete(hooks, site)
+			active.Add(-1)
+		}
+		return
+	}
+	hooks[site] = fn
+	if !had {
+		active.Add(1)
+	}
+}
+
+// Clear removes the hook for site, if any.
+func Clear(site string) { Set(site, nil) }
+
+// Reset removes every registered hook. Tests should defer this (or use
+// t.Cleanup) so hooks never leak across tests.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	for k := range hooks {
+		delete(hooks, k)
+	}
+	active.Store(0)
+}

@@ -1,0 +1,65 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNoHookIsNoop(t *testing.T) {
+	Reset()
+	At("nonexistent") // must not panic or block
+}
+
+func TestSetFiresAndClearStops(t *testing.T) {
+	defer Reset()
+	n := 0
+	Set("x", func() { n++ })
+	At("x")
+	At("x")
+	if n != 2 {
+		t.Fatalf("hook fired %d times, want 2", n)
+	}
+	Clear("x")
+	At("x")
+	if n != 2 {
+		t.Fatalf("hook fired after Clear")
+	}
+}
+
+func TestSetNilClears(t *testing.T) {
+	defer Reset()
+	Set("x", func() { t.Fatal("should not fire") })
+	Set("x", nil)
+	At("x")
+	if active.Load() != 0 {
+		t.Fatalf("active = %d after clearing the only hook", active.Load())
+	}
+}
+
+func TestPanicPropagates(t *testing.T) {
+	defer Reset()
+	Set("boom", func() { panic("injected") })
+	defer func() {
+		if r := recover(); r != "injected" {
+			t.Fatalf("recovered %v, want injected panic", r)
+		}
+	}()
+	At("boom")
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	defer Reset()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				Set("c", func() {})
+				At("c")
+				Clear("c")
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,30 @@
+package mosp
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestSolveCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Solve(ctx, tinyGraph(), Options{Epsilon: 0.1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Solve err = %v, want context.Canceled", err)
+	}
+	if _, err := SolveFast(ctx, tinyGraph()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveFast err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSolveDeadlineExceeded(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+	defer cancel()
+	if _, err := Solve(ctx, tinyGraph(), Options{Epsilon: 0.1}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Solve err = %v, want context.DeadlineExceeded", err)
+	}
+	if _, err := SolveFast(ctx, tinyGraph()); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("SolveFast err = %v, want context.DeadlineExceeded", err)
+	}
+}

@@ -21,10 +21,13 @@
 package mosp
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
+
+	"wavemin/internal/faultinject"
 )
 
 // Vertex is one assignment option in a layer.
@@ -161,11 +164,13 @@ func SolveGreedy(g *Graph) (Solution, error) {
 // non-leaf baseline, repeatedly select — over all still-unassigned layers
 // and all their vertices — the vertex v with the least noise-worsening
 // M(v) = max_s(sum_s + noise(v,s)), assign it, and remove its layer.
-// O(|S|·|L|²·maxWidth) time, O(|S|) extra space.
-func SolveFast(g *Graph) (Solution, error) {
+// O(|S|·|L|²·maxWidth) time, O(|S|) extra space. Cancellation is checked
+// once per selection round.
+func SolveFast(ctx context.Context, g *Graph) (Solution, error) {
 	if err := g.Validate(); err != nil {
 		return Solution{}, err
 	}
+	faultinject.At(faultinject.SiteMospSolveFast)
 	r := g.Dim()
 	sum := make([]float64, r)
 	copy(sum, g.Baseline)
@@ -174,6 +179,9 @@ func SolveFast(g *Graph) (Solution, error) {
 		picks[i] = -1
 	}
 	for remaining := len(g.Layers); remaining > 0; remaining-- {
+		if err := ctx.Err(); err != nil {
+			return Solution{}, err
+		}
 		bestLayer, bestVertex, bestM := -1, -1, math.Inf(1)
 		for li, layer := range g.Layers {
 			if picks[li] >= 0 {
@@ -275,11 +283,14 @@ type Options struct {
 const DefaultMaxLabels = 50_000
 
 // Solve finds the (1+ε)-approximate min–max path via Pareto dynamic
-// programming with coordinate scaling and incumbent pruning.
-func Solve(g *Graph, opt Options) (Solution, error) {
+// programming with coordinate scaling and incumbent pruning. The context
+// is checked at every layer and periodically inside the label-expansion
+// loop, so even pathologically wide instances cancel promptly.
+func Solve(ctx context.Context, g *Graph, opt Options) (Solution, error) {
 	if err := g.Validate(); err != nil {
 		return Solution{}, err
 	}
+	faultinject.At(faultinject.SiteMospSolve)
 	if opt.Epsilon < 0 {
 		return Solution{}, fmt.Errorf("mosp: negative epsilon %g", opt.Epsilon)
 	}
@@ -308,9 +319,18 @@ func Solve(g *Graph, opt Options) (Solution, error) {
 	frontier := []*label{start}
 
 	for li, layer := range g.Layers {
+		if err := ctx.Err(); err != nil {
+			return Solution{}, err
+		}
+		faultinject.At(faultinject.SiteMospSolveLayer)
 		seen := make(map[string]*label, len(frontier)*len(layer))
 		next := make([]*label, 0, len(frontier)*len(layer))
-		for _, lb := range frontier {
+		for fi, lb := range frontier {
+			if fi%1024 == 1023 {
+				if err := ctx.Err(); err != nil {
+					return Solution{}, err
+				}
+			}
 			for vi := range layer {
 				v := &layer[vi]
 				cost := make([]float64, r)

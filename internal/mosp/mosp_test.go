@@ -1,6 +1,7 @@
 package mosp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -76,8 +77,8 @@ func TestTinyOptimum(t *testing.T) {
 	for name, solve := range map[string]func(*Graph) (Solution, error){
 		"exhaustive": SolveExhaustive,
 		"greedy":     SolveGreedy,
-		"fast":       SolveFast,
-		"solve":      func(g *Graph) (Solution, error) { return Solve(g, Options{Epsilon: 0.01}) },
+		"fast":       func(g *Graph) (Solution, error) { return SolveFast(context.Background(), g) },
+		"solve":      func(g *Graph) (Solution, error) { return Solve(context.Background(), g, Options{Epsilon: 0.01}) },
 	} {
 		sol, err := solve(g)
 		if err != nil {
@@ -94,7 +95,7 @@ func TestTinyOptimum(t *testing.T) {
 
 func TestSolutionCostIncludesBaseline(t *testing.T) {
 	g := tinyGraph()
-	sol, err := Solve(g, Options{Epsilon: 0})
+	sol, err := Solve(context.Background(), g, Options{Epsilon: 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +117,7 @@ func TestSolveMatchesExhaustiveExactly(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := Solve(g, Options{Epsilon: 0})
+		got, err := Solve(context.Background(), g, Options{Epsilon: 0})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -135,7 +136,7 @@ func TestSolveWithinEpsilonOfOptimal(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got, err := Solve(g, Options{Epsilon: eps})
+			got, err := Solve(context.Background(), g, Options{Epsilon: eps})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -158,7 +159,7 @@ func TestGreedyAndFastAreUpperBounds(t *testing.T) {
 			t.Fatal(err)
 		}
 		for name, solve := range map[string]func(*Graph) (Solution, error){
-			"greedy": SolveGreedy, "fast": SolveFast,
+			"greedy": SolveGreedy, "fast": func(g *Graph) (Solution, error) { return SolveFast(context.Background(), g) },
 		} {
 			sol, err := solve(g)
 			if err != nil {
@@ -177,7 +178,7 @@ func TestFastNeverWorseThanWorstPath(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	for trial := 0; trial < 20; trial++ {
 		g := randGraph(rng, 3, 3, 4, 50)
-		fast, err := SolveFast(g)
+		fast, err := SolveFast(context.Background(), g)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -211,7 +212,7 @@ func TestSingleLayerSingleVertex(t *testing.T) {
 		Baseline: []float64{1, 2},
 		Layers:   [][]Vertex{{{Weight: []float64{3, 0}, Tag: 7}}},
 	}
-	sol, err := Solve(g, Options{Epsilon: 0.01})
+	sol, err := Solve(context.Background(), g, Options{Epsilon: 0.01})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -222,7 +223,7 @@ func TestSingleLayerSingleVertex(t *testing.T) {
 
 func TestNilBaselineTreatedAsZero(t *testing.T) {
 	g := &Graph{Layers: [][]Vertex{{{Weight: []float64{2, 3}}}}}
-	sol, err := Solve(g, Options{})
+	sol, err := Solve(context.Background(), g, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +235,7 @@ func TestNilBaselineTreatedAsZero(t *testing.T) {
 func TestMaxLabelsSafetyValveStillFeasible(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	g := randGraph(rng, 6, 4, 8, 50)
-	sol, err := Solve(g, Options{Epsilon: 0, MaxLabels: 4})
+	sol, err := Solve(context.Background(), g, Options{Epsilon: 0, MaxLabels: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -249,7 +250,7 @@ func TestMaxLabelsSafetyValveStillFeasible(t *testing.T) {
 }
 
 func TestNegativeEpsilonRejected(t *testing.T) {
-	if _, err := Solve(tinyGraph(), Options{Epsilon: -1}); err == nil {
+	if _, err := Solve(context.Background(), tinyGraph(), Options{Epsilon: -1}); err == nil {
 		t.Fatal("negative epsilon should error")
 	}
 }
@@ -289,8 +290,8 @@ func TestPropertyPermutationInvariance(t *testing.T) {
 			}
 			pg.Layers = append(pg.Layers, nl)
 		}
-		a, err1 := Solve(g, Options{Epsilon: 0})
-		b, err2 := Solve(pg, Options{Epsilon: 0})
+		a, err1 := Solve(context.Background(), g, Options{Epsilon: 0})
+		b, err2 := Solve(context.Background(), pg, Options{Epsilon: 0})
 		if err1 != nil || err2 != nil {
 			return false
 		}
@@ -307,7 +308,7 @@ func TestPropertyBaselineMonotone(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		g := randGraph(rng, 3, 3, 3, 50)
-		a, err := Solve(g, Options{Epsilon: 0})
+		a, err := Solve(context.Background(), g, Options{Epsilon: 0})
 		if err != nil {
 			return false
 		}
@@ -316,7 +317,7 @@ func TestPropertyBaselineMonotone(t *testing.T) {
 		for i := range g2.Baseline {
 			g2.Baseline[i] += bump
 		}
-		b, err := Solve(g2, Options{Epsilon: 0})
+		b, err := Solve(context.Background(), g2, Options{Epsilon: 0})
 		if err != nil {
 			return false
 		}

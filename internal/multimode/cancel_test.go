@@ -1,0 +1,16 @@
+package multimode
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestOptimizeCanceled(t *testing.T) {
+	tree, modes, lib := violatingTree(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Optimize(ctx, tree, modes, mmConfig(lib, true)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

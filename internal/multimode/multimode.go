@@ -18,6 +18,7 @@
 package multimode
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -26,6 +27,7 @@ import (
 	"wavemin/internal/adb"
 	"wavemin/internal/cell"
 	"wavemin/internal/clocktree"
+	"wavemin/internal/faultinject"
 	"wavemin/internal/mosp"
 	"wavemin/internal/polarity"
 	"wavemin/internal/waveform"
@@ -338,7 +340,9 @@ type Result struct {
 }
 
 // OptimizeIntersection solves every zone within one intersection.
-func (p *Problem) OptimizeIntersection(ix *Intersection) (*Result, error) {
+// Cancellation is checked before every per-zone solve and forwarded into
+// the MOSP solver.
+func (p *Problem) OptimizeIntersection(ctx context.Context, ix *Intersection) (*Result, error) {
 	res := &Result{
 		Assignment: make(polarity.Assignment),
 		Steps:      make(map[clocktree.NodeID]map[string]int),
@@ -353,6 +357,10 @@ func (p *Problem) OptimizeIntersection(ix *Intersection) (*Result, error) {
 		perGroup = 1
 	}
 	for _, zone := range p.zones {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		faultinject.At(faultinject.SiteMultimodeZone)
 		// Shifted candidate waveforms and steps per (leaf, candidate).
 		type zcand struct {
 			ci    int
@@ -443,9 +451,9 @@ func (p *Problem) OptimizeIntersection(ix *Intersection) (*Result, error) {
 			maxLabels = 4000
 		}
 		if p.cfg.Fast {
-			sol, err = mosp.SolveFast(graph)
+			sol, err = mosp.SolveFast(ctx, graph)
 		} else {
-			sol, err = mosp.Solve(graph, mosp.Options{Epsilon: p.cfg.Epsilon, MaxLabels: maxLabels})
+			sol, err = mosp.Solve(ctx, graph, mosp.Options{Epsilon: p.cfg.Epsilon, MaxLabels: maxLabels})
 		}
 		if err != nil {
 			return nil, err
@@ -492,8 +500,9 @@ func stepPsOf(c *cell.Cell) float64 {
 // polarity cannot meet κ in all modes, ADBs are inserted (mutating the
 // tree); then candidates are built, intersections enumerated, and the
 // best-DoF intersections optimized. The returned result is not yet
-// applied; call ApplyResult.
-func Optimize(t *clocktree.Tree, modes []clocktree.Mode, cfg Config) (*Result, error) {
+// applied; call ApplyResult. Cancellation is checked per intersection and
+// forwarded into the per-zone solves.
+func Optimize(ctx context.Context, t *clocktree.Tree, modes []clocktree.Mode, cfg Config) (*Result, error) {
 	inserted := 0
 	p, err := NewProblem(t, modes, cfg)
 	if err != nil {
@@ -531,7 +540,10 @@ func Optimize(t *clocktree.Tree, modes []clocktree.Mode, cfg Config) (*Result, e
 	}
 	var best *Result
 	for i := range tried {
-		res, err := p.OptimizeIntersection(&tried[i])
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := p.OptimizeIntersection(ctx, &tried[i])
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package multimode
 
 import (
+	"context"
 	"testing"
 
 	"wavemin/internal/adb"
@@ -67,7 +68,7 @@ func TestOptimizeInsertsADBsWhenNeeded(t *testing.T) {
 	if tree.MeetsSkew(cfg.Kappa, modes) {
 		t.Skip("premise broken: no violation to fix")
 	}
-	res, err := Optimize(tree, modes, cfg)
+	res, err := Optimize(context.Background(), tree, modes, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +100,7 @@ func TestADBSitesNeverBecomePlainAndViceVersa(t *testing.T) {
 	for _, s := range adb.Sites(tree) {
 		sites[s] = true
 	}
-	res, err := Optimize(tree, modes, cfg)
+	res, err := Optimize(context.Background(), tree, modes, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +121,7 @@ func TestADIEnabledNeverWorseThanDisabled(t *testing.T) {
 	cfgOff := mmConfig(lib, false)
 	cfgOff.PerModeIntervals = 10
 	cfgOff.MaxIntersections = 40
-	resOff, err := Optimize(treeA, modesA, cfgOff)
+	resOff, err := Optimize(context.Background(), treeA, modesA, cfgOff)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestADIEnabledNeverWorseThanDisabled(t *testing.T) {
 	cfgOn := mmConfig(lib, true)
 	cfgOn.PerModeIntervals = 10
 	cfgOn.MaxIntersections = 40
-	resOn, err := Optimize(treeB, modesB, cfgOn)
+	resOn, err := Optimize(context.Background(), treeB, modesB, cfgOn)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestADIEnabledNeverWorseThanDisabled(t *testing.T) {
 
 func TestAdjustableStepsRecordedPerMode(t *testing.T) {
 	tree, modes, lib := violatingTree(t)
-	res, err := Optimize(tree, modes, mmConfig(lib, true))
+	res, err := Optimize(context.Background(), tree, modes, mmConfig(lib, true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestFastModeProducesValidResult(t *testing.T) {
 	tree, modes, lib := violatingTree(t)
 	cfg := mmConfig(lib, true)
 	cfg.Fast = true
-	res, err := Optimize(tree, modes, cfg)
+	res, err := Optimize(context.Background(), tree, modes, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestConfigValidation(t *testing.T) {
 	// Infeasible without an ADB cell configured.
 	cfg := mmConfig(lib, false)
 	cfg.ADBCell = nil
-	if _, err := Optimize(tree, modes, cfg); err == nil {
+	if _, err := Optimize(context.Background(), tree, modes, cfg); err == nil {
 		t.Error("expected error: violation but no ADB cell")
 	}
 }
@@ -208,7 +209,7 @@ func TestSingleModeDegeneratesToPolarity(t *testing.T) {
 	}
 	cfg := mmConfig(lib, false)
 	cfg.Kappa = 20
-	res, err := Optimize(tree, []clocktree.Mode{clocktree.NominalMode}, cfg)
+	res, err := Optimize(context.Background(), tree, []clocktree.Mode{clocktree.NominalMode}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package multimode
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -138,7 +139,7 @@ func TestPaperFig12OptimalAssignment(t *testing.T) {
 	// BUF_X1 on e1/e2 and INV_X1 on e3/e4 — clock skew 3 in M1 and 4 in M2
 	// (paper §VI).
 	tr, modes, lib := fig10Tree(t)
-	res, err := Optimize(tr, modes, Config{
+	res, err := Optimize(context.Background(), tr, modes, Config{
 		Library: lib, Kappa: 5, Samples: 16, Epsilon: 0.01,
 	})
 	if err != nil {

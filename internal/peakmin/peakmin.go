@@ -14,8 +14,11 @@
 package peakmin
 
 import (
+	"context"
 	"fmt"
 	"math"
+
+	"wavemin/internal/faultinject"
 )
 
 // Option is one feasible (sink, cell) assignment.
@@ -35,8 +38,9 @@ type Solution struct {
 
 // Solve runs the knapsack DP. unit is the discretization step for the
 // buffer-side sum (µA); 0 picks ~1/2000 of the maximum possible sum. The
-// result is optimal up to the discretization.
-func Solve(layers [][]Option, unit float64) (Solution, error) {
+// result is optimal up to the discretization. Cancellation is checked at
+// every layer of the DP.
+func Solve(ctx context.Context, layers [][]Option, unit float64) (Solution, error) {
 	if len(layers) == 0 {
 		return Solution{}, fmt.Errorf("peakmin: no layers")
 	}
@@ -77,8 +81,12 @@ func Solve(layers [][]Option, unit float64) (Solution, error) {
 		dp[i] = inf
 	}
 	dp[0] = 0
+	faultinject.At(faultinject.SitePeakminSolve)
 	preds := make([][]pred, len(layers))
 	for li, l := range layers {
+		if err := ctx.Err(); err != nil {
+			return Solution{}, err
+		}
 		for i := range next {
 			next[i] = inf
 		}

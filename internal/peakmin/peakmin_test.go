@@ -1,6 +1,7 @@
 package peakmin
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -39,7 +40,7 @@ func TestTwoSinksBalance(t *testing.T) {
 		{{Peak: 100, IsBuffer: true, Tag: 0}, {Peak: 100, IsBuffer: false, Tag: 1}},
 		{{Peak: 100, IsBuffer: true, Tag: 0}, {Peak: 100, IsBuffer: false, Tag: 1}},
 	}
-	sol, err := Solve(layers, 0.5)
+	sol, err := Solve(context.Background(), layers, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestSizingPreferred(t *testing.T) {
 		{Peak: 50, IsBuffer: true, Tag: 1},
 		{Peak: 80, IsBuffer: false, Tag: 2},
 	}}
-	sol, err := Solve(layers, 0.1)
+	sol, err := Solve(context.Background(), layers, 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestMatchesExhaustive(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		got, err := Solve(layers, 0.05)
+		got, err := Solve(context.Background(), layers, 0.05)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -90,7 +91,7 @@ func TestMatchesExhaustive(t *testing.T) {
 func TestSolutionConsistency(t *testing.T) {
 	rng := rand.New(rand.NewSource(13))
 	layers := randLayers(rng, 6, 4)
-	sol, err := Solve(layers, 0)
+	sol, err := Solve(context.Background(), layers, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -112,13 +113,13 @@ func TestSolutionConsistency(t *testing.T) {
 }
 
 func TestErrors(t *testing.T) {
-	if _, err := Solve(nil, 1); err == nil {
+	if _, err := Solve(context.Background(), nil, 1); err == nil {
 		t.Error("nil layers should error")
 	}
-	if _, err := Solve([][]Option{{}}, 1); err == nil {
+	if _, err := Solve(context.Background(), [][]Option{{}}, 1); err == nil {
 		t.Error("empty layer should error")
 	}
-	if _, err := Solve([][]Option{{{Peak: math.NaN(), IsBuffer: true}}}, 1); err == nil {
+	if _, err := Solve(context.Background(), [][]Option{{{Peak: math.NaN(), IsBuffer: true}}}, 1); err == nil {
 		t.Error("NaN peak should error")
 	}
 	if _, err := SolveExhaustive(nil); err == nil {
@@ -135,7 +136,7 @@ func TestAllInvertersLayer(t *testing.T) {
 	layers := [][]Option{
 		{{Peak: 60, IsBuffer: false, Tag: 0}, {Peak: 40, IsBuffer: false, Tag: 1}},
 	}
-	sol, err := Solve(layers, 0.5)
+	sol, err := Solve(context.Background(), layers, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestPropertyUpperBoundedByAnyAssignment(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		layers := randLayers(rng, 2+rng.Intn(4), 2+rng.Intn(3))
-		sol, err := Solve(layers, 0.05)
+		sol, err := Solve(context.Background(), layers, 0.05)
 		if err != nil {
 			return false
 		}

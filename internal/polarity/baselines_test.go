@@ -1,6 +1,7 @@
 package polarity
 
 import (
+	"context"
 	"testing"
 
 	"wavemin/internal/cell"
@@ -75,7 +76,7 @@ func TestWaveMinBeatsNiehOnStaggeredArrivals(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wm, err := Optimize(tree, Config{
+	wm, err := Optimize(context.Background(), tree, Config{
 		Library: sub, Kappa: 20, Samples: 32, Epsilon: 0.01, Algorithm: ClkWaveMin,
 	})
 	if err != nil {

@@ -1,0 +1,18 @@
+package polarity
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestOptimizeCanceled(t *testing.T) {
+	tree, lib := clusterTree(t, 8)
+	for _, algo := range []Algorithm{ClkWaveMin, ClkWaveMinF, ClkPeakMinBaseline} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		if _, err := Optimize(ctx, tree, sizingConfig(lib, algo)); !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: err = %v, want context.Canceled", algo, err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package polarity
 
 import (
+	"context"
 	"fmt"
 
 	"wavemin/internal/cell"
@@ -30,7 +31,7 @@ type NonLeafResult struct {
 //
 // Greedy: at most maxFlips internal nodes are flipped, best-first. The
 // input tree is not modified; apply with ApplyNonLeaf.
-func OptimizeWithNonLeafFlips(t *clocktree.Tree, fullLib *cell.Library, cfg Config, maxFlips int) (*NonLeafResult, error) {
+func OptimizeWithNonLeafFlips(ctx context.Context, t *clocktree.Tree, fullLib *cell.Library, cfg Config, maxFlips int) (*NonLeafResult, error) {
 	if maxFlips < 0 {
 		return nil, fmt.Errorf("polarity: negative maxFlips")
 	}
@@ -43,7 +44,7 @@ func OptimizeWithNonLeafFlips(t *clocktree.Tree, fullLib *cell.Library, cfg Conf
 			}
 			work.SetCell(id, inv)
 		}
-		res, err := Optimize(work, cfg)
+		res, err := Optimize(ctx, work, cfg)
 		if err != nil {
 			return nil, 0, err
 		}

@@ -1,6 +1,7 @@
 package polarity
 
 import (
+	"context"
 	"testing"
 
 	"wavemin/internal/cell"
@@ -17,7 +18,7 @@ func nonLeafFixture(t *testing.T) (*clocktree.Tree, *cell.Library, Config) {
 
 func TestNonLeafFlipsNeverWorsenGolden(t *testing.T) {
 	tree, lib, cfg := nonLeafFixture(t)
-	base, err := Optimize(tree, cfg)
+	base, err := Optimize(context.Background(), tree, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +26,7 @@ func TestNonLeafFlipsNeverWorsenGolden(t *testing.T) {
 	Apply(work, base.Assignment)
 	basePeak := work.PeakCurrent(work.ComputeTiming(clocktree.NominalMode))
 
-	res, err := OptimizeWithNonLeafFlips(tree, lib, cfg, 2)
+	res, err := OptimizeWithNonLeafFlips(context.Background(), tree, lib, cfg, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestNonLeafFlipsNeverWorsenGolden(t *testing.T) {
 
 func TestNonLeafFlipsApply(t *testing.T) {
 	tree, lib, cfg := nonLeafFixture(t)
-	res, err := OptimizeWithNonLeafFlips(tree, lib, cfg, 3)
+	res, err := OptimizeWithNonLeafFlips(context.Background(), tree, lib, cfg, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,14 +66,14 @@ func TestNonLeafFlipsApply(t *testing.T) {
 
 func TestNonLeafZeroBudgetEqualsPlain(t *testing.T) {
 	tree, lib, cfg := nonLeafFixture(t)
-	res, err := OptimizeWithNonLeafFlips(tree, lib, cfg, 0)
+	res, err := OptimizeWithNonLeafFlips(context.Background(), tree, lib, cfg, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(res.Flips) != 0 {
 		t.Fatal("zero budget must not flip")
 	}
-	if _, err := OptimizeWithNonLeafFlips(tree, lib, cfg, -1); err == nil {
+	if _, err := OptimizeWithNonLeafFlips(context.Background(), tree, lib, cfg, -1); err == nil {
 		t.Fatal("negative budget should error")
 	}
 }

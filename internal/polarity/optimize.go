@@ -1,12 +1,14 @@
 package polarity
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"wavemin/internal/cell"
 	"wavemin/internal/clocktree"
+	"wavemin/internal/faultinject"
 	"wavemin/internal/mosp"
 	"wavemin/internal/peakmin"
 )
@@ -81,7 +83,9 @@ type Result struct {
 
 // Optimize runs the full single-mode flow of Fig. 8 and returns the best
 // assignment found. The input tree is not modified; call Apply to commit.
-func Optimize(t *clocktree.Tree, cfg Config) (*Result, error) {
+// Cancellation is checked per interval and per zone, and forwarded into
+// the per-zone solvers.
+func Optimize(ctx context.Context, t *clocktree.Tree, cfg Config) (*Result, error) {
 	if cfg.Library == nil {
 		return nil, fmt.Errorf("polarity: nil library")
 	}
@@ -120,8 +124,11 @@ func Optimize(t *clocktree.Tree, cfg Config) (*Result, error) {
 
 	var best *Result
 	for ii := range intervals {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		iv := &intervals[ii]
-		res, err := optimizeInterval(t, tm, cs, zones, iv, leafIndex, cfg)
+		res, err := optimizeInterval(ctx, t, tm, cs, zones, iv, leafIndex, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("polarity: interval [%g,%g]: %w", iv.Lo, iv.Hi, err)
 		}
@@ -138,11 +145,15 @@ func Optimize(t *clocktree.Tree, cfg Config) (*Result, error) {
 
 // optimizeInterval solves every zone within one interval and aggregates.
 func optimizeInterval(
-	t *clocktree.Tree, tm *clocktree.Timing, cs *CandidateSet,
+	ctx context.Context, t *clocktree.Tree, tm *clocktree.Timing, cs *CandidateSet,
 	zones []Zone, iv *Interval, leafIndex map[clocktree.NodeID]int, cfg Config,
 ) (*Result, error) {
 	res := &Result{Algorithm: cfg.Algorithm, Assignment: make(Assignment), Interval: *iv}
 	for _, zone := range zones {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		faultinject.At(faultinject.SitePolarityZone)
 		if cfg.IgnoreNonLeaf {
 			zone.NonLeaves = nil
 		}
@@ -153,7 +164,7 @@ func optimizeInterval(
 		)
 		switch cfg.Algorithm {
 		case ClkPeakMinBaseline:
-			picks, peak, err = solveZonePeakMin(cs, zone, iv, leafIndex)
+			picks, peak, err = solveZonePeakMin(ctx, cs, zone, iv, leafIndex)
 			if err != nil {
 				return nil, err
 			}
@@ -167,9 +178,9 @@ func optimizeInterval(
 			var sol mosp.Solution
 			switch cfg.Algorithm {
 			case ClkWaveMin:
-				sol, err = mosp.Solve(zi.Graph, mosp.Options{Epsilon: cfg.Epsilon, MaxLabels: cfg.MaxLabels})
+				sol, err = mosp.Solve(ctx, zi.Graph, mosp.Options{Epsilon: cfg.Epsilon, MaxLabels: cfg.MaxLabels})
 			case ClkWaveMinF:
-				sol, err = mosp.SolveFast(zi.Graph)
+				sol, err = mosp.SolveFast(ctx, zi.Graph)
 			default:
 				return nil, fmt.Errorf("polarity: unknown algorithm %v", cfg.Algorithm)
 			}
@@ -197,7 +208,7 @@ func optimizeInterval(
 // (the maximum of each candidate's four waveform peaks), buffers vs
 // inverters two-sum knapsack.
 func solveZonePeakMin(
-	cs *CandidateSet, zone Zone, iv *Interval, leafIndex map[clocktree.NodeID]int,
+	ctx context.Context, cs *CandidateSet, zone Zone, iv *Interval, leafIndex map[clocktree.NodeID]int,
 ) (picks []int, peak float64, err error) {
 	layers := make([][]peakmin.Option, len(zone.Leaves))
 	tags := make([][]int, len(zone.Leaves))
@@ -223,7 +234,7 @@ func solveZonePeakMin(
 			return nil, 0, fmt.Errorf("polarity: leaf %d infeasible in interval", leaf)
 		}
 	}
-	sol, err := peakmin.Solve(layers, 0)
+	sol, err := peakmin.Solve(ctx, layers, 0)
 	if err != nil {
 		return nil, 0, err
 	}

@@ -1,6 +1,7 @@
 package polarity
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -41,7 +42,7 @@ func TestOptimizeReducesGoldenPeak(t *testing.T) {
 	tmBefore := tree.ComputeTiming(clocktree.NominalMode)
 	before := tree.PeakCurrent(tmBefore)
 
-	res, err := Optimize(tree, sizingConfig(lib, ClkWaveMin))
+	res, err := Optimize(context.Background(), tree, sizingConfig(lib, ClkWaveMin))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestOptimizeReducesGoldenPeak(t *testing.T) {
 func TestOptimizeRespectsSkewAfterApply(t *testing.T) {
 	tree, lib := clusterTree(t, 8)
 	cfg := sizingConfig(lib, ClkWaveMin)
-	res, err := Optimize(tree, cfg)
+	res, err := Optimize(context.Background(), tree, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,11 +78,11 @@ func TestOptimizeRespectsSkewAfterApply(t *testing.T) {
 
 func TestWaveMinBeatsOrMatchesFastEstimate(t *testing.T) {
 	tree, lib := clusterTree(t, 8)
-	exact, err := Optimize(tree, sizingConfig(lib, ClkWaveMin))
+	exact, err := Optimize(context.Background(), tree, sizingConfig(lib, ClkWaveMin))
 	if err != nil {
 		t.Fatal(err)
 	}
-	fast, err := Optimize(tree, sizingConfig(lib, ClkWaveMinF))
+	fast, err := Optimize(context.Background(), tree, sizingConfig(lib, ClkWaveMinF))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -94,7 +95,7 @@ func TestWaveMinBeatsOrMatchesFastEstimate(t *testing.T) {
 func TestPeakMinBaselineProducesValidAssignment(t *testing.T) {
 	tree, lib := clusterTree(t, 8)
 	cfg := sizingConfig(lib, ClkPeakMinBaseline)
-	res, err := Optimize(tree, cfg)
+	res, err := Optimize(context.Background(), tree, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,11 +119,11 @@ func TestWaveMinGoldenNotWorseThanPeakMin(t *testing.T) {
 	// The headline claim, on a single-zone instance where the optimizer's
 	// model is close to the golden evaluator.
 	tree, lib := clusterTree(t, 10)
-	wm, err := Optimize(tree, sizingConfig(lib, ClkWaveMin))
+	wm, err := Optimize(context.Background(), tree, sizingConfig(lib, ClkWaveMin))
 	if err != nil {
 		t.Fatal(err)
 	}
-	pm, err := Optimize(tree, sizingConfig(lib, ClkPeakMinBaseline))
+	pm, err := Optimize(context.Background(), tree, sizingConfig(lib, ClkPeakMinBaseline))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +147,7 @@ func TestMoreSamplesNoWorseEstimate(t *testing.T) {
 	golden := func(samples int) float64 {
 		cfg := sizingConfig(lib, ClkWaveMin)
 		cfg.Samples = samples
-		res, err := Optimize(tree, cfg)
+		res, err := Optimize(context.Background(), tree, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -164,10 +165,10 @@ func TestMoreSamplesNoWorseEstimate(t *testing.T) {
 
 func TestOptimizeConfigValidation(t *testing.T) {
 	tree, lib := clusterTree(t, 4)
-	if _, err := Optimize(tree, Config{Library: nil, Kappa: 10}); err == nil {
+	if _, err := Optimize(context.Background(), tree, Config{Library: nil, Kappa: 10}); err == nil {
 		t.Error("nil library should error")
 	}
-	if _, err := Optimize(tree, Config{Library: lib, Kappa: 0}); err == nil {
+	if _, err := Optimize(context.Background(), tree, Config{Library: lib, Kappa: 0}); err == nil {
 		t.Error("zero kappa should error")
 	}
 }
@@ -176,7 +177,7 @@ func TestOptimizeMaxIntervals(t *testing.T) {
 	tree, lib := clusterTree(t, 6)
 	cfg := sizingConfig(lib, ClkWaveMinF)
 	cfg.MaxIntervals = 1
-	res, err := Optimize(tree, cfg)
+	res, err := Optimize(context.Background(), tree, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestOptimizeMaxIntervals(t *testing.T) {
 func TestEstimatePeakTracksGoldenDirection(t *testing.T) {
 	tree, lib := clusterTree(t, 8)
 	cfg := sizingConfig(lib, ClkWaveMin)
-	res, err := Optimize(tree, cfg)
+	res, err := Optimize(context.Background(), tree, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

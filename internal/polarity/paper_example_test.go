@@ -1,6 +1,7 @@
 package polarity
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -106,7 +107,7 @@ func TestPaperExampleOptimizeMixesPolarity(t *testing.T) {
 	// magnitudes), the min–max optimum for four co-located equal sinks is
 	// a 2/2 split between polarities.
 	tr, lib := fig5Tree(t)
-	res, err := Optimize(tr, Config{
+	res, err := Optimize(context.Background(), tr, Config{
 		Library: lib, Kappa: 5, Samples: 8, Epsilon: 0.01,
 		Algorithm: ClkWaveMin,
 	})
@@ -127,7 +128,7 @@ func TestPaperExampleOptimizeMixesPolarity(t *testing.T) {
 
 func TestPaperExampleSkewHeldAfterApply(t *testing.T) {
 	tr, lib := fig5Tree(t)
-	res, err := Optimize(tr, Config{
+	res, err := Optimize(context.Background(), tr, Config{
 		Library: lib, Kappa: 5, Samples: 8, Epsilon: 0.01, Algorithm: ClkWaveMin,
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package polarity
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -42,7 +43,7 @@ func TestPropertyOptimizeRespectsInterval(t *testing.T) {
 		}
 		kappa := 10 + rng.Float64()*20
 		algo := []Algorithm{ClkWaveMin, ClkWaveMinF, ClkPeakMinBaseline}[rng.Intn(3)]
-		res, err := Optimize(tree, Config{
+		res, err := Optimize(context.Background(), tree, Config{
 			Library: sub, Kappa: kappa, Samples: 8, Epsilon: 0.1,
 			Algorithm: algo, MaxIntervals: 3,
 		})
@@ -82,8 +83,8 @@ func TestPropertyOptimizeDeterministic(t *testing.T) {
 		}
 		cfg := Config{Library: sub, Kappa: 20, Samples: 8, Epsilon: 0.05,
 			Algorithm: ClkWaveMin, MaxIntervals: 3}
-		a, err1 := Optimize(tree, cfg)
-		b, err2 := Optimize(tree, cfg)
+		a, err1 := Optimize(context.Background(), tree, cfg)
+		b, err2 := Optimize(context.Background(), tree, cfg)
 		if err1 != nil || err2 != nil {
 			return false
 		}
@@ -120,8 +121,8 @@ func TestPropertyExactBeatsGreedyEstimate(t *testing.T) {
 		exact.Algorithm = ClkWaveMin
 		fast := base
 		fast.Algorithm = ClkWaveMinF
-		a, err1 := Optimize(tree, exact)
-		b, err2 := Optimize(tree, fast)
+		a, err1 := Optimize(context.Background(), tree, exact)
+		b, err2 := Optimize(context.Background(), tree, fast)
 		if err1 != nil || err2 != nil {
 			return false
 		}
@@ -147,7 +148,7 @@ func TestPropertySelfLoadShiftCloses(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		res, err := Optimize(tree, Config{Library: sub, Kappa: 20, Samples: 8,
+		res, err := Optimize(context.Background(), tree, Config{Library: sub, Kappa: 20, Samples: 8,
 			Epsilon: 0.1, Algorithm: ClkWaveMinF, MaxIntervals: 2})
 		if err != nil {
 			return false

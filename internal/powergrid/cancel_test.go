@@ -1,0 +1,40 @@
+package powergrid
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"wavemin/internal/cell"
+	"wavemin/internal/clocktree"
+	"wavemin/internal/cts"
+	"wavemin/internal/waveform"
+)
+
+func TestSimulateCanceled(t *testing.T) {
+	g, err := New(150, 150, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := []Injection{{X: 75, Y: 75, IDD: waveform.Triangle(20, 10, 15, 5000)}}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := g.Simulate(ctx, inj, 0, 200, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMeasureTreeNoiseCanceled(t *testing.T) {
+	lib := cell.DefaultLibrary()
+	tree, err := cts.Synthesize([]cts.Sink{{X: 20, Y: 20, Cap: 8}, {X: 120, Y: 30, Cap: 8}}, lib, cts.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := tree.ComputeTiming(clocktree.NominalMode)
+	g, _ := New(150, 150, DefaultOptions())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := g.MeasureTreeNoise(ctx, tree, tm); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -12,11 +12,13 @@
 package powergrid
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"wavemin/internal/cell"
 	"wavemin/internal/clocktree"
+	"wavemin/internal/faultinject"
 	"wavemin/internal/spice"
 	"wavemin/internal/waveform"
 )
@@ -108,8 +110,10 @@ type Report struct {
 }
 
 // Simulate runs a transient of both meshes with the given injections over
-// [t0, t1] at step dt (ps) and reports the worst rail deviations.
-func (g *Grid) Simulate(inj []Injection, t0, t1, dt float64) (*Report, error) {
+// [t0, t1] at step dt (ps) and reports the worst rail deviations. The
+// context bounds the underlying transient solve.
+func (g *Grid) Simulate(ctx context.Context, inj []Injection, t0, t1, dt float64) (*Report, error) {
+	faultinject.At(faultinject.SitePowergridSim)
 	ckt := spice.NewCircuit()
 	vddNode := make([][]int, g.rows)
 	gndNode := make([][]int, g.rows)
@@ -169,7 +173,7 @@ func (g *Grid) Simulate(inj []Injection, t0, t1, dt float64) (*Report, error) {
 			ckt.I(spice.Ground, gndNode[cy][cx], in.ISS)
 		}
 	}
-	res, err := ckt.Transient(t0, t1, dt)
+	res, err := ckt.Transient(ctx, t0, t1, dt)
 	if err != nil {
 		return nil, err
 	}
@@ -199,7 +203,7 @@ func (g *Grid) Simulate(inj []Injection, t0, t1, dt float64) (*Report, error) {
 // resulting steady-state rail deviations are reported. Complements the
 // transient analysis: IR drop is the sustained component of the noise,
 // while Simulate captures the dynamic di/dt spikes the clock tree causes.
-func (g *Grid) StaticIRDrop(inj []Injection, window float64) (*Report, error) {
+func (g *Grid) StaticIRDrop(ctx context.Context, inj []Injection, window float64) (*Report, error) {
 	if window <= 0 {
 		return nil, fmt.Errorf("powergrid: non-positive averaging window %g", window)
 	}
@@ -216,7 +220,7 @@ func (g *Grid) StaticIRDrop(inj []Injection, window float64) (*Report, error) {
 	}
 	// Two steps suffice: the sources are constant, so the DC point is the
 	// answer.
-	return g.Simulate(avg, 0, 10, 5)
+	return g.Simulate(ctx, avg, 0, 10, 5)
 }
 
 // TreeInjections extracts one Injection per clock-tree node for the given
@@ -234,14 +238,17 @@ func TreeInjections(t *clocktree.Tree, tm *clocktree.Timing, e cell.Edge) []Inje
 // MeasureTreeNoise simulates both clock edges of the tree against the grid
 // and returns the worse VDD and Gnd deviations (volts). The simulation
 // window covers all injection activity plus settle time.
-func (g *Grid) MeasureTreeNoise(t *clocktree.Tree, tm *clocktree.Timing) (vddNoise, gndNoise float64, err error) {
+func (g *Grid) MeasureTreeNoise(ctx context.Context, t *clocktree.Tree, tm *clocktree.Timing) (vddNoise, gndNoise float64, err error) {
 	for _, e := range []cell.Edge{cell.Rising, cell.Falling} {
+		if err := ctx.Err(); err != nil {
+			return 0, 0, err
+		}
 		inj := TreeInjections(t, tm, e)
 		t1 := 0.0
 		for _, in := range inj {
 			t1 = math.Max(t1, math.Max(in.IDD.Last(), in.ISS.Last()))
 		}
-		rep, simErr := g.Simulate(inj, 0, t1+100, 2)
+		rep, simErr := g.Simulate(ctx, inj, 0, t1+100, 2)
 		if simErr != nil {
 			return 0, 0, simErr
 		}

@@ -1,6 +1,7 @@
 package powergrid
 
 import (
+	"context"
 	"testing"
 
 	"wavemin/internal/cell"
@@ -29,7 +30,7 @@ func TestNewValidates(t *testing.T) {
 
 func TestQuietGridIsQuiet(t *testing.T) {
 	g, _ := New(150, 150, DefaultOptions())
-	rep, err := g.Simulate(nil, 0, 100, 2)
+	rep, err := g.Simulate(context.Background(), nil, 0, 100, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func TestInjectionCausesBothRailNoise(t *testing.T) {
 		IDD: waveform.Triangle(20, 10, 15, 5000),
 		ISS: waveform.Triangle(20, 10, 15, 3000),
 	}}
-	rep, err := g.Simulate(inj, 0, 200, 1)
+	rep, err := g.Simulate(context.Background(), inj, 0, 200, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,11 +70,11 @@ func TestDenseGridIsQuieter(t *testing.T) {
 	inj := []Injection{{X: 75, Y: 75, IDD: waveform.Triangle(20, 10, 15, 8000)}}
 	sparse, _ := New(150, 150, DefaultOptions())
 	dense, _ := New(150, 150, DenseOptions())
-	rs, err := sparse.Simulate(inj, 0, 200, 1)
+	rs, err := sparse.Simulate(context.Background(), inj, 0, 200, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rd, err := dense.Simulate(inj, 0, 200, 1)
+	rd, err := dense.Simulate(context.Background(), inj, 0, 200, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,11 +91,11 @@ func TestNoiseIsLocal(t *testing.T) {
 	pulse := waveform.Triangle(20, 10, 15, 4000)
 	same := []Injection{{X: 200, Y: 200, IDD: pulse}, {X: 200, Y: 200, IDD: pulse}}
 	apart := []Injection{{X: 60, Y: 60, IDD: pulse}, {X: 340, Y: 340, IDD: pulse}}
-	rSame, err := g.Simulate(same, 0, 200, 1)
+	rSame, err := g.Simulate(context.Background(), same, 0, 200, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rApart, err := g.Simulate(apart, 0, 200, 1)
+	rApart, err := g.Simulate(context.Background(), apart, 0, 200, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,11 +111,11 @@ func TestTimeSpreadingReducesNoise(t *testing.T) {
 	p := waveform.Triangle(20, 10, 15, 4000)
 	together := []Injection{{X: 75, Y: 75, IDD: p}, {X: 80, Y: 75, IDD: p}}
 	staggered := []Injection{{X: 75, Y: 75, IDD: p}, {X: 80, Y: 75, IDD: p.Shift(60)}}
-	rT, err := g.Simulate(together, 0, 300, 1)
+	rT, err := g.Simulate(context.Background(), together, 0, 300, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	rS, err := g.Simulate(staggered, 0, 300, 1)
+	rS, err := g.Simulate(context.Background(), staggered, 0, 300, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestMeasureTreeNoise(t *testing.T) {
 	}
 	tm := tree.ComputeTiming(clocktree.NominalMode)
 	g, _ := New(150, 150, DefaultOptions())
-	vddN, gndN, err := g.MeasureTreeNoise(tree, tm)
+	vddN, gndN, err := g.MeasureTreeNoise(context.Background(), tree, tm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestStaticIRDrop(t *testing.T) {
 		X: 75, Y: 75,
 		IDD: waveform.Triangle(20, 10, 15, 5000), // 62.5 nC·10⁻³ of charge
 	}}
-	rep, err := g.StaticIRDrop(inj, 500) // 500 ps clock period
+	rep, err := g.StaticIRDrop(context.Background(), inj, 500) // 500 ps clock period
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,14 +173,14 @@ func TestStaticIRDrop(t *testing.T) {
 	if rep.VDDNoise <= 0 {
 		t.Fatal("no IR drop")
 	}
-	tr, err := g.Simulate(inj, 0, 200, 1)
+	tr, err := g.Simulate(context.Background(), inj, 0, 200, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if rep.VDDNoise >= tr.VDDNoise {
 		t.Fatalf("static IR drop %g should be below the transient droop %g", rep.VDDNoise, tr.VDDNoise)
 	}
-	if _, err := g.StaticIRDrop(inj, 0); err == nil {
+	if _, err := g.StaticIRDrop(context.Background(), inj, 0); err == nil {
 		t.Fatal("zero window should error")
 	}
 }

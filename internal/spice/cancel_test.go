@@ -1,0 +1,21 @@
+package spice
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestTransientCanceled(t *testing.T) {
+	c := NewCircuit()
+	vdd := c.Node("vdd")
+	mid := c.Node("mid")
+	c.V(vdd, 1.0)
+	c.R(vdd, mid, 1.0)
+	c.R(mid, Ground, 3.0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.Transient(ctx, 0, 10, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,6 +1,7 @@
 package spice
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -15,7 +16,7 @@ func TestResistorDividerDC(t *testing.T) {
 	c.V(vdd, 1.0)
 	c.R(vdd, mid, 1.0)
 	c.R(mid, Ground, 3.0)
-	res, err := c.Transient(0, 10, 1)
+	res, err := c.Transient(context.Background(), 0, 10, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestRCStepResponse(t *testing.T) {
 	// folded into the initial condition).
 	step := waveform.MustNew([]waveform.Point{{T: 0, I: 0}, {T: 1, I: 1000}, {T: 10000, I: 1000}})
 	c.I(Ground, n, step)
-	res, err := c.Transient(0, 1000, 1)
+	res, err := c.Transient(context.Background(), 0, 1000, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -60,7 +61,7 @@ func TestSupplyCurrentMeasuresLoad(t *testing.T) {
 	vdd := c.Node("vdd")
 	c.V(vdd, 1.1)
 	c.R(vdd, Ground, 1.1) // → 1 mA
-	res, err := c.Transient(0, 5, 1)
+	res, err := c.Transient(context.Background(), 0, 5, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +82,7 @@ func TestRailDroopFromCurrentPulse(t *testing.T) {
 	c.C(rail, Ground, 500)                        // decap
 	pulse := waveform.Triangle(100, 20, 30, 2000) // 2 mA peak
 	c.I(rail, Ground, pulse)
-	res, err := c.Transient(0, 400, 0.5)
+	res, err := c.Transient(context.Background(), 0, 400, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,12 +115,12 @@ func TestSuperpositionOfInjections(t *testing.T) {
 		}
 		return c
 	}
-	r12, err := build(true, true).Transient(0, 200, 0.5)
+	r12, err := build(true, true).Transient(context.Background(), 0, 200, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, _ := build(true, false).Transient(0, 200, 0.5)
-	r2, _ := build(false, true).Transient(0, 200, 0.5)
+	r1, _ := build(true, false).Transient(context.Background(), 0, 200, 0.5)
+	r2, _ := build(false, true).Transient(context.Background(), 0, 200, 0.5)
 	rail := 2 // node indices identical across builds
 	for k := range r12.Times {
 		lhs := r12.VoltageAt(rail, k) - 1.0
@@ -141,7 +142,7 @@ func TestChargeConservation(t *testing.T) {
 	c.C(rail, Ground, 50)
 	pulse := waveform.Triangle(50, 10, 10, 1000)
 	c.I(rail, Ground, pulse)
-	res, err := c.Transient(0, 2000, 0.5)
+	res, err := c.Transient(context.Background(), 0, 2000, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestVoltageWaveformAccessor(t *testing.T) {
 	c := NewCircuit()
 	v := c.Node("v")
 	c.V(v, 0.5)
-	res, err := c.Transient(0, 3, 1)
+	res, err := c.Transient(context.Background(), 0, 3, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,13 +188,13 @@ func TestBadInputs(t *testing.T) {
 	c := NewCircuit()
 	n := c.Node("n")
 	c.R(n, Ground, 1)
-	if _, err := c.Transient(10, 5, 1); err == nil {
+	if _, err := c.Transient(context.Background(), 10, 5, 1); err == nil {
 		t.Error("reversed window should error")
 	}
-	if _, err := c.Transient(0, 5, 0); err == nil {
+	if _, err := c.Transient(context.Background(), 0, 5, 0); err == nil {
 		t.Error("zero dt should error")
 	}
-	if _, err := NewCircuit().Transient(0, 1, 0.1); err == nil {
+	if _, err := NewCircuit().Transient(context.Background(), 0, 1, 0.1); err == nil {
 		t.Error("empty circuit should error")
 	}
 	func() {
@@ -219,7 +220,7 @@ func TestVSourceOnGroundRejected(t *testing.T) {
 	n := c.Node("n")
 	c.R(n, Ground, 1)
 	c.V(Ground, 1.0)
-	if _, err := c.Transient(0, 1, 0.5); err == nil {
+	if _, err := c.Transient(context.Background(), 0, 1, 0.5); err == nil {
 		t.Fatal("voltage source on ground should error")
 	}
 }
@@ -230,7 +231,7 @@ func TestZeroCapIgnored(t *testing.T) {
 	c.C(n, Ground, 0)
 	c.R(n, Ground, 1)
 	c.V(n, 1)
-	if _, err := c.Transient(0, 1, 0.5); err != nil {
+	if _, err := c.Transient(context.Background(), 0, 1, 0.5); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -246,7 +247,7 @@ func TestTrapezoidalAccuracyOrder(t *testing.T) {
 		// identically and the DC point is zero.
 		step := waveform.MustNew([]waveform.Point{{T: 0, I: 0}, {T: 8, I: 1000}, {T: 10000, I: 1000}})
 		c.I(Ground, n, step)
-		res, err := c.Transient(0, 400, dt)
+		res, err := c.Transient(context.Background(), 0, 400, dt)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -257,7 +258,7 @@ func TestTrapezoidalAccuracyOrder(t *testing.T) {
 		cRef.R(nr, Ground, 2.0)
 		cRef.C(nr, Ground, 100.0)
 		cRef.I(Ground, nr, step)
-		ref, err := cRef.Transient(0, 400, 0.25)
+		ref, err := cRef.Transient(context.Background(), 0, 400, 0.25)
 		if err != nil {
 			t.Fatal(err)
 		}

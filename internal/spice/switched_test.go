@@ -1,6 +1,7 @@
 package spice
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -19,7 +20,7 @@ func TestSwitchedRDischargesOutput(t *testing.T) {
 	c.SwitchedR(vdd, out, RampOff(50, 10, 1.0))
 	c.SwitchedR(out, Ground, RampOn(50, 10, 1.0))
 	c.C(out, Ground, 20)
-	res, err := c.Transient(0, 300, 0.5)
+	res, err := c.Transient(context.Background(), 0, 300, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +51,7 @@ func TestSwitchedRChargesOutput(t *testing.T) {
 	c.SwitchedR(vdd, out, RampOn(50, 10, 2.0))
 	c.SwitchedR(out, Ground, RampOff(50, 10, 2.0))
 	c.C(out, Ground, 30)
-	res, err := c.Transient(0, 300, 0.5)
+	res, err := c.Transient(context.Background(), 0, 300, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package spice
 
 import (
+	"context"
 	"fmt"
 )
 
@@ -11,8 +12,9 @@ const gmin = 1e-9 // mS
 
 // Transient simulates the circuit from t0 to t1 with a fixed step dt (ps)
 // using trapezoidal integration. The initial condition is the DC operating
-// point at t0 (capacitors open, sources evaluated at t0).
-func (c *Circuit) Transient(t0, t1, dt float64) (*Result, error) {
+// point at t0 (capacitors open, sources evaluated at t0). The context is
+// checked every time step, so long transients cancel promptly.
+func (c *Circuit) Transient(ctx context.Context, t0, t1, dt float64) (*Result, error) {
 	if dt <= 0 || t1 <= t0 {
 		return nil, fmt.Errorf("spice: bad time window [%g,%g] dt=%g", t0, t1, dt)
 	}
@@ -158,6 +160,9 @@ func (c *Circuit) Transient(t0, t1, dt float64) (*Result, error) {
 
 	xNext := make([]float64, dim)
 	for k := 1; k < steps; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		t := t0 + float64(k)*dt
 		if timeVarying {
 			mTR, err := buildMatrix(true, t)

@@ -1,0 +1,16 @@
+package variation
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestMonteCarloCanceled(t *testing.T) {
+	tree := testTree(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MonteCarlo(ctx, tree, Params{Sigma: 0.05, N: 10, Kappa: 20, Seed: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

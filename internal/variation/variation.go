@@ -7,6 +7,7 @@
 package variation
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -94,7 +95,7 @@ func clampN(x float64) float64 {
 }
 
 // MonteCarlo evaluates N randomized instances of the tree.
-func MonteCarlo(t *clocktree.Tree, p Params) (*Stats, error) {
+func MonteCarlo(ctx context.Context, t *clocktree.Tree, p Params) (*Stats, error) {
 	if p.N <= 0 {
 		return nil, fmt.Errorf("variation: non-positive N")
 	}
@@ -112,6 +113,9 @@ func MonteCarlo(t *clocktree.Tree, p Params) (*Stats, error) {
 	st := &Stats{N: p.N}
 	var peaks, vdds, gnds []float64
 	for i := 0; i < p.N; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		inst := Perturb(t, p.Sigma, p.Correlation, rng)
 		tm := inst.ComputeTiming(mode)
 		skew := tm.Skew(inst)
@@ -125,7 +129,7 @@ func MonteCarlo(t *clocktree.Tree, p Params) (*Stats, error) {
 		peak := inst.PeakCurrent(tm)
 		peaks = append(peaks, peak)
 		if p.Grid != nil {
-			v, g, err := p.Grid.MeasureTreeNoise(inst, tm)
+			v, g, err := p.Grid.MeasureTreeNoise(ctx, inst, tm)
 			if err != nil {
 				return nil, fmt.Errorf("variation: instance %d noise: %w", i, err)
 			}

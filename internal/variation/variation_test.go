@@ -1,6 +1,7 @@
 package variation
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -53,11 +54,11 @@ func TestPerturbDoesNotTouchOriginal(t *testing.T) {
 func TestMonteCarloDeterministicWithSeed(t *testing.T) {
 	tree := testTree(t)
 	p := Params{Sigma: 0.05, N: 40, Kappa: 20, Seed: 7}
-	a, err := MonteCarlo(tree, p)
+	a, err := MonteCarlo(context.Background(), tree, p)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := MonteCarlo(tree, p)
+	b, err := MonteCarlo(context.Background(), tree, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,11 +72,11 @@ func TestMonteCarloYieldDropsWithSigma(t *testing.T) {
 	// κ barely above nominal skew so variation causes misses.
 	nominal := tree.ComputeTiming(clocktree.NominalMode).Skew(tree)
 	kappa := nominal + 3
-	low, err := MonteCarlo(tree, Params{Sigma: 0.01, N: 120, Kappa: kappa, Seed: 3})
+	low, err := MonteCarlo(context.Background(), tree, Params{Sigma: 0.01, N: 120, Kappa: kappa, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
-	high, err := MonteCarlo(tree, Params{Sigma: 0.15, N: 120, Kappa: kappa, Seed: 3})
+	high, err := MonteCarlo(context.Background(), tree, Params{Sigma: 0.15, N: 120, Kappa: kappa, Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +94,7 @@ func TestMonteCarloWithGridNoise(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := MonteCarlo(tree, Params{Sigma: 0.05, N: 5, Kappa: 20, Seed: 1, Grid: grid})
+	st, err := MonteCarlo(context.Background(), tree, Params{Sigma: 0.05, N: 5, Kappa: 20, Seed: 1, Grid: grid})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,13 +105,13 @@ func TestMonteCarloWithGridNoise(t *testing.T) {
 
 func TestMonteCarloValidation(t *testing.T) {
 	tree := testTree(t)
-	if _, err := MonteCarlo(tree, Params{Sigma: 0.05, N: 0, Kappa: 10}); err == nil {
+	if _, err := MonteCarlo(context.Background(), tree, Params{Sigma: 0.05, N: 0, Kappa: 10}); err == nil {
 		t.Error("zero N should error")
 	}
-	if _, err := MonteCarlo(tree, Params{Sigma: -1, N: 5, Kappa: 10}); err == nil {
+	if _, err := MonteCarlo(context.Background(), tree, Params{Sigma: -1, N: 5, Kappa: 10}); err == nil {
 		t.Error("negative sigma should error")
 	}
-	if _, err := MonteCarlo(tree, Params{Sigma: 0.05, N: 5, Kappa: 0}); err == nil {
+	if _, err := MonteCarlo(context.Background(), tree, Params{Sigma: 0.05, N: 5, Kappa: 0}); err == nil {
 		t.Error("zero kappa should error")
 	}
 }
@@ -133,11 +134,11 @@ func TestCorrelatedVariationNarrowsSkewSpread(t *testing.T) {
 	tree := testTree(t)
 	nominal := tree.ComputeTiming(clocktree.NominalMode).Skew(tree)
 	kappa := nominal + 4
-	indep, err := MonteCarlo(tree, Params{Sigma: 0.08, Correlation: 0, N: 150, Kappa: kappa, Seed: 5})
+	indep, err := MonteCarlo(context.Background(), tree, Params{Sigma: 0.08, Correlation: 0, N: 150, Kappa: kappa, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
-	corr, err := MonteCarlo(tree, Params{Sigma: 0.08, Correlation: 0.8, N: 150, Kappa: kappa, Seed: 5})
+	corr, err := MonteCarlo(context.Background(), tree, Params{Sigma: 0.08, Correlation: 0.8, N: 150, Kappa: kappa, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,16 @@
+package xorpol
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestOptimizeCanceled(t *testing.T) {
+	tree, modes := testDesign(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Optimize(ctx, tree, modes, Config{Samples: 16}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

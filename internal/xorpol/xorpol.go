@@ -12,6 +12,7 @@
 package xorpol
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -45,7 +46,8 @@ type Result struct {
 // Optimize chooses each leaf's polarity independently per mode. The tree's
 // cells (and hence timing) are untouched: an ideal XOR adds equal delay on
 // both polarities, so the skew is whatever the tree already has.
-func Optimize(t *clocktree.Tree, modes []clocktree.Mode, cfg Config) (*Result, error) {
+// Cancellation is checked per mode and per zone.
+func Optimize(ctx context.Context, t *clocktree.Tree, modes []clocktree.Mode, cfg Config) (*Result, error) {
 	if len(modes) == 0 {
 		return nil, fmt.Errorf("xorpol: no modes")
 	}
@@ -72,6 +74,9 @@ func Optimize(t *clocktree.Tree, modes []clocktree.Mode, cfg Config) (*Result, e
 		tm := t.ComputeTiming(mode)
 		var modePeak float64
 		for _, zone := range zones {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			// Baseline: non-leaf currents plus every leaf's XOR overhead
 			// (the XOR switches in both polarities).
 			var base [4]waveform.Waveform
@@ -125,7 +130,7 @@ func Optimize(t *clocktree.Tree, modes []clocktree.Mode, cfg Config) (*Result, e
 					{Weight: vec(options[li][1].w), Tag: 1},
 				})
 			}
-			sol, err := mosp.Solve(g, mosp.Options{Epsilon: 0.01})
+			sol, err := mosp.Solve(ctx, g, mosp.Options{Epsilon: 0.01})
 			if err != nil {
 				return nil, err
 			}

@@ -1,6 +1,7 @@
 package xorpol
 
 import (
+	"context"
 	"testing"
 
 	"wavemin/internal/bench"
@@ -64,7 +65,7 @@ func goldenPeak(t *clocktree.Tree, mode clocktree.Mode, res *Result) float64 {
 
 func TestOptimizeProgramsEveryLeafAndMode(t *testing.T) {
 	tree, modes := testDesign(t)
-	res, err := Optimize(tree, modes, Config{Samples: 16})
+	res, err := Optimize(context.Background(), tree, modes, Config{Samples: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestOptimizeProgramsEveryLeafAndMode(t *testing.T) {
 
 func TestXORPolarityBeatsAllPositive(t *testing.T) {
 	tree, modes := testDesign(t)
-	res, err := Optimize(tree, modes, Config{Samples: 32})
+	res, err := Optimize(context.Background(), tree, modes, Config{Samples: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestPerModeProgramsDiffer(t *testing.T) {
 	// With a voltage island shifting arrivals in M2, the per-mode optima
 	// generally differ — that is the point of dynamic polarity.
 	tree, modes := testDesign(t)
-	res, err := Optimize(tree, modes, Config{Samples: 32})
+	res, err := Optimize(context.Background(), tree, modes, Config{Samples: 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestPerModeProgramsDiffer(t *testing.T) {
 
 func TestValidation(t *testing.T) {
 	tree, _ := testDesign(t)
-	if _, err := Optimize(tree, nil, Config{}); err == nil {
+	if _, err := Optimize(context.Background(), tree, nil, Config{}); err == nil {
 		t.Fatal("no modes should error")
 	}
 }
@@ -139,7 +140,7 @@ func TestValidation(t *testing.T) {
 func TestTimingUntouched(t *testing.T) {
 	tree, modes := testDesign(t)
 	before := tree.ComputeTiming(modes[1]).Skew(tree)
-	if _, err := Optimize(tree, modes, Config{Samples: 16}); err != nil {
+	if _, err := Optimize(context.Background(), tree, modes, Config{Samples: 16}); err != nil {
 		t.Fatal(err)
 	}
 	after := tree.ComputeTiming(modes[1]).Skew(tree)

@@ -2,6 +2,7 @@ package wavemin
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -46,7 +47,7 @@ func TestSaveLoadTreeRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := d.Optimize(Config{Samples: 16, MaxIntervals: 2}); err != nil {
+	if _, err := d.Optimize(context.Background(), Config{Samples: 16, MaxIntervals: 2}); err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
@@ -57,11 +58,11 @@ func TestSaveLoadTreeRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m1, err := d.Measure()
+	m1, err := d.Measure(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2, err := d2.Measure()
+	m2, err := d2.Measure(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

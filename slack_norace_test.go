@@ -1,0 +1,8 @@
+//go:build !race
+
+package wavemin
+
+import "time"
+
+// timingSlack pads wall-clock assertions against scheduler and GC jitter.
+const timingSlack = 250 * time.Millisecond

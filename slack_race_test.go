@@ -1,0 +1,10 @@
+//go:build race
+
+package wavemin
+
+import "time"
+
+// timingSlack pads wall-clock assertions. The race detector slows the
+// stretches between context checks by up to an order of magnitude, so the
+// promptness bounds get a much larger allowance.
+const timingSlack = 2 * time.Second

@@ -28,7 +28,10 @@
 package wavemin
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"wavemin/internal/bench"
@@ -65,6 +68,21 @@ const (
 	PeakMin
 )
 
+// String returns the paper's name for the algorithm. It matches the
+// single-mode values of Result.AlgorithmUsed.
+func (a Algorithm) String() string {
+	switch a {
+	case WaveMin:
+		return "ClkWaveMin"
+	case WaveMinFast:
+		return "ClkWaveMin-f"
+	case PeakMin:
+		return "ClkPeakMin"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
 // Config parameterizes Optimize. The zero value is completed with the
 // paper's defaults.
 type Config struct {
@@ -80,6 +98,39 @@ type Config struct {
 	// experiment defaults).
 	MaxIntervals     int
 	MaxIntersections int
+	// Budget bounds the wall-clock time Optimize may spend (0 = unlimited).
+	// When the configured algorithm cannot finish within the budget it is
+	// cancelled and the pipeline degrades down the algorithm ladder —
+	// ClkWaveMin → ClkWaveMin-f → ClkPeakMin → unmodified tree — so a
+	// bounded-time, possibly lower-quality answer is always returned.
+	// A deadline on the Context passed to Optimize enables the same
+	// degradation; the tighter of the two wins.
+	Budget time.Duration
+}
+
+// Validate rejects nonsensical configurations with a descriptive error.
+// Zero values are permitted — they select the paper defaults — but
+// negative or degenerate values are not.
+func (c Config) Validate() error {
+	switch {
+	case math.IsNaN(c.Kappa) || c.Kappa < 0:
+		return fmt.Errorf("wavemin: invalid skew bound κ=%g (want > 0, or 0 for the default)", c.Kappa)
+	case c.Samples != 0 && c.Samples < 2:
+		return fmt.Errorf("wavemin: invalid sample count %d (want >= 2, or 0 for the default)", c.Samples)
+	case math.IsNaN(c.Epsilon) || c.Epsilon < 0:
+		return fmt.Errorf("wavemin: invalid approximation parameter ε=%g (want > 0, or 0 for the default)", c.Epsilon)
+	case math.IsNaN(c.ZoneSize) || c.ZoneSize < 0:
+		return fmt.Errorf("wavemin: invalid zone size %g µm (want > 0, or 0 for the default)", c.ZoneSize)
+	case c.Algorithm < WaveMin || c.Algorithm > PeakMin:
+		return fmt.Errorf("wavemin: unknown algorithm %d", int(c.Algorithm))
+	case c.MaxIntervals < 0:
+		return fmt.Errorf("wavemin: negative interval cap %d", c.MaxIntervals)
+	case c.MaxIntersections < 0:
+		return fmt.Errorf("wavemin: negative intersection cap %d", c.MaxIntersections)
+	case c.Budget < 0:
+		return fmt.Errorf("wavemin: negative budget %v", c.Budget)
+	}
+	return nil
 }
 
 func (c Config) withDefaults() Config {
@@ -205,18 +256,34 @@ type Metrics struct {
 }
 
 // Measure evaluates the design as-is: total-waveform peak current, rail
-// noise from the power-grid transient, and worst-mode skew.
-func (d *Design) Measure() (Metrics, error) {
+// noise from the power-grid transient, and worst-mode skew. The context
+// cancels the underlying transient simulation promptly; internal panics
+// surface as *InternalError.
+func (d *Design) Measure(ctx context.Context) (m Metrics, err error) {
+	defer recoverToError(&err)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return d.measureTree(ctx, d.Tree)
+}
+
+// measureTree evaluates an arbitrary tree against the design's grid and
+// modes — the same metrics as Measure, usable on working clones before
+// they are committed.
+func (d *Design) measureTree(ctx context.Context, t *clocktree.Tree) (Metrics, error) {
 	var m Metrics
 	for _, mode := range d.Modes {
-		tm := d.Tree.ComputeTiming(mode)
-		if p := d.Tree.PeakCurrent(tm); p > m.PeakCurrent {
+		if err := ctx.Err(); err != nil {
+			return Metrics{}, err
+		}
+		tm := t.ComputeTiming(mode)
+		if p := t.PeakCurrent(tm); p > m.PeakCurrent {
 			m.PeakCurrent = p
 		}
-		if s := tm.Skew(d.Tree); s > m.WorstSkew {
+		if s := tm.Skew(t); s > m.WorstSkew {
 			m.WorstSkew = s
 		}
-		v, g, err := d.Grid.MeasureTreeNoise(d.Tree, tm)
+		v, g, err := d.Grid.MeasureTreeNoise(ctx, t, tm)
 		if err != nil {
 			return Metrics{}, err
 		}
@@ -230,6 +297,11 @@ func (d *Design) Measure() (Metrics, error) {
 	return m, nil
 }
 
+// AlgorithmNone is the AlgorithmUsed value of the degradation ladder's
+// bottom rung: no optimizer finished within the budget and the tree was
+// returned unmodified.
+const AlgorithmNone = "none"
+
 // Result reports an optimization.
 type Result struct {
 	Before, After Metrics
@@ -239,6 +311,14 @@ type Result struct {
 	NumADIs       int
 	ADBInserted   int // ADBs added to fix multi-mode skew
 	Runtime       time.Duration
+	// AlgorithmUsed names the rung of the degradation ladder that produced
+	// the final tree ("ClkWaveMin", "ClkWaveMin-f", "ClkPeakMin",
+	// "ClkWaveMin-M", "ClkWaveMin-Mf", or AlgorithmNone).
+	AlgorithmUsed string
+	// Degraded reports that the configured algorithm did not finish within
+	// the budget/deadline and a cheaper rung (possibly "return the tree
+	// unmodified") answered instead.
+	Degraded bool
 }
 
 // PeakReduction returns the percent peak-current improvement.
@@ -249,69 +329,190 @@ func (r *Result) PeakReduction() float64 {
 	return 100 * (r.Before.PeakCurrent - r.After.PeakCurrent) / r.Before.PeakCurrent
 }
 
+// rung is one step of the degradation ladder: it optimizes a clone of the
+// design's tree and returns the result plus the clone to commit.
+type rung struct {
+	name string
+	run  func(ctx context.Context) (*Result, *clocktree.Tree, error)
+}
+
 // Optimize runs the WaveMin flow on the design, modifying its tree in
 // place: single-mode designs use ClkWaveMin (or the selected variant);
 // multi-mode designs use ClkWaveMin-M with ADB insertion as needed.
-func (d *Design) Optimize(cfg Config) (*Result, error) {
-	cfg = cfg.withDefaults()
-	before, err := d.Measure()
-	if err != nil {
+//
+// The context cancels the optimization promptly at every hot loop. When
+// cfg.Budget is set (or ctx carries a deadline), Optimize never blows the
+// budget: if the configured algorithm cannot finish in time it is
+// cancelled and the pipeline degrades down the ladder — ClkWaveMin →
+// ClkWaveMin-f → ClkPeakMin → "return the tree unmodified" — recording
+// the answering rung in Result.AlgorithmUsed and setting Result.Degraded.
+// All work happens on a clone that is committed atomically on success, so
+// a cancelled, failed, or panicking run leaves the design untouched;
+// internal panics surface as *InternalError.
+func (d *Design) Optimize(ctx context.Context, cfg Config) (res *Result, err error) {
+	defer recoverToError(&err)
+	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	start := time.Now()
-	res := &Result{Before: before}
+	cfg = cfg.withDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if d.lib == nil {
+		d.lib = cell.DefaultLibrary()
+	}
+	_, degradable := ctx.Deadline()
+	if cfg.Budget > 0 {
+		degradable = true
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Budget)
+		defer cancel()
+	}
 
 	sizing, err := d.lib.Restrict("BUF_X8", "BUF_X16", "INV_X8", "INV_X16")
 	if err != nil {
 		return nil, err
 	}
-
-	if len(d.Modes) == 1 {
-		algo := polarity.ClkWaveMin
-		switch cfg.Algorithm {
-		case WaveMinFast:
-			algo = polarity.ClkWaveMinF
-		case PeakMin:
-			algo = polarity.ClkPeakMinBaseline
-		}
-		opt, err := polarity.Optimize(d.Tree, polarity.Config{
-			Library: sizing, Kappa: cfg.Kappa, Samples: cfg.Samples,
-			Epsilon: cfg.Epsilon, ZoneSize: cfg.ZoneSize, Algorithm: algo,
-			Mode: d.Modes[0], MaxIntervals: cfg.MaxIntervals,
-		})
-		if err != nil {
-			return nil, err
-		}
-		polarity.Apply(d.Tree, opt.Assignment)
-		countCells(d.Tree, res)
-	} else {
-		mcfg := multimode.Config{
-			Library: sizing,
-			ADBCell: d.lib.MustByName("ADB_X8"),
-			Kappa:   cfg.Kappa, Samples: cfg.Samples, Epsilon: cfg.Epsilon,
-			ZoneSize: cfg.ZoneSize, Fast: cfg.Algorithm == WaveMinFast,
-			MaxIntersections: cfg.MaxIntersections,
-		}
-		if cfg.EnableADI {
-			mcfg.ADICell = d.lib.MustByName("ADI_X8")
-		}
-		opt, err := multimode.Optimize(d.Tree, d.Modes, mcfg)
-		if err != nil {
-			return nil, err
-		}
-		if err := multimode.ApplyResult(d.Tree, d.Modes, cfg.Kappa, opt); err != nil {
-			return nil, err
-		}
-		res.ADBInserted = opt.ADBInserted
-		countCells(d.Tree, res)
-	}
-	res.Runtime = time.Since(start)
-	after, err := d.Measure()
+	rungs, err := d.ladder(cfg, sizing, degradable)
 	if err != nil {
 		return nil, err
 	}
-	res.After = after
+
+	start := time.Now()
+	before, err := d.Measure(ctx)
+	if err != nil {
+		if degradable && errors.Is(err, context.DeadlineExceeded) {
+			// Not even the baseline measurement fits the budget: the
+			// bottom rung answers with the unmodified tree (and, lacking
+			// a finished measurement, zero metrics).
+			res := &Result{AlgorithmUsed: AlgorithmNone, Degraded: true, Runtime: time.Since(start)}
+			countCells(d.Tree, res)
+			return res, nil
+		}
+		return nil, err
+	}
+
+	for i, r := range rungs {
+		// Budget split: every rung but the last gets half of the time
+		// remaining under the overall deadline, so a stuck upper rung
+		// always leaves room for the cheaper ones below it.
+		rungCtx, cancel := ctx, context.CancelFunc(func() {})
+		if degradable && i < len(rungs)-1 {
+			if overall, ok := ctx.Deadline(); ok {
+				rungCtx, cancel = context.WithDeadline(ctx, time.Now().Add(time.Until(overall)/2))
+			}
+		}
+		rr, work, rerr := r.run(rungCtx)
+		cancel()
+		if rerr == nil {
+			d.Tree.ReplaceWith(work)
+			rr.Before = before
+			rr.Runtime = time.Since(start)
+			rr.AlgorithmUsed = r.name
+			rr.Degraded = i > 0
+			return rr, nil
+		}
+		if !degradable || !errors.Is(rerr, context.DeadlineExceeded) || ctx.Err() == context.Canceled {
+			return nil, rerr
+		}
+		// This rung blew its slice of the budget; fall through to the
+		// next, cheaper one.
+	}
+	// Bottom rung: every optimizer timed out. Return the unmodified tree
+	// with the Before metrics — a valid, bounded-time answer.
+	res = &Result{
+		Before: before, After: before,
+		AlgorithmUsed: AlgorithmNone, Degraded: true,
+		Runtime: time.Since(start),
+	}
+	countCells(d.Tree, res)
 	return res, nil
+}
+
+// ladder builds the degradation ladder for the design and configuration:
+// the configured algorithm first, then — when a budget or deadline makes
+// degradation meaningful — every cheaper variant below it.
+func (d *Design) ladder(cfg Config, sizing *cell.Library, degradable bool) ([]rung, error) {
+	var rungs []rung
+	if len(d.Modes) == 1 {
+		single := func(algo polarity.Algorithm) rung {
+			return rung{name: algo.String(), run: func(ctx context.Context) (*Result, *clocktree.Tree, error) {
+				work := d.Tree.Clone()
+				opt, err := polarity.Optimize(ctx, work, polarity.Config{
+					Library: sizing, Kappa: cfg.Kappa, Samples: cfg.Samples,
+					Epsilon: cfg.Epsilon, ZoneSize: cfg.ZoneSize, Algorithm: algo,
+					Mode: d.Modes[0], MaxIntervals: cfg.MaxIntervals,
+				})
+				if err != nil {
+					return nil, nil, err
+				}
+				polarity.Apply(work, opt.Assignment)
+				res := &Result{}
+				countCells(work, res)
+				after, err := d.measureTree(ctx, work)
+				if err != nil {
+					return nil, nil, err
+				}
+				res.After = after
+				return res, work, nil
+			}}
+		}
+		switch cfg.Algorithm {
+		case WaveMin:
+			rungs = append(rungs, single(polarity.ClkWaveMin), single(polarity.ClkWaveMinF), single(polarity.ClkPeakMinBaseline))
+		case WaveMinFast:
+			rungs = append(rungs, single(polarity.ClkWaveMinF), single(polarity.ClkPeakMinBaseline))
+		case PeakMin:
+			rungs = append(rungs, single(polarity.ClkPeakMinBaseline))
+		}
+	} else {
+		adbCell, ok := d.lib.ByName("ADB_X8")
+		if !ok {
+			return nil, fmt.Errorf("wavemin: cell library has no %q: multi-mode optimization needs an adjustable delay buffer", "ADB_X8")
+		}
+		var adiCell *cell.Cell
+		if cfg.EnableADI {
+			if adiCell, ok = d.lib.ByName("ADI_X8"); !ok {
+				return nil, fmt.Errorf("wavemin: cell library has no %q: EnableADI needs an adjustable delay inverter", "ADI_X8")
+			}
+		}
+		multi := func(name string, fast bool) rung {
+			return rung{name: name, run: func(ctx context.Context) (*Result, *clocktree.Tree, error) {
+				work := d.Tree.Clone()
+				opt, err := multimode.Optimize(ctx, work, d.Modes, multimode.Config{
+					Library: sizing, ADBCell: adbCell, ADICell: adiCell,
+					Kappa: cfg.Kappa, Samples: cfg.Samples, Epsilon: cfg.Epsilon,
+					ZoneSize: cfg.ZoneSize, Fast: fast,
+					MaxIntersections: cfg.MaxIntersections,
+				})
+				if err != nil {
+					return nil, nil, err
+				}
+				if err := multimode.ApplyResult(work, d.Modes, cfg.Kappa, opt); err != nil {
+					return nil, nil, err
+				}
+				res := &Result{ADBInserted: opt.ADBInserted}
+				countCells(work, res)
+				after, err := d.measureTree(ctx, work)
+				if err != nil {
+					return nil, nil, err
+				}
+				res.After = after
+				return res, work, nil
+			}}
+		}
+		if cfg.Algorithm == WaveMinFast {
+			rungs = append(rungs, multi("ClkWaveMin-Mf", true))
+		} else {
+			rungs = append(rungs, multi("ClkWaveMin-M", false), multi("ClkWaveMin-Mf", true))
+		}
+	}
+	if !degradable {
+		// Without a budget or deadline there is nothing to degrade to:
+		// run exactly the configured algorithm, as the paper flow does.
+		rungs = rungs[:1]
+	}
+	return rungs, nil
 }
 
 // DynamicPolarityResult reports OptimizeDynamicPolarity.
@@ -332,18 +533,34 @@ type DynamicPolarityResult struct {
 // static buffer/inverter choice, each leaf's polarity becomes a
 // mode-programmable bit with no timing impact. The design itself is not
 // modified.
-func (d *Design) OptimizeDynamicPolarity(cfg Config) (*DynamicPolarityResult, error) {
+//
+// The context cancels the per-mode optimization promptly; cfg.Budget, when
+// set, bounds the total runtime. Internal panics surface as
+// *InternalError.
+func (d *Design) OptimizeDynamicPolarity(ctx context.Context, cfg Config) (res *DynamicPolarityResult, err error) {
+	defer recoverToError(&err)
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
-	res, err := xorpol.Optimize(d.Tree, d.Modes, xorpol.Config{
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.Budget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.Budget)
+		defer cancel()
+	}
+	opt, err := xorpol.Optimize(ctx, d.Tree, d.Modes, xorpol.Config{
 		Samples: cfg.Samples, ZoneSize: cfg.ZoneSize,
 	})
 	if err != nil {
 		return nil, err
 	}
 	return &DynamicPolarityResult{
-		Positive:     res.Positive,
-		PeakPerMode:  res.PeakPerMode,
-		FlipsPerMode: res.Flips(d.Tree, d.Modes),
+		Positive:     opt.Positive,
+		PeakPerMode:  opt.PeakPerMode,
+		FlipsPerMode: opt.Flips(d.Tree, d.Modes),
 	}, nil
 }
 

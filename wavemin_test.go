@@ -1,6 +1,7 @@
 package wavemin
 
 import (
+	"context"
 	"testing"
 )
 
@@ -21,7 +22,7 @@ func TestNewAndMeasure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := d.Measure()
+	m, err := d.Measure(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestSingleModeOptimizeImproves(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := d.Optimize(Config{Samples: 32, MaxIntervals: 4})
+	res, err := d.Optimize(context.Background(), Config{Samples: 32, MaxIntervals: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestMultiModeOptimize(t *testing.T) {
 	if err := d.SetModes(modes); err != nil {
 		t.Fatal(err)
 	}
-	res, err := d.Optimize(Config{Kappa: 14, Samples: 16, EnableADI: true, MaxIntersections: 4})
+	res, err := d.Optimize(context.Background(), Config{Kappa: 14, Samples: 16, EnableADI: true, MaxIntersections: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,7 +129,7 @@ func TestPeakMinBaselineViaFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := d.Optimize(Config{Samples: 16, Algorithm: PeakMin, MaxIntervals: 4})
+	res, err := d.Optimize(context.Background(), Config{Samples: 16, Algorithm: PeakMin, MaxIntervals: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestDynamicPolarityViaFacade(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	res, err := d.OptimizeDynamicPolarity(Config{Samples: 16})
+	res, err := d.OptimizeDynamicPolarity(context.Background(), Config{Samples: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
