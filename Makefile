@@ -1,6 +1,8 @@
 GO ?= go
+BENCH_DATE := $(shell date +%F)
+BENCH_LATEST = $(lastword $(sort $(filter-out BENCH_baseline.json,$(wildcard BENCH_*.json))))
 
-.PHONY: build test vet race verify
+.PHONY: build test vet race check verify bench benchdiff
 
 build:
 	$(GO) build ./...
@@ -18,4 +20,24 @@ vet:
 race: vet
 	$(GO) test -race ./...
 
+# Default gate: tier 1, vet, and the worker-determinism tests under the
+# race detector (the parallel fan-outs must be bitwise reproducible at any
+# worker count; the full -race suite stays in `make race`).
+check: test vet
+	$(GO) test -race -run Parallel . ./internal/...
+
 verify: test race
+
+# Benchmark snapshot: one pass over every benchmark, recorded as
+# BENCH_<date>.json for regression tracking against BENCH_baseline.json.
+bench: build
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . | tee bench.out
+	$(GO) run ./scripts/benchjson < bench.out > BENCH_$(BENCH_DATE).json
+	@rm -f bench.out
+	@echo wrote BENCH_$(BENCH_DATE).json
+
+# Non-blocking regression report: newest snapshot vs the committed
+# baseline. Informational — single-run perf noise should not fail CI,
+# hence the leading "-".
+benchdiff:
+	-$(GO) run ./scripts/benchdiff -threshold 25 BENCH_baseline.json $(BENCH_LATEST)

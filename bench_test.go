@@ -9,6 +9,7 @@ package wavemin
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
 
 	"wavemin/internal/bench"
@@ -48,16 +49,25 @@ func BenchmarkTable2Characterization(b *testing.B) {
 }
 
 func BenchmarkTable5PeakMinVsWaveMin(b *testing.B) {
-	cfg := experiments.Table5Config{
-		Circuits: []string{"s13207"}, Kappa: 20, Samples: 32, Epsilon: 0.01, MaxIntervals: 4,
+	counts := []int{1}
+	if n := runtime.GOMAXPROCS(0); n > 1 {
+		counts = append(counts, n)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		res, err := experiments.RunTable5(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		b.ReportMetric(res.Rows[0].ImpPeak, "peak-improvement-%")
+	for _, workers := range counts {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := experiments.Table5Config{
+				Circuits: []string{"s13207"}, Kappa: 20, Samples: 32,
+				Epsilon: 0.01, MaxIntervals: 4, Workers: workers,
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunTable5(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Rows[0].ImpPeak, "peak-improvement-%")
+			}
+		})
 	}
 }
 
@@ -296,6 +306,7 @@ func BenchmarkMOSPSolve(b *testing.B) {
 		}
 		g.Layers = append(g.Layers, layer)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := mosp.Solve(context.Background(), g, mosp.Options{Epsilon: 0.01}); err != nil {

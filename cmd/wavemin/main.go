@@ -18,6 +18,8 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -43,8 +45,36 @@ func main() {
 		domains   = flag.Int("domains", 4, "number of voltage domains (multi-mode only)")
 		adi       = flag.Bool("adi", false, "offer adjustable delay inverters at ADB sites")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget for the optimization (0 = unlimited); on expiry the flow degrades to faster algorithms, down to returning the tree unmodified")
+		workers   = flag.Int("workers", 0, "solver worker goroutines (0 = GOMAXPROCS, 1 = serial); results are identical for every count")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
 
 	var design *wavemin.Design
 	var err error
@@ -79,7 +109,7 @@ func main() {
 	}
 	cfg := wavemin.Config{
 		Kappa: *kappa, Samples: *samples, Epsilon: *epsilon, EnableADI: *adi,
-		Budget: *timeout,
+		Budget: *timeout, Workers: *workers,
 	}
 	switch *algo {
 	case "wavemin":

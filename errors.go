@@ -3,6 +3,8 @@ package wavemin
 import (
 	"fmt"
 	"runtime/debug"
+
+	"wavemin/internal/parallel"
 )
 
 // InternalError reports that the optimization engine hit an internal
@@ -27,8 +29,17 @@ func (e *InternalError) Error() string {
 // recoverToError converts an in-flight panic into an *InternalError. It
 // must be deferred directly from an exported facade function so the
 // recover boundary sits at the public API surface.
+//
+// A panic on a parallel worker goroutine arrives wrapped in
+// *parallel.Panic; it is unwrapped here so InternalError carries the
+// original panic value and the worker's own stack, exactly as a serial
+// panic would.
 func recoverToError(errp *error) {
 	if r := recover(); r != nil {
+		if p, ok := r.(*parallel.Panic); ok {
+			*errp = &InternalError{Value: p.Value, Stack: p.Stack}
+			return
+		}
 		*errp = &InternalError{Value: r, Stack: debug.Stack()}
 	}
 }

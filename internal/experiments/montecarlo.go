@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"context"
+
+	"wavemin/internal/parallel"
 	"wavemin/internal/polarity"
 	"wavemin/internal/variation"
 )
@@ -21,6 +23,10 @@ type MCConfig struct {
 	Seed         int64
 	WithGrid     bool // also measure rail noise (slower)
 	MaxIntervals int
+	// Workers bounds the per-circuit row fan-out plus the solver and
+	// Monte Carlo parallelism inside each row. 0 = GOMAXPROCS, 1 =
+	// serial; results are identical for every worker count.
+	Workers int
 }
 
 // DefaultMCConfig returns the scaled defaults over all benchmarks.
@@ -58,10 +64,12 @@ type MCResult struct {
 // both products under process variation.
 func RunMonteCarlo(cfg MCConfig) (*MCResult, error) {
 	out := &MCResult{Config: cfg}
-	for _, name := range cfg.Circuits {
+	rows := make([]MCRow, len(cfg.Circuits))
+	ferr := parallel.ForEach(context.Background(), cfg.Workers, len(cfg.Circuits), func(i int) error {
+		name := cfg.Circuits[i]
 		ckt, err := LoadCircuit(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		lib := sizingLib(ckt.Lib)
 		row := MCRow{Name: name}
@@ -69,22 +77,24 @@ func RunMonteCarlo(cfg MCConfig) (*MCResult, error) {
 			res, err := polarity.Optimize(context.Background(), ckt.Tree, polarity.Config{
 				Library: lib, Kappa: cfg.Kappa, Samples: cfg.Samples,
 				Epsilon: cfg.Epsilon, Algorithm: algo, MaxIntervals: cfg.MaxIntervals,
+				Workers: cfg.Workers,
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			work := ckt.Tree.Clone()
 			polarity.Apply(work, res.Assignment)
 			p := variation.Params{
 				Sigma: cfg.Sigma, Correlation: cfg.Correlation,
 				N: cfg.Instances, Kappa: cfg.Kappa, Seed: cfg.Seed,
+				Workers: cfg.Workers,
 			}
 			if cfg.WithGrid {
 				p.Grid = ckt.Grid
 			}
 			st, err := variation.MonteCarlo(context.Background(), work, p)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			nominal := work.ComputeTiming(p.Mode).Skew(work)
 			if algo == polarity.ClkPeakMinBaseline {
@@ -93,7 +103,14 @@ func RunMonteCarlo(cfg MCConfig) (*MCResult, error) {
 				row.WaveMin, row.NominalSkewWM = st, nominal
 			}
 		}
-		out.Rows = append(out.Rows, row)
+		rows[i] = row
+		return nil
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	out.Rows = rows
+	for _, row := range rows {
 		out.AvgYieldPM += row.PeakMin.Yield
 		out.AvgYieldWM += row.WaveMin.Yield
 		out.AvgNormPeakPM += row.PeakMin.NormSDev

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestParallelDeterminismTable5 requires that the row fan-out (and the
+// solver parallelism inside each row) reproduces the serial results
+// bitwise.
+func TestParallelDeterminismTable5(t *testing.T) {
+	cfg := Table5Config{
+		Circuits: []string{"s15850"}, Kappa: 20, Samples: 16,
+		Epsilon: 0.05, MaxIntervals: 2, Workers: 1,
+	}
+	want, err := RunTable5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Workers = runtime.GOMAXPROCS(0)
+	got, err := RunTable5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatal("row count differs")
+	}
+	for i := range want.Rows {
+		// Table5Row is all scalars — comparable.
+		if got.Rows[i] != want.Rows[i] {
+			t.Fatalf("row %d differs:\n got %+v\nwant %+v", i, got.Rows[i], want.Rows[i])
+		}
+	}
+	if got.AvgPeak != want.AvgPeak || got.AvgVDD != want.AvgVDD || got.AvgGnd != want.AvgGnd {
+		t.Fatal("averages differ")
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"wavemin/internal/cell"
+	"wavemin/internal/parallel"
 	"wavemin/internal/polarity"
 )
 
@@ -16,6 +17,10 @@ type Table5Config struct {
 	Samples      int
 	Epsilon      float64
 	MaxIntervals int // cap on fully optimized intervals per circuit
+	// Workers bounds both the per-circuit row fan-out and the solver
+	// parallelism inside each optimization. 0 = GOMAXPROCS, 1 = serial;
+	// results are identical for every worker count.
+	Workers int
 }
 
 // DefaultTable5Config returns the paper's parameters over all seven
@@ -61,16 +66,18 @@ func sizingLib(lib *cell.Library) *cell.Library {
 // golden evaluator.
 func RunTable5(cfg Table5Config) (*Table5, error) {
 	out := &Table5{Config: cfg}
-	for _, name := range cfg.Circuits {
+	rows := make([]Table5Row, len(cfg.Circuits))
+	ferr := parallel.ForEach(context.Background(), cfg.Workers, len(cfg.Circuits), func(i int) error {
+		name := cfg.Circuits[i]
 		ckt, err := LoadCircuit(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := Table5Row{Name: name, N: ckt.Tree.Len(), L: len(ckt.Tree.Leaves())}
 		lib := sizingLib(ckt.Lib)
 		base := polarity.Config{
 			Library: lib, Kappa: cfg.Kappa, Samples: cfg.Samples,
-			Epsilon: cfg.Epsilon, MaxIntervals: cfg.MaxIntervals,
+			Epsilon: cfg.Epsilon, MaxIntervals: cfg.MaxIntervals, Workers: cfg.Workers,
 		}
 		run := func(algo polarity.Algorithm) (Golden, float64, error) {
 			c := base
@@ -89,15 +96,22 @@ func RunTable5(cfg Table5Config) (*Table5, error) {
 			return g, skew, nil
 		}
 		if row.PeakMin, row.SkewPM, err = run(polarity.ClkPeakMinBaseline); err != nil {
-			return nil, err
+			return err
 		}
 		if row.WaveMin, row.SkewWM, err = run(polarity.ClkWaveMin); err != nil {
-			return nil, err
+			return err
 		}
 		row.ImpVDD = improvement(row.PeakMin.VDD, row.WaveMin.VDD)
 		row.ImpGnd = improvement(row.PeakMin.Gnd, row.WaveMin.Gnd)
 		row.ImpPeak = improvement(row.PeakMin.Peak, row.WaveMin.Peak)
-		out.Rows = append(out.Rows, row)
+		rows[i] = row
+		return nil
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	out.Rows = rows
+	for _, row := range rows {
 		out.AvgVDD += row.ImpVDD
 		out.AvgGnd += row.ImpGnd
 		out.AvgPeak += row.ImpPeak

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"wavemin/internal/bench"
+	"wavemin/internal/parallel"
 	"wavemin/internal/polarity"
 )
 
@@ -19,6 +20,11 @@ type Table6Config struct {
 	SampleSweeps []int // paper: 4, 8, 158
 	FastSamples  int   // paper: 158
 	MaxIntervals int
+	// Workers bounds both the per-circuit row fan-out and the solver
+	// parallelism inside each optimization. Note the per-variant Exec
+	// times measure wall clock and shrink (or jitter) accordingly.
+	// 0 = GOMAXPROCS, 1 = serial.
+	Workers int
 }
 
 // DefaultTable6Config returns the paper's parameters.
@@ -56,10 +62,12 @@ type Table6 struct {
 // RunTable6 measures peak current and execution time per variant.
 func RunTable6(cfg Table6Config) (*Table6, error) {
 	out := &Table6{Config: cfg}
-	for _, name := range cfg.Circuits {
+	rows := make([]Table6Row, len(cfg.Circuits))
+	ferr := parallel.ForEach(context.Background(), cfg.Workers, len(cfg.Circuits), func(i int) error {
+		name := cfg.Circuits[i]
 		ckt, err := LoadCircuit(name)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		lib := sizingLib(ckt.Lib)
 		row := Table6Row{Name: name}
@@ -67,6 +75,7 @@ func RunTable6(cfg Table6Config) (*Table6, error) {
 			c := polarity.Config{
 				Library: lib, Kappa: cfg.Kappa, Samples: samples,
 				Epsilon: cfg.Epsilon, Algorithm: algo, MaxIntervals: cfg.MaxIntervals,
+				Workers: cfg.Workers,
 			}
 			start := time.Now()
 			res, err := polarity.Optimize(context.Background(), ckt.Tree, c)
@@ -80,20 +89,25 @@ func RunTable6(cfg Table6Config) (*Table6, error) {
 			return Table6Cell{Peak: work.PeakCurrent(tm), Exec: elapsed}, nil
 		}
 		if row.PeakMin, err = measure(polarity.ClkPeakMinBaseline, 4); err != nil {
-			return nil, err
+			return err
 		}
 		for _, s := range cfg.SampleSweeps {
 			c, err := measure(polarity.ClkWaveMin, s)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			row.Sweep = append(row.Sweep, c)
 		}
 		if row.Fast, err = measure(polarity.ClkWaveMinF, cfg.FastSamples); err != nil {
-			return nil, err
+			return err
 		}
-		out.Rows = append(out.Rows, row)
+		rows[i] = row
+		return nil
+	})
+	if ferr != nil {
+		return nil, ferr
 	}
+	out.Rows = rows
 	return out, nil
 }
 

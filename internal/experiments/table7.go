@@ -7,6 +7,7 @@ import (
 	"wavemin/internal/adb"
 	"wavemin/internal/bench"
 	"wavemin/internal/multimode"
+	"wavemin/internal/parallel"
 )
 
 // Table7Config mirrors the paper's Table VII: four power modes over 4–10
@@ -26,6 +27,10 @@ type Table7Config struct {
 	Samples          int // per mode
 	Epsilon          float64
 	MaxIntersections int
+	// Workers bounds both the (circuit, κ) row fan-out and the per-zone
+	// solver parallelism inside each optimization. 0 = GOMAXPROCS,
+	// 1 = serial; results are identical for every worker count.
+	Workers int
 }
 
 // DefaultTable7Config returns the scaled defaults over all benchmarks.
@@ -77,68 +82,78 @@ func domainsFor(spec bench.Spec) int {
 // RunTable7 runs the multi-mode comparison.
 func RunTable7(cfg Table7Config) (*Table7, error) {
 	out := &Table7{Config: cfg}
-	for _, name := range cfg.Circuits {
-		for _, kappa := range cfg.SkewBounds {
-			ckt, err := LoadCircuit(name)
-			if err != nil {
-				return nil, err
-			}
-			nd := domainsFor(ckt.Spec)
-			domains := bench.AssignDomains(ckt.Tree, ckt.Spec.DieW, ckt.Spec.DieH, nd)
-			modes := ckt.Spec.Modes(domains, cfg.NumModes)
-			adbCell := ckt.Lib.MustByName("ADB_X8")
-			adiCell := ckt.Lib.MustByName("ADI_X8")
-
-			// Baseline: ADB embedding only (noise-unaware), per [17].
-			baseTree := ckt.Tree.Clone()
-			baseADBs := 0
-			if !baseTree.MeetsSkew(kappa, modes) {
-				ins, err := adb.Insert(baseTree, adbCell, modes, kappa)
-				if err != nil {
-					return nil, fmt.Errorf("%s κ=%g baseline: %w", name, kappa, err)
-				}
-				baseADBs = ins.NumADBs()
-			}
-			baseG, err := EvaluateModes(baseTree, modes, ckt.Grid)
-			if err != nil {
-				return nil, err
-			}
-
-			// ClkWaveMin-M on the same ADB-embedded tree.
-			waveTree := baseTree.Clone()
-			res, err := multimode.Optimize(context.Background(), waveTree, modes, multimode.Config{
-				Library: sizingLib(ckt.Lib), ADBCell: adbCell, ADICell: adiCell,
-				Kappa: kappa, Samples: cfg.Samples, Epsilon: cfg.Epsilon,
-				MaxIntersections: cfg.MaxIntersections,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("%s κ=%g wavemin-m: %w", name, kappa, err)
-			}
-			if err := multimode.ApplyResult(waveTree, modes, kappa, res); err != nil {
-				return nil, fmt.Errorf("%s κ=%g apply: %w", name, kappa, err)
-			}
-			waveG, err := EvaluateModes(waveTree, modes, ckt.Grid)
-			if err != nil {
-				return nil, err
-			}
-
-			// Count adjustable cells at both leaf and non-leaf positions
-			// (the paper's #ADBs accounting).
-			waveADB, waveADI := adb.CountAdjustables(waveTree)
-			row := Table7Row{
-				Name: name, Kappa: kappa,
-				Base: baseG, BaseADB: baseADBs,
-				Wave: waveG, WaveADB: waveADB, WaveADI: waveADI,
-				ImpPeak: improvement(baseG.Peak, waveG.Peak),
-				ImpVDD:  improvement(baseG.VDD, waveG.VDD),
-				ImpGnd:  improvement(baseG.Gnd, waveG.Gnd),
-				SkewOK:  waveTree.MeetsSkew(kappa+2, modes),
-			}
-			out.Rows = append(out.Rows, row)
-			out.AvgPeak += row.ImpPeak
-			out.AvgVDD += row.ImpVDD
-			out.AvgGnd += row.ImpGnd
+	// One row per (circuit, κ) pair; each pair is fully independent (its
+	// own LoadCircuit), so fan out flat and merge in order.
+	nk := len(cfg.SkewBounds)
+	rows := make([]Table7Row, len(cfg.Circuits)*nk)
+	ferr := parallel.ForEach(context.Background(), cfg.Workers, len(rows), func(k int) error {
+		name := cfg.Circuits[k/nk]
+		kappa := cfg.SkewBounds[k%nk]
+		ckt, err := LoadCircuit(name)
+		if err != nil {
+			return err
 		}
+		nd := domainsFor(ckt.Spec)
+		domains := bench.AssignDomains(ckt.Tree, ckt.Spec.DieW, ckt.Spec.DieH, nd)
+		modes := ckt.Spec.Modes(domains, cfg.NumModes)
+		adbCell := ckt.Lib.MustByName("ADB_X8")
+		adiCell := ckt.Lib.MustByName("ADI_X8")
+
+		// Baseline: ADB embedding only (noise-unaware), per [17].
+		baseTree := ckt.Tree.Clone()
+		baseADBs := 0
+		if !baseTree.MeetsSkew(kappa, modes) {
+			ins, err := adb.Insert(baseTree, adbCell, modes, kappa)
+			if err != nil {
+				return fmt.Errorf("%s κ=%g baseline: %w", name, kappa, err)
+			}
+			baseADBs = ins.NumADBs()
+		}
+		baseG, err := EvaluateModes(baseTree, modes, ckt.Grid)
+		if err != nil {
+			return err
+		}
+
+		// ClkWaveMin-M on the same ADB-embedded tree.
+		waveTree := baseTree.Clone()
+		res, err := multimode.Optimize(context.Background(), waveTree, modes, multimode.Config{
+			Library: sizingLib(ckt.Lib), ADBCell: adbCell, ADICell: adiCell,
+			Kappa: kappa, Samples: cfg.Samples, Epsilon: cfg.Epsilon,
+			MaxIntersections: cfg.MaxIntersections, Workers: cfg.Workers,
+		})
+		if err != nil {
+			return fmt.Errorf("%s κ=%g wavemin-m: %w", name, kappa, err)
+		}
+		if err := multimode.ApplyResult(waveTree, modes, kappa, res); err != nil {
+			return fmt.Errorf("%s κ=%g apply: %w", name, kappa, err)
+		}
+		waveG, err := EvaluateModes(waveTree, modes, ckt.Grid)
+		if err != nil {
+			return err
+		}
+
+		// Count adjustable cells at both leaf and non-leaf positions
+		// (the paper's #ADBs accounting).
+		waveADB, waveADI := adb.CountAdjustables(waveTree)
+		rows[k] = Table7Row{
+			Name: name, Kappa: kappa,
+			Base: baseG, BaseADB: baseADBs,
+			Wave: waveG, WaveADB: waveADB, WaveADI: waveADI,
+			ImpPeak: improvement(baseG.Peak, waveG.Peak),
+			ImpVDD:  improvement(baseG.VDD, waveG.VDD),
+			ImpGnd:  improvement(baseG.Gnd, waveG.Gnd),
+			SkewOK:  waveTree.MeetsSkew(kappa+2, modes),
+		}
+		return nil
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	out.Rows = rows
+	for _, row := range rows {
+		out.AvgPeak += row.ImpPeak
+		out.AvgVDD += row.ImpVDD
+		out.AvgGnd += row.ImpGnd
 	}
 	if n := float64(len(out.Rows)); n > 0 {
 		out.AvgPeak /= n

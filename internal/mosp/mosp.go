@@ -18,11 +18,17 @@
 //   - SolveGreedy: layer-by-layer greedy; used for the incumbent bound.
 //   - SolveFast: the paper's ClkWaveMin-f vertex-selection heuristic.
 //   - SolveExhaustive: brute force, the test oracle.
+//
+// The label-expansion hot loop is allocation-free in steady state: cost
+// vectors live in two chunked float arenas that double-buffer across
+// layers, label structs come from a chunked slab (stable addresses, so
+// prev chains survive), and round-key deduplication uses an FNV-1a hash
+// of the quantized coordinates with collision-checked equality instead of
+// a string-keyed map.
 package mosp
 
 import (
 	"context"
-	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
@@ -107,13 +113,8 @@ type Solution struct {
 
 func (g *Graph) solutionFor(picks []int) Solution {
 	r := g.Dim()
-	cost := make([]float64, r)
+	cost := make([]float64, r) // make zeroes; copy below covers a nil baseline
 	copy(cost, g.Baseline)
-	if g.Baseline == nil {
-		for i := range cost {
-			cost[i] = 0
-		}
-	}
 	for li, pi := range picks {
 		for s, w := range g.Layers[li][pi].Weight {
 			cost[s] += w
@@ -160,12 +161,51 @@ func SolveGreedy(g *Graph) (Solution, error) {
 	return g.solutionFor(picks), nil
 }
 
+// fastEntry is one layer's cached best in SolveFast's lazy heap: the
+// least noise-worsening M over the layer's vertices, computed against the
+// running sum at some earlier round.
+type fastEntry struct {
+	m  float64
+	li int // layer index (also the tie-break: lower layer wins)
+	vi int // first vertex achieving m in layer scan order
+}
+
+func fastLess(a, b fastEntry) bool {
+	return a.m < b.m || (a.m == b.m && a.li < b.li)
+}
+
+func fastSiftDown(h []fastEntry, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h) && fastLess(h[l], h[small]) {
+			small = l
+		}
+		if r < len(h) && fastLess(h[r], h[small]) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		h[i], h[small] = h[small], h[i]
+		i = small
+	}
+}
+
 // SolveFast implements the paper's ClkWaveMin-f (§V-C): starting from the
 // non-leaf baseline, repeatedly select — over all still-unassigned layers
 // and all their vertices — the vertex v with the least noise-worsening
 // M(v) = max_s(sum_s + noise(v,s)), assign it, and remove its layer.
-// O(|S|·|L|²·maxWidth) time, O(|S|) extra space. Cancellation is checked
-// once per selection round.
+//
+// Rather than rescanning every remaining layer each round (O(|S|·|L|²·W)),
+// each layer's best (M, vertex) is cached in a min-heap keyed by (M,
+// layer). The running sum only ever grows, so a cached M is a lower bound
+// on the layer's true M; per round only the layers that surface at the
+// heap top are recomputed against the current sum, and a layer whose
+// recomputed M still wins the (M, layer) order is exactly the pick the
+// full rescan would have made — including ties, which both orders break
+// toward the lower layer index and the first vertex in scan order.
+// Cancellation is checked once per selection round.
 func SolveFast(ctx context.Context, g *Graph) (Solution, error) {
 	if err := g.Validate(); err != nil {
 		return Solution{}, err
@@ -174,34 +214,59 @@ func SolveFast(ctx context.Context, g *Graph) (Solution, error) {
 	r := g.Dim()
 	sum := make([]float64, r)
 	copy(sum, g.Baseline)
-	picks := make([]int, len(g.Layers))
+	nl := len(g.Layers)
+	picks := make([]int, nl)
 	for i := range picks {
 		picks[i] = -1
 	}
-	for remaining := len(g.Layers); remaining > 0; remaining-- {
+
+	recompute := func(li int) (float64, int) {
+		bestVi, bestM := -1, math.Inf(1)
+		for vi, v := range g.Layers[li] {
+			m := math.Inf(-1)
+			for s := 0; s < r; s++ {
+				if c := sum[s] + v.Weight[s]; c > m {
+					m = c
+				}
+			}
+			if m < bestM {
+				bestVi, bestM = vi, m
+			}
+		}
+		return bestM, bestVi
+	}
+
+	heap := make([]fastEntry, nl)
+	stamp := make([]int, nl) // round at which heap entry li was computed
+	for li := range g.Layers {
+		m, vi := recompute(li)
+		heap[li] = fastEntry{m: m, li: li, vi: vi}
+	}
+	for i := nl/2 - 1; i >= 0; i-- {
+		fastSiftDown(heap, i)
+	}
+
+	for round := 0; round < nl; round++ {
 		if err := ctx.Err(); err != nil {
 			return Solution{}, err
 		}
-		bestLayer, bestVertex, bestM := -1, -1, math.Inf(1)
-		for li, layer := range g.Layers {
-			if picks[li] >= 0 {
-				continue
-			}
-			for vi, v := range layer {
-				m := math.Inf(-1)
-				for s := 0; s < r; s++ {
-					if c := sum[s] + v.Weight[s]; c > m {
-						m = c
-					}
-				}
-				if m < bestM {
-					bestLayer, bestVertex, bestM = li, vi, m
-				}
-			}
+		// Settle the top: recompute stale entries (their M can only have
+		// grown) until the minimum is current.
+		for stamp[heap[0].li] != round {
+			li := heap[0].li
+			heap[0].m, heap[0].vi = recompute(li)
+			stamp[li] = round
+			fastSiftDown(heap, 0)
 		}
-		picks[bestLayer] = bestVertex
-		for s, w := range g.Layers[bestLayer][bestVertex].Weight {
+		e := heap[0]
+		picks[e.li] = e.vi
+		for s, w := range g.Layers[e.li][e.vi].Weight {
 			sum[s] += w
+		}
+		heap[0] = heap[len(heap)-1]
+		heap = heap[:len(heap)-1]
+		if len(heap) > 0 {
+			fastSiftDown(heap, 0)
 		}
 	}
 	return g.solutionFor(picks), nil
@@ -222,8 +287,10 @@ func SolveExhaustive(g *Graph) (Solution, error) {
 	}
 	r := g.Dim()
 	picks := make([]int, len(g.Layers))
-	best := Solution{Max: math.Inf(1)}
+	bestPicks := make([]int, len(g.Layers))
+	bestMax := math.Inf(1)
 	run := make([]float64, r)
+	copy(run, g.Baseline)
 	var rec func(li int)
 	rec = func(li int) {
 		if li == len(g.Layers) {
@@ -233,8 +300,9 @@ func SolveExhaustive(g *Graph) (Solution, error) {
 					m = c
 				}
 			}
-			if m < best.Max {
-				best = g.solutionFor(append([]int(nil), picks...))
+			if m < bestMax {
+				bestMax = m
+				copy(bestPicks, picks)
 			}
 			return
 		}
@@ -249,22 +317,18 @@ func SolveExhaustive(g *Graph) (Solution, error) {
 			}
 		}
 	}
-	copy(run, g.Baseline)
-	if g.Baseline == nil {
-		for i := range run {
-			run[i] = 0
-		}
-	}
 	rec(0)
-	return best, nil
+	return g.solutionFor(bestPicks), nil
 }
 
-// label is a partial path in the Pareto DP.
+// label is a partial path in the Pareto DP. Label structs are slab
+// allocated (stable addresses) and their cost slices point into the
+// expander's float arenas.
 type label struct {
 	cost  []float64 // exact, baseline included
 	max   float64   // max over cost
-	layer int       // last assigned layer
-	pick  int       // vertex picked in that layer
+	layer int32     // last assigned layer
+	pick  int32     // vertex picked in that layer
 	prev  *label
 }
 
@@ -282,6 +346,69 @@ type Options struct {
 // DefaultMaxLabels bounds the per-layer Pareto set.
 const DefaultMaxLabels = 50_000
 
+// floatArena hands out fixed-dimension cost vectors from chunked backing
+// arrays. Chunks are never reallocated, so previously returned slices
+// stay valid until reset; reset recycles all chunks without freeing them.
+type floatArena struct {
+	chunks    [][]float64
+	ci        int // index of the chunk currently being filled
+	chunkSize int
+}
+
+func newFloatArena(r int) *floatArena {
+	size := 1 << 14
+	if size < 4*r {
+		size = 4 * r
+	}
+	return &floatArena{chunkSize: size}
+}
+
+func (a *floatArena) alloc(r int) []float64 {
+	for {
+		if a.ci >= len(a.chunks) {
+			a.chunks = append(a.chunks, make([]float64, 0, a.chunkSize))
+		}
+		c := a.chunks[a.ci]
+		if len(c)+r <= cap(c) {
+			a.chunks[a.ci] = c[:len(c)+r]
+			return a.chunks[a.ci][len(c) : len(c)+r : len(c)+r]
+		}
+		a.ci++
+	}
+}
+
+// unalloc returns the most recent alloc (LIFO) to the arena — used when a
+// label is pruned before being kept. Must not be interleaved with other
+// allocs.
+func (a *floatArena) unalloc(r int) {
+	c := a.chunks[a.ci]
+	a.chunks[a.ci] = c[:len(c)-r]
+}
+
+func (a *floatArena) reset() {
+	for i := range a.chunks {
+		a.chunks[i] = a.chunks[i][:0]
+	}
+	a.ci = 0
+}
+
+// labelArena slab-allocates labels in fixed chunks so pointers remain
+// stable (prev chains) while amortizing allocation to one make per chunk.
+type labelArena struct {
+	chunks [][]label
+}
+
+const labelChunkSize = 1024
+
+func (a *labelArena) alloc() *label {
+	if n := len(a.chunks); n == 0 || len(a.chunks[n-1]) == cap(a.chunks[n-1]) {
+		a.chunks = append(a.chunks, make([]label, 0, labelChunkSize))
+	}
+	c := &a.chunks[len(a.chunks)-1]
+	*c = append(*c, label{})
+	return &(*c)[len(*c)-1]
+}
+
 // Solve finds the (1+ε)-approximate min–max path via Pareto dynamic
 // programming with coordinate scaling and incumbent pruning. The context
 // is checked at every layer and periodically inside the label-expansion
@@ -297,14 +424,41 @@ func Solve(ctx context.Context, g *Graph, opt Options) (Solution, error) {
 	if opt.MaxLabels <= 0 {
 		opt.MaxLabels = DefaultMaxLabels
 	}
-	r := g.Dim()
 	// Incumbent from the greedy; its value bounds the optimum from above.
 	greedy, err := SolveGreedy(g)
 	if err != nil {
 		return Solution{}, err
 	}
-	ub := greedy.Max
+	frontier, err := expandLayers(ctx, g, opt, greedy.Max, true)
+	if err != nil {
+		return Solution{}, err
+	}
+	if len(frontier) == 0 {
+		// Numerical corner: everything pruned against UB. The greedy
+		// solution is then optimal within tolerance.
+		return greedy, nil
+	}
+	best := frontier[0]
+	for _, lb := range frontier[1:] {
+		if lb.max < best.max {
+			best = lb
+		}
+	}
+	if best.max >= greedy.Max {
+		return greedy, nil
+	}
+	picks := make([]int, len(g.Layers))
+	for lb := best; lb != nil && lb.layer >= 0; lb = lb.prev {
+		picks[lb.layer] = int(lb.pick)
+	}
+	return g.solutionFor(picks), nil
+}
 
+// expandLayers runs the Pareto label expansion over every layer and
+// returns the dest frontier (nil/empty when everything was pruned against
+// the incumbent upper bound ub). Shared by Solve and paretoCount.
+func expandLayers(ctx context.Context, g *Graph, opt Options, ub float64, sites bool) ([]*label, error) {
+	r := g.Dim()
 	// Warburton scaling: rounding each coordinate down to a multiple of δ
 	// changes any path's coordinate by < |L|·δ = ε·UB ≤ ε·OPT-scale, so
 	// dedup on rounded keys preserves a (1+ε)-optimal representative.
@@ -313,50 +467,93 @@ func Solve(ctx context.Context, g *Graph, opt Options) (Solution, error) {
 		delta = opt.Epsilon * ub / float64(len(g.Layers))
 	}
 
-	base := make([]float64, r)
-	copy(base, g.Baseline)
-	start := &label{cost: base, max: maxOf(base), layer: -1, pick: -1}
+	labels := &labelArena{}
+	// Cost vectors double-buffer between two arenas: the current frontier
+	// reads from one while the next layer writes into the other; the swap
+	// recycles the now-dead frontier costs without any per-label GC work.
+	// (Only the costs are recycled — label structs persist for the prev
+	// chains, which no longer need their cost vectors.)
+	arenas := [2]*floatArena{newFloatArena(r), newFloatArena(r)}
+	cur := 0
+
+	base := arenas[cur].alloc(r)
+	n := copy(base, g.Baseline)
+	for i := n; i < r; i++ {
+		base[i] = 0 // arena memory is recycled, not zeroed
+	}
+	start := labels.alloc()
+	*start = label{cost: base, max: maxOf(base), layer: -1, pick: -1}
 	frontier := []*label{start}
+	next := make([]*label, 0, 64)
+	var seen map[uint64]int32
+	if delta > 0 {
+		seen = make(map[uint64]int32, 256)
+	}
 
 	for li, layer := range g.Layers {
 		if err := ctx.Err(); err != nil {
-			return Solution{}, err
+			return nil, err
 		}
-		faultinject.At(faultinject.SiteMospSolveLayer)
-		seen := make(map[string]*label, len(frontier)*len(layer))
-		next := make([]*label, 0, len(frontier)*len(layer))
+		if sites {
+			faultinject.At(faultinject.SiteMospSolveLayer)
+		}
+		nextArena := arenas[1-cur]
+		next = next[:0]
+		if delta > 0 {
+			clear(seen)
+		}
 		for fi, lb := range frontier {
 			if fi%1024 == 1023 {
 				if err := ctx.Err(); err != nil {
-					return Solution{}, err
+					return nil, err
 				}
 			}
 			for vi := range layer {
 				v := &layer[vi]
-				cost := make([]float64, r)
+				cost := nextArena.alloc(r)
 				m := math.Inf(-1)
+				pruned := false
 				for s := 0; s < r; s++ {
-					cost[s] = lb.cost[s] + v.Weight[s]
-					if cost[s] > m {
-						m = cost[s]
+					c := lb.cost[s] + v.Weight[s]
+					// Incumbent prune, hoisted ahead of the remaining cost
+					// writes: weights are non-negative, so the final max
+					// can only grow; anything already above UB is dead
+					// (ties kept to preserve the greedy path itself).
+					if c > ub+1e-12 {
+						pruned = true
+						break
+					}
+					cost[s] = c
+					if c > m {
+						m = c
 					}
 				}
-				// Incumbent prune: weights are non-negative, so the final
-				// max can only grow; anything already above UB is dead
-				// (ties kept to preserve the greedy path itself).
-				if m > ub+1e-12 {
+				if pruned {
+					nextArena.unalloc(r)
 					continue
 				}
-				nl := &label{cost: cost, max: m, layer: li, pick: vi, prev: lb}
+				nl := labels.alloc()
+				*nl = label{cost: cost, max: m, layer: int32(li), pick: int32(vi), prev: lb}
 				if delta > 0 {
-					key := roundKey(cost, delta)
-					if old, ok := seen[key]; ok {
-						if nl.max < old.max {
-							*old = *nl // keep the better representative
+					h := hashQuantized(cost, delta)
+					if idx, ok := seen[h]; ok {
+						if sameQuantized(next[idx].cost, cost, delta) {
+							// Keep the better representative by replacing
+							// the slot's pointer — never by overwriting the
+							// stored label in place, which would alias two
+							// logically distinct labels.
+							if nl.max < next[idx].max {
+								next[idx] = nl
+							}
+							continue
 						}
-						continue
+						// True hash collision (equal hash, different
+						// quantized coordinates): keep both labels; the
+						// first occupant keeps the dedup slot. Costs only
+						// the missed dedup, never correctness.
+					} else {
+						seen[h] = int32(len(next))
 					}
-					seen[key] = nl
 				}
 				next = append(next, nl)
 			}
@@ -371,27 +568,13 @@ func Solve(ctx context.Context, g *Graph, opt Options) (Solution, error) {
 			next = next[:opt.MaxLabels]
 		}
 		if len(next) == 0 {
-			// Numerical corner: everything pruned against UB. The greedy
-			// solution is then optimal within tolerance.
-			return greedy, nil
+			return nil, nil
 		}
-		frontier = next
+		frontier, next = next, frontier
+		arenas[cur].reset()
+		cur = 1 - cur
 	}
-
-	best := frontier[0]
-	for _, lb := range frontier[1:] {
-		if lb.max < best.max {
-			best = lb
-		}
-	}
-	if best.max >= greedy.Max {
-		return greedy, nil
-	}
-	picks := make([]int, len(g.Layers))
-	for lb := best; lb != nil && lb.layer >= 0; lb = lb.prev {
-		picks[lb.layer] = lb.pick
-	}
-	return g.solutionFor(picks), nil
+	return frontier, nil
 }
 
 // ParetoSize reports how many labels survive at the dest layer for the
@@ -404,54 +587,13 @@ func ParetoSize(g *Graph, opt Options) (int, error) {
 }
 
 func paretoCount(g *Graph, opt Options) int {
-	r := g.Dim()
-	base := make([]float64, r)
-	copy(base, g.Baseline)
-	frontier := []*label{{cost: base, max: maxOf(base), layer: -1, pick: -1}}
-	greedy, _ := SolveGreedy(g)
-	ub := greedy.Max
-	delta := 0.0
-	if opt.Epsilon > 0 && ub > 0 {
-		delta = opt.Epsilon * ub / float64(len(g.Layers))
-	}
 	if opt.MaxLabels <= 0 {
 		opt.MaxLabels = DefaultMaxLabels
 	}
-	for _, layer := range g.Layers {
-		seen := make(map[string]bool)
-		var next []*label
-		for _, lb := range frontier {
-			for vi := range layer {
-				v := &layer[vi]
-				cost := make([]float64, r)
-				m := math.Inf(-1)
-				for s := 0; s < r; s++ {
-					cost[s] = lb.cost[s] + v.Weight[s]
-					if cost[s] > m {
-						m = cost[s]
-					}
-				}
-				if m > ub+1e-12 {
-					continue
-				}
-				if delta > 0 {
-					key := roundKey(cost, delta)
-					if seen[key] {
-						continue
-					}
-					seen[key] = true
-				}
-				next = append(next, &label{cost: cost, max: m})
-			}
-		}
-		if len(next) <= 2048 {
-			next = paretoFilter(next, r)
-		}
-		if len(next) > opt.MaxLabels {
-			sort.Slice(next, func(i, j int) bool { return next[i].max < next[j].max })
-			next = next[:opt.MaxLabels]
-		}
-		frontier = next
+	greedy, _ := SolveGreedy(g)
+	frontier, err := expandLayers(context.Background(), g, opt, greedy.Max, false)
+	if err != nil {
+		return 0
 	}
 	return len(frontier)
 }
@@ -469,13 +611,36 @@ func maxOf(v []float64) float64 {
 	return m
 }
 
-// roundKey encodes the cost vector rounded down to multiples of delta.
-func roundKey(cost []float64, delta float64) string {
-	buf := make([]byte, 8*len(cost))
-	for i, c := range cost {
-		binary.LittleEndian.PutUint64(buf[8*i:], uint64(c/delta))
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashQuantized is FNV-1a over the little-endian bytes of each coordinate
+// rounded down to a multiple of delta — the allocation-free replacement
+// for the old string round-key.
+func hashQuantized(cost []float64, delta float64) uint64 {
+	h := uint64(fnvOffset64)
+	for _, c := range cost {
+		q := uint64(c / delta)
+		for b := 0; b < 8; b++ {
+			h ^= q & 0xff
+			h *= fnvPrime64
+			q >>= 8
+		}
 	}
-	return string(buf)
+	return h
+}
+
+// sameQuantized reports whether two cost vectors round to the same
+// Warburton key — the collision check behind hashQuantized.
+func sameQuantized(a, b []float64, delta float64) bool {
+	for s := range a {
+		if uint64(a[s]/delta) != uint64(b[s]/delta) {
+			return false
+		}
+	}
+	return true
 }
 
 // paretoFilter removes labels dominated by another label (≤ on every
@@ -489,6 +654,12 @@ func paretoFilter(labels []*label, r int) []*label {
 	for _, cand := range labels {
 		dominated := false
 		for _, kept := range out {
+			// A kept label whose max strictly exceeds the candidate's max
+			// cannot dominate it — the maxes already order the pair, so
+			// skip the full coordinate scan.
+			if kept.max > cand.max+1e-15 {
+				continue
+			}
 			if dominates(kept.cost, cand.cost, r) {
 				dominated = true
 				break

@@ -29,6 +29,7 @@ import (
 	"wavemin/internal/clocktree"
 	"wavemin/internal/faultinject"
 	"wavemin/internal/mosp"
+	"wavemin/internal/parallel"
 	"wavemin/internal/polarity"
 	"wavemin/internal/waveform"
 )
@@ -61,6 +62,12 @@ type Config struct {
 	// degree of freedom" to "N evenly spaced across the DoF range" —
 	// used by the Fig. 14 study, which needs poor intersections too.
 	IntervalSpread bool
+	// Workers bounds the goroutines fanned out over the per-intersection
+	// zone solves (each zone's MOSP instance is independent). The
+	// intersection loop itself stays serial so nesting cannot multiply
+	// goroutine counts. 0 = GOMAXPROCS, 1 = serial; results are identical
+	// for every worker count.
+	Workers int
 }
 
 // Window is one mode's arrival-time window [Lo, Hi].
@@ -339,9 +346,19 @@ type Result struct {
 	Tried        int      // intersections fully optimized
 }
 
-// OptimizeIntersection solves every zone within one intersection.
-// Cancellation is checked before every per-zone solve and forwarded into
-// the MOSP solver.
+// zoneResult is one zone's solved outcome: the chosen cell (and bank
+// steps, for adjustable sites) per leaf of the zone, plus the optimizer's
+// peak estimate.
+type zoneResult struct {
+	cells []*cell.Cell
+	steps []map[string]int // nil entry = not adjustable
+	peak  float64
+}
+
+// OptimizeIntersection solves every zone within one intersection. The
+// independent per-zone MOSP instances fan out over cfg.Workers goroutines
+// and merge in zone order, so the result is identical for any worker
+// count. Cancellation is forwarded into every per-zone solver.
 func (p *Problem) OptimizeIntersection(ctx context.Context, ix *Intersection) (*Result, error) {
 	res := &Result{
 		Assignment: make(polarity.Assignment),
@@ -356,124 +373,30 @@ func (p *Problem) OptimizeIntersection(ctx context.Context, ix *Intersection) (*
 	if perGroup < 1 {
 		perGroup = 1
 	}
-	for _, zone := range p.zones {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		faultinject.At(faultinject.SiteMultimodeZone)
-		// Shifted candidate waveforms and steps per (leaf, candidate).
-		type zcand struct {
-			ci    int
-			steps []int // per mode
-			waves [][]waveform.Waveform
-		}
-		feas := make([][]zcand, len(zone.Leaves))
-		for zi, leaf := range zone.Leaves {
-			li := leafIdx[leaf]
-			for _, ci := range ix.Feasible[li] {
-				c := &p.cands[li][ci]
-				zc := zcand{ci: ci, steps: make([]int, len(p.modes))}
-				ok := true
-				for mi := range p.modes {
-					s, feasOK := c.stepsFor(mi, ix.Windows[mi].Lo, ix.Windows[mi].Hi)
-					if !feasOK {
-						ok = false
-						break
-					}
-					zc.steps[mi] = s
-				}
-				if !ok {
-					continue
-				}
-				zc.waves = make([][]waveform.Waveform, len(p.modes))
-				for mi := range p.modes {
-					shift := float64(zc.steps[mi]) * stepPsOf(c.c)
-					ws := make([]waveform.Waveform, polarity.NumGroups)
-					for g := 0; g < int(polarity.NumGroups); g++ {
-						ws[g] = c.waves[mi][g].Shift(shift)
-					}
-					zc.waves[mi] = ws
-				}
-				feas[zi] = append(feas[zi], zc)
-			}
-			if len(feas[zi]) == 0 {
-				return nil, fmt.Errorf("multimode: zone %v leaf %d infeasible", zone.Key, leaf)
-			}
-		}
-		// Per-mode, per-group baselines and sample sets.
-		baselines := make([][]waveform.Waveform, len(p.modes))
-		samples := make([][]waveform.SampleSet, len(p.modes))
-		for mi := range p.modes {
-			baselines[mi] = make([]waveform.Waveform, polarity.NumGroups)
-			samples[mi] = make([]waveform.SampleSet, polarity.NumGroups)
-			for _, id := range zone.NonLeaves {
-				iddR, issR := p.tree.NodeCurrents(p.timings[mi], id, cell.Rising)
-				iddF, issF := p.tree.NodeCurrents(p.timings[mi], id, cell.Falling)
-				for g, w := range []waveform.Waveform{iddR, issR, iddF, issF} {
-					baselines[mi][g] = waveform.Add(baselines[mi][g], w)
-				}
-			}
-			for g := 0; g < int(polarity.NumGroups); g++ {
-				ws := []waveform.Waveform{baselines[mi][g]}
-				for zi := range feas {
-					for _, zc := range feas[zi] {
-						ws = append(ws, zc.waves[mi][g])
-					}
-				}
-				samples[mi][g] = waveform.HotSpots(perGroup, ws...)
-			}
-		}
-		vector := func(sel func(mi, g int) waveform.Waveform) []float64 {
-			var out []float64
-			for mi := range p.modes {
-				for g := 0; g < int(polarity.NumGroups); g++ {
-					out = append(out, samples[mi][g].Vector(sel(mi, g))...)
-				}
-			}
-			return out
-		}
-		graph := &mosp.Graph{Baseline: vector(func(mi, g int) waveform.Waveform { return baselines[mi][g] })}
-		for zi := range feas {
-			var layer []mosp.Vertex
-			for fi, zc := range feas[zi] {
-				zc := zc
-				layer = append(layer, mosp.Vertex{
-					Weight: vector(func(mi, g int) waveform.Waveform { return zc.waves[mi][g] }),
-					Tag:    fi,
-				})
-			}
-			graph.Layers = append(graph.Layers, layer)
-		}
-		var sol mosp.Solution
-		var err error
-		maxLabels := p.cfg.MaxLabels
-		if maxLabels <= 0 {
-			maxLabels = 4000
-		}
-		if p.cfg.Fast {
-			sol, err = mosp.SolveFast(ctx, graph)
-		} else {
-			sol, err = mosp.Solve(ctx, graph, mosp.Options{Epsilon: p.cfg.Epsilon, MaxLabels: maxLabels})
-		}
+	solved := make([]zoneResult, len(p.zones))
+	ferr := parallel.ForEach(ctx, p.cfg.Workers, len(p.zones), func(i int) error {
+		zr, err := p.solveZone(ctx, ix, &p.zones[i], leafIdx, perGroup)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		for zi, leaf := range zone.Leaves {
-			zc := feas[zi][graph.Layers[zi][sol.Picks[zi]].Tag]
-			chosen := p.cands[leafIdx[leaf]][zc.ci]
-			res.Assignment[leaf] = chosen.c
-			if chosen.c.Adjustable() {
-				st := make(map[string]int, len(p.modes))
-				for mi, m := range p.modes {
-					st[m.Name] = zc.steps[mi]
-				}
-				res.Steps[leaf] = st
+		solved[i] = zr
+		return nil
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	for i := range p.zones {
+		zr := &solved[i]
+		for zi, leaf := range p.zones[i].Leaves {
+			res.Assignment[leaf] = zr.cells[zi]
+			if zr.steps[zi] != nil {
+				res.Steps[leaf] = zr.steps[zi]
 			}
 		}
-		if sol.Max > res.PeakEstimate {
-			res.PeakEstimate = sol.Max
+		if zr.peak > res.PeakEstimate {
+			res.PeakEstimate = zr.peak
 		}
-		res.MeanZonePeak += sol.Max
+		res.MeanZonePeak += zr.peak
 	}
 	if len(p.zones) > 0 {
 		res.MeanZonePeak /= float64(len(p.zones))
@@ -487,6 +410,131 @@ func (p *Problem) OptimizeIntersection(ctx context.Context, ix *Intersection) (*
 		}
 	}
 	return res, nil
+}
+
+// solveZone builds and solves one zone's multi-mode MOSP instance. It
+// runs on worker goroutines; the Problem is read-only here and the zone
+// is taken by pointer but never mutated.
+func (p *Problem) solveZone(
+	ctx context.Context, ix *Intersection, zone *polarity.Zone,
+	leafIdx map[clocktree.NodeID]int, perGroup int,
+) (zoneResult, error) {
+	faultinject.At(faultinject.SiteMultimodeZone)
+	// Shifted candidate waveforms and steps per (leaf, candidate).
+	type zcand struct {
+		ci    int
+		steps []int // per mode
+		waves [][]waveform.Waveform
+	}
+	feas := make([][]zcand, len(zone.Leaves))
+	for zi, leaf := range zone.Leaves {
+		li := leafIdx[leaf]
+		for _, ci := range ix.Feasible[li] {
+			c := &p.cands[li][ci]
+			zc := zcand{ci: ci, steps: make([]int, len(p.modes))}
+			ok := true
+			for mi := range p.modes {
+				s, feasOK := c.stepsFor(mi, ix.Windows[mi].Lo, ix.Windows[mi].Hi)
+				if !feasOK {
+					ok = false
+					break
+				}
+				zc.steps[mi] = s
+			}
+			if !ok {
+				continue
+			}
+			zc.waves = make([][]waveform.Waveform, len(p.modes))
+			for mi := range p.modes {
+				shift := float64(zc.steps[mi]) * stepPsOf(c.c)
+				ws := make([]waveform.Waveform, polarity.NumGroups)
+				for g := 0; g < int(polarity.NumGroups); g++ {
+					ws[g] = c.waves[mi][g].Shift(shift)
+				}
+				zc.waves[mi] = ws
+			}
+			feas[zi] = append(feas[zi], zc)
+		}
+		if len(feas[zi]) == 0 {
+			return zoneResult{}, fmt.Errorf("multimode: zone %v leaf %d infeasible", zone.Key, leaf)
+		}
+	}
+	// Per-mode, per-group baselines and sample sets.
+	baselines := make([][]waveform.Waveform, len(p.modes))
+	samples := make([][]waveform.SampleSet, len(p.modes))
+	for mi := range p.modes {
+		baselines[mi] = make([]waveform.Waveform, polarity.NumGroups)
+		samples[mi] = make([]waveform.SampleSet, polarity.NumGroups)
+		for _, id := range zone.NonLeaves {
+			iddR, issR := p.tree.NodeCurrents(p.timings[mi], id, cell.Rising)
+			iddF, issF := p.tree.NodeCurrents(p.timings[mi], id, cell.Falling)
+			for g, w := range []waveform.Waveform{iddR, issR, iddF, issF} {
+				baselines[mi][g] = waveform.Add(baselines[mi][g], w)
+			}
+		}
+		for g := 0; g < int(polarity.NumGroups); g++ {
+			ws := []waveform.Waveform{baselines[mi][g]}
+			for zi := range feas {
+				for _, zc := range feas[zi] {
+					ws = append(ws, zc.waves[mi][g])
+				}
+			}
+			samples[mi][g] = waveform.HotSpots(perGroup, ws...)
+		}
+	}
+	vector := func(sel func(mi, g int) waveform.Waveform) []float64 {
+		var out []float64
+		for mi := range p.modes {
+			for g := 0; g < int(polarity.NumGroups); g++ {
+				out = append(out, samples[mi][g].Vector(sel(mi, g))...)
+			}
+		}
+		return out
+	}
+	graph := &mosp.Graph{Baseline: vector(func(mi, g int) waveform.Waveform { return baselines[mi][g] })}
+	for zi := range feas {
+		var layer []mosp.Vertex
+		for fi, zc := range feas[zi] {
+			zc := zc
+			layer = append(layer, mosp.Vertex{
+				Weight: vector(func(mi, g int) waveform.Waveform { return zc.waves[mi][g] }),
+				Tag:    fi,
+			})
+		}
+		graph.Layers = append(graph.Layers, layer)
+	}
+	var sol mosp.Solution
+	var err error
+	maxLabels := p.cfg.MaxLabels
+	if maxLabels <= 0 {
+		maxLabels = 4000
+	}
+	if p.cfg.Fast {
+		sol, err = mosp.SolveFast(ctx, graph)
+	} else {
+		sol, err = mosp.Solve(ctx, graph, mosp.Options{Epsilon: p.cfg.Epsilon, MaxLabels: maxLabels})
+	}
+	if err != nil {
+		return zoneResult{}, err
+	}
+	zr := zoneResult{
+		cells: make([]*cell.Cell, len(zone.Leaves)),
+		steps: make([]map[string]int, len(zone.Leaves)),
+		peak:  sol.Max,
+	}
+	for zi, leaf := range zone.Leaves {
+		zc := feas[zi][graph.Layers[zi][sol.Picks[zi]].Tag]
+		chosen := p.cands[leafIdx[leaf]][zc.ci]
+		zr.cells[zi] = chosen.c
+		if chosen.c.Adjustable() {
+			st := make(map[string]int, len(p.modes))
+			for mi, m := range p.modes {
+				st[m.Name] = zc.steps[mi]
+			}
+			zr.steps[zi] = st
+		}
+	}
+	return zr, nil
 }
 
 func stepPsOf(c *cell.Cell) float64 {

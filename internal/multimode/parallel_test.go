@@ -1,0 +1,47 @@
+package multimode
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestParallelDeterminismOptimize requires identical multi-mode results
+// under every worker count: the per-intersection zone fan-out writes into
+// pre-indexed slots and merges in zone order.
+func TestParallelDeterminismOptimize(t *testing.T) {
+	tree, modes, lib := violatingTree(t)
+	run := func(workers int) *Result {
+		cfg := mmConfig(lib, true)
+		cfg.Workers = workers
+		work := tree.Clone() // Optimize may insert ADBs
+		res, err := Optimize(context.Background(), work, modes, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	want := run(1)
+	for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+		got := run(w)
+		if got.PeakEstimate != want.PeakEstimate || got.MeanZonePeak != want.MeanZonePeak {
+			t.Fatalf("workers=%d: peaks %g/%g != %g/%g",
+				w, got.PeakEstimate, got.MeanZonePeak, want.PeakEstimate, want.MeanZonePeak)
+		}
+		if got.NumADBs != want.NumADBs || got.NumADIs != want.NumADIs || got.ADBInserted != want.ADBInserted {
+			t.Fatalf("workers=%d: adjustable counts differ", w)
+		}
+		if len(got.Assignment) != len(want.Assignment) {
+			t.Fatalf("workers=%d: assignment size differs", w)
+		}
+		for leaf, c := range want.Assignment {
+			if got.Assignment[leaf] != c {
+				t.Fatalf("workers=%d: leaf %d assigned %v, want %v", w, leaf, got.Assignment[leaf], c)
+			}
+		}
+		if !reflect.DeepEqual(got.Steps, want.Steps) {
+			t.Fatalf("workers=%d: bank steps differ:\n got %v\nwant %v", w, got.Steps, want.Steps)
+		}
+	}
+}

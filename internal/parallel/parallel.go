@@ -1,0 +1,142 @@
+// Package parallel provides the bounded, deterministic fan-out primitive
+// used by every parallelized stage of the optimization stack: interval ×
+// zone solving, Monte Carlo instances, per-mode waveform evaluation, and
+// the experiment table rows.
+//
+// The contract is built for bitwise-deterministic results regardless of
+// worker count:
+//
+//   - Work is identified by index; callers write results into pre-indexed
+//     slots and merge them *after* ForEach returns, in index order. The
+//     pool never reorders, batches, or merges anything itself.
+//   - Workers <= 1 (after resolution) degenerates to the plain serial loop
+//     on the calling goroutine — the exact code path the serial
+//     implementation used.
+//   - On error, the error of the lowest-numbered failed index is returned,
+//     so the surfaced error does not depend on goroutine scheduling for
+//     deterministic workloads. Dispatch stops early, so under
+//     cancellation not every index runs; the caller must treat the result
+//     slots as invalid when an error is returned.
+//   - A panicking worker stops the pool and the panic is re-raised on the
+//     calling goroutine wrapped in *Panic, preserving the worker's stack.
+//     The wavemin facade recognizes *Panic and converts it into
+//     *wavemin.InternalError exactly as it does for serial panics.
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Panic carries a panic captured on a worker goroutine across the pool
+// boundary. ForEach re-panics with a *Panic; recover boundaries should
+// unwrap Value/Stack to report the original fault.
+type Panic struct {
+	Value any    // the worker's panic value
+	Stack []byte // the worker goroutine's stack at the panic
+}
+
+// Error implements error so a *Panic also reads well if it escapes to a
+// generic recover handler.
+func (p *Panic) Error() string { return fmt.Sprintf("parallel: worker panic: %v", p.Value) }
+
+// Workers resolves a worker-count knob: values <= 0 mean "one worker per
+// available CPU" (GOMAXPROCS).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most workers goroutines
+// (workers <= 0 resolves to GOMAXPROCS, and is additionally capped at n).
+// It returns after every started call has finished.
+//
+// The context is checked before each dispatch; after cancellation no new
+// indices start and ctx.Err() is returned (unless an fn error with a
+// lower index is recorded, which wins). fn must also honor ctx itself for
+// prompt cancellation of long-running items.
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		next atomic.Int64 // next index to dispatch
+		stop atomic.Bool  // set on first error/panic/cancel: stop dispatching
+		wg   sync.WaitGroup
+
+		mu       sync.Mutex
+		firstIdx int
+		firstErr error
+		pan      *Panic
+	)
+	record := func(i int, err error) {
+		mu.Lock()
+		if firstErr == nil || i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+		stop.Store(true)
+	}
+	runOne := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				mu.Lock()
+				if pan == nil {
+					pan = &Panic{Value: r, Stack: debug.Stack()}
+				}
+				mu.Unlock()
+				stop.Store(true)
+			}
+		}()
+		if err := fn(i); err != nil {
+			record(i, err)
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if ctx.Err() != nil {
+					stop.Store(true)
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				runOne(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if pan != nil {
+		panic(pan)
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}

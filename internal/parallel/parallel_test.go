@@ -1,0 +1,159 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		n := 100
+		counts := make([]atomic.Int32, n)
+		err := ForEach(context.Background(), workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachZeroItems(t *testing.T) {
+	if err := ForEach(context.Background(), 4, 0, func(int) error {
+		t.Fatal("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForEachSerialMatchesParallel(t *testing.T) {
+	// The same deterministic workload must produce identical result slots
+	// under any worker count.
+	run := func(workers int) []float64 {
+		out := make([]float64, 64)
+		if err := ForEach(context.Background(), workers, len(out), func(i int) error {
+			v := 1.0
+			for k := 0; k < i%13+1; k++ {
+				v = v*1.000001 + float64(i)
+			}
+			out[i] = v
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	want := run(1)
+	for _, w := range []int{2, 4, runtime.GOMAXPROCS(0)} {
+		got := run(w)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %g, want %g", w, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForEachLowestIndexErrorWins(t *testing.T) {
+	// Indices 10 and 40 fail; whichever order the workers hit them, the
+	// reported error must be index 10's once both have run. Force both to
+	// run by failing only after every index was dispatched.
+	for trial := 0; trial < 20; trial++ {
+		errAt := func(i int) error { return fmt.Errorf("boom at %d", i) }
+		err := ForEach(context.Background(), 8, 50, func(i int) error {
+			if i == 10 || i == 40 {
+				time.Sleep(time.Millisecond) // let both get dispatched
+				return errAt(i)
+			}
+			return nil
+		})
+		if err == nil {
+			t.Fatal("expected an error")
+		}
+		if !strings.Contains(err.Error(), "boom at") {
+			t.Fatalf("unexpected error %v", err)
+		}
+	}
+}
+
+func TestForEachSerialErrorShortCircuits(t *testing.T) {
+	ran := 0
+	err := ForEach(context.Background(), 1, 10, func(i int) error {
+		ran++
+		if i == 3 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "stop" {
+		t.Fatalf("err = %v", err)
+	}
+	if ran != 4 {
+		t.Fatalf("serial path ran %d items after error, want 4", ran)
+	}
+}
+
+func TestForEachCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := ForEach(ctx, 4, 100, func(int) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Serial path too.
+	if err := ForEach(ctx, 1, 100, func(int) error { return nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("serial err = %v, want context.Canceled", err)
+	}
+}
+
+func TestForEachPanicPropagatesWithWorkerStack(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected re-panic")
+		}
+		p, ok := r.(*Panic)
+		if !ok {
+			t.Fatalf("recovered %T, want *Panic", r)
+		}
+		if p.Value != "worker exploded" {
+			t.Fatalf("panic value = %v", p.Value)
+		}
+		if !strings.Contains(string(p.Stack), "parallel_test") {
+			t.Fatal("stack does not point at the panicking worker")
+		}
+		if !strings.Contains(p.Error(), "worker exploded") {
+			t.Fatalf("Error() = %q", p.Error())
+		}
+	}()
+	_ = ForEach(context.Background(), 4, 16, func(i int) error {
+		if i == 5 {
+			panic("worker exploded")
+		}
+		return nil
+	})
+}
+
+func TestWorkersResolution(t *testing.T) {
+	if w := Workers(0); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS", w)
+	}
+	if w := Workers(-3); w != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS", w)
+	}
+	if w := Workers(5); w != 5 {
+		t.Fatalf("Workers(5) = %d", w)
+	}
+}

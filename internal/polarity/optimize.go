@@ -10,6 +10,7 @@ import (
 	"wavemin/internal/clocktree"
 	"wavemin/internal/faultinject"
 	"wavemin/internal/mosp"
+	"wavemin/internal/parallel"
 	"wavemin/internal/peakmin"
 )
 
@@ -62,6 +63,11 @@ type Config struct {
 	// solver; big clustered zones degrade gracefully instead of blowing
 	// up. 0 = 4000.
 	MaxLabels int
+	// Workers bounds the solver goroutines fanned out over the interval ×
+	// zone grid (every (interval, zone) MOSP instance is independent —
+	// Fig. 8 is embarrassingly parallel). 0 = GOMAXPROCS, 1 = serial.
+	// Results are bitwise identical for every worker count.
+	Workers int
 }
 
 // ZoneOutcome reports one zone's optimized peak estimate.
@@ -122,15 +128,36 @@ func Optimize(ctx context.Context, t *clocktree.Tree, cfg Config) (*Result, erro
 		leafIndex[leaf] = i
 	}
 
+	// Every (interval, zone) pair is an independent solver instance; fan
+	// them out as one flat index space and merge afterwards in fixed
+	// order, so the outcome is identical for every worker count.
+	nz := len(zones)
+	solved := make([]zoneSolved, len(intervals)*nz)
+	ferr := parallel.ForEach(ctx, cfg.Workers, len(solved), func(k int) error {
+		ii, zi := k/nz, k%nz
+		s, err := solveZone(ctx, t, tm, cs, zones[zi], &intervals[ii], leafIndex, cfg)
+		if err != nil {
+			iv := &intervals[ii]
+			return fmt.Errorf("polarity: interval [%g,%g]: %w", iv.Lo, iv.Hi, err)
+		}
+		solved[k] = s
+		return nil
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
 	var best *Result
 	for ii := range intervals {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		iv := &intervals[ii]
-		res, err := optimizeInterval(ctx, t, tm, cs, zones, iv, leafIndex, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("polarity: interval [%g,%g]: %w", iv.Lo, iv.Hi, err)
+		res := &Result{Algorithm: cfg.Algorithm, Assignment: make(Assignment), Interval: intervals[ii]}
+		for zi, zone := range zones {
+			s := solved[ii*nz+zi]
+			for li, leaf := range zone.Leaves {
+				res.Assignment[leaf] = cs.ByLeaf[leaf][s.picks[li]].Cell
+			}
+			res.ZonePeaks = append(res.ZonePeaks, ZoneOutcome{Zone: zone, Peak: s.peak})
+			if s.peak > res.PeakEstimate {
+				res.PeakEstimate = s.peak
+			}
 		}
 		if best == nil || res.PeakEstimate < best.PeakEstimate {
 			best = res
@@ -143,65 +170,57 @@ func Optimize(ctx context.Context, t *clocktree.Tree, cfg Config) (*Result, erro
 	return best, nil
 }
 
-// optimizeInterval solves every zone within one interval and aggregates.
-func optimizeInterval(
+// zoneSolved is one (interval, zone) outcome: candidate-index picks per
+// leaf plus the solver's peak estimate.
+type zoneSolved struct {
+	picks []int
+	peak  float64
+}
+
+// solveZone solves a single (interval, zone) instance. It runs on worker
+// goroutines: everything it touches is either read-only shared state (the
+// tree, timing, candidate set) or per-call (the zone is a value copy, so
+// the IgnoreNonLeaf mutation stays local).
+func solveZone(
 	ctx context.Context, t *clocktree.Tree, tm *clocktree.Timing, cs *CandidateSet,
-	zones []Zone, iv *Interval, leafIndex map[clocktree.NodeID]int, cfg Config,
-) (*Result, error) {
-	res := &Result{Algorithm: cfg.Algorithm, Assignment: make(Assignment), Interval: *iv}
-	for _, zone := range zones {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		faultinject.At(faultinject.SitePolarityZone)
-		if cfg.IgnoreNonLeaf {
-			zone.NonLeaves = nil
-		}
-		var (
-			picks []int
-			peak  float64
-			err   error
-		)
-		switch cfg.Algorithm {
-		case ClkPeakMinBaseline:
-			picks, peak, err = solveZonePeakMin(ctx, cs, zone, iv, leafIndex)
-			if err != nil {
-				return nil, err
-			}
-			// PeakMin's estimate ignores time structure; for interval
-			// scoring we still use its own objective value.
-		default:
-			zi, bErr := BuildZoneInstance(t, tm, cs, zone, iv, leafIndex, cfg.Samples)
-			if bErr != nil {
-				return nil, bErr
-			}
-			var sol mosp.Solution
-			switch cfg.Algorithm {
-			case ClkWaveMin:
-				sol, err = mosp.Solve(ctx, zi.Graph, mosp.Options{Epsilon: cfg.Epsilon, MaxLabels: cfg.MaxLabels})
-			case ClkWaveMinF:
-				sol, err = mosp.SolveFast(ctx, zi.Graph)
-			default:
-				return nil, fmt.Errorf("polarity: unknown algorithm %v", cfg.Algorithm)
-			}
-			if err != nil {
-				return nil, err
-			}
-			picks = make([]int, len(sol.Picks))
-			for li, pi := range sol.Picks {
-				picks[li] = zi.Graph.Layers[li][pi].Tag
-			}
-			peak = sol.Max
-		}
-		for li, leaf := range zone.Leaves {
-			res.Assignment[leaf] = cs.ByLeaf[leaf][picks[li]].Cell
-		}
-		res.ZonePeaks = append(res.ZonePeaks, ZoneOutcome{Zone: zone, Peak: peak})
-		if peak > res.PeakEstimate {
-			res.PeakEstimate = peak
-		}
+	zone Zone, iv *Interval, leafIndex map[clocktree.NodeID]int, cfg Config,
+) (zoneSolved, error) {
+	faultinject.At(faultinject.SitePolarityZone)
+	if cfg.IgnoreNonLeaf {
+		zone.NonLeaves = nil
 	}
-	return res, nil
+	switch cfg.Algorithm {
+	case ClkPeakMinBaseline:
+		// PeakMin's estimate ignores time structure; for interval scoring
+		// we still use its own objective value.
+		picks, peak, err := solveZonePeakMin(ctx, cs, zone, iv, leafIndex)
+		if err != nil {
+			return zoneSolved{}, err
+		}
+		return zoneSolved{picks: picks, peak: peak}, nil
+	default:
+		zi, err := BuildZoneInstance(t, tm, cs, zone, iv, leafIndex, cfg.Samples)
+		if err != nil {
+			return zoneSolved{}, err
+		}
+		var sol mosp.Solution
+		switch cfg.Algorithm {
+		case ClkWaveMin:
+			sol, err = mosp.Solve(ctx, zi.Graph, mosp.Options{Epsilon: cfg.Epsilon, MaxLabels: cfg.MaxLabels})
+		case ClkWaveMinF:
+			sol, err = mosp.SolveFast(ctx, zi.Graph)
+		default:
+			return zoneSolved{}, fmt.Errorf("polarity: unknown algorithm %v", cfg.Algorithm)
+		}
+		if err != nil {
+			return zoneSolved{}, err
+		}
+		picks := make([]int, len(sol.Picks))
+		for li, pi := range sol.Picks {
+			picks[li] = zi.Graph.Layers[li][pi].Tag
+		}
+		return zoneSolved{picks: picks, peak: sol.Max}, nil
+	}
 }
 
 // solveZonePeakMin runs the [27] baseline on one zone: per-element peaks

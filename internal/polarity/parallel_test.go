@@ -1,0 +1,55 @@
+package polarity
+
+import (
+	"context"
+	"runtime"
+	"testing"
+)
+
+// TestParallelDeterminismOptimize requires bitwise-identical results from
+// Optimize under every worker count: the fan-out writes into pre-indexed
+// slots and merges in fixed order, so scheduling must not leak into the
+// outcome.
+func TestParallelDeterminismOptimize(t *testing.T) {
+	tree, lib := clusterTree(t, 8)
+	for _, algo := range []Algorithm{ClkWaveMin, ClkWaveMinF, ClkPeakMinBaseline} {
+		cfg := sizingConfig(lib, algo)
+		cfg.Workers = 1
+		want, err := Optimize(context.Background(), tree, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+			cfg.Workers = w
+			got, err := Optimize(context.Background(), tree, cfg)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", algo, w, err)
+			}
+			if got.PeakEstimate != want.PeakEstimate {
+				t.Fatalf("%v workers=%d: peak %g != %g", algo, w, got.PeakEstimate, want.PeakEstimate)
+			}
+			if got.SkewEstimate != want.SkewEstimate {
+				t.Fatalf("%v workers=%d: skew %g != %g", algo, w, got.SkewEstimate, want.SkewEstimate)
+			}
+			if got.Interval.Lo != want.Interval.Lo || got.Interval.Hi != want.Interval.Hi ||
+				len(got.Assignment) != len(want.Assignment) {
+				t.Fatalf("%v workers=%d: interval/assignment size differs", algo, w)
+			}
+			for leaf, c := range want.Assignment {
+				if got.Assignment[leaf] != c {
+					t.Fatalf("%v workers=%d: leaf %d assigned %v, want %v",
+						algo, w, leaf, got.Assignment[leaf], c)
+				}
+			}
+			if len(got.ZonePeaks) != len(want.ZonePeaks) {
+				t.Fatalf("%v workers=%d: zone count differs", algo, w)
+			}
+			for i := range want.ZonePeaks {
+				if got.ZonePeaks[i].Peak != want.ZonePeaks[i].Peak {
+					t.Fatalf("%v workers=%d: zone %d peak %g != %g",
+						algo, w, i, got.ZonePeaks[i].Peak, want.ZonePeaks[i].Peak)
+				}
+			}
+		}
+	}
+}

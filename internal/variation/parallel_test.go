@@ -1,0 +1,29 @@
+package variation
+
+import (
+	"context"
+	"runtime"
+	"testing"
+)
+
+// TestParallelDeterminismMonteCarlo requires bitwise-identical statistics
+// from MonteCarlo under every worker count: each instance draws from its
+// own (Seed, index)-derived RNG and results merge in index order.
+func TestParallelDeterminismMonteCarlo(t *testing.T) {
+	tree := testTree(t)
+	p := Params{Sigma: 0.05, N: 60, Kappa: 20, Seed: 7, Correlation: 0.5, Workers: 1}
+	want, err := MonteCarlo(context.Background(), tree, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+		p.Workers = w
+		got, err := MonteCarlo(context.Background(), tree, p)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", w, err)
+		}
+		if *got != *want {
+			t.Fatalf("workers=%d: stats differ:\n got %+v\nwant %+v", w, *got, *want)
+		}
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"wavemin/internal/clocktree"
+	"wavemin/internal/parallel"
 	"wavemin/internal/powergrid"
 )
 
@@ -32,6 +33,11 @@ type Params struct {
 	// instance (markedly slower: two transient solves each).
 	Grid *powergrid.Grid
 	Mode clocktree.Mode // zero value = nominal
+	// Workers bounds the goroutines evaluating instances. Each instance
+	// gets its own RNG seeded deterministically from (Seed, index), so the
+	// statistics are bitwise identical for every worker count. 0 =
+	// GOMAXPROCS, 1 = serial.
+	Workers int
 }
 
 // Stats aggregates a run.
@@ -109,32 +115,47 @@ func MonteCarlo(ctx context.Context, t *clocktree.Tree, p Params) (*Stats, error
 	if mode.Name == "" {
 		mode = clocktree.NominalMode
 	}
-	rng := rand.New(rand.NewSource(p.Seed))
-	st := &Stats{N: p.N}
-	var peaks, vdds, gnds []float64
-	for i := 0; i < p.N; i++ {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
+	// Each instance draws from its own RNG, seeded from (Seed, index), so
+	// instance i sees the same randomness whether it runs on goroutine 3
+	// of 8 or in the plain serial loop — the ordered merge below then
+	// makes the whole run bitwise deterministic for any worker count.
+	type instResult struct {
+		skew, peak, vdd, gnd float64
+	}
+	results := make([]instResult, p.N)
+	ferr := parallel.ForEach(ctx, p.Workers, p.N, func(i int) error {
+		rng := rand.New(rand.NewSource(instanceSeed(p.Seed, i)))
 		inst := Perturb(t, p.Sigma, p.Correlation, rng)
 		tm := inst.ComputeTiming(mode)
-		skew := tm.Skew(inst)
-		if skew <= p.Kappa {
-			st.YieldOK++
-		}
-		if skew > st.WorstSkew {
-			st.WorstSkew = skew
-		}
-		st.MeanSkew += skew
-		peak := inst.PeakCurrent(tm)
-		peaks = append(peaks, peak)
+		r := instResult{skew: tm.Skew(inst), peak: inst.PeakCurrent(tm)}
 		if p.Grid != nil {
 			v, g, err := p.Grid.MeasureTreeNoise(ctx, inst, tm)
 			if err != nil {
-				return nil, fmt.Errorf("variation: instance %d noise: %w", i, err)
+				return fmt.Errorf("variation: instance %d noise: %w", i, err)
 			}
-			vdds = append(vdds, v)
-			gnds = append(gnds, g)
+			r.vdd, r.gnd = v, g
+		}
+		results[i] = r
+		return nil
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	st := &Stats{N: p.N}
+	peaks := make([]float64, 0, p.N)
+	var vdds, gnds []float64
+	for _, r := range results {
+		if r.skew <= p.Kappa {
+			st.YieldOK++
+		}
+		if r.skew > st.WorstSkew {
+			st.WorstSkew = r.skew
+		}
+		st.MeanSkew += r.skew
+		peaks = append(peaks, r.peak)
+		if p.Grid != nil {
+			vdds = append(vdds, r.vdd)
+			gnds = append(gnds, r.gnd)
 		}
 	}
 	st.MeanSkew /= float64(p.N)
@@ -145,6 +166,15 @@ func MonteCarlo(ctx context.Context, t *clocktree.Tree, p Params) (*Stats, error
 		st.MeanGnd, st.NormGnd = meanNorm(gnds)
 	}
 	return st, nil
+}
+
+// instanceSeed derives instance i's RNG seed from the run seed with a
+// splitmix64-style mix, so nearby (seed, i) pairs decorrelate fully.
+func instanceSeed(seed int64, i int) int64 {
+	z := uint64(seed) + uint64(i+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int64(z ^ (z >> 31))
 }
 
 // meanNorm returns the mean and the normalized standard deviation σ̂/µ̂

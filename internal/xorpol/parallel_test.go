@@ -1,0 +1,35 @@
+package xorpol
+
+import (
+	"context"
+	"reflect"
+	"runtime"
+	"testing"
+)
+
+// TestParallelDeterminismOptimize requires an identical polarity program
+// under every worker count: the (mode, zone) fan-out merges in fixed
+// mode-major order.
+func TestParallelDeterminismOptimize(t *testing.T) {
+	tree, modes := testDesign(t)
+	run := func(workers int) *Result {
+		res, err := Optimize(context.Background(), tree, modes, Config{Samples: 16, Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	want := run(1)
+	for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+		got := run(w)
+		if got.WorstPeak != want.WorstPeak {
+			t.Fatalf("workers=%d: worst peak %g != %g", w, got.WorstPeak, want.WorstPeak)
+		}
+		if !reflect.DeepEqual(got.PeakPerMode, want.PeakPerMode) {
+			t.Fatalf("workers=%d: per-mode peaks differ", w)
+		}
+		if !reflect.DeepEqual(got.Positive, want.Positive) {
+			t.Fatalf("workers=%d: polarity program differs", w)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"wavemin/internal/cell"
 	"wavemin/internal/clocktree"
 	"wavemin/internal/mosp"
+	"wavemin/internal/parallel"
 	"wavemin/internal/polarity"
 	"wavemin/internal/waveform"
 )
@@ -30,6 +31,11 @@ type Config struct {
 	// XOROverheadFrac scales the XOR gate's own current pulse relative to
 	// the leaf's main pulse peak (default 0.08).
 	XOROverheadFrac float64
+	// Workers bounds the goroutines fanned out over the mode × zone grid
+	// (every (mode, zone) instance is independent — modes decouple by
+	// construction here). 0 = GOMAXPROCS, 1 = serial; results are
+	// identical for every worker count.
+	Workers int
 }
 
 // Result is a per-mode polarity program.
@@ -70,81 +76,123 @@ func Optimize(ctx context.Context, t *clocktree.Tree, modes []clocktree.Mode, cf
 	}
 	zones := polarity.LeafZones(polarity.PartitionZones(t, cfg.ZoneSize))
 
-	for _, mode := range modes {
-		tm := t.ComputeTiming(mode)
+	// Timings are shared read-only inputs; compute them up front, then fan
+	// the independent (mode, zone) instances out as one flat index space
+	// and merge in fixed mode-major order afterwards.
+	timings := make([]*clocktree.Timing, len(modes))
+	for mi, mode := range modes {
+		timings[mi] = t.ComputeTiming(mode)
+	}
+	type zoneOut struct {
+		positive []bool // per zone leaf
+		peak     float64
+	}
+	nz := len(zones)
+	solved := make([]zoneOut, len(modes)*nz)
+	ferr := parallel.ForEach(ctx, cfg.Workers, len(solved), func(k int) error {
+		mi, zi := k/nz, k%nz
+		out, err := solveModeZone(ctx, t, timings[mi], &zones[zi], cfg, perGroup)
+		if err != nil {
+			return err
+		}
+		solved[k] = zoneOut{positive: out.positive, peak: out.peak}
+		return nil
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	for mi, mode := range modes {
 		var modePeak float64
-		for _, zone := range zones {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			// Baseline: non-leaf currents plus every leaf's XOR overhead
-			// (the XOR switches in both polarities).
-			var base [4]waveform.Waveform
-			for _, id := range zone.NonLeaves {
-				iddR, issR := t.NodeCurrents(tm, id, cell.Rising)
-				iddF, issF := t.NodeCurrents(tm, id, cell.Falling)
-				base[0] = waveform.Add(base[0], iddR)
-				base[1] = waveform.Add(base[1], issR)
-				base[2] = waveform.Add(base[2], iddF)
-				base[3] = waveform.Add(base[3], issF)
-			}
-			// Per-leaf option waveforms: keep (parity as built) or flip
-			// (swap the edges), plus the XOR overhead on the baseline.
-			type opt struct{ w [4]waveform.Waveform }
-			options := make([][2]opt, len(zone.Leaves))
+		for zi, zone := range zones {
+			out := &solved[mi*nz+zi]
 			for li, leaf := range zone.Leaves {
-				iddR, issR := t.NodeCurrents(tm, leaf, cell.Rising)
-				iddF, issF := t.NodeCurrents(tm, leaf, cell.Falling)
-				keep := opt{w: [4]waveform.Waveform{iddR, issR, iddF, issF}}
-				flip := opt{w: [4]waveform.Waveform{iddF, issF, iddR, issR}}
-				options[li] = [2]opt{keep, flip}
-				pk, _ := iddR.Peak()
-				if p2, _ := issR.Peak(); p2 > pk {
-					pk = p2
-				}
-				over := xorPulse(tm, leaf, pk*cfg.XOROverheadFrac)
-				for g := 0; g < 4; g++ {
-					base[g] = waveform.Add(base[g], over)
-				}
+				res.Positive[leaf][mode.Name] = out.positive[li]
 			}
-			// Sample sets per group from everything in play.
-			var samples [4]waveform.SampleSet
-			for g := 0; g < 4; g++ {
-				ws := []waveform.Waveform{base[g]}
-				for li := range options {
-					ws = append(ws, options[li][0].w[g], options[li][1].w[g])
-				}
-				samples[g] = waveform.HotSpots(perGroup, ws...)
-			}
-			vec := func(w [4]waveform.Waveform) []float64 {
-				var out []float64
-				for g := 0; g < 4; g++ {
-					out = append(out, samples[g].Vector(w[g])...)
-				}
-				return out
-			}
-			g := &mosp.Graph{Baseline: vec(base)}
-			for li := range options {
-				g.Layers = append(g.Layers, []mosp.Vertex{
-					{Weight: vec(options[li][0].w), Tag: 0},
-					{Weight: vec(options[li][1].w), Tag: 1},
-				})
-			}
-			sol, err := mosp.Solve(ctx, g, mosp.Options{Epsilon: 0.01})
-			if err != nil {
-				return nil, err
-			}
-			for li, leaf := range zone.Leaves {
-				res.Positive[leaf][mode.Name] = g.Layers[li][sol.Picks[li]].Tag == 0 == t.PolarityOf(leaf)
-			}
-			if sol.Max > modePeak {
-				modePeak = sol.Max
+			if out.peak > modePeak {
+				modePeak = out.peak
 			}
 		}
 		res.PeakPerMode[mode.Name] = modePeak
 		res.WorstPeak = math.Max(res.WorstPeak, modePeak)
 	}
 	return res, nil
+}
+
+// modeZoneOut is one (mode, zone) solve: the per-leaf positive-polarity
+// control bits and the zone's peak estimate.
+type modeZoneOut struct {
+	positive []bool
+	peak     float64
+}
+
+// solveModeZone optimizes the polarity program of one zone in one mode.
+// Runs on worker goroutines; the tree and timing are read-only here.
+func solveModeZone(
+	ctx context.Context, t *clocktree.Tree, tm *clocktree.Timing,
+	zone *polarity.Zone, cfg Config, perGroup int,
+) (modeZoneOut, error) {
+	// Baseline: non-leaf currents plus every leaf's XOR overhead
+	// (the XOR switches in both polarities).
+	var base [4]waveform.Waveform
+	for _, id := range zone.NonLeaves {
+		iddR, issR := t.NodeCurrents(tm, id, cell.Rising)
+		iddF, issF := t.NodeCurrents(tm, id, cell.Falling)
+		base[0] = waveform.Add(base[0], iddR)
+		base[1] = waveform.Add(base[1], issR)
+		base[2] = waveform.Add(base[2], iddF)
+		base[3] = waveform.Add(base[3], issF)
+	}
+	// Per-leaf option waveforms: keep (parity as built) or flip
+	// (swap the edges), plus the XOR overhead on the baseline.
+	type opt struct{ w [4]waveform.Waveform }
+	options := make([][2]opt, len(zone.Leaves))
+	for li, leaf := range zone.Leaves {
+		iddR, issR := t.NodeCurrents(tm, leaf, cell.Rising)
+		iddF, issF := t.NodeCurrents(tm, leaf, cell.Falling)
+		keep := opt{w: [4]waveform.Waveform{iddR, issR, iddF, issF}}
+		flip := opt{w: [4]waveform.Waveform{iddF, issF, iddR, issR}}
+		options[li] = [2]opt{keep, flip}
+		pk, _ := iddR.Peak()
+		if p2, _ := issR.Peak(); p2 > pk {
+			pk = p2
+		}
+		over := xorPulse(tm, leaf, pk*cfg.XOROverheadFrac)
+		for g := 0; g < 4; g++ {
+			base[g] = waveform.Add(base[g], over)
+		}
+	}
+	// Sample sets per group from everything in play.
+	var samples [4]waveform.SampleSet
+	for g := 0; g < 4; g++ {
+		ws := []waveform.Waveform{base[g]}
+		for li := range options {
+			ws = append(ws, options[li][0].w[g], options[li][1].w[g])
+		}
+		samples[g] = waveform.HotSpots(perGroup, ws...)
+	}
+	vec := func(w [4]waveform.Waveform) []float64 {
+		var out []float64
+		for g := 0; g < 4; g++ {
+			out = append(out, samples[g].Vector(w[g])...)
+		}
+		return out
+	}
+	g := &mosp.Graph{Baseline: vec(base)}
+	for li := range options {
+		g.Layers = append(g.Layers, []mosp.Vertex{
+			{Weight: vec(options[li][0].w), Tag: 0},
+			{Weight: vec(options[li][1].w), Tag: 1},
+		})
+	}
+	sol, err := mosp.Solve(ctx, g, mosp.Options{Epsilon: 0.01})
+	if err != nil {
+		return modeZoneOut{}, err
+	}
+	out := modeZoneOut{positive: make([]bool, len(zone.Leaves)), peak: sol.Max}
+	for li, leaf := range zone.Leaves {
+		out.positive[li] = g.Layers[li][sol.Picks[li]].Tag == 0 == t.PolarityOf(leaf)
+	}
+	return out, nil
 }
 
 // xorPulse models the XOR gate's own supply pulse at the leaf's switching

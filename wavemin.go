@@ -98,6 +98,12 @@ type Config struct {
 	// experiment defaults).
 	MaxIntervals     int
 	MaxIntersections int
+	// Workers bounds the solver parallelism: the (interval, zone) fan-out
+	// in single-mode runs, the per-zone fan-out in multi-mode runs, and
+	// the (mode, zone) fan-out in OptimizeDynamicPolarity. 0 uses
+	// GOMAXPROCS; 1 forces the serial path. Results are bitwise identical
+	// for every worker count.
+	Workers int
 	// Budget bounds the wall-clock time Optimize may spend (0 = unlimited).
 	// When the configured algorithm cannot finish within the budget it is
 	// cancelled and the pipeline degrades down the algorithm ladder —
@@ -127,6 +133,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("wavemin: negative interval cap %d", c.MaxIntervals)
 	case c.MaxIntersections < 0:
 		return fmt.Errorf("wavemin: negative intersection cap %d", c.MaxIntersections)
+	case c.Workers < 0:
+		return fmt.Errorf("wavemin: negative worker count %d (want > 0, or 0 for GOMAXPROCS)", c.Workers)
 	case c.Budget < 0:
 		return fmt.Errorf("wavemin: negative budget %v", c.Budget)
 	}
@@ -442,6 +450,7 @@ func (d *Design) ladder(cfg Config, sizing *cell.Library, degradable bool) ([]ru
 					Library: sizing, Kappa: cfg.Kappa, Samples: cfg.Samples,
 					Epsilon: cfg.Epsilon, ZoneSize: cfg.ZoneSize, Algorithm: algo,
 					Mode: d.Modes[0], MaxIntervals: cfg.MaxIntervals,
+					Workers: cfg.Workers,
 				})
 				if err != nil {
 					return nil, nil, err
@@ -484,6 +493,7 @@ func (d *Design) ladder(cfg Config, sizing *cell.Library, degradable bool) ([]ru
 					Kappa: cfg.Kappa, Samples: cfg.Samples, Epsilon: cfg.Epsilon,
 					ZoneSize: cfg.ZoneSize, Fast: fast,
 					MaxIntersections: cfg.MaxIntersections,
+					Workers:          cfg.Workers,
 				})
 				if err != nil {
 					return nil, nil, err
@@ -552,7 +562,7 @@ func (d *Design) OptimizeDynamicPolarity(ctx context.Context, cfg Config) (res *
 		defer cancel()
 	}
 	opt, err := xorpol.Optimize(ctx, d.Tree, d.Modes, xorpol.Config{
-		Samples: cfg.Samples, ZoneSize: cfg.ZoneSize,
+		Samples: cfg.Samples, ZoneSize: cfg.ZoneSize, Workers: cfg.Workers,
 	})
 	if err != nil {
 		return nil, err
