@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DATE := $(shell date +%F)
 BENCH_LATEST = $(lastword $(sort $(filter-out BENCH_baseline.json,$(wildcard BENCH_*.json))))
 
-.PHONY: build test vet race check verify bench benchdiff
+.PHONY: build test vet race check verify bench benchdiff cover
 
 build:
 	$(GO) build ./...
@@ -20,11 +20,20 @@ vet:
 race: vet
 	$(GO) test -race ./...
 
-# Default gate: tier 1, vet, and the worker-determinism tests under the
-# race detector (the parallel fan-outs must be bitwise reproducible at any
-# worker count; the full -race suite stays in `make race`).
-check: test vet
+# Default gate: tier 1, vet, the worker-determinism tests under the race
+# detector (the parallel fan-outs must be bitwise reproducible at any
+# worker count; the full -race suite stays in `make race`), and the
+# coverage floor.
+check: test vet cover
 	$(GO) test -race -run Parallel . ./internal/...
+
+# Coverage with a floor: internal/obs (the telemetry layer every solver
+# calls into) must stay above 70% statement coverage; everything else is
+# reported for information only.
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) run ./scripts/coverfloor -profile cover.out -floor wavemin/internal/obs=70
+	@rm -f cover.out
 
 verify: test race
 

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wavemin/internal/cell"
+	"wavemin/internal/clocktree"
+	"wavemin/internal/experiments"
+)
+
+var update = flag.Bool("update", false, "rewrite the testdata goldens from current output")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/experiments -update` to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// The golden tables are the fully deterministic ones: the worked-example
+// feasibility matrix (Table IV) and the closed-form cell characterization
+// (Tables II/III). The benchmark tables carry runtimes, so they are
+// format-checked structurally elsewhere, not byte-pinned.
+
+func TestGoldenTable4(t *testing.T) {
+	res, err := experiments.RunTable4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table4", res.Format())
+}
+
+func TestGoldenCharacterizationPaper(t *testing.T) {
+	got := cell.CharacterizationTable(cell.PaperLibrary(), 0, []float64{0.9, 1.1})
+	checkGolden(t, "characterization_paper", got)
+}
+
+func TestGoldenCharacterizationDefault(t *testing.T) {
+	got := cell.CharacterizationTable(cell.SizingLibrary(), 6, []float64{0.9, clocktree.NominalVDD})
+	checkGolden(t, "characterization_default", got)
+}

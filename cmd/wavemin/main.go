@@ -12,10 +12,13 @@ package main
 
 import (
 	"context"
+	_ "expvar" // /debug/vars on -debug-addr
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"net/http"
+	_ "net/http/pprof" // /debug/pprof on -debug-addr
 	"os"
 	"os/signal"
 	"runtime"
@@ -25,6 +28,8 @@ import (
 
 	"wavemin"
 	"wavemin/internal/bench"
+	"wavemin/internal/obs"
+	"wavemin/internal/report"
 )
 
 func main() {
@@ -48,6 +53,10 @@ func main() {
 		workers   = flag.Int("workers", 0, "solver worker goroutines (0 = GOMAXPROCS, 1 = serial); results are identical for every count")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		tracePath = flag.String("trace", "", "write a JSONL telemetry trace of the run to this file")
+		metrics   = flag.Bool("metrics", false, "print the per-stage telemetry summary after the run")
+		snapshots = flag.Bool("snapshots", false, "record accumulated-waveform snapshots in the trace")
+		debugAddr = flag.String("debug-addr", "", "serve expvar (/debug/vars) and pprof (/debug/pprof) on this address, e.g. localhost:6060")
 	)
 	flag.Parse()
 
@@ -146,11 +155,51 @@ func main() {
 		log.Fatal(err)
 	}
 
+	if *debugAddr != "" {
+		obs.ExpvarCounters() // publish the "wavemin" map before serving
+		go func() {
+			log.Printf("debug server: %v", http.ListenAndServe(*debugAddr, nil))
+		}()
+		fmt.Printf("debug server listening on http://%s/debug/vars and /debug/pprof\n", *debugAddr)
+	}
+
+	// Telemetry: one trace for the whole run, flushed to every requested
+	// sink after Optimize returns. With none of the flags set, no trace is
+	// attached and the engine's telemetry path costs nothing.
+	var tr *obs.Trace
+	var traceOut *os.File
+	if *tracePath != "" || *metrics || *snapshots || *debugAddr != "" {
+		var sinks []obs.Sink
+		if *tracePath != "" {
+			f, err := os.Create(*tracePath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			traceOut = f
+			sinks = append(sinks, &obs.JSONL{W: f})
+		}
+		if *debugAddr != "" {
+			sinks = append(sinks, obs.ExpvarSink{})
+		}
+		tr = obs.New(obs.Options{Sink: obs.Tee(sinks...), Snapshots: *snapshots})
+	}
+
 	// Ctrl-C cancels the optimization promptly and leaves the tree as
 	// loaded; the -timeout budget degrades instead of aborting.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	ctx = obs.Into(ctx, tr)
 	res, err := design.Optimize(ctx, cfg)
+	if tr != nil {
+		if ferr := tr.Flush(); ferr != nil {
+			log.Printf("trace flush: %v", ferr)
+		}
+		if traceOut != nil {
+			if cerr := traceOut.Close(); cerr != nil {
+				log.Printf("trace close: %v", cerr)
+			}
+		}
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -170,6 +219,12 @@ func main() {
 		fmt.Fprintf(w, "degraded     budget %v exceeded; answered by %s\n", *timeout, res.AlgorithmUsed)
 	} else if res.AlgorithmUsed != "" {
 		fmt.Fprintf(w, "answered by  %s\n", res.AlgorithmUsed)
+	}
+	if *metrics && tr != nil {
+		fmt.Fprintf(w, "\n%s", report.FormatSummary(obs.Summarize(tr.Events())))
+	}
+	if *tracePath != "" {
+		fmt.Fprintf(w, "trace        %s\n", *tracePath)
 	}
 	if *savePath != "" {
 		f, err := os.Create(*savePath)

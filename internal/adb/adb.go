@@ -26,12 +26,14 @@
 package adb
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"wavemin/internal/cell"
 	"wavemin/internal/clocktree"
+	"wavemin/internal/obs"
 )
 
 // Result reports an allocation.
@@ -50,7 +52,9 @@ const maxPasses = 24
 // replaced by adbCell with per-mode bank settings. Returns an error when
 // the bank range cannot absorb the required shift (κ too tight for the
 // ADB's delay range).
-func Insert(t *clocktree.Tree, adbCell *cell.Cell, modes []clocktree.Mode, kappa float64) (*Result, error) {
+func Insert(ctx context.Context, t *clocktree.Tree, adbCell *cell.Cell, modes []clocktree.Mode, kappa float64) (*Result, error) {
+	_, sp := obs.Start(ctx, "adb.insert")
+	defer sp.End()
 	if adbCell == nil || !adbCell.Adjustable() {
 		return nil, fmt.Errorf("adb: cell %v is not adjustable", adbCell)
 	}
@@ -81,6 +85,10 @@ func Insert(t *clocktree.Tree, adbCell *cell.Cell, modes []clocktree.Mode, kappa
 				}
 			})
 			sort.Slice(res.Inserted, func(i, j int) bool { return res.Inserted[i] < res.Inserted[j] })
+			if sp != nil {
+				sp.Count("adb.inserted", int64(len(res.Inserted)))
+				sp.Count("adb.passes", int64(res.Passes))
+			}
 			return res, nil
 		}
 
@@ -316,11 +324,15 @@ func CountAdjustables(t *clocktree.Tree) (adbs, adis int) {
 // violations from plain-leaf drift remain (and are reported via the
 // returned worst skew). It errors only on structural failures — a bank
 // that cannot reach its window at all.
-func Retune(t *clocktree.Tree, modes []clocktree.Mode, kappa float64) (worstSkew float64, err error) {
+func Retune(ctx context.Context, t *clocktree.Tree, modes []clocktree.Mode, kappa float64) (worstSkew float64, err error) {
+	_, sp := obs.Start(ctx, "adb.retune")
+	defer sp.End()
+	defer func() { sp.Gauge("adb.worst_skew", worstSkew) }()
 	if kappa <= 0 {
 		return 0, fmt.Errorf("adb: non-positive kappa %g", kappa)
 	}
 	sites := Sites(t)
+	sp.Count("adb.retune_sites", int64(len(sites)))
 	for pass := 0; pass < maxPasses; pass++ {
 		worstSkew = 0
 		for _, m := range modes {

@@ -1,6 +1,7 @@
 package adb
 
 import (
+	"context"
 	"testing"
 
 	"wavemin/internal/cell"
@@ -42,7 +43,7 @@ func TestInsertFixesMultiModeSkew(t *testing.T) {
 		t.Fatal("island did not create a violation; test premise broken")
 	}
 	adbCell := lib.MustByName("ADB_X8")
-	res, err := Insert(tree, adbCell, modes, kappa)
+	res, err := Insert(context.Background(), tree, adbCell, modes, kappa)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,7 +64,7 @@ func TestInsertFixesMultiModeSkew(t *testing.T) {
 func TestInsertIsMinimalOnLooseKappa(t *testing.T) {
 	// With a huge κ the tree already meets the bound: no ADBs.
 	tree, modes, lib := islandTree(t, 6)
-	res, err := Insert(tree, lib.MustByName("ADB_X8"), modes, 500)
+	res, err := Insert(context.Background(), tree, lib.MustByName("ADB_X8"), modes, 500)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestInsertSettingsDifferPerMode(t *testing.T) {
 	if tree.MeetsSkew(kappa, modes) {
 		t.Fatal("island did not create a violation; test premise broken")
 	}
-	if _, err := Insert(tree, lib.MustByName("ADB_X8"), modes, kappa); err != nil {
+	if _, err := Insert(context.Background(), tree, lib.MustByName("ADB_X8"), modes, kappa); err != nil {
 		t.Fatal(err)
 	}
 	// At least one ADB should need different bank settings in M1 vs M2
@@ -97,13 +98,13 @@ func TestInsertSettingsDifferPerMode(t *testing.T) {
 
 func TestInsertErrors(t *testing.T) {
 	tree, modes, lib := islandTree(t, 4)
-	if _, err := Insert(tree, lib.MustByName("BUF_X8"), modes, 10); err == nil {
+	if _, err := Insert(context.Background(), tree, lib.MustByName("BUF_X8"), modes, 10); err == nil {
 		t.Error("non-adjustable cell should error")
 	}
-	if _, err := Insert(tree, lib.MustByName("ADB_X8"), modes, -1); err == nil {
+	if _, err := Insert(context.Background(), tree, lib.MustByName("ADB_X8"), modes, -1); err == nil {
 		t.Error("negative kappa should error")
 	}
-	if _, err := Insert(tree, lib.MustByName("ADB_X8"), nil, 10); err == nil {
+	if _, err := Insert(context.Background(), tree, lib.MustByName("ADB_X8"), nil, 10); err == nil {
 		t.Error("no modes should error")
 	}
 }
@@ -113,7 +114,7 @@ func TestInsertFailsWhenBankTooSmall(t *testing.T) {
 	// A bank with one 1-ps step cannot absorb a multi-ps island shift with
 	// a tight window.
 	tiny := cell.MakeADB(8, 1, 1)
-	if _, err := Insert(tree, tiny, modes, 2); err == nil {
+	if _, err := Insert(context.Background(), tree, tiny, modes, 2); err == nil {
 		skews := []float64{}
 		for _, m := range modes {
 			skews = append(skews, tree.ComputeTiming(m).Skew(tree))
@@ -130,7 +131,7 @@ func TestInsertKeepsSingleModeNoop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Insert(tree, lib.MustByName("ADB_X8"), []clocktree.Mode{clocktree.NominalMode}, 20)
+	res, err := Insert(context.Background(), tree, lib.MustByName("ADB_X8"), []clocktree.Mode{clocktree.NominalMode}, 20)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package adb
 
 import (
+	"context"
 	"testing"
 
 	"wavemin/internal/cell"
@@ -12,7 +13,7 @@ func TestInsertHoistsToNonLeafWhenBankTooSmall(t *testing.T) {
 	// A 9 ps bank cannot absorb the island's ~14 ps shift at any single
 	// leaf; the insertion must hoist part of the delay into non-leaf ADBs.
 	small := cell.MakeADB(16, 3, 3)
-	res, err := Insert(tree, small, modes, kappa)
+	res, err := Insert(context.Background(), tree, small, modes, kappa)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,7 +44,7 @@ func TestHoistRespectsOnTimeSiblings(t *testing.T) {
 	// hoisted; verify windows still hold everywhere after insertion.
 	tree, modes, lib := islandTree(t, 12)
 	kappa := 6.0
-	if _, err := Insert(tree, lib.MustByName("ADB_X8"), modes, kappa); err != nil {
+	if _, err := Insert(context.Background(), tree, lib.MustByName("ADB_X8"), modes, kappa); err != nil {
 		t.Fatal(err)
 	}
 	for _, m := range modes {

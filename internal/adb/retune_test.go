@@ -1,6 +1,7 @@
 package adb
 
 import (
+	"context"
 	"testing"
 
 	"wavemin/internal/cell"
@@ -10,7 +11,7 @@ import (
 func TestRetuneFixesDriftedBanks(t *testing.T) {
 	tree, modes, lib := islandTree(t, 12)
 	kappa := 6.0
-	if _, err := Insert(tree, lib.MustByName("ADB_X8"), modes, kappa); err != nil {
+	if _, err := Insert(context.Background(), tree, lib.MustByName("ADB_X8"), modes, kappa); err != nil {
 		t.Fatal(err)
 	}
 	// Sabotage the bank settings.
@@ -20,7 +21,7 @@ func TestRetuneFixesDriftedBanks(t *testing.T) {
 	if tree.MeetsSkew(kappa, modes) {
 		t.Fatal("sabotage should have broken the skew")
 	}
-	worst, err := Retune(tree, modes, kappa)
+	worst, err := Retune(context.Background(), tree, modes, kappa)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +38,7 @@ func TestRetuneNoAdjustablesReportsResidual(t *testing.T) {
 	// the residual skew without erroring.
 	tree, modes, _ := islandTree(t, 12)
 	worstBefore, _ := tree.SkewAcrossModes(modes)
-	worst, err := Retune(tree, modes, 1)
+	worst, err := Retune(context.Background(), tree, modes, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,7 +49,7 @@ func TestRetuneNoAdjustablesReportsResidual(t *testing.T) {
 
 func TestRetuneValidatesKappa(t *testing.T) {
 	tree, modes, _ := islandTree(t, 4)
-	if _, err := Retune(tree, modes, 0); err == nil {
+	if _, err := Retune(context.Background(), tree, modes, 0); err == nil {
 		t.Fatal("zero kappa should error")
 	}
 }
@@ -67,7 +68,7 @@ func TestRetuneBankRangeExceeded(t *testing.T) {
 	if tree.ComputeTiming(modes[0]).Skew(tree) < 5 {
 		t.Fatal("fixture premise: need large skew")
 	}
-	if _, err := Retune(tree, modes, 3); err == nil {
+	if _, err := Retune(context.Background(), tree, modes, 3); err == nil {
 		t.Fatal("expected bank-range error")
 	}
 }
@@ -76,7 +77,7 @@ func TestInsertMaxPassesFailure(t *testing.T) {
 	// Force non-convergence: κ tiny relative to drift on a tree whose
 	// plain leaves spread more than κ.
 	tree, modes, lib := islandTree(t, 12)
-	if _, err := Insert(tree, lib.MustByName("ADB_X8"), modes, 0.05); err == nil {
+	if _, err := Insert(context.Background(), tree, lib.MustByName("ADB_X8"), modes, 0.05); err == nil {
 		t.Fatal("expected failure for κ=0.05")
 	}
 }

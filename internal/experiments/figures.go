@@ -228,7 +228,7 @@ func RunFig3() (*Fig3, error) {
 		if err != nil {
 			return Golden{}, 0, err
 		}
-		if err := multimode.ApplyResult(tree, modes, cfg.Kappa, res); err != nil {
+		if err := multimode.ApplyResult(context.Background(), tree, modes, cfg.Kappa, res); err != nil {
 			return Golden{}, 0, err
 		}
 		g, err := EvaluateModes(tree, modes, nil)
@@ -333,7 +333,7 @@ func RunFig14(circuit string, perModeIntervals int) (*Fig14, error) {
 	adbCell := ckt.Lib.MustByName("ADB_X8")
 	kappa := 16.0
 	if !ckt.Tree.MeetsSkew(kappa, modes) {
-		if _, err := adb.Insert(ckt.Tree, adbCell, modes, kappa); err != nil {
+		if _, err := adb.Insert(context.Background(), ckt.Tree, adbCell, modes, kappa); err != nil {
 			return nil, err
 		}
 	}

@@ -79,7 +79,7 @@ func RunTable4() (*Table4, error) {
 		out.Assignment = append(out.Assignment, res.Assignment[leaf].Name)
 	}
 	out.Windows = res.Windows
-	if err := multimode.ApplyResult(tr, modes, cfg.Kappa, res); err != nil {
+	if err := multimode.ApplyResult(context.Background(), tr, modes, cfg.Kappa, res); err != nil {
 		return nil, err
 	}
 	out.SkewM1 = tr.ComputeTiming(modes[0]).Skew(tr)

@@ -103,7 +103,7 @@ func RunTable7(cfg Table7Config) (*Table7, error) {
 		baseTree := ckt.Tree.Clone()
 		baseADBs := 0
 		if !baseTree.MeetsSkew(kappa, modes) {
-			ins, err := adb.Insert(baseTree, adbCell, modes, kappa)
+			ins, err := adb.Insert(context.Background(), baseTree, adbCell, modes, kappa)
 			if err != nil {
 				return fmt.Errorf("%s κ=%g baseline: %w", name, kappa, err)
 			}
@@ -124,7 +124,7 @@ func RunTable7(cfg Table7Config) (*Table7, error) {
 		if err != nil {
 			return fmt.Errorf("%s κ=%g wavemin-m: %w", name, kappa, err)
 		}
-		if err := multimode.ApplyResult(waveTree, modes, kappa, res); err != nil {
+		if err := multimode.ApplyResult(context.Background(), waveTree, modes, kappa, res); err != nil {
 			return fmt.Errorf("%s κ=%g apply: %w", name, kappa, err)
 		}
 		waveG, err := EvaluateModes(waveTree, modes, ckt.Grid)

@@ -34,7 +34,29 @@ import (
 	"sort"
 
 	"wavemin/internal/faultinject"
+	"wavemin/internal/obs"
 )
+
+// solveStats accumulates hot-loop counters. It is allocated only when the
+// context carries a telemetry span, so the disabled path stays exactly as
+// allocation-free as before; the loop guards are plain nil checks.
+type solveStats struct {
+	expanded  int64 // labels materialized (post incumbent prune)
+	pruned    int64 // partial paths killed by the incumbent bound
+	dedupHits int64 // Warburton round-key merges
+	capped    int64 // layers where the MaxLabels safety valve fired
+}
+
+// flush records the counters onto the span (nil-safe).
+func (st *solveStats) flush(sp *obs.Span) {
+	if st == nil {
+		return
+	}
+	sp.Count("mosp.labels_expanded", st.expanded)
+	sp.Count("mosp.pruned", st.pruned)
+	sp.Count("mosp.dedup_hits", st.dedupHits)
+	sp.Count("mosp.capped_layers", st.capped)
+}
 
 // Vertex is one assignment option in a layer.
 type Vertex struct {
@@ -211,6 +233,8 @@ func SolveFast(ctx context.Context, g *Graph) (Solution, error) {
 		return Solution{}, err
 	}
 	faultinject.At(faultinject.SiteMospSolveFast)
+	sp := obs.FromContext(ctx)
+	var recomputes int64
 	r := g.Dim()
 	sum := make([]float64, r)
 	copy(sum, g.Baseline)
@@ -255,6 +279,9 @@ func SolveFast(ctx context.Context, g *Graph) (Solution, error) {
 		for stamp[heap[0].li] != round {
 			li := heap[0].li
 			heap[0].m, heap[0].vi = recompute(li)
+			if sp != nil {
+				recomputes++
+			}
 			stamp[li] = round
 			fastSiftDown(heap, 0)
 		}
@@ -268,6 +295,10 @@ func SolveFast(ctx context.Context, g *Graph) (Solution, error) {
 		if len(heap) > 0 {
 			fastSiftDown(heap, 0)
 		}
+	}
+	if sp != nil {
+		sp.Count("mosp.fast_rounds", int64(nl))
+		sp.Count("mosp.fast_recomputes", recomputes)
 	}
 	return g.solutionFor(picks), nil
 }
@@ -424,14 +455,24 @@ func Solve(ctx context.Context, g *Graph, opt Options) (Solution, error) {
 	if opt.MaxLabels <= 0 {
 		opt.MaxLabels = DefaultMaxLabels
 	}
+	sp := obs.FromContext(ctx)
+	var st *solveStats
+	if sp != nil {
+		st = &solveStats{}
+		sp.Count("mosp.layers", int64(len(g.Layers)))
+	}
 	// Incumbent from the greedy; its value bounds the optimum from above.
 	greedy, err := SolveGreedy(g)
 	if err != nil {
 		return Solution{}, err
 	}
-	frontier, err := expandLayers(ctx, g, opt, greedy.Max, true)
+	frontier, err := expandLayers(ctx, g, opt, greedy.Max, true, st)
+	st.flush(sp)
 	if err != nil {
 		return Solution{}, err
+	}
+	if sp != nil {
+		sp.Count("mosp.frontier", int64(len(frontier)))
 	}
 	if len(frontier) == 0 {
 		// Numerical corner: everything pruned against UB. The greedy
@@ -457,7 +498,7 @@ func Solve(ctx context.Context, g *Graph, opt Options) (Solution, error) {
 // expandLayers runs the Pareto label expansion over every layer and
 // returns the dest frontier (nil/empty when everything was pruned against
 // the incumbent upper bound ub). Shared by Solve and paretoCount.
-func expandLayers(ctx context.Context, g *Graph, opt Options, ub float64, sites bool) ([]*label, error) {
+func expandLayers(ctx context.Context, g *Graph, opt Options, ub float64, sites bool, st *solveStats) ([]*label, error) {
 	r := g.Dim()
 	// Warburton scaling: rounding each coordinate down to a multiple of δ
 	// changes any path's coordinate by < |L|·δ = ε·UB ≤ ε·OPT-scale, so
@@ -529,8 +570,14 @@ func expandLayers(ctx context.Context, g *Graph, opt Options, ub float64, sites 
 					}
 				}
 				if pruned {
+					if st != nil {
+						st.pruned++
+					}
 					nextArena.unalloc(r)
 					continue
+				}
+				if st != nil {
+					st.expanded++
 				}
 				nl := labels.alloc()
 				*nl = label{cost: cost, max: m, layer: int32(li), pick: int32(vi), prev: lb}
@@ -538,6 +585,9 @@ func expandLayers(ctx context.Context, g *Graph, opt Options, ub float64, sites 
 					h := hashQuantized(cost, delta)
 					if idx, ok := seen[h]; ok {
 						if sameQuantized(next[idx].cost, cost, delta) {
+							if st != nil {
+								st.dedupHits++
+							}
 							// Keep the better representative by replacing
 							// the slot's pointer — never by overwriting the
 							// stored label in place, which would alias two
@@ -564,6 +614,9 @@ func expandLayers(ctx context.Context, g *Graph, opt Options, ub float64, sites 
 		}
 		// Safety valve.
 		if len(next) > opt.MaxLabels {
+			if st != nil {
+				st.capped++
+			}
 			sort.Slice(next, func(i, j int) bool { return next[i].max < next[j].max })
 			next = next[:opt.MaxLabels]
 		}
@@ -591,7 +644,7 @@ func paretoCount(g *Graph, opt Options) int {
 		opt.MaxLabels = DefaultMaxLabels
 	}
 	greedy, _ := SolveGreedy(g)
-	frontier, err := expandLayers(context.Background(), g, opt, greedy.Max, false)
+	frontier, err := expandLayers(context.Background(), g, opt, greedy.Max, false, nil)
 	if err != nil {
 		return 0
 	}

@@ -1,6 +1,7 @@
 package multimode
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -11,7 +12,7 @@ import (
 func TestDebug3(t *testing.T) {
 	tree, modes, lib := violatingTree(t)
 	cfg := mmConfig(lib, true)
-	ins, err := adb.Insert(tree, cfg.ADBCell, modes, cfg.Kappa)
+	ins, err := adb.Insert(context.Background(), tree, cfg.ADBCell, modes, cfg.Kappa)
 	if err != nil {
 		t.Fatal(err)
 	}

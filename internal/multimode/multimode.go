@@ -29,6 +29,7 @@ import (
 	"wavemin/internal/clocktree"
 	"wavemin/internal/faultinject"
 	"wavemin/internal/mosp"
+	"wavemin/internal/obs"
 	"wavemin/internal/parallel"
 	"wavemin/internal/polarity"
 	"wavemin/internal/waveform"
@@ -373,9 +374,16 @@ func (p *Problem) OptimizeIntersection(ctx context.Context, ix *Intersection) (*
 	if perGroup < 1 {
 		perGroup = 1
 	}
+	sp := obs.FromContext(ctx)
 	solved := make([]zoneResult, len(p.zones))
 	ferr := parallel.ForEach(ctx, p.cfg.Workers, len(p.zones), func(i int) error {
-		zr, err := p.solveZone(ctx, ix, &p.zones[i], leafIdx, perGroup)
+		zctx := ctx
+		if zsp := sp.ChildAt(i, "zone"); zsp != nil {
+			defer zsp.End()
+			zsp.Count("zone.leaves", int64(len(p.zones[i].Leaves)))
+			zctx = obs.WithSpan(ctx, zsp)
+		}
+		zr, err := p.solveZone(zctx, ix, &p.zones[i], leafIdx, perGroup)
 		if err != nil {
 			return err
 		}
@@ -458,6 +466,13 @@ func (p *Problem) solveZone(
 		if len(feas[zi]) == 0 {
 			return zoneResult{}, fmt.Errorf("multimode: zone %v leaf %d infeasible", zone.Key, leaf)
 		}
+	}
+	if zsp := obs.FromContext(ctx); zsp != nil {
+		var cands int64
+		for zi := range feas {
+			cands += int64(len(feas[zi]))
+		}
+		zsp.Count("zone.candidates", cands)
 	}
 	// Per-mode, per-group baselines and sample sets.
 	baselines := make([][]waveform.Waveform, len(p.modes))
@@ -551,6 +566,12 @@ func stepPsOf(c *cell.Cell) float64 {
 // applied; call ApplyResult. Cancellation is checked per intersection and
 // forwarded into the per-zone solves.
 func Optimize(ctx context.Context, t *clocktree.Tree, modes []clocktree.Mode, cfg Config) (*Result, error) {
+	ctx, sp := obs.Start(ctx, "multimode")
+	defer sp.End()
+	if sp != nil {
+		sp.SetAttr("modes", fmt.Sprintf("%d", len(modes)))
+		sp.SetAttr("fast", fmt.Sprintf("%t", cfg.Fast))
+	}
 	inserted := 0
 	p, err := NewProblem(t, modes, cfg)
 	if err != nil {
@@ -564,7 +585,7 @@ func Optimize(ctx context.Context, t *clocktree.Tree, modes []clocktree.Mode, cf
 		if adbCell == nil {
 			return nil, fmt.Errorf("multimode: infeasible without ADBs and no ADB cell configured")
 		}
-		ins, err := adb.Insert(t, adbCell, modes, cfg.Kappa)
+		ins, err := adb.Insert(ctx, t, adbCell, modes, cfg.Kappa)
 		if err != nil {
 			return nil, fmt.Errorf("multimode: ADB insertion: %w", err)
 		}
@@ -586,15 +607,22 @@ func Optimize(ctx context.Context, t *clocktree.Tree, modes []clocktree.Mode, cf
 	if len(tried) > maxIx {
 		tried = tried[:maxIx]
 	}
+	sp.Count("multimode.intersections_feasible", int64(len(ixs)))
+	sp.Count("multimode.intersections_tried", int64(len(tried)))
+	sp.Count("multimode.adbs_inserted", int64(inserted))
 	var best *Result
 	for i := range tried {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		res, err := p.OptimizeIntersection(ctx, &tried[i])
+		isp := sp.ChildAt(i, "intersection")
+		isp.Count("intersection.dof", int64(tried[i].DoF))
+		res, err := p.OptimizeIntersection(obs.WithSpan(ctx, isp), &tried[i])
+		isp.End()
 		if err != nil {
 			return nil, err
 		}
+		isp.Gauge("intersection.peak_estimate", res.PeakEstimate)
 		if best == nil || res.PeakEstimate < best.PeakEstimate {
 			best = res
 		}
@@ -611,7 +639,7 @@ func Optimize(ctx context.Context, t *clocktree.Tree, modes []clocktree.Mode, cf
 // Observation 4 neglects), and the per-mode banks absorb that drift. The
 // retune error is returned when the drift exceeds what the banks can fix
 // (only possible with very tight κ and no adjustable sites).
-func ApplyResult(t *clocktree.Tree, modes []clocktree.Mode, kappa float64, res *Result) error {
+func ApplyResult(ctx context.Context, t *clocktree.Tree, modes []clocktree.Mode, kappa float64, res *Result) error {
 	for leaf, c := range res.Assignment {
 		t.SetCell(leaf, c)
 		if st, ok := res.Steps[leaf]; ok {
@@ -623,6 +651,6 @@ func ApplyResult(t *clocktree.Tree, modes []clocktree.Mode, kappa float64, res *
 	if len(adb.Sites(t)) == 0 {
 		return nil // nothing to retune; callers tolerate plain-cell drift
 	}
-	_, err := adb.Retune(t, modes, kappa)
+	_, err := adb.Retune(ctx, t, modes, kappa)
 	return err
 }

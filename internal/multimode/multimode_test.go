@@ -78,7 +78,7 @@ func TestOptimizeInsertsADBsWhenNeeded(t *testing.T) {
 	if res.NumADBs+res.NumADIs == 0 {
 		t.Fatal("adjustable sites vanished from the assignment")
 	}
-	if err := ApplyResult(tree, modes, cfg.Kappa, res); err != nil {
+	if err := ApplyResult(context.Background(), tree, modes, cfg.Kappa, res); err != nil {
 		t.Fatal(err)
 	}
 	if !tree.MeetsSkew(cfg.Kappa+2.0, modes) {
@@ -93,7 +93,7 @@ func TestADBSitesNeverBecomePlainAndViceVersa(t *testing.T) {
 	tree, modes, lib := violatingTree(t)
 	cfg := mmConfig(lib, true)
 	// Pre-insert so we know the sites.
-	if _, err := adb.Insert(tree, cfg.ADBCell, modes, cfg.Kappa); err != nil {
+	if _, err := adb.Insert(context.Background(), tree, cfg.ADBCell, modes, cfg.Kappa); err != nil {
 		t.Fatal(err)
 	}
 	sites := map[clocktree.NodeID]bool{}
@@ -168,7 +168,7 @@ func TestFastModeProducesValidResult(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ApplyResult(tree, modes, cfg.Kappa, res); err != nil {
+	if err := ApplyResult(context.Background(), tree, modes, cfg.Kappa, res); err != nil {
 		t.Fatal(err)
 	}
 	if !tree.MeetsSkew(cfg.Kappa+2.0, modes) {

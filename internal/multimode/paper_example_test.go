@@ -158,7 +158,7 @@ func TestPaperFig12OptimalAssignment(t *testing.T) {
 	if res.Windows[0].Hi != 75 || res.Windows[1].Hi != 79 {
 		t.Errorf("chosen windows (%g,%g), want (75,79)", res.Windows[0].Hi, res.Windows[1].Hi)
 	}
-	if err := ApplyResult(tr, modes, 5, res); err != nil {
+	if err := ApplyResult(context.Background(), tr, modes, 5, res); err != nil {
 		t.Fatal(err)
 	}
 	// Realized skews: 3 in M1 (75 vs 72), 4 in M2 (75 vs 79). Allow small

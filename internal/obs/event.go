@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Event is the serialized (JSONL) form of one span: one JSON object per
+// line, emitted in deterministic depth-first, slot-ordered tree order.
+//
+// Everything outside Timing is content: bitwise identical across worker
+// counts. Timing carries wall-clock and scheduling-dependent data and is
+// what StripTiming removes before determinism comparisons.
+type Event struct {
+	Path     string             `json:"path"`
+	Name     string             `json:"name"`
+	Slot     int                `json:"slot"`
+	Depth    int                `json:"depth"`
+	Attrs    []Attr             `json:"attrs,omitempty"`
+	Counters map[string]int64   `json:"counters,omitempty"`
+	Gauges   map[string]float64 `json:"gauges,omitempty"`
+	Snaps    []Snapshot         `json:"snapshots,omitempty"`
+	Timing   *Timing            `json:"timing,omitempty"`
+}
+
+// Timing is the non-deterministic part of an event.
+type Timing struct {
+	StartNS int64 `json:"start_ns"`
+	DurNS   int64 `json:"dur_ns"`
+	// Sched holds scheduling-dependent counts (resolved worker-pool
+	// width, per-worker item tallies) recorded via Span.Sched.
+	Sched map[string]int64 `json:"sched,omitempty"`
+}
+
+// Duration returns the span's wall time.
+func (t *Timing) Duration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.DurNS)
+}
+
+// Encode writes events as JSONL: one compact JSON object per line.
+// encoding/json sorts map keys, so equal events encode to equal bytes.
+func Encode(w io.Writer, evs []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range evs {
+		if err := enc.Encode(&evs[i]); err != nil {
+			return fmt.Errorf("obs: encode event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Decode reads a JSONL event stream. Blank lines are skipped; any
+// malformed line is an error.
+func Decode(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		var ev Event
+		dec := json.NewDecoder(bytes.NewReader(b))
+		if err := dec.Decode(&ev); err != nil {
+			return nil, fmt.Errorf("obs: decode line %d: %w", line, err)
+		}
+		// A line must be exactly one object — trailing garbage after the
+		// object is malformed input, not a second event.
+		if dec.More() {
+			return nil, fmt.Errorf("obs: decode line %d: trailing data after event", line)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: decode line %d: %w", line+1, err)
+	}
+	return out, nil
+}
+
+// StripTiming returns a copy of the events with every Timing block
+// removed — the content-only view the determinism contract covers.
+func StripTiming(evs []Event) []Event {
+	out := append([]Event(nil), evs...)
+	for i := range out {
+		out[i].Timing = nil
+	}
+	return out
+}
+
+// StageSummary aggregates one top-level stage of a trace.
+type StageSummary struct {
+	Path     string
+	Duration time.Duration
+	// Counters sums every counter over the stage's whole subtree.
+	Counters map[string]int64
+}
+
+// Summary condenses a trace for reporting: per-stage durations plus
+// counter totals over the stage subtrees, and grand totals.
+type Summary struct {
+	Stages []StageSummary
+	Totals map[string]int64
+}
+
+// Summarize folds an event stream (as produced by Trace.Events) into a
+// Summary. Stages are the events at depth 0 and 1 — the facade's run
+// span and its per-algorithm/per-measure children — each aggregating its
+// subtree by path prefix.
+func Summarize(evs []Event) *Summary {
+	s := &Summary{Totals: make(map[string]int64)}
+	idx := make(map[string]int) // stage path -> index in s.Stages
+	for _, ev := range evs {
+		if ev.Depth <= 1 {
+			idx[ev.Path] = len(s.Stages)
+			s.Stages = append(s.Stages, StageSummary{
+				Path:     ev.Path,
+				Duration: ev.Timing.Duration(),
+				Counters: make(map[string]int64),
+			})
+		}
+		for k, v := range ev.Counters {
+			s.Totals[k] += v
+			for _, st := range stagesOf(ev.Path) {
+				if i, ok := idx[st]; ok {
+					s.Stages[i].Counters[k] += v
+				}
+			}
+		}
+	}
+	return s
+}
+
+// stagesOf returns the depth-0 and depth-1 path prefixes of a span path.
+func stagesOf(path string) []string {
+	parts := strings.SplitN(path, "/", 3)
+	out := []string{parts[0]}
+	if len(parts) > 1 {
+		out = append(out, parts[0]+"/"+parts[1])
+	}
+	return out
+}
+
+// SortedCounters returns a counter map's keys in sorted order — the
+// deterministic iteration order renderers use.
+func SortedCounters(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzJSONLRoundTrip feeds arbitrary bytes to the trace decoder. Inputs
+// the decoder accepts must survive an encode→decode round trip with the
+// encoded bytes as the fixed point: encode(decode(in)) must equal
+// encode(decode(encode(decode(in)))).
+func FuzzJSONLRoundTrip(f *testing.F) {
+	// A real trace as produced by the engine.
+	tr := New(Options{Snapshots: true})
+	sp := tr.Start("optimize")
+	sp.SetAttr("algorithm", "ClkWaveMin")
+	sp.Count("mosp.labels_expanded", 42)
+	sp.Gauge("peak.after", 123.5)
+	sp.Sched("parallel.workers", 4)
+	sp.Snapshot("idd", []float64{0, 1, 2}, []float64{0.5, 2.5, 1.0})
+	z := sp.ChildAt(1, "zone")
+	z.Count("zone.candidates", 9)
+	z.End()
+	sp.End()
+	var valid bytes.Buffer
+	if err := Encode(&valid, tr.Events()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+
+	// Hand-rolled edge cases: minimal, blank-padded, and malformed lines.
+	f.Add([]byte(`{"path":"a","name":"a","slot":0,"depth":0}` + "\n"))
+	f.Add([]byte("\n\n" + `{"path":"a"}` + "\n\n"))
+	f.Add([]byte(`{"path":"a","timing":{"start_ns":1,"dur_ns":2,"sched":{"w":1}}}` + "\n"))
+	f.Add([]byte(`{"path":"a","gauges":{"g":1e308}}` + "\n"))
+	f.Add([]byte(`{"path":"a"} {"path":"b"}` + "\n"))
+	f.Add([]byte(`{"path":`))
+	f.Add([]byte(`[{"path":"a"}]`))
+	f.Add([]byte(`{"counters":{"x":1.5}}`))
+	f.Add([]byte("{}\n{}\n{}"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input is allowed to fail, not to panic
+		}
+		var first bytes.Buffer
+		if err := Encode(&first, evs); err != nil {
+			t.Fatalf("encode of decoded events failed: %v", err)
+		}
+		evs2, err := Decode(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode of encoder output failed: %v\n%s", err, first.Bytes())
+		}
+		if len(evs2) != len(evs) {
+			t.Fatalf("round trip changed event count: %d != %d", len(evs2), len(evs))
+		}
+		var second bytes.Buffer
+		if err := Encode(&second, evs2); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("encode is not a fixed point:\n%s\n%s", first.Bytes(), second.Bytes())
+		}
+		// StripTiming must be stable under the round trip too.
+		var sa, sb bytes.Buffer
+		if err := Encode(&sa, StripTiming(evs)); err != nil {
+			t.Fatal(err)
+		}
+		if err := Encode(&sb, StripTiming(evs2)); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(sa.Bytes(), sb.Bytes()) {
+			t.Fatal("StripTiming view changed across round trip")
+		}
+	})
+}

@@ -1,0 +1,376 @@
+// Package obs is the solver telemetry layer: hierarchical trace spans
+// with per-stage wall time, counters/gauges for the solver internals
+// (labels expanded, dedup hits, incumbent prunes, candidates per zone,
+// worker utilization), and optional accumulated-waveform snapshots at
+// stage boundaries.
+//
+// The layer is carried through the engine on the context — the same path
+// the cancellation and Workers knobs already travel — and costs nothing
+// when absent: FromContext on a bare context returns nil, and every
+// method of *Span is a no-op on a nil receiver, so instrumented code
+// needs no enable checks beyond the nil guards it would write anyway.
+//
+// Determinism contract: everything a span records except the Timing
+// block (wall-clock start/duration and scheduling-dependent counts) is a
+// pure function of the inputs, independent of worker count and goroutine
+// scheduling. Parallel fan-outs create children with ChildAt(slot, ...)
+// — the same pre-indexed slot discipline the solvers use for result
+// merging — and Events() serializes the span tree in slot order, so
+// StripTiming(events) is bitwise identical at any Workers setting. The
+// root-package TestParallelDeterminismTrace pins this down.
+package obs
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Options configures a Trace.
+type Options struct {
+	// Sink receives the serialized events on Flush. Nil discards them
+	// (Events() still works, which is all in-process consumers need).
+	Sink Sink
+	// Snapshots enables accumulated-waveform snapshots at stage
+	// boundaries. Off by default: snapshots dominate trace size.
+	Snapshots bool
+}
+
+// Trace owns a forest of spans for one run. Create with New, attach to a
+// context with Into, and Flush once the run is over.
+type Trace struct {
+	opts Options
+
+	mu   sync.Mutex
+	tops []*Span
+}
+
+// New creates an empty trace.
+func New(opts Options) *Trace {
+	return &Trace{opts: opts}
+}
+
+// Start opens a new top-level span. Most callers use the package-level
+// Start with a context instead.
+func (t *Trace) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	sp := &Span{tr: t, name: name, start: time.Now()}
+	t.mu.Lock()
+	sp.slot = len(t.tops)
+	t.tops = append(t.tops, sp)
+	t.mu.Unlock()
+	return sp
+}
+
+// Events serializes the span forest depth-first, children in slot order,
+// into the flat JSONL event form. Safe to call at any time; spans still
+// open report a zero duration.
+func (t *Trace) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	tops := append([]*Span(nil), t.tops...)
+	t.mu.Unlock()
+	var out []Event
+	for _, sp := range tops {
+		out = sp.appendEvents(out, "", 0)
+	}
+	return out
+}
+
+// Flush serializes the span forest into the configured sink. Call after
+// the traced run finishes (every span ended).
+func (t *Trace) Flush() error {
+	if t == nil || t.opts.Sink == nil {
+		return nil
+	}
+	return t.opts.Sink.Write(t.Events())
+}
+
+// Attr is one key/value annotation on a span. Values are pre-formatted
+// strings so serialization is trivially deterministic.
+type Attr struct {
+	Key   string `json:"k"`
+	Value string `json:"v"`
+}
+
+// Snapshot is a sampled waveform captured at a stage boundary — the
+// accumulated supply-current waveform is the paper's object of interest,
+// so it is observable mid-run.
+type Snapshot struct {
+	Name   string    `json:"name"`
+	Times  []float64 `json:"t,omitempty"` // ps
+	Values []float64 `json:"v,omitempty"` // µA
+}
+
+// Span is one stage of the run. All methods are safe on a nil receiver
+// (the "telemetry disabled" representation) and safe for concurrent use.
+type Span struct {
+	tr     *Trace
+	name   string
+	slot   int
+	start  time.Time
+	dur    time.Duration
+	nextCh int // next serial child slot
+
+	mu       sync.Mutex
+	attrs    []Attr
+	counters map[string]int64
+	gauges   map[string]float64
+	sched    map[string]int64
+	snaps    []Snapshot
+	children []*Span
+}
+
+// End records the span's duration. Idempotent enough for defer use: the
+// first call wins.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.dur == 0 {
+		s.dur = time.Since(s.start)
+	}
+	s.mu.Unlock()
+}
+
+// Child opens a sub-span with the next sequential slot. Use only from
+// serial code; parallel fan-outs must use ChildAt so slots (and hence
+// the serialized order) do not depend on scheduling.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	slot := s.nextCh
+	s.nextCh++
+	s.mu.Unlock()
+	return s.childAt(slot, name)
+}
+
+// ChildAt opens a sub-span at an explicit slot — the worker-pool
+// discipline: the caller owns index k of a fan-out and everything it
+// records lands at a position independent of which goroutine ran it.
+func (s *Span) ChildAt(slot int, name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.childAt(slot, name)
+}
+
+func (s *Span) childAt(slot int, name string) *Span {
+	c := &Span{tr: s.tr, name: name, slot: slot, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	// Keep the serial counter ahead of explicit slots so a Child after a
+	// ChildAt fan-out lands in the next free slot, not back at 0.
+	if slot >= s.nextCh {
+		s.nextCh = slot + 1
+	}
+	s.mu.Unlock()
+	return c
+}
+
+// SetAttr annotates the span. Values must be deterministically formatted
+// by the caller (no addresses, no durations).
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	s.mu.Unlock()
+}
+
+// Count adds n to a counter. Counters are content: they must be
+// deterministic. Scheduling-dependent counts belong in Sched.
+func (s *Span) Count(name string, n int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.counters == nil {
+		s.counters = make(map[string]int64)
+	}
+	s.counters[name] += n
+	s.mu.Unlock()
+}
+
+// Gauge records a point-in-time value (content: must be deterministic
+// and finite).
+func (s *Span) Gauge(name string, v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.gauges == nil {
+		s.gauges = make(map[string]float64)
+	}
+	s.gauges[name] = v
+	s.mu.Unlock()
+}
+
+// Sched adds n to a scheduling-dependent counter (per-worker item
+// counts, resolved pool width). Sched values live in the event's Timing
+// block, which StripTiming removes — they are observable but excluded
+// from the determinism contract.
+func (s *Span) Sched(name string, n int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.sched == nil {
+		s.sched = make(map[string]int64)
+	}
+	s.sched[name] += n
+	s.mu.Unlock()
+}
+
+// SnapshotsEnabled reports whether the owning trace records waveform
+// snapshots — callers guard the (possibly expensive) waveform
+// computation behind it.
+func (s *Span) SnapshotsEnabled() bool {
+	return s != nil && s.tr != nil && s.tr.opts.Snapshots
+}
+
+// Snapshot records a sampled waveform at a stage boundary. No-op unless
+// the trace enables snapshots. The slices are copied.
+func (s *Span) Snapshot(name string, times, values []float64) {
+	if !s.SnapshotsEnabled() {
+		return
+	}
+	snap := Snapshot{
+		Name:   name,
+		Times:  append([]float64(nil), times...),
+		Values: append([]float64(nil), values...),
+	}
+	s.mu.Lock()
+	s.snaps = append(s.snaps, snap)
+	s.mu.Unlock()
+}
+
+// appendEvents serializes the span and its subtree (children in slot
+// order, ties in creation order).
+func (s *Span) appendEvents(out []Event, parentPath string, depth int) []Event {
+	s.mu.Lock()
+	ev := Event{
+		Name:  s.name,
+		Slot:  s.slot,
+		Depth: depth,
+		Path:  joinPath(parentPath, s.name, s.slot),
+		Attrs: append([]Attr(nil), s.attrs...),
+		Snaps: append([]Snapshot(nil), s.snaps...),
+		Timing: &Timing{
+			StartNS: s.start.UnixNano(),
+			DurNS:   int64(s.dur),
+			Sched:   copyCounts(s.sched),
+		},
+	}
+	if len(s.counters) > 0 {
+		ev.Counters = copyCounts(s.counters)
+	}
+	if len(s.gauges) > 0 {
+		ev.Gauges = make(map[string]float64, len(s.gauges))
+		for k, v := range s.gauges {
+			ev.Gauges[k] = v
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	sort.SliceStable(children, func(i, j int) bool { return children[i].slot < children[j].slot })
+	out = append(out, ev)
+	for _, c := range children {
+		out = c.appendEvents(out, ev.Path, depth+1)
+	}
+	return out
+}
+
+func copyCounts(m map[string]int64) map[string]int64 {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make(map[string]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// ctxKey carries the telemetry state on a context.
+type ctxKey int
+
+const (
+	traceKey ctxKey = iota
+	spanKey
+)
+
+// Into attaches a trace to the context; spans started from the returned
+// context (and its descendants) land in the trace.
+func Into(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey, t)
+}
+
+// TraceFrom returns the context's trace, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey).(*Trace)
+	return t
+}
+
+// FromContext returns the context's current span, or nil when telemetry
+// is disabled — the single cheap lookup hot paths do once at entry.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey).(*Span)
+	return s
+}
+
+// WithSpan makes sp the context's current span. A nil sp returns ctx
+// unchanged, so the disabled path allocates nothing.
+func WithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey, sp)
+}
+
+// Start opens a span under the context's current span (or as a new
+// top-level span of the context's trace) and returns a context carrying
+// it. With no trace attached it returns (ctx, nil) without allocating.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	if parent := FromContext(ctx); parent != nil {
+		sp := parent.Child(name)
+		return WithSpan(ctx, sp), sp
+	}
+	if tr := TraceFrom(ctx); tr != nil {
+		sp := tr.Start(name)
+		return WithSpan(ctx, sp), sp
+	}
+	return ctx, nil
+}
+
+func joinPath(parent, name string, slot int) string {
+	elem := name + "[" + itoa(slot) + "]"
+	if parent == "" {
+		return elem
+	}
+	return parent + "/" + elem
+}
+
+// itoa avoids strconv in the per-span path builder's import set; spans
+// are built rarely, so clarity wins over speed here.
+func itoa(n int) string {
+	if n < 0 {
+		return "-" + itoa(-n)
+	}
+	if n < 10 {
+		return string(rune('0' + n))
+	}
+	return itoa(n/10) + string(rune('0'+n%10))
+}

@@ -1,0 +1,290 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledIsNilAndFree(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := Start(ctx, "anything")
+	if sp != nil {
+		t.Fatal("span on bare context")
+	}
+	if ctx2 != ctx {
+		t.Fatal("Start allocated a context with telemetry disabled")
+	}
+	// Every method must be a no-op on nil.
+	sp.End()
+	sp.SetAttr("k", "v")
+	sp.Count("c", 1)
+	sp.Gauge("g", 1)
+	sp.Sched("s", 1)
+	sp.Snapshot("w", nil, nil)
+	if sp.SnapshotsEnabled() {
+		t.Fatal("snapshots on nil span")
+	}
+	if c := sp.Child("x"); c != nil {
+		t.Fatal("child of nil span")
+	}
+	if c := sp.ChildAt(3, "x"); c != nil {
+		t.Fatal("childAt of nil span")
+	}
+	if WithSpan(ctx, nil) != ctx {
+		t.Fatal("WithSpan(nil) allocated")
+	}
+}
+
+func TestSpanTreeSerializesInSlotOrder(t *testing.T) {
+	tr := New(Options{})
+	ctx := Into(context.Background(), tr)
+	ctx, root := Start(ctx, "run")
+	if root == nil {
+		t.Fatal("no span with trace attached")
+	}
+	root.SetAttr("algo", "ClkWaveMin")
+	root.Count("items", 2)
+
+	// Children created out of slot order, concurrently.
+	var wg sync.WaitGroup
+	for _, slot := range []int{3, 1, 0, 2} {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			c := root.ChildAt(slot, "zone")
+			c.Count("zone.leaves", int64(slot))
+			c.End()
+		}(slot)
+	}
+	wg.Wait()
+	_, child := Start(ctx, "measure")
+	child.End()
+	root.End()
+
+	evs := tr.Events()
+	wantPaths := []string{
+		"run[0]",
+		"run[0]/zone[0]", "run[0]/zone[1]", "run[0]/zone[2]", "run[0]/zone[3]",
+		"run[0]/measure[4]",
+	}
+	if len(evs) != len(wantPaths) {
+		t.Fatalf("got %d events, want %d", len(evs), len(wantPaths))
+	}
+	for i, want := range wantPaths {
+		if evs[i].Path != want {
+			t.Fatalf("event %d path %q, want %q", i, evs[i].Path, want)
+		}
+	}
+	if evs[0].Counters["items"] != 2 || evs[0].Attrs[0] != (Attr{"algo", "ClkWaveMin"}) {
+		t.Fatalf("root event content wrong: %+v", evs[0])
+	}
+	if evs[3].Counters["zone.leaves"] != 2 {
+		t.Fatalf("slot 2 counter = %d", evs[3].Counters["zone.leaves"])
+	}
+	if evs[0].Timing == nil || evs[0].Timing.DurNS <= 0 {
+		t.Fatal("root timing missing")
+	}
+}
+
+func TestSnapshotsGated(t *testing.T) {
+	off := New(Options{})
+	sp := off.Start("s")
+	sp.Snapshot("w", []float64{1}, []float64{2})
+	sp.End()
+	if n := len(off.Events()[0].Snaps); n != 0 {
+		t.Fatalf("snapshot recorded with snapshots disabled: %d", n)
+	}
+
+	on := New(Options{Snapshots: true})
+	sp = on.Start("s")
+	if !sp.SnapshotsEnabled() {
+		t.Fatal("snapshots not enabled")
+	}
+	ts, vs := []float64{0, 1}, []float64{5, 6}
+	sp.Snapshot("idd", ts, vs)
+	ts[0] = 99 // must have been copied
+	sp.End()
+	got := on.Events()[0].Snaps
+	if len(got) != 1 || got[0].Name != "idd" || got[0].Times[0] != 0 || got[0].Values[1] != 6 {
+		t.Fatalf("snapshot content wrong: %+v", got)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := New(Options{Snapshots: true})
+	sp := tr.Start("optimize")
+	sp.SetAttr("kappa", "20")
+	sp.Count("mosp.labels_expanded", 123)
+	sp.Gauge("peak", 456.25)
+	sp.Sched("parallel.workers", 4)
+	sp.Snapshot("idd", []float64{0, 1.5}, []float64{10, 20})
+	c := sp.Child("zone")
+	c.Count("zone.leaves", 7)
+	c.End()
+	sp.End()
+
+	evs := tr.Events()
+	var buf bytes.Buffer
+	if err := Encode(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(normalize(evs), normalize(got)) {
+		t.Fatalf("round trip mismatch:\n%+v\n%+v", evs, got)
+	}
+}
+
+// normalize re-encodes via the JSON layer's view: empty-vs-nil slice
+// differences are not observable in JSONL, so compare the encoded bytes.
+func normalize(evs []Event) string {
+	var buf bytes.Buffer
+	if err := Encode(&buf, evs); err != nil {
+		panic(err)
+	}
+	return buf.String()
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	for _, src := range []string{
+		"{not json}\n",
+		`{"path":"a"} trailing` + "\n",
+		`{"path":"a","counters":{"x":1.5}}` + "\n", // non-integer counter
+	} {
+		if _, err := Decode(bytes.NewReader([]byte(src))); err == nil {
+			t.Errorf("accepted malformed input %q", src)
+		}
+	}
+	// Blank lines are fine.
+	evs, err := Decode(bytes.NewReader([]byte("\n\n{\"path\":\"a\"}\n\n")))
+	if err != nil || len(evs) != 1 {
+		t.Fatalf("blank-line input: %v %v", evs, err)
+	}
+}
+
+func TestStripTimingAndDeterminism(t *testing.T) {
+	build := func() *Trace {
+		tr := New(Options{})
+		sp := tr.Start("run")
+		for k := 0; k < 3; k++ {
+			c := sp.ChildAt(k, "zone")
+			c.Count("n", int64(k))
+			c.Sched("worker[0].items", 1) // scheduling-dependent
+			c.End()
+		}
+		sp.End()
+		return tr
+	}
+	a, b := build().Events(), build().Events()
+	if normalize(a) == normalize(b) {
+		t.Fatal("expected raw streams to differ (wall times)")
+	}
+	sa, sb := StripTiming(a), StripTiming(b)
+	if normalize(sa) != normalize(sb) {
+		t.Fatalf("content streams differ:\n%s\n%s", normalize(sa), normalize(sb))
+	}
+	if a[0].Timing == nil {
+		t.Fatal("StripTiming mutated its input")
+	}
+	for _, ev := range sa {
+		if ev.Timing != nil {
+			t.Fatal("timing survived StripTiming")
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	tr := New(Options{})
+	run := tr.Start("optimize")
+	st1 := run.Child("ClkWaveMin")
+	z := st1.ChildAt(0, "zone")
+	z.Count("mosp.labels_expanded", 10)
+	z.End()
+	st1.Count("intervals.tried", 2)
+	st1.End()
+	st2 := run.Child("measure")
+	st2.Count("modes", 1)
+	st2.End()
+	run.End()
+	time.Sleep(time.Millisecond) // not required; documents Duration source
+
+	s := Summarize(tr.Events())
+	if len(s.Stages) != 3 {
+		t.Fatalf("got %d stages: %+v", len(s.Stages), s.Stages)
+	}
+	if s.Totals["mosp.labels_expanded"] != 10 || s.Totals["intervals.tried"] != 2 {
+		t.Fatalf("totals wrong: %v", s.Totals)
+	}
+	// The deep zone counter rolls up into its depth-1 stage and the root.
+	if s.Stages[1].Counters["mosp.labels_expanded"] != 10 {
+		t.Fatalf("stage rollup missing: %+v", s.Stages[1])
+	}
+	if s.Stages[0].Counters["mosp.labels_expanded"] != 10 {
+		t.Fatalf("root rollup missing: %+v", s.Stages[0])
+	}
+	if s.Stages[2].Counters["modes"] != 1 {
+		t.Fatalf("stage 2: %+v", s.Stages[2])
+	}
+	if got := SortedCounters(s.Totals); len(got) != 3 || got[0] != "intervals.tried" {
+		t.Fatalf("sorted counters: %v", got)
+	}
+}
+
+func TestSinks(t *testing.T) {
+	tr := New(Options{})
+	tr.Start("a").End()
+
+	mem := &Memory{}
+	var buf bytes.Buffer
+	tr2 := New(Options{Sink: Tee(mem, &JSONL{W: &buf})})
+	sp := tr2.Start("run")
+	sp.Count("c", 3)
+	sp.End()
+	if err := tr2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(mem.Events()) != 1 || mem.Events()[0].Counters["c"] != 3 {
+		t.Fatalf("memory sink: %+v", mem.Events())
+	}
+	dec, err := Decode(&buf)
+	if err != nil || len(dec) != 1 {
+		t.Fatalf("jsonl sink: %v %v", dec, err)
+	}
+
+	// Expvar totals accumulate.
+	before := counterValue(t, "c")
+	if err := (ExpvarSink{}).Write(mem.Events()); err != nil {
+		t.Fatal(err)
+	}
+	if got := counterValue(t, "c"); got != before+3 {
+		t.Fatalf("expvar c = %d, want %d", got, before+3)
+	}
+
+	// Flushing a sink-less trace is a no-op, as is a nil trace.
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var nilTrace *Trace
+	if err := nilTrace.Flush(); err != nil || nilTrace.Events() != nil || nilTrace.Start("x") != nil {
+		t.Fatal("nil trace not inert")
+	}
+}
+
+func counterValue(t *testing.T, name string) int64 {
+	t.Helper()
+	v := ExpvarCounters().Get(name)
+	if v == nil {
+		return 0
+	}
+	iv, ok := v.(interface{ Value() int64 })
+	if !ok {
+		t.Fatalf("counter %q has unexpected type %T", name, v)
+	}
+	return iv.Value()
+}

@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"expvar"
+	"io"
+	"sync"
+)
+
+// Sink receives a trace's serialized events on Flush. Implementations
+// must tolerate being handed the same stream more than once (a caller
+// may Flush defensively).
+type Sink interface {
+	Write(evs []Event) error
+}
+
+// JSONL writes events as JSON lines to an io.Writer — the on-disk trace
+// format of cmd/wavemin's -trace flag.
+type JSONL struct {
+	W io.Writer
+}
+
+// Write implements Sink.
+func (s *JSONL) Write(evs []Event) error { return Encode(s.W, evs) }
+
+// Memory collects events in memory — the sink tests use.
+type Memory struct {
+	mu  sync.Mutex
+	evs []Event
+}
+
+// Write implements Sink. Repeated writes replace the stored stream (a
+// re-Flush is the same trace, serialized again).
+func (s *Memory) Write(evs []Event) error {
+	s.mu.Lock()
+	s.evs = append(s.evs[:0], evs...)
+	s.mu.Unlock()
+	return nil
+}
+
+// Events returns the collected stream.
+func (s *Memory) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.evs...)
+}
+
+// Tee fans a trace out to several sinks; the first error wins but every
+// sink still sees the stream.
+func Tee(sinks ...Sink) Sink { return teeSink(sinks) }
+
+type teeSink []Sink
+
+func (t teeSink) Write(evs []Event) error {
+	var first error
+	for _, s := range t {
+		if err := s.Write(evs); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+var (
+	expvarOnce sync.Once
+	expvarMap  *expvar.Map
+)
+
+// ExpvarSink publishes counter totals into the process-wide expvar map
+// "wavemin" (served on /debug/vars by cmd/wavemin's -debug-addr).
+// Counter names are used as-is; repeated runs accumulate.
+type ExpvarSink struct{}
+
+// Write implements Sink.
+func (ExpvarSink) Write(evs []Event) error {
+	m := ExpvarCounters()
+	for _, ev := range evs {
+		for k, v := range ev.Counters {
+			m.Add(k, v)
+		}
+	}
+	m.Add("traces_flushed", 1)
+	return nil
+}
+
+// ExpvarCounters returns (publishing on first use) the "wavemin" expvar
+// map the ExpvarSink feeds.
+func ExpvarCounters() *expvar.Map {
+	expvarOnce.Do(func() {
+		expvarMap = expvar.NewMap("wavemin")
+	})
+	return expvarMap
+}

@@ -30,6 +30,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"wavemin/internal/obs"
 )
 
 // Panic carries a panic captured on a worker goroutine across the pool
@@ -69,6 +71,15 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	if workers > n {
 		workers = n
 	}
+	// Telemetry: the item count is deterministic content; the resolved
+	// pool width and per-worker tallies depend on GOMAXPROCS and
+	// scheduling, so they go into the Sched (timing) block, which the
+	// determinism contract excludes.
+	sp := obs.FromContext(ctx)
+	if sp != nil {
+		sp.Count("parallel.items", int64(n))
+		sp.Sched("parallel.workers", int64(workers))
+	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
@@ -77,6 +88,9 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 			if err := fn(i); err != nil {
 				return err
 			}
+		}
+		if sp != nil {
+			sp.Sched("parallel.worker[0].items", int64(n))
 		}
 		return nil
 	}
@@ -116,20 +130,25 @@ func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			var done int64
 			for !stop.Load() {
 				if ctx.Err() != nil {
 					stop.Store(true)
-					return
+					break
 				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
-					return
+					break
 				}
 				runOne(i)
+				done++
 			}
-		}()
+			if sp != nil {
+				sp.Sched(fmt.Sprintf("parallel.worker[%d].items", w), done)
+			}
+		}(w)
 	}
 	wg.Wait()
 	if pan != nil {

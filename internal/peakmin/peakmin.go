@@ -19,6 +19,7 @@ import (
 	"math"
 
 	"wavemin/internal/faultinject"
+	"wavemin/internal/obs"
 )
 
 // Option is one feasible (sink, cell) assignment.
@@ -67,6 +68,14 @@ func Solve(ctx context.Context, layers [][]Option, unit float64) (Solution, erro
 		}
 	}
 	states := int(maxBufSum/unit) + 2
+	if sp := obs.FromContext(ctx); sp != nil {
+		var opts int64
+		for _, l := range layers {
+			opts += int64(len(l))
+		}
+		sp.Count("peakmin.options", opts)
+		sp.Count("peakmin.dp_states", int64(states)*int64(len(layers)))
+	}
 
 	const inf = math.MaxFloat64
 	type pred struct {

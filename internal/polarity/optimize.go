@@ -10,6 +10,7 @@ import (
 	"wavemin/internal/clocktree"
 	"wavemin/internal/faultinject"
 	"wavemin/internal/mosp"
+	"wavemin/internal/obs"
 	"wavemin/internal/parallel"
 	"wavemin/internal/peakmin"
 )
@@ -108,11 +109,18 @@ func Optimize(ctx context.Context, t *clocktree.Tree, cfg Config) (*Result, erro
 	if mode.Name == "" {
 		mode = clocktree.NominalMode
 	}
+	ctx, sp := obs.Start(ctx, "polarity")
+	defer sp.End()
+	if sp != nil {
+		sp.SetAttr("algorithm", cfg.Algorithm.String())
+		sp.SetAttr("mode", mode.Name)
+	}
 	cs := BuildCandidates(t, cfg.Library, mode)
 	intervals, err := FeasibleIntervals(cs, cfg.Kappa)
 	if err != nil {
 		return nil, err
 	}
+	sp.Count("polarity.intervals_found", int64(len(intervals)))
 	// Richer intervals first (degree-of-freedom pruning).
 	sort.SliceStable(intervals, func(i, j int) bool {
 		return intervals[i].DegreeOfFreedom() > intervals[j].DegreeOfFreedom()
@@ -132,10 +140,22 @@ func Optimize(ctx context.Context, t *clocktree.Tree, cfg Config) (*Result, erro
 	// them out as one flat index space and merge afterwards in fixed
 	// order, so the outcome is identical for every worker count.
 	nz := len(zones)
+	sp.Count("polarity.zones", int64(nz))
+	sp.Count("polarity.intervals_tried", int64(len(intervals)))
 	solved := make([]zoneSolved, len(intervals)*nz)
 	ferr := parallel.ForEach(ctx, cfg.Workers, len(solved), func(k int) error {
 		ii, zi := k/nz, k%nz
-		s, err := solveZone(ctx, t, tm, cs, zones[zi], &intervals[ii], leafIndex, cfg)
+		// Per-instance sub-span at the flat fan-out index: the slot — not
+		// the goroutine — fixes its serialized position, so the trace is
+		// identical at any worker count.
+		zctx := ctx
+		if zsp := sp.ChildAt(k, "zone"); zsp != nil {
+			defer zsp.End()
+			zsp.SetAttr("interval", fmt.Sprintf("[%g,%g]", intervals[ii].Lo, intervals[ii].Hi))
+			zsp.Count("zone.leaves", int64(len(zones[zi].Leaves)))
+			zctx = obs.WithSpan(ctx, zsp)
+		}
+		s, err := solveZone(zctx, t, tm, cs, zones[zi], &intervals[ii], leafIndex, cfg)
 		if err != nil {
 			iv := &intervals[ii]
 			return fmt.Errorf("polarity: interval [%g,%g]: %w", iv.Lo, iv.Hi, err)
@@ -202,6 +222,13 @@ func solveZone(
 		zi, err := BuildZoneInstance(t, tm, cs, zone, iv, leafIndex, cfg.Samples)
 		if err != nil {
 			return zoneSolved{}, err
+		}
+		if zsp := obs.FromContext(ctx); zsp != nil {
+			var cands int64
+			for _, l := range zi.Graph.Layers {
+				cands += int64(len(l))
+			}
+			zsp.Count("zone.candidates", cands)
 		}
 		var sol mosp.Solution
 		switch cfg.Algorithm {

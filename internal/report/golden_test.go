@@ -1,0 +1,75 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"wavemin/internal/obs"
+	"wavemin/internal/waveform"
+)
+
+var update = flag.Bool("update", false, "rewrite the testdata goldens from current output")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update. Goldens pin the exact rendered bytes so formatting
+// drift (column widths, rounding, glyphs) shows up as a diff, not as a
+// silent change in every experiment log.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/report -update` to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestGoldenFormatSummary(t *testing.T) {
+	s := &obs.Summary{
+		Stages: []obs.StageSummary{
+			{Path: "optimize[0]", Duration: 51_234_567 * time.Nanosecond},
+			{Path: "optimize[0]/measure.before[0]", Duration: 10_060_000 * time.Nanosecond},
+			{Path: "optimize[0]/rung.ClkWaveMin[1]", Duration: 40_910_124 * time.Nanosecond},
+		},
+		Totals: map[string]int64{
+			"mosp.labels_expanded":     3444,
+			"mosp.pruned":              2327,
+			"polarity.intervals_found": 106,
+			"polarity.zones":           20,
+			"zone.candidates":          1306,
+		},
+	}
+	checkGolden(t, "summary", FormatSummary(s))
+}
+
+func TestGoldenFormatSummaryEmpty(t *testing.T) {
+	checkGolden(t, "summary_empty", FormatSummary(nil))
+}
+
+func TestGoldenPlot(t *testing.T) {
+	got := Plot(64, 10,
+		Series{Name: "IDD", W: waveform.Triangle(10, 4, 8, 950)},
+		Series{Name: "ISS", W: waveform.Triangle(12, 3, 9, 730)},
+	)
+	checkGolden(t, "plot", got)
+}
+
+func TestGoldenScatter(t *testing.T) {
+	xs := []float64{1, 2, 4, 8, 12, 16, 24, 32}
+	ys := []float64{980, 931, 880, 842, 820, 811, 806, 803}
+	checkGolden(t, "scatter", Scatter(56, 12, xs, ys, "degree of freedom", "peak (µA)"))
+}

@@ -1,0 +1,51 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"wavemin/internal/obs"
+)
+
+// FormatSummary renders a trace summary as the fixed-width stage/counter
+// table cmd/wavemin prints under -metrics. Counter keys are emitted in
+// sorted order, so equal summaries render to equal bytes.
+func FormatSummary(s *obs.Summary) string {
+	if s == nil || (len(s.Stages) == 0 && len(s.Totals) == 0) {
+		return "(no telemetry)\n"
+	}
+	var b strings.Builder
+	if len(s.Stages) > 0 {
+		width := len("stage")
+		for _, st := range s.Stages {
+			if len(st.Path) > width {
+				width = len(st.Path)
+			}
+		}
+		fmt.Fprintf(&b, "%-*s  %10s\n", width, "stage", "time")
+		for _, st := range s.Stages {
+			fmt.Fprintf(&b, "%-*s  %10s\n", width, st.Path, formatDuration(st.Duration))
+		}
+	}
+	if len(s.Totals) > 0 {
+		keys := obs.SortedCounters(s.Totals)
+		width := len("counter")
+		for _, k := range keys {
+			if len(k) > width {
+				width = len(k)
+			}
+		}
+		fmt.Fprintf(&b, "%-*s  %12s\n", width, "counter", "total")
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%-*s  %12d\n", width, k, s.Totals[k])
+		}
+	}
+	return b.String()
+}
+
+// formatDuration renders durations at millisecond precision — enough for
+// stage accounting, and stable-width for the table.
+func formatDuration(d time.Duration) string {
+	return d.Round(10 * time.Microsecond).String()
+}

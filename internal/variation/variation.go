@@ -13,6 +13,7 @@ import (
 	"math/rand"
 
 	"wavemin/internal/clocktree"
+	"wavemin/internal/obs"
 	"wavemin/internal/parallel"
 	"wavemin/internal/powergrid"
 )
@@ -115,6 +116,11 @@ func MonteCarlo(ctx context.Context, t *clocktree.Tree, p Params) (*Stats, error
 	if mode.Name == "" {
 		mode = clocktree.NominalMode
 	}
+	// One span for the whole sweep; per-instance spans would dominate the
+	// trace without adding signal (every instance is the same shape).
+	ctx, sp := obs.Start(ctx, "variation.mc")
+	defer sp.End()
+	sp.Count("variation.instances", int64(p.N))
 	// Each instance draws from its own RNG, seeded from (Seed, index), so
 	// instance i sees the same randomness whether it runs on goroutine 3
 	// of 8 or in the plain serial loop — the ordered merge below then
@@ -164,6 +170,11 @@ func MonteCarlo(ctx context.Context, t *clocktree.Tree, p Params) (*Stats, error
 	if p.Grid != nil {
 		st.MeanVDD, st.NormVDD = meanNorm(vdds)
 		st.MeanGnd, st.NormGnd = meanNorm(gnds)
+	}
+	if sp != nil {
+		sp.Count("variation.yield_ok", int64(st.YieldOK))
+		sp.Gauge("variation.mean_peak", st.MeanPeak)
+		sp.Gauge("variation.norm_sdev", st.NormSDev)
 	}
 	return st, nil
 }

@@ -19,6 +19,7 @@ import (
 	"wavemin/internal/cell"
 	"wavemin/internal/clocktree"
 	"wavemin/internal/mosp"
+	"wavemin/internal/obs"
 	"wavemin/internal/parallel"
 	"wavemin/internal/polarity"
 	"wavemin/internal/waveform"
@@ -87,11 +88,24 @@ func Optimize(ctx context.Context, t *clocktree.Tree, modes []clocktree.Mode, cf
 		positive []bool // per zone leaf
 		peak     float64
 	}
+	ctx, sp := obs.Start(ctx, "xorpol")
+	defer sp.End()
+	sp.Count("xorpol.modes", int64(len(modes)))
+	sp.Count("xorpol.zones", int64(len(zones)))
 	nz := len(zones)
 	solved := make([]zoneOut, len(modes)*nz)
 	ferr := parallel.ForEach(ctx, cfg.Workers, len(solved), func(k int) error {
 		mi, zi := k/nz, k%nz
-		out, err := solveModeZone(ctx, t, timings[mi], &zones[zi], cfg, perGroup)
+		// Slot-indexed sub-span on the flat (mode, zone) index so the
+		// serialized trace is independent of scheduling.
+		zctx := ctx
+		if zsp := sp.ChildAt(k, "modezone"); zsp != nil {
+			defer zsp.End()
+			zsp.SetAttr("mode", modes[mi].Name)
+			zsp.Count("zone.leaves", int64(len(zones[zi].Leaves)))
+			zctx = obs.WithSpan(ctx, zsp)
+		}
+		out, err := solveModeZone(zctx, t, timings[mi], &zones[zi], cfg, perGroup)
 		if err != nil {
 			return err
 		}

@@ -7,6 +7,60 @@ import (
 
 // FuzzLoadSinksCSV checks the CSV loader never panics and accepted sinks
 // are physically sane.
+// FuzzLoadTree checks the tree loader never panics and every accepted
+// tree is internally consistent: LoadTree is the one entry point that
+// takes fully untrusted input, and the engine assumes Validate()-level
+// invariants everywhere downstream. The seeds are the malformed-tree
+// shapes the PR 1 hardening pass rejected one by one: wrong format tag,
+// empty node list, unknown cell, out-of-range / duplicate IDs, dangling
+// parents, non-root node 0, negative or non-finite parasitics, and adjust
+// steps on a cell that has none.
+func FuzzLoadTree(f *testing.F) {
+	valid := `{"format":"wavemin-clocktree-v1","nodes":[
+ {"id":0,"parent":-1,"cell":"BUF_X8","x":10,"y":10},
+ {"id":1,"parent":0,"cell":"BUF_X8","x":20,"y":10,"wire_res":1,"wire_cap":2,"sink_cap":8},
+ {"id":2,"parent":0,"cell":"INV_X8","x":10,"y":20,"wire_res":1,"wire_cap":2,"sink_cap":8,"domain":"d1"}]}`
+	seeds := []string{
+		valid,
+		`{}`,
+		`{"format":"wavemin-clocktree-v0","nodes":[{"id":0,"parent":-1,"cell":"BUF_X8","x":0,"y":0}]}`,
+		`{"format":"wavemin-clocktree-v1","nodes":[]}`,
+		`{"format":"wavemin-clocktree-v1","nodes":[{"id":0,"parent":-1,"cell":"NOPE","x":0,"y":0}]}`,
+		`{"format":"wavemin-clocktree-v1","nodes":[{"id":5,"parent":-1,"cell":"BUF_X8","x":0,"y":0}]}`,
+		`{"format":"wavemin-clocktree-v1","nodes":[{"id":0,"parent":-1,"cell":"BUF_X8","x":0,"y":0},{"id":0,"parent":0,"cell":"BUF_X8","x":0,"y":0}]}`,
+		`{"format":"wavemin-clocktree-v1","nodes":[{"id":0,"parent":-1,"cell":"BUF_X8","x":0,"y":0},{"id":1,"parent":7,"cell":"BUF_X8","x":0,"y":0}]}`,
+		`{"format":"wavemin-clocktree-v1","nodes":[{"id":0,"parent":1,"cell":"BUF_X8","x":0,"y":0},{"id":1,"parent":-1,"cell":"BUF_X8","x":0,"y":0}]}`,
+		`{"format":"wavemin-clocktree-v1","nodes":[{"id":0,"parent":-1,"cell":"BUF_X8","x":0,"y":0,"wire_res":-4}]}`,
+		`{"format":"wavemin-clocktree-v1","nodes":[{"id":0,"parent":-1,"cell":"BUF_X8","x":0,"y":0,"sink_cap":-1}]}`,
+		`{"format":"wavemin-clocktree-v1","nodes":[{"id":0,"parent":-1,"cell":"BUF_X8","x":1e999,"y":0}]}`,
+		`{"format":"wavemin-clocktree-v1","nodes":[{"id":0,"parent":-1,"cell":"BUF_X8","x":0,"y":0,"adjust_steps":{"m1":3}}]}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := LoadTree(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		// Accepted trees must round-trip through SaveTree and hold the
+		// structural invariants the solvers rely on.
+		if d.Tree.Len() == 0 {
+			t.Fatal("accepted empty tree")
+		}
+		if len(d.Tree.Leaves()) == 0 {
+			t.Fatal("accepted tree with no leaves")
+		}
+		var buf strings.Builder
+		if err := d.SaveTree(&buf); err != nil {
+			t.Fatalf("accepted tree failed to save: %v", err)
+		}
+		if _, err := LoadTree(strings.NewReader(buf.String())); err != nil {
+			t.Fatalf("saved tree failed to reload: %v", err)
+		}
+	})
+}
+
 func FuzzLoadSinksCSV(f *testing.F) {
 	f.Add("x_um,y_um,cap_fF\n10,20,8\n")
 	f.Add("1,2,3\n")

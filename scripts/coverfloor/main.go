@@ -1,0 +1,157 @@
+// Command coverfloor reads a Go cover profile and enforces per-package
+// coverage floors. Packages named with -floor fail the build when their
+// statement coverage is below the given percentage; every other package is
+// reported informationally, so the gate only bites where the bar has been
+// set.
+//
+// Usage:
+//
+//	go test -coverprofile=cover.out ./...
+//	go run ./scripts/coverfloor -profile cover.out -floor wavemin/internal/obs=70
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// floors maps package import paths to their minimum coverage percent.
+type floors map[string]float64
+
+func (f floors) String() string {
+	var parts []string
+	for pkg, pct := range f {
+		parts = append(parts, fmt.Sprintf("%s=%g", pkg, pct))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ",")
+}
+
+func (f floors) Set(v string) error {
+	pkg, pctStr, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want package=percent, got %q", v)
+	}
+	pct, err := strconv.ParseFloat(pctStr, 64)
+	if err != nil || pct < 0 || pct > 100 {
+		return fmt.Errorf("bad percent in %q", v)
+	}
+	f[pkg] = pct
+	return nil
+}
+
+// pkgCov accumulates statement totals for one package.
+type pkgCov struct {
+	total, covered int
+}
+
+func (c pkgCov) percent() float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return 100 * float64(c.covered) / float64(c.total)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("coverfloor: ")
+	profile := flag.String("profile", "cover.out", "cover profile to read")
+	want := floors{}
+	flag.Var(want, "floor", "package=percent minimum, repeatable; unlisted packages are report-only")
+	flag.Parse()
+
+	f, err := os.Open(*profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+
+	// Profile lines: "file.go:startL.startC,endL.endC numStmts count",
+	// after a leading "mode:" line. Coverage is statement-weighted.
+	byPkg := make(map[string]*pkgCov)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "mode:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 3 {
+			log.Fatalf("%s:%d: want 3 fields, got %d", *profile, lineNo, len(fields))
+		}
+		file, _, ok := strings.Cut(fields[0], ":")
+		if !ok {
+			log.Fatalf("%s:%d: no file:position separator", *profile, lineNo)
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			log.Fatalf("%s:%d: bad statement count %q", *profile, lineNo, fields[1])
+		}
+		count, err := strconv.Atoi(fields[2])
+		if err != nil {
+			log.Fatalf("%s:%d: bad hit count %q", *profile, lineNo, fields[2])
+		}
+		pkg := path.Dir(file)
+		c := byPkg[pkg]
+		if c == nil {
+			c = &pkgCov{}
+			byPkg[pkg] = c
+		}
+		c.total += stmts
+		if count > 0 {
+			c.covered += stmts
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+	if len(byPkg) == 0 {
+		log.Fatalf("%s: no coverage blocks", *profile)
+	}
+
+	pkgs := make([]string, 0, len(byPkg))
+	width := len("package")
+	for pkg := range byPkg {
+		pkgs = append(pkgs, pkg)
+		if len(pkg) > width {
+			width = len(pkg)
+		}
+	}
+	sort.Strings(pkgs)
+	fmt.Printf("%-*s  %9s  %s\n", width, "package", "stmts", "coverage")
+	failed := false
+	for _, pkg := range pkgs {
+		c := byPkg[pkg]
+		mark := ""
+		if floor, ok := want[pkg]; ok {
+			if c.percent() < floor {
+				mark = fmt.Sprintf("  FAIL (floor %g%%)", floor)
+				failed = true
+			} else {
+				mark = fmt.Sprintf("  ok (floor %g%%)", floor)
+			}
+		}
+		fmt.Printf("%-*s  %9d  %7.1f%%%s\n", width, pkg, c.total, c.percent(), mark)
+	}
+	// A floored package that never shows up in the profile is a silent
+	// gate removal (package deleted or tests skipped) — treat as failure.
+	for pkg, floor := range want {
+		if _, ok := byPkg[pkg]; !ok {
+			fmt.Printf("%-*s  %9s  %8s  FAIL (floor %g%%, not in profile)\n", width, pkg, "-", "-", floor)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

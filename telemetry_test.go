@@ -1,0 +1,108 @@
+package wavemin
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+
+	"wavemin/internal/obs"
+)
+
+// traceBytes runs one full Optimize with a Memory-sink trace attached and
+// returns the content-only serialization of the trace (timing stripped),
+// plus the Result for spot checks.
+func traceBytes(t *testing.T, workers int) ([]byte, *Result) {
+	t.Helper()
+	d, err := New(gridSinks(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := &obs.Memory{}
+	tr := obs.New(obs.Options{Sink: mem, Snapshots: true})
+	ctx := obs.Into(context.Background(), tr)
+	res, err := d.Optimize(ctx, Config{Samples: 32, MaxIntervals: 4, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := obs.Encode(&buf, obs.StripTiming(mem.Events())); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), res
+}
+
+// TestParallelDeterminismTrace pins the trace determinism contract: with
+// the Timing block stripped, the serialized trace of a full facade run is
+// byte-for-byte identical at every worker count. Scheduling may only leave
+// marks inside Timing (via Span.Sched) — any content difference here means
+// a span was opened off the ordered-slot discipline or a counter depends
+// on goroutine interleaving.
+func TestParallelDeterminismTrace(t *testing.T) {
+	counts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	ref, res := traceBytes(t, counts[0])
+	if len(ref) == 0 {
+		t.Fatal("empty trace stream")
+	}
+	if res.Stats == nil || len(res.Stats.Stages) == 0 {
+		t.Fatalf("Result.Stats missing with trace attached: %+v", res.Stats)
+	}
+	for _, w := range counts[1:] {
+		got, _ := traceBytes(t, w)
+		if !bytes.Equal(got, ref) {
+			t.Errorf("trace content differs between Workers=%d and Workers=%d:\n--- w=%d ---\n%s\n--- w=%d ---\n%s",
+				counts[0], w, counts[0], firstDiffWindow(ref, got), w, firstDiffWindow(got, ref))
+		}
+	}
+}
+
+// TestParallelDeterminismTraceRoundTrip checks the stream a run emits is
+// valid JSONL that survives Decode → Encode unchanged.
+func TestParallelDeterminismTraceRoundTrip(t *testing.T) {
+	raw, _ := traceBytes(t, 4)
+	evs, err := obs.Decode(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("decoding own trace: %v", err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("no events decoded")
+	}
+	var again bytes.Buffer
+	if err := obs.Encode(&again, evs); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again.Bytes(), raw) {
+		t.Error("Encode(Decode(trace)) is not a fixed point")
+	}
+	// The facade must have recorded the top-level stages.
+	paths := make(map[string]bool, len(evs))
+	for _, ev := range evs {
+		paths[ev.Path] = true
+	}
+	for _, want := range []string{"optimize[0]", "optimize[0]/measure.before[0]"} {
+		if !paths[want] {
+			t.Errorf("trace missing span %q", want)
+		}
+	}
+}
+
+// firstDiffWindow returns a short window of a around the first byte where
+// a and b differ, for readable failure output.
+func firstDiffWindow(a, b []byte) string {
+	i := 0
+	for i < len(a) && i < len(b) && a[i] == b[i] {
+		i++
+	}
+	lo := i - 80
+	if lo < 0 {
+		lo = 0
+	}
+	hi := i + 80
+	if hi > len(a) {
+		hi = len(a)
+	}
+	return string(a[lo:hi])
+}

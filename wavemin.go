@@ -39,6 +39,7 @@ import (
 	"wavemin/internal/clocktree"
 	"wavemin/internal/cts"
 	"wavemin/internal/multimode"
+	"wavemin/internal/obs"
 	"wavemin/internal/polarity"
 	"wavemin/internal/powergrid"
 	"wavemin/internal/xorpol"
@@ -310,6 +311,24 @@ func (d *Design) measureTree(ctx context.Context, t *clocktree.Tree) (Metrics, e
 // returned unmodified.
 const AlgorithmNone = "none"
 
+// StageStats is one stage of a run's telemetry summary: a facade-level
+// phase (measurement, one ladder rung) with its wall time and the counter
+// totals over its whole subtree of spans.
+type StageStats struct {
+	Path     string
+	Duration time.Duration
+	Counters map[string]int64
+}
+
+// Stats summarizes the telemetry of one Optimize run. It is populated
+// only when the context passed to Optimize carries a telemetry trace (see
+// internal/obs and cmd/wavemin's -metrics flag); otherwise it is nil and
+// the run pays no telemetry cost.
+type Stats struct {
+	Stages   []StageStats
+	Counters map[string]int64 // grand totals over the whole run
+}
+
 // Result reports an optimization.
 type Result struct {
 	Before, After Metrics
@@ -327,6 +346,9 @@ type Result struct {
 	// the budget/deadline and a cheaper rung (possibly "return the tree
 	// unmodified") answered instead.
 	Degraded bool
+	// Stats carries the run's telemetry summary when the context carries a
+	// trace (internal/obs); nil otherwise.
+	Stats *Stats
 }
 
 // PeakReduction returns the percent peak-current improvement.
@@ -369,6 +391,25 @@ func (d *Design) Optimize(ctx context.Context, cfg Config) (res *Result, err err
 	if d.lib == nil {
 		d.lib = cell.DefaultLibrary()
 	}
+	// Telemetry root span. The worker count is deliberately NOT recorded
+	// as content: traces must be bitwise identical across Workers values
+	// (scheduling-dependent data lives in the events' timing blocks).
+	var sp *obs.Span
+	ctx, sp = obs.Start(ctx, "optimize")
+	if sp != nil {
+		sp.SetAttr("algorithm", cfg.Algorithm.String())
+		sp.SetAttr("kappa", fmt.Sprintf("%g", cfg.Kappa))
+		sp.SetAttr("samples", fmt.Sprintf("%d", cfg.Samples))
+		sp.SetAttr("epsilon", fmt.Sprintf("%g", cfg.Epsilon))
+		sp.SetAttr("modes", fmt.Sprintf("%d", len(d.Modes)))
+		tr := obs.TraceFrom(ctx)
+		defer func() { // registered before sp.End's defer, so it runs after it
+			if res != nil {
+				res.Stats = summarizeStats(tr)
+			}
+		}()
+	}
+	defer sp.End()
 	_, degradable := ctx.Deadline()
 	if cfg.Budget > 0 {
 		degradable = true
@@ -387,7 +428,14 @@ func (d *Design) Optimize(ctx context.Context, cfg Config) (res *Result, err err
 	}
 
 	start := time.Now()
-	before, err := d.Measure(ctx)
+	msp := sp.Child("measure.before")
+	before, err := d.Measure(obs.WithSpan(ctx, msp))
+	if err == nil {
+		msp.Gauge("peak", before.PeakCurrent)
+		msp.Gauge("skew", before.WorstSkew)
+		d.snapshotWaveform(msp, "waveform.before", d.Tree)
+	}
+	msp.End()
 	if err != nil {
 		if degradable && errors.Is(err, context.DeadlineExceeded) {
 			// Not even the baseline measurement fits the budget: the
@@ -410,9 +458,16 @@ func (d *Design) Optimize(ctx context.Context, cfg Config) (res *Result, err err
 				rungCtx, cancel = context.WithDeadline(ctx, time.Now().Add(time.Until(overall)/2))
 			}
 		}
-		rr, work, rerr := r.run(rungCtx)
+		rsp := sp.Child("rung." + r.name)
+		rr, work, rerr := r.run(obs.WithSpan(rungCtx, rsp))
 		cancel()
 		if rerr == nil {
+			if rsp != nil {
+				rsp.Gauge("peak", rr.After.PeakCurrent)
+				rsp.Gauge("skew", rr.After.WorstSkew)
+				d.snapshotWaveform(rsp, "waveform.after", work)
+			}
+			rsp.End()
 			d.Tree.ReplaceWith(work)
 			rr.Before = before
 			rr.Runtime = time.Since(start)
@@ -420,6 +475,8 @@ func (d *Design) Optimize(ctx context.Context, cfg Config) (res *Result, err err
 			rr.Degraded = i > 0
 			return rr, nil
 		}
+		rsp.SetAttr("outcome", "error")
+		rsp.End()
 		if !degradable || !errors.Is(rerr, context.DeadlineExceeded) || ctx.Err() == context.Canceled {
 			return nil, rerr
 		}
@@ -498,7 +555,7 @@ func (d *Design) ladder(cfg Config, sizing *cell.Library, degradable bool) ([]ru
 				if err != nil {
 					return nil, nil, err
 				}
-				if err := multimode.ApplyResult(work, d.Modes, cfg.Kappa, opt); err != nil {
+				if err := multimode.ApplyResult(ctx, work, d.Modes, cfg.Kappa, opt); err != nil {
 					return nil, nil, err
 				}
 				res := &Result{ADBInserted: opt.ADBInserted}
@@ -572,6 +629,42 @@ func (d *Design) OptimizeDynamicPolarity(ctx context.Context, cfg Config) (res *
 		PeakPerMode:  opt.PeakPerMode,
 		FlipsPerMode: opt.Flips(d.Tree, d.Modes),
 	}, nil
+}
+
+// snapshotWaveform records the accumulated rising-edge IDD waveform of
+// the tree (the paper's Fig. 2 "all clock nodes" curve, in the first
+// mode) onto the span. The waveform computation is skipped entirely
+// unless the trace enables snapshots.
+func (d *Design) snapshotWaveform(sp *obs.Span, name string, t *clocktree.Tree) {
+	if !sp.SnapshotsEnabled() || len(d.Modes) == 0 {
+		return
+	}
+	tm := t.ComputeTiming(d.Modes[0])
+	idd, _ := t.TreeCurrents(tm, cell.Rising)
+	pts := idd.Points()
+	times := make([]float64, len(pts))
+	values := make([]float64, len(pts))
+	for i, p := range pts {
+		times[i], values[i] = p.T, p.I
+	}
+	sp.Snapshot(name, times, values)
+}
+
+// summarizeStats folds the trace into the public Stats form.
+func summarizeStats(tr *obs.Trace) *Stats {
+	if tr == nil {
+		return nil
+	}
+	s := obs.Summarize(tr.Events())
+	out := &Stats{Counters: s.Totals}
+	for _, st := range s.Stages {
+		out.Stages = append(out.Stages, StageStats{
+			Path:     st.Path,
+			Duration: st.Duration,
+			Counters: st.Counters,
+		})
+	}
+	return out
 }
 
 func countCells(t *clocktree.Tree, res *Result) {
