@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DATE := $(shell date +%F)
 BENCH_LATEST = $(lastword $(sort $(filter-out BENCH_baseline.json,$(wildcard BENCH_*.json))))
 
-.PHONY: build test vet race check verify bench benchdiff cover
+.PHONY: build test vet race check verify bench benchdiff cover e2e
 
 build:
 	$(GO) build ./...
@@ -27,13 +27,23 @@ race: vet
 check: test vet cover
 	$(GO) test -race -run Parallel . ./internal/...
 
-# Coverage with a floor: internal/obs (the telemetry layer every solver
-# calls into) must stay above 70% statement coverage; everything else is
-# reported for information only.
+# Coverage with floors: internal/obs (the telemetry layer every solver
+# calls into) and the serving stack (jobq, rescache, server) must stay
+# above 70% statement coverage; everything else is reported for
+# information only.
 cover:
 	$(GO) test -coverprofile=cover.out ./...
-	$(GO) run ./scripts/coverfloor -profile cover.out -floor wavemin/internal/obs=70
+	$(GO) run ./scripts/coverfloor -profile cover.out \
+		-floor wavemin/internal/obs=70 \
+		-floor wavemin/internal/jobq=70 \
+		-floor wavemin/internal/rescache=70 \
+		-floor wavemin/internal/server=70
 	@rm -f cover.out
+
+# End-to-end: the wavemind service suite (full HTTP stack, queue,
+# cache, fault injection, drain) under the race detector.
+e2e:
+	$(GO) test -race -timeout 120s ./internal/server/...
 
 verify: test race
 

@@ -1,0 +1,89 @@
+// Command wavemind serves WaveMin clock-tree optimization as a batch
+// service: an HTTP JSON API over a bounded prioritized job queue with a
+// content-addressed result cache.
+//
+// Usage:
+//
+//	wavemind [-addr :8080] [-queue 64] [-workers 2] [-solver-workers 0]
+//	         [-cache-bytes 67108864] [-cache-entries 4096]
+//	         [-default-timeout 30s] [-max-timeout 2m] [-drain-timeout 1m]
+//	         [-debug]
+//
+// Submit work with POST /v1/optimize ({"tree": <wavemin-clocktree-v1>,
+// "config": {...}}), poll GET /v1/jobs/{id}, fetch GET
+// /v1/jobs/{id}/result. See the README's Serving section for the full
+// API. On SIGTERM/SIGINT the server stops intake (new submissions get
+// 503) and finishes every job already accepted before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wavemin/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wavemind: ")
+
+	var (
+		addr          = flag.String("addr", ":8080", "listen address")
+		queue         = flag.Int("queue", 64, "job backlog capacity; submissions beyond it get 429 + Retry-After")
+		workers       = flag.Int("workers", 2, "jobs optimized concurrently")
+		solverWorkers = flag.Int("solver-workers", 0, "cap on per-job solver goroutines (0 = no cap); results are identical for every count")
+		cacheBytes    = flag.Int64("cache-bytes", 64<<20, "result cache size bound, bytes")
+		cacheEntries  = flag.Int("cache-entries", 4096, "result cache entry bound")
+		defTimeout    = flag.Duration("default-timeout", 30*time.Second, "per-job deadline when the request names none (queue wait included)")
+		maxTimeout    = flag.Duration("max-timeout", 2*time.Minute, "per-job deadline ceiling")
+		drainTimeout  = flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for accepted jobs to finish")
+		debug         = flag.Bool("debug", false, "serve expvar (/debug/vars) and pprof (/debug/pprof) on -addr")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Options{
+		QueueCapacity:    *queue,
+		Workers:          *workers,
+		MaxSolverWorkers: *solverWorkers,
+		CacheMaxBytes:    *cacheBytes,
+		CacheMaxEntries:  *cacheEntries,
+		DefaultTimeout:   *defTimeout,
+		MaxTimeout:       *maxTimeout,
+		Debug:            *debug,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	done := make(chan struct{})
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		defer close(done)
+		sig := <-sigCh
+		log.Printf("%v: draining (intake closed, finishing accepted jobs)", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := srv.Drain(ctx); err != nil {
+			log.Printf("drain incomplete: %v (abandoning in-flight jobs)", err)
+		} else {
+			log.Printf("drained cleanly")
+		}
+		// Jobs are done (or abandoned); now close the listener and let
+		// straggling HTTP reads/polls finish.
+		if err := hs.Shutdown(ctx); err != nil {
+			_ = hs.Close()
+		}
+	}()
+
+	log.Printf("serving on %s (queue %d, %d workers)", *addr, *queue, *workers)
+	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	<-done
+}

@@ -1,0 +1,84 @@
+package wavemin
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestParallelConcurrentOptimize is the -race regression for the Design
+// concurrency contract: N concurrent Optimize calls (plus interleaved
+// Measure and SaveTree readers) on ONE Design must be data-race free,
+// every call must succeed, and the design must end in a consistent,
+// fully-committed state. Before the snapshot/commit discipline this
+// raced on the lazy library init and on Tree.ReplaceWith vs. the rungs'
+// Tree.Clone.
+func TestParallelConcurrentOptimize(t *testing.T) {
+	d, err := New(gridSinks(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Samples: 16, MaxIntervals: 2, Workers: 2}
+
+	const n = 4
+	var wg sync.WaitGroup
+	results := make([]*Result, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = d.Optimize(context.Background(), cfg)
+		}(i)
+	}
+	// Concurrent readers: Measure and SaveTree must observe only
+	// fully-committed trees.
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if _, err := d.Measure(context.Background()); err != nil {
+			t.Errorf("concurrent Measure: %v", err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		var sb strings.Builder
+		if err := d.SaveTree(&sb); err != nil {
+			t.Errorf("concurrent SaveTree: %v", err)
+		}
+		if _, err := LoadTree(strings.NewReader(sb.String())); err != nil {
+			t.Errorf("concurrently saved tree does not reload: %v", err)
+		}
+	}()
+	wg.Wait()
+
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("optimize %d: %v", i, errs[i])
+		}
+		if results[i].AlgorithmUsed != "ClkWaveMin" {
+			t.Fatalf("optimize %d answered by %q", i, results[i].AlgorithmUsed)
+		}
+	}
+	if err := d.Tree.Validate(); err != nil {
+		t.Fatalf("committed tree invalid: %v", err)
+	}
+	// Commits are atomic and last-wins: the design must hold exactly the
+	// tree of one of the runs, so a fresh measurement must reproduce that
+	// run's After metrics bit for bit.
+	m, err := d.Measure(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := false
+	for i := range results {
+		if m == results[i].After {
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		t.Fatalf("committed tree measures %+v, matching no run's After", m)
+	}
+}

@@ -1,0 +1,131 @@
+package wavemin
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// cacheKeyFormat versions the canonical request encoding. Bump it whenever
+// the canonical form of any section changes, so stale cache entries from an
+// older encoding can never alias a new request.
+const cacheKeyFormat = "wavemin-cachekey-v1"
+
+// CacheKey returns the content hash of the optimization problem "this
+// design's tree, in these modes, under this configuration" in canonical
+// form — the key a result cache should store Optimize results under.
+//
+// Two requests get the same key iff they denote the same problem:
+//
+//   - the tree section is the canonical JSON serialization (SaveTree), so
+//     any two in-memory trees with identical topology, placement,
+//     parasitics, cells, domains, and ADB settings hash identically no
+//     matter how they were built or what key order their source JSON used;
+//   - the config section fills defaults first, so Config{} and a config
+//     spelling out the paper defaults hash identically — and it covers
+//     ONLY the fields that define the problem (Kappa, Samples, Epsilon,
+//     ZoneSize, Algorithm, EnableADI, MaxIntervals, MaxIntersections).
+//     Workers is excluded because results are bitwise identical at every
+//     worker count; Budget is excluded because it is execution policy, not
+//     problem statement (callers must not cache Degraded results, which
+//     are the only way Budget can show through);
+//   - the modes section sorts the mode list (and each mode's supply map)
+//     canonically and drops exact duplicates, so permuted-but-identical
+//     mode lists hash identically while any semantic change — a mode
+//     name, a domain, a supply voltage — changes the key;
+//   - the die section pins the power-grid extent (the one Design property
+//     not derivable from the tree), so two identical trees measured
+//     against different die sizes do not alias.
+//
+// Trace/telemetry state and timing data never enter the key: they describe
+// a run, not the problem. The configuration is validated first; an invalid
+// one returns its Validate error.
+func (d *Design) CacheKey(cfg Config) (string, error) {
+	if err := cfg.Validate(); err != nil {
+		return "", err
+	}
+	var tree strings.Builder
+	if err := d.SaveTree(&tree); err != nil {
+		return "", err
+	}
+	d.mu.Lock()
+	modes := append([]Mode(nil), d.Modes...)
+	dieW, dieH := d.dieW, d.dieH
+	d.mu.Unlock()
+
+	h := sha256.New()
+	section := func(label, body string) {
+		// Length-prefixed sections: no concatenation of two requests can
+		// collide with a single request's encoding.
+		fmt.Fprintf(h, "%s:%d\n%s\n", label, len(body), body)
+	}
+	section("format", cacheKeyFormat)
+	section("tree", tree.String())
+	section("config", cfg.canonical())
+	section("modes", canonicalModes(modes))
+	section("die", canonFloat(dieW)+"x"+canonFloat(dieH))
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// canonical renders the problem-defining configuration fields with
+// defaults filled, in a fixed order with shortest-round-trip float
+// formatting.
+func (c Config) canonical() string {
+	f := c.withDefaults()
+	return strings.Join([]string{
+		"kappa=" + canonFloat(f.Kappa),
+		"samples=" + strconv.Itoa(f.Samples),
+		"epsilon=" + canonFloat(f.Epsilon),
+		"zone=" + canonFloat(f.ZoneSize),
+		"algorithm=" + f.Algorithm.String(),
+		"adi=" + strconv.FormatBool(f.EnableADI),
+		"max_intervals=" + strconv.Itoa(f.MaxIntervals),
+		"max_intersections=" + strconv.Itoa(f.MaxIntersections),
+	}, " ")
+}
+
+// canonicalModes renders a mode list order-independently: every mode's
+// supply map is rendered with sorted domains, the rendered modes are
+// sorted, and exact duplicates (same name, same supplies) are dropped —
+// a duplicated mode adds no constraint.
+func canonicalModes(modes []Mode) string {
+	rendered := make([]string, 0, len(modes))
+	for _, m := range modes {
+		domains := make([]string, 0, len(m.Supplies))
+		for dom := range m.Supplies {
+			domains = append(domains, dom)
+		}
+		sort.Strings(domains)
+		var sb strings.Builder
+		sb.WriteString(strconv.Quote(m.Name))
+		sb.WriteByte('{')
+		for i, dom := range domains {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.Quote(dom))
+			sb.WriteByte('=')
+			sb.WriteString(canonFloat(m.Supplies[dom]))
+		}
+		sb.WriteByte('}')
+		rendered = append(rendered, sb.String())
+	}
+	sort.Strings(rendered)
+	out := rendered[:0]
+	for _, r := range rendered {
+		if len(out) == 0 || out[len(out)-1] != r {
+			out = append(out, r)
+		}
+	}
+	return strings.Join(out, ";")
+}
+
+// canonFloat is the one float rendering used in cache keys: shortest form
+// that round-trips float64 exactly, so equal values always render equally
+// and distinct values never collide.
+func canonFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

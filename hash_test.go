@@ -1,0 +1,153 @@
+package wavemin
+
+import (
+	"strings"
+	"testing"
+)
+
+func cacheKeyOf(t *testing.T, d *Design, cfg Config) string {
+	t.Helper()
+	k, err := d.CacheKey(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func TestCacheKeyDefaultFilling(t *testing.T) {
+	d, err := New(gridSinks(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := cacheKeyOf(t, d, Config{})
+	spelled := cacheKeyOf(t, d, Config{
+		Kappa: 20, Samples: 158, Epsilon: 0.01, ZoneSize: 50,
+		Algorithm: WaveMin, MaxIntervals: 8, MaxIntersections: 8,
+	})
+	if zero != spelled {
+		t.Fatal("zero config and spelled-out defaults must hash identically")
+	}
+}
+
+func TestCacheKeyExcludesExecutionPolicy(t *testing.T) {
+	d, err := New(gridSinks(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cacheKeyOf(t, d, Config{})
+	if cacheKeyOf(t, d, Config{Workers: 7}) != base {
+		t.Fatal("Workers must not enter the cache key (results are worker-count independent)")
+	}
+	if cacheKeyOf(t, d, Config{Budget: 1e9}) != base {
+		t.Fatal("Budget must not enter the cache key (execution policy)")
+	}
+}
+
+func TestCacheKeySemanticFieldsChangeKey(t *testing.T) {
+	d, err := New(gridSinks(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cacheKeyOf(t, d, Config{})
+	variants := map[string]Config{
+		"kappa":             {Kappa: 25},
+		"samples":           {Samples: 64},
+		"epsilon":           {Epsilon: 0.05},
+		"zone":              {ZoneSize: 75},
+		"algorithm":         {Algorithm: WaveMinFast},
+		"adi":               {EnableADI: true},
+		"max_intervals":     {MaxIntervals: 4},
+		"max_intersections": {MaxIntersections: 4},
+	}
+	seen := map[string]string{base: "base"}
+	for name, cfg := range variants {
+		k := cacheKeyOf(t, d, cfg)
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("changing %s collided with %s", name, prev)
+		}
+		seen[k] = name
+	}
+}
+
+func TestCacheKeyInvalidConfig(t *testing.T) {
+	d, err := New(gridSinks(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.CacheKey(Config{Kappa: -1}); err == nil {
+		t.Fatal("invalid config must not produce a key")
+	}
+}
+
+func TestCacheKeyModeCanonicalization(t *testing.T) {
+	d, err := New(gridSinks(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1 := Mode{Name: "perf", Supplies: map[string]float64{"a": 1.1, "b": 1.1}}
+	m2 := Mode{Name: "save", Supplies: map[string]float64{"a": 0.9, "b": 1.1}}
+
+	if err := d.SetModes([]Mode{m1, m2}); err != nil {
+		t.Fatal(err)
+	}
+	fwd := cacheKeyOf(t, d, Config{})
+	if err := d.SetModes([]Mode{m2, m1}); err != nil {
+		t.Fatal(err)
+	}
+	rev := cacheKeyOf(t, d, Config{})
+	if fwd != rev {
+		t.Fatal("permuted-but-identical mode lists must hash identically")
+	}
+	if err := d.SetModes([]Mode{m2, m1, m1}); err != nil {
+		t.Fatal(err)
+	}
+	if cacheKeyOf(t, d, Config{}) != fwd {
+		t.Fatal("an exact duplicate mode adds no constraint and must not change the key")
+	}
+	if err := d.SetModes([]Mode{m1, {Name: "save", Supplies: map[string]float64{"a": 0.95, "b": 1.1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if cacheKeyOf(t, d, Config{}) == fwd {
+		t.Fatal("a changed supply voltage must change the key")
+	}
+	if err := d.SetModes([]Mode{m1, {Name: "sleep", Supplies: map[string]float64{"a": 0.9, "b": 1.1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if cacheKeyOf(t, d, Config{}) == fwd {
+		t.Fatal("a changed mode name must change the key")
+	}
+}
+
+func TestCacheKeyTreeSensitivity(t *testing.T) {
+	d1, err := New(gridSinks(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := New(gridSinks(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cacheKeyOf(t, d1, Config{}) != cacheKeyOf(t, d2, Config{}) {
+		t.Fatal("identically built designs must hash identically")
+	}
+	d3, err := New(gridSinks(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cacheKeyOf(t, d1, Config{}) == cacheKeyOf(t, d3, Config{}) {
+		t.Fatal("different trees must not collide")
+	}
+	// A tree that round-trips through serialization keeps its key: the
+	// canonical form IS the serialization.
+	var sb strings.Builder
+	if err := d1.SaveTree(&sb); err != nil {
+		t.Fatal(err)
+	}
+	d4, err := LoadTree(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cacheKeyOf(t, d1, Config{}) != cacheKeyOf(t, d4, Config{}) {
+		t.Fatal("a round-tripped tree must keep its cache key")
+	}
+}

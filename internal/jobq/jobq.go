@@ -1,0 +1,259 @@
+// Package jobq is a bounded, prioritized job queue with graceful drain —
+// the execution backbone of the wavemind batch optimization service.
+//
+// Jobs are submitted into one of three priority lanes and executed by a
+// fixed pool of workers, always highest lane first, FIFO within a lane.
+// The queue is bounded: when the backlog is at capacity Submit fails fast
+// with ErrFull so the caller can push back (HTTP 429) instead of letting
+// latency grow without bound. Draining stops intake (ErrDraining) while
+// the workers finish every job already accepted — the SIGTERM story.
+//
+// The queue runs jobs, it does not time them out: each job carries the
+// context it was submitted with, so per-job deadlines (which keep ticking
+// while the job waits in the backlog) are enforced by the job's own
+// Run function and by the solvers' context plumbing.
+package jobq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Priority selects the lane. Higher priorities are always dequeued first;
+// within a lane, jobs run in submission order.
+type Priority int
+
+const (
+	High Priority = iota
+	Normal
+	Low
+	numLanes
+)
+
+// String returns the wire name of the priority.
+func (p Priority) String() string {
+	switch p {
+	case High:
+		return "high"
+	case Normal:
+		return "normal"
+	case Low:
+		return "low"
+	default:
+		return fmt.Sprintf("Priority(%d)", int(p))
+	}
+}
+
+// ParsePriority parses a wire-form priority. The empty string means
+// Normal.
+func ParsePriority(s string) (Priority, error) {
+	switch s {
+	case "high":
+		return High, nil
+	case "normal", "":
+		return Normal, nil
+	case "low":
+		return Low, nil
+	default:
+		return Normal, fmt.Errorf("jobq: unknown priority %q (want high, normal, or low)", s)
+	}
+}
+
+// ErrFull reports that the backlog is at capacity; the caller should back
+// off for about RetryAfter and resubmit.
+var ErrFull = errors.New("jobq: queue full")
+
+// ErrDraining reports that the queue has stopped accepting work (shutdown
+// in progress).
+var ErrDraining = errors.New("jobq: draining")
+
+type job struct {
+	ctx context.Context
+	run func(ctx context.Context)
+}
+
+// Stats is a point-in-time snapshot of the queue.
+type Stats struct {
+	Queued    [numLanes]int // backlog per lane (High, Normal, Low)
+	Running   int
+	Executed  int64
+	Rejected  int64 // Submit calls failed with ErrFull
+	AvgJobDur time.Duration
+}
+
+// Queue is a bounded priority job queue. Construct with New; safe for
+// concurrent use.
+type Queue struct {
+	capacity int
+	workers  int
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	lanes    [numLanes][]*job
+	queued   int
+	running  int
+	draining bool
+	executed int64
+	rejected int64
+	avgNs    float64 // EWMA of job wall time, ns
+
+	wg sync.WaitGroup
+}
+
+// New starts a queue with the given backlog capacity and worker count.
+// Capacity bounds jobs WAITING (running jobs don't count); capacity < 1
+// is raised to 1, workers < 1 to 1.
+func New(capacity, workers int) *Queue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	q := &Queue{capacity: capacity, workers: workers}
+	q.cond = sync.NewCond(&q.mu)
+	q.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go q.worker()
+	}
+	return q
+}
+
+// Submit enqueues run in the lane for pri. The context travels with the
+// job and is handed to run when a worker picks it up — a deadline on it
+// keeps counting down while the job waits. Returns ErrFull when the
+// backlog is at capacity and ErrDraining after Drain has begun.
+func (q *Queue) Submit(ctx context.Context, pri Priority, run func(ctx context.Context)) error {
+	if pri < High || pri > Low {
+		return fmt.Errorf("jobq: invalid priority %d", int(pri))
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.draining {
+		return ErrDraining
+	}
+	if q.queued >= q.capacity {
+		q.rejected++
+		return ErrFull
+	}
+	q.lanes[pri] = append(q.lanes[pri], &job{ctx: ctx, run: run})
+	q.queued++
+	q.cond.Signal()
+	return nil
+}
+
+// worker executes jobs until drain empties the backlog.
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for {
+		q.mu.Lock()
+		for q.queued == 0 && !q.draining {
+			q.cond.Wait()
+		}
+		if q.queued == 0 {
+			// Draining and nothing left to pick up: this worker is done.
+			q.mu.Unlock()
+			return
+		}
+		var j *job
+		for lane := range q.lanes {
+			if len(q.lanes[lane]) > 0 {
+				j = q.lanes[lane][0]
+				q.lanes[lane][0] = nil
+				q.lanes[lane] = q.lanes[lane][1:]
+				break
+			}
+		}
+		q.queued--
+		q.running++
+		q.mu.Unlock()
+
+		start := time.Now()
+		j.run(j.ctx)
+		dur := time.Since(start)
+
+		q.mu.Lock()
+		q.running--
+		q.executed++
+		// EWMA with α=0.2: smooth enough for a Retry-After estimate,
+		// responsive enough to follow workload shifts.
+		if q.avgNs == 0 {
+			q.avgNs = float64(dur)
+		} else {
+			q.avgNs += 0.2 * (float64(dur) - q.avgNs)
+		}
+		q.mu.Unlock()
+	}
+}
+
+// Drain stops intake and waits until every accepted job (queued or
+// running) has finished, or until ctx expires. After Drain begins, Submit
+// returns ErrDraining. Drain is idempotent; concurrent calls all wait for
+// the same completion.
+func (q *Queue) Drain(ctx context.Context) error {
+	q.mu.Lock()
+	q.draining = true
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Depth returns the current backlog size (all lanes, excluding running
+// jobs).
+func (q *Queue) Depth() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.queued
+}
+
+// RetryAfter estimates how long a rejected caller should wait before
+// resubmitting: the time for the pool to work one queue-capacity of
+// backlog off, based on the average job duration seen so far. Never less
+// than a second — the estimate is coarse and clients should not busy-poll.
+func (q *Queue) RetryAfter() time.Duration {
+	q.mu.Lock()
+	avg := q.avgNs
+	depth := q.queued
+	q.mu.Unlock()
+	if avg == 0 {
+		return time.Second
+	}
+	slots := (depth + q.workers) / q.workers
+	est := time.Duration(avg * float64(slots))
+	if est < time.Second {
+		return time.Second
+	}
+	return est.Round(time.Second)
+}
+
+// Snapshot returns the queue's counters.
+func (q *Queue) Snapshot() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	st := Stats{
+		Running:   q.running,
+		Executed:  q.executed,
+		Rejected:  q.rejected,
+		AvgJobDur: time.Duration(q.avgNs),
+	}
+	for lane := range q.lanes {
+		st.Queued[lane] = len(q.lanes[lane])
+	}
+	return st
+}

@@ -82,13 +82,37 @@ func (t *Trace) Events() []Event {
 	return out
 }
 
-// Flush serializes the span forest into the configured sink. Call after
+// Flush serializes the span forest into the configured sinks. Call after
 // the traced run finishes (every span ended).
 func (t *Trace) Flush() error {
-	if t == nil || t.opts.Sink == nil {
+	if t == nil {
 		return nil
 	}
-	return t.opts.Sink.Write(t.Events())
+	t.mu.Lock()
+	sink := t.opts.Sink
+	t.mu.Unlock()
+	if sink == nil {
+		return nil
+	}
+	return sink.Write(t.Events())
+}
+
+// AttachSink adds a sink to the trace after construction, preserving any
+// sink it already has — the per-job attachment path a server uses: each
+// job's trace gets its own in-memory sink for the job's trace endpoint
+// plus whatever process-wide sinks (expvar, JSONL) are active. Safe to
+// call concurrently with Flush; a nil sink is a no-op.
+func (t *Trace) AttachSink(s Sink) {
+	if t == nil || s == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.opts.Sink == nil {
+		t.opts.Sink = s
+	} else {
+		t.opts.Sink = Tee(t.opts.Sink, s)
+	}
+	t.mu.Unlock()
 }
 
 // Attr is one key/value annotation on a span. Values are pre-formatted

@@ -288,3 +288,41 @@ func counterValue(t *testing.T, name string) int64 {
 	}
 	return iv.Value()
 }
+
+func TestAttachSink(t *testing.T) {
+	// A sink attached after construction receives the flush, alongside
+	// any sink the trace already had.
+	first := &Memory{}
+	tr := New(Options{Sink: first})
+	sp := tr.Start("run")
+	sp.Count("items", 2)
+	sp.End()
+	second := &Memory{}
+	tr.AttachSink(second)
+	tr.AttachSink(nil) // no-op
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i, mem := range []*Memory{first, second} {
+		evs := mem.Events()
+		if len(evs) != 1 || evs[0].Name != "run" || evs[0].Counters["items"] != 2 {
+			t.Fatalf("sink %d saw %+v", i, evs)
+		}
+	}
+
+	// Attaching to a sink-less trace makes it the sole sink.
+	tr2 := New(Options{})
+	tr2.Start("x").End()
+	mem := &Memory{}
+	tr2.AttachSink(mem)
+	if err := tr2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(mem.Events()) != 1 {
+		t.Fatalf("attached-only sink saw %d events", len(mem.Events()))
+	}
+
+	// A nil trace stays inert.
+	var nilTrace *Trace
+	nilTrace.AttachSink(mem)
+}

@@ -1,0 +1,565 @@
+// Package server is the wavemind batch optimization service: an HTTP
+// JSON API over the wavemin facade, backed by a bounded prioritized job
+// queue (internal/jobq) and a content-addressed LRU result cache
+// (internal/rescache).
+//
+// Endpoints:
+//
+//	POST /v1/optimize          submit a tree + config; 202 + job ID, or
+//	                           200 immediately on a result-cache hit,
+//	                           429 + Retry-After when the queue is full,
+//	                           503 while draining
+//	GET  /v1/jobs/{id}         job status
+//	GET  /v1/jobs/{id}/result  the optimization Result (JSON)
+//	GET  /v1/jobs/{id}/trace   the job's telemetry trace (JSONL), when
+//	                           the request asked for one
+//	GET  /healthz              liveness (503 while draining)
+//	GET  /debug/vars, /debug/pprof/...   expvar + pprof (Options.Debug)
+//
+// Results are cached under the canonical content hash of (tree, config,
+// modes) — wavemin.Design.CacheKey — so resubmitting an identical
+// problem is answered instantly, byte-for-byte identically, without
+// re-running the solver. Degraded (deadline-shaped) results are never
+// cached. Drain stops intake and finishes every accepted job — the
+// SIGTERM path of cmd/wavemind.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	_ "expvar" // /debug/vars when Options.Debug mounts the default mux
+	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof" // /debug/pprof when Options.Debug mounts the default mux
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wavemin/internal/jobq"
+	"wavemin/internal/obs"
+	"wavemin/internal/rescache"
+)
+
+// Options configures a Server. Zero values take the defaults noted.
+type Options struct {
+	QueueCapacity    int           // backlog bound (default 64)
+	Workers          int           // jobs executed concurrently (default 2)
+	CacheMaxBytes    int64         // result cache byte bound (default 64 MiB)
+	CacheMaxEntries  int           // result cache entry bound (default 4096)
+	DefaultTimeout   time.Duration // per-job deadline when the request names none (default 30s)
+	MaxTimeout       time.Duration // per-job deadline ceiling (default 2m)
+	MaxRequestBytes  int64         // request body bound (default 8 MiB)
+	MaxJobs          int           // finished job records retained (default 4096)
+	MaxSolverWorkers int           // cap on per-job solver parallelism (0 = uncapped)
+	Debug            bool          // mount /debug/vars and /debug/pprof
+}
+
+func (o Options) withDefaults() Options {
+	if o.QueueCapacity == 0 {
+		o.QueueCapacity = 64
+	}
+	if o.Workers == 0 {
+		o.Workers = 2
+	}
+	if o.CacheMaxBytes == 0 {
+		o.CacheMaxBytes = 64 << 20
+	}
+	if o.CacheMaxEntries == 0 {
+		o.CacheMaxEntries = 4096
+	}
+	if o.DefaultTimeout == 0 {
+		o.DefaultTimeout = 30 * time.Second
+	}
+	if o.MaxTimeout == 0 {
+		o.MaxTimeout = 2 * time.Minute
+	}
+	if o.MaxRequestBytes == 0 {
+		o.MaxRequestBytes = 8 << 20
+	}
+	if o.MaxJobs == 0 {
+		o.MaxJobs = 4096
+	}
+	return o
+}
+
+// Job statuses on the wire.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"  // solver error
+	StatusExpired = "expired" // deadline passed (in queue, or cancelled mid-solve)
+)
+
+// job is one submitted optimization.
+type job struct {
+	id        string
+	pri       jobq.Priority
+	cacheHit  bool
+	submitted time.Time
+	cancel    context.CancelFunc
+
+	mu            sync.Mutex
+	status        string
+	started       time.Time
+	finished      time.Time
+	resultJSON    []byte
+	algorithmUsed string
+	degraded      bool
+	errMsg        string
+	trace         *obs.Memory // non-nil iff the request asked for a trace
+}
+
+// jobView is the wire form of a job record.
+type jobView struct {
+	JobID         string `json:"jobId"`
+	Status        string `json:"status"`
+	Priority      string `json:"priority"`
+	CacheHit      bool   `json:"cacheHit"`
+	SubmittedAt   string `json:"submittedAt"`
+	StartedAt     string `json:"startedAt,omitempty"`
+	FinishedAt    string `json:"finishedAt,omitempty"`
+	AlgorithmUsed string `json:"algorithmUsed,omitempty"`
+	Degraded      bool   `json:"degraded,omitempty"`
+	Error         string `json:"error,omitempty"`
+	HasTrace      bool   `json:"hasTrace,omitempty"`
+}
+
+// Metrics is a snapshot of the server's counters (also published to the
+// "wavemin" expvar map as server_* entries).
+type Metrics struct {
+	Submitted        int64
+	SolverRuns       int64 // jobs that actually invoked Design.Optimize
+	CacheHits        int64
+	CacheMisses      int64
+	Completed        int64
+	Failed           int64
+	Expired          int64
+	RejectedFull     int64
+	RejectedDraining int64
+	CacheStats       rescache.Stats
+	QueueStats       jobq.Stats
+}
+
+type counters struct {
+	submitted        atomic.Int64
+	solverRuns       atomic.Int64
+	cacheHits        atomic.Int64
+	cacheMisses      atomic.Int64
+	completed        atomic.Int64
+	failed           atomic.Int64
+	expired          atomic.Int64
+	rejectedFull     atomic.Int64
+	rejectedDraining atomic.Int64
+}
+
+// bump increments a counter and mirrors it into the process-wide expvar
+// map, so /debug/vars shows live service totals.
+func bump(c *atomic.Int64, expvarName string) {
+	c.Add(1)
+	obs.ExpvarCounters().Add(expvarName, 1)
+}
+
+// Server is the wavemind service. Construct with New; serve Handler().
+type Server struct {
+	opts  Options
+	q     *jobq.Queue
+	cache *rescache.Cache
+	mux   *http.ServeMux
+
+	draining atomic.Bool
+	nextID   atomic.Int64
+	met      counters
+
+	mu    sync.Mutex
+	jobs  map[string]*job
+	order []string // submission order, for bounded retention
+}
+
+// New builds a server and starts its worker pool.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:  opts,
+		q:     jobq.New(opts.QueueCapacity, opts.Workers),
+		cache: rescache.New(opts.CacheMaxBytes, opts.CacheMaxEntries),
+		jobs:  make(map[string]*job),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if opts.Debug {
+		// The blank expvar and pprof imports register on the default
+		// mux; mounting it exposes the same /debug/* endpoints
+		// cmd/wavemin's -debug-addr serves.
+		mux.Handle("GET /debug/", http.DefaultServeMux)
+	}
+	s.mux = mux
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain stops intake (new submissions get 503, health checks report
+// draining) and waits until every accepted job has finished or ctx
+// expires — the SIGTERM path.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.q.Drain(ctx)
+}
+
+// MetricsSnapshot returns the server's counters.
+func (s *Server) MetricsSnapshot() Metrics {
+	return Metrics{
+		Submitted:        s.met.submitted.Load(),
+		SolverRuns:       s.met.solverRuns.Load(),
+		CacheHits:        s.met.cacheHits.Load(),
+		CacheMisses:      s.met.cacheMisses.Load(),
+		Completed:        s.met.completed.Load(),
+		Failed:           s.met.failed.Load(),
+		Expired:          s.met.expired.Load(),
+		RejectedFull:     s.met.rejectedFull.Load(),
+		RejectedDraining: s.met.rejectedDraining.Load(),
+		CacheStats:       s.cache.Stats(),
+		QueueStats:       s.q.Snapshot(),
+	}
+}
+
+// --- submission ----------------------------------------------------------
+
+func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.rejectDraining(w)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxRequestBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			writeAPIError(w, &apiError{status: http.StatusRequestEntityTooLarge, code: "too_large",
+				message: fmt.Sprintf("request body exceeds %d bytes", mbe.Limit)})
+			return
+		}
+		writeAPIError(w, badRequest("reading request body: %v", err))
+		return
+	}
+	req, apiErr := decodeOptimizeRequest(body, s.opts)
+	if apiErr != nil {
+		writeAPIError(w, apiErr)
+		return
+	}
+	bump(&s.met.submitted, "server_jobs_submitted")
+
+	if !req.noCache {
+		if blob, ok := s.cache.Get(req.key); ok {
+			bump(&s.met.cacheHits, "server_cache_hits")
+			j := s.addJob(req, true)
+			var res struct {
+				AlgorithmUsed string
+			}
+			_ = json.Unmarshal(blob, &res) // own marshaling; best-effort decoration
+			j.mu.Lock()
+			j.status = StatusDone
+			j.finished = time.Now()
+			j.resultJSON = blob
+			j.algorithmUsed = res.AlgorithmUsed
+			j.mu.Unlock()
+			writeJSON(w, http.StatusOK, map[string]any{
+				"jobId": j.id, "status": StatusDone, "cacheHit": true,
+			})
+			return
+		}
+		bump(&s.met.cacheMisses, "server_cache_misses")
+	}
+
+	j := s.addJob(req, false)
+	jctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(req.timeout))
+	j.cancel = cancel
+	err = s.q.Submit(jctx, req.pri, func(ctx context.Context) { s.runJob(ctx, j, req) })
+	if err != nil {
+		cancel()
+		s.removeJob(j.id)
+		switch {
+		case errors.Is(err, jobq.ErrFull):
+			bump(&s.met.rejectedFull, "server_rejected_full")
+			retry := s.q.RetryAfter()
+			w.Header().Set("Retry-After", strconv.Itoa(int(retry.Seconds())))
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"error": map[string]any{
+					"code":              "queue_full",
+					"message":           "job queue at capacity; retry later",
+					"retryAfterSeconds": int(retry.Seconds()),
+				},
+			})
+		case errors.Is(err, jobq.ErrDraining):
+			s.rejectDraining(w)
+		default:
+			writeAPIError(w, badRequest("submit: %v", err))
+		}
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"jobId": j.id, "status": StatusQueued, "cacheHit": false,
+	})
+}
+
+func (s *Server) rejectDraining(w http.ResponseWriter) {
+	bump(&s.met.rejectedDraining, "server_rejected_draining")
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"error": map[string]any{"code": "draining", "message": "server is draining; not accepting new jobs"},
+	})
+}
+
+// runJob executes one queued job on a jobq worker.
+func (s *Server) runJob(ctx context.Context, j *job, req *optimizeRequest) {
+	defer j.cancel()
+	if ctx.Err() != nil {
+		// The deadline passed while the job sat in the backlog: surface
+		// the expiry without spending solver time on it.
+		bump(&s.met.expired, "server_jobs_expired")
+		j.finishErr(StatusExpired, ctx.Err())
+		return
+	}
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	var tr *obs.Trace
+	if req.trace {
+		mem := &obs.Memory{}
+		tr = obs.New(obs.Options{})
+		tr.AttachSink(mem)
+		tr.AttachSink(obs.ExpvarSink{})
+		j.mu.Lock()
+		j.trace = mem
+		j.mu.Unlock()
+		ctx = obs.Into(ctx, tr)
+	}
+
+	bump(&s.met.solverRuns, "server_solver_runs")
+	res, err := req.design.Optimize(ctx, req.cfg)
+	if ferr := tr.Flush(); ferr != nil && err == nil {
+		err = fmt.Errorf("trace flush: %w", ferr)
+	}
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			bump(&s.met.expired, "server_jobs_expired")
+			j.finishErr(StatusExpired, err)
+		} else {
+			bump(&s.met.failed, "server_jobs_failed")
+			j.finishErr(StatusFailed, err)
+		}
+		return
+	}
+	// The stored Result is the semantic answer only: per-run telemetry is
+	// served by the trace endpoint and never enters the result bytes, so
+	// cache hits are byte-identical replays.
+	res.Stats = nil
+	blob, merr := json.Marshal(res)
+	if merr != nil {
+		bump(&s.met.failed, "server_jobs_failed")
+		j.finishErr(StatusFailed, merr)
+		return
+	}
+	// Degraded results are what the deadline allowed, not the answer to
+	// the problem — caching one would serve a worse tree to a future
+	// caller with a roomier budget.
+	if !res.Degraded && !req.noCache {
+		s.cache.Put(req.key, blob)
+	}
+	bump(&s.met.completed, "server_jobs_completed")
+	j.mu.Lock()
+	j.status = StatusDone
+	j.finished = time.Now()
+	j.resultJSON = blob
+	j.algorithmUsed = res.AlgorithmUsed
+	j.degraded = res.Degraded
+	j.mu.Unlock()
+}
+
+func (j *job) finishErr(status string, err error) {
+	j.mu.Lock()
+	j.status = status
+	j.finished = time.Now()
+	j.errMsg = err.Error()
+	j.mu.Unlock()
+}
+
+// --- job registry --------------------------------------------------------
+
+func (s *Server) addJob(req *optimizeRequest, cacheHit bool) *job {
+	id := fmt.Sprintf("j-%06d", s.nextID.Add(1))
+	j := &job{
+		id:        id,
+		pri:       req.pri,
+		cacheHit:  cacheHit,
+		submitted: time.Now(),
+		status:    StatusQueued,
+		cancel:    func() {},
+	}
+	s.mu.Lock()
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.evictJobsLocked()
+	s.mu.Unlock()
+	return j
+}
+
+func (s *Server) removeJob(id string) {
+	s.mu.Lock()
+	delete(s.jobs, id)
+	s.mu.Unlock()
+}
+
+// evictJobsLocked drops the oldest FINISHED job records beyond MaxJobs, so
+// the registry cannot grow without bound while never forgetting a live
+// job. Caller holds s.mu.
+func (s *Server) evictJobsLocked() {
+	if len(s.jobs) <= s.opts.MaxJobs {
+		return
+	}
+	kept := s.order[:0]
+	for _, id := range s.order {
+		j, ok := s.jobs[id]
+		if !ok {
+			continue
+		}
+		if len(s.jobs) > s.opts.MaxJobs {
+			j.mu.Lock()
+			finished := j.status == StatusDone || j.status == StatusFailed || j.status == StatusExpired
+			j.mu.Unlock()
+			if finished {
+				delete(s.jobs, id)
+				continue
+			}
+		}
+		kept = append(kept, id)
+	}
+	s.order = append([]string(nil), kept...)
+}
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// --- read endpoints ------------------------------------------------------
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeAPIError(w, &apiError{status: http.StatusNotFound, code: "unknown_job", message: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (j *job) view() jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := jobView{
+		JobID:         j.id,
+		Status:        j.status,
+		Priority:      j.pri.String(),
+		CacheHit:      j.cacheHit,
+		SubmittedAt:   j.submitted.UTC().Format(time.RFC3339Nano),
+		AlgorithmUsed: j.algorithmUsed,
+		Degraded:      j.degraded,
+		Error:         j.errMsg,
+		HasTrace:      j.trace != nil,
+	}
+	if !j.started.IsZero() {
+		v.StartedAt = j.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !j.finished.IsZero() {
+		v.FinishedAt = j.finished.UTC().Format(time.RFC3339Nano)
+	}
+	return v
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeAPIError(w, &apiError{status: http.StatusNotFound, code: "unknown_job", message: "no such job"})
+		return
+	}
+	j.mu.Lock()
+	status := j.status
+	blob := j.resultJSON
+	errMsg := j.errMsg
+	cacheHit := j.cacheHit
+	j.mu.Unlock()
+	switch status {
+	case StatusDone:
+		writeJSON(w, http.StatusOK, map[string]any{
+			"jobId":    j.id,
+			"cacheHit": cacheHit,
+			"result":   json.RawMessage(blob),
+		})
+	case StatusFailed, StatusExpired:
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error": map[string]any{"code": "job_" + status, "message": errMsg},
+		})
+	default:
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error": map[string]any{"code": "not_finished", "message": "job is " + status + "; poll GET /v1/jobs/{id}"},
+		})
+	}
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeAPIError(w, &apiError{status: http.StatusNotFound, code: "unknown_job", message: "no such job"})
+		return
+	}
+	j.mu.Lock()
+	mem := j.trace
+	status := j.status
+	j.mu.Unlock()
+	if mem == nil {
+		writeAPIError(w, &apiError{status: http.StatusNotFound, code: "no_trace",
+			message: "job captured no trace (submit with \"trace\": true; cache hits run no solver and have none)"})
+		return
+	}
+	if status == StatusQueued || status == StatusRunning {
+		writeJSON(w, http.StatusConflict, map[string]any{
+			"error": map[string]any{"code": "not_finished", "message": "job is " + status + "; poll GET /v1/jobs/{id}"},
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	w.WriteHeader(http.StatusOK)
+	_ = obs.Encode(w, mem.Events())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+// --- response helpers ----------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeAPIError(w http.ResponseWriter, e *apiError) {
+	writeJSON(w, e.status, map[string]any{
+		"error": map[string]any{"code": e.code, "message": e.message},
+	})
+}

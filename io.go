@@ -50,8 +50,12 @@ func LoadSinksCSV(r io.Reader) ([]Sink, error) {
 }
 
 // SaveTree serializes the design's clock tree (topology, placement,
-// parasitics, cell assignment, ADB settings) as JSON.
+// parasitics, cell assignment, ADB settings) as JSON. Safe to call
+// concurrently with Optimize: the tree is serialized under the same lock
+// Optimize commits under.
 func (d *Design) SaveTree(w io.Writer) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return d.Tree.WriteJSON(w)
 }
 

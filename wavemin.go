@@ -32,6 +32,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"wavemin/internal/bench"
@@ -165,13 +166,45 @@ func (c Config) withDefaults() Config {
 }
 
 // Design is a buffered clock tree with its power grid and operating modes.
+//
+// A Design is safe for concurrent use: Optimize, Measure,
+// OptimizeDynamicPolarity, SetModes, PartitionVoltageIslands, and SaveTree
+// may be called from multiple goroutines. Each Optimize works on a private
+// snapshot of the tree taken at entry and commits its result atomically at
+// the end, so concurrent Optimize calls run fully in parallel; when several
+// commit, the last one to finish wins (each result is internally
+// consistent — commits never interleave). Direct field access (Tree, Grid,
+// Modes) is not synchronized; use the methods when sharing a Design across
+// goroutines.
 type Design struct {
 	Tree  *clocktree.Tree
 	Grid  *powergrid.Grid
 	Modes []Mode
 
+	// mu guards the Tree pointer's node storage (snapshot/commit), Modes,
+	// and the lazy lib init. The Grid is immutable after construction.
+	mu         sync.Mutex
 	lib        *cell.Library
 	dieW, dieH float64
+}
+
+// snapshot returns a consistent private view of the design — a deep clone
+// of the tree, a copy of the mode list, and the (lazily initialized) cell
+// library — for one optimization or measurement run.
+func (d *Design) snapshot() (*clocktree.Tree, []Mode, *cell.Library) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.lib == nil {
+		d.lib = cell.DefaultLibrary()
+	}
+	return d.Tree.Clone(), append([]Mode(nil), d.Modes...), d.lib
+}
+
+// commit atomically publishes an optimized tree as the design's tree.
+func (d *Design) commit(work *clocktree.Tree) {
+	d.mu.Lock()
+	d.Tree.ReplaceWith(work)
+	d.mu.Unlock()
 }
 
 // New synthesizes a near-zero-skew buffered clock tree over the sinks and
@@ -243,6 +276,8 @@ func BenchmarkNames() []string {
 // domains, assigns every tree node to its region, and returns the domain
 // names (for building Modes).
 func (d *Design) PartitionVoltageIslands(n int) []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return bench.AssignDomains(d.Tree, d.dieW, d.dieH, n)
 }
 
@@ -252,7 +287,9 @@ func (d *Design) SetModes(modes []Mode) error {
 	if len(modes) == 0 {
 		return fmt.Errorf("wavemin: empty mode list")
 	}
+	d.mu.Lock()
 	d.Modes = append([]Mode(nil), modes...)
+	d.mu.Unlock()
 	return nil
 }
 
@@ -273,15 +310,16 @@ func (d *Design) Measure(ctx context.Context) (m Metrics, err error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	return d.measureTree(ctx, d.Tree)
+	tree, modes, _ := d.snapshot()
+	return d.measureTree(ctx, tree, modes)
 }
 
-// measureTree evaluates an arbitrary tree against the design's grid and
-// modes — the same metrics as Measure, usable on working clones before
-// they are committed.
-func (d *Design) measureTree(ctx context.Context, t *clocktree.Tree) (Metrics, error) {
+// measureTree evaluates an arbitrary tree against the design's grid in the
+// given modes — the same metrics as Measure, usable on working clones
+// before they are committed.
+func (d *Design) measureTree(ctx context.Context, t *clocktree.Tree, modes []Mode) (Metrics, error) {
 	var m Metrics
-	for _, mode := range d.Modes {
+	for _, mode := range modes {
 		if err := ctx.Err(); err != nil {
 			return Metrics{}, err
 		}
@@ -388,9 +426,10 @@ func (d *Design) Optimize(ctx context.Context, cfg Config) (res *Result, err err
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if d.lib == nil {
-		d.lib = cell.DefaultLibrary()
-	}
+	// Private snapshot: all optimization and measurement below works on
+	// this consistent view, so concurrent Optimize calls never observe each
+	// other's intermediate state.
+	snap, modes, lib := d.snapshot()
 	// Telemetry root span. The worker count is deliberately NOT recorded
 	// as content: traces must be bitwise identical across Workers values
 	// (scheduling-dependent data lives in the events' timing blocks).
@@ -401,7 +440,7 @@ func (d *Design) Optimize(ctx context.Context, cfg Config) (res *Result, err err
 		sp.SetAttr("kappa", fmt.Sprintf("%g", cfg.Kappa))
 		sp.SetAttr("samples", fmt.Sprintf("%d", cfg.Samples))
 		sp.SetAttr("epsilon", fmt.Sprintf("%g", cfg.Epsilon))
-		sp.SetAttr("modes", fmt.Sprintf("%d", len(d.Modes)))
+		sp.SetAttr("modes", fmt.Sprintf("%d", len(modes)))
 		tr := obs.TraceFrom(ctx)
 		defer func() { // registered before sp.End's defer, so it runs after it
 			if res != nil {
@@ -418,22 +457,22 @@ func (d *Design) Optimize(ctx context.Context, cfg Config) (res *Result, err err
 		defer cancel()
 	}
 
-	sizing, err := d.lib.Restrict("BUF_X8", "BUF_X16", "INV_X8", "INV_X16")
+	sizing, err := lib.Restrict("BUF_X8", "BUF_X16", "INV_X8", "INV_X16")
 	if err != nil {
 		return nil, err
 	}
-	rungs, err := d.ladder(cfg, sizing, degradable)
+	rungs, err := d.ladder(cfg, sizing, degradable, snap, modes, lib)
 	if err != nil {
 		return nil, err
 	}
 
 	start := time.Now()
 	msp := sp.Child("measure.before")
-	before, err := d.Measure(obs.WithSpan(ctx, msp))
+	before, err := d.measureTree(obs.WithSpan(ctx, msp), snap, modes)
 	if err == nil {
 		msp.Gauge("peak", before.PeakCurrent)
 		msp.Gauge("skew", before.WorstSkew)
-		d.snapshotWaveform(msp, "waveform.before", d.Tree)
+		snapshotWaveform(msp, "waveform.before", snap, modes)
 	}
 	msp.End()
 	if err != nil {
@@ -442,7 +481,7 @@ func (d *Design) Optimize(ctx context.Context, cfg Config) (res *Result, err err
 			// bottom rung answers with the unmodified tree (and, lacking
 			// a finished measurement, zero metrics).
 			res := &Result{AlgorithmUsed: AlgorithmNone, Degraded: true, Runtime: time.Since(start)}
-			countCells(d.Tree, res)
+			countCells(snap, res)
 			return res, nil
 		}
 		return nil, err
@@ -465,10 +504,10 @@ func (d *Design) Optimize(ctx context.Context, cfg Config) (res *Result, err err
 			if rsp != nil {
 				rsp.Gauge("peak", rr.After.PeakCurrent)
 				rsp.Gauge("skew", rr.After.WorstSkew)
-				d.snapshotWaveform(rsp, "waveform.after", work)
+				snapshotWaveform(rsp, "waveform.after", work, modes)
 			}
 			rsp.End()
-			d.Tree.ReplaceWith(work)
+			d.commit(work)
 			rr.Before = before
 			rr.Runtime = time.Since(start)
 			rr.AlgorithmUsed = r.name
@@ -490,23 +529,25 @@ func (d *Design) Optimize(ctx context.Context, cfg Config) (res *Result, err err
 		AlgorithmUsed: AlgorithmNone, Degraded: true,
 		Runtime: time.Since(start),
 	}
-	countCells(d.Tree, res)
+	countCells(snap, res)
 	return res, nil
 }
 
-// ladder builds the degradation ladder for the design and configuration:
+// ladder builds the degradation ladder for the snapshot and configuration:
 // the configured algorithm first, then — when a budget or deadline makes
-// degradation meaningful — every cheaper variant below it.
-func (d *Design) ladder(cfg Config, sizing *cell.Library, degradable bool) ([]rung, error) {
+// degradation meaningful — every cheaper variant below it. Every rung
+// optimizes a private clone of snap, so the design itself is untouched
+// until Optimize commits.
+func (d *Design) ladder(cfg Config, sizing *cell.Library, degradable bool, snap *clocktree.Tree, modes []Mode, lib *cell.Library) ([]rung, error) {
 	var rungs []rung
-	if len(d.Modes) == 1 {
+	if len(modes) == 1 {
 		single := func(algo polarity.Algorithm) rung {
 			return rung{name: algo.String(), run: func(ctx context.Context) (*Result, *clocktree.Tree, error) {
-				work := d.Tree.Clone()
+				work := snap.Clone()
 				opt, err := polarity.Optimize(ctx, work, polarity.Config{
 					Library: sizing, Kappa: cfg.Kappa, Samples: cfg.Samples,
 					Epsilon: cfg.Epsilon, ZoneSize: cfg.ZoneSize, Algorithm: algo,
-					Mode: d.Modes[0], MaxIntervals: cfg.MaxIntervals,
+					Mode: modes[0], MaxIntervals: cfg.MaxIntervals,
 					Workers: cfg.Workers,
 				})
 				if err != nil {
@@ -515,7 +556,7 @@ func (d *Design) ladder(cfg Config, sizing *cell.Library, degradable bool) ([]ru
 				polarity.Apply(work, opt.Assignment)
 				res := &Result{}
 				countCells(work, res)
-				after, err := d.measureTree(ctx, work)
+				after, err := d.measureTree(ctx, work, modes)
 				if err != nil {
 					return nil, nil, err
 				}
@@ -532,20 +573,20 @@ func (d *Design) ladder(cfg Config, sizing *cell.Library, degradable bool) ([]ru
 			rungs = append(rungs, single(polarity.ClkPeakMinBaseline))
 		}
 	} else {
-		adbCell, ok := d.lib.ByName("ADB_X8")
+		adbCell, ok := lib.ByName("ADB_X8")
 		if !ok {
 			return nil, fmt.Errorf("wavemin: cell library has no %q: multi-mode optimization needs an adjustable delay buffer", "ADB_X8")
 		}
 		var adiCell *cell.Cell
 		if cfg.EnableADI {
-			if adiCell, ok = d.lib.ByName("ADI_X8"); !ok {
+			if adiCell, ok = lib.ByName("ADI_X8"); !ok {
 				return nil, fmt.Errorf("wavemin: cell library has no %q: EnableADI needs an adjustable delay inverter", "ADI_X8")
 			}
 		}
 		multi := func(name string, fast bool) rung {
 			return rung{name: name, run: func(ctx context.Context) (*Result, *clocktree.Tree, error) {
-				work := d.Tree.Clone()
-				opt, err := multimode.Optimize(ctx, work, d.Modes, multimode.Config{
+				work := snap.Clone()
+				opt, err := multimode.Optimize(ctx, work, modes, multimode.Config{
 					Library: sizing, ADBCell: adbCell, ADICell: adiCell,
 					Kappa: cfg.Kappa, Samples: cfg.Samples, Epsilon: cfg.Epsilon,
 					ZoneSize: cfg.ZoneSize, Fast: fast,
@@ -555,12 +596,12 @@ func (d *Design) ladder(cfg Config, sizing *cell.Library, degradable bool) ([]ru
 				if err != nil {
 					return nil, nil, err
 				}
-				if err := multimode.ApplyResult(ctx, work, d.Modes, cfg.Kappa, opt); err != nil {
+				if err := multimode.ApplyResult(ctx, work, modes, cfg.Kappa, opt); err != nil {
 					return nil, nil, err
 				}
 				res := &Result{ADBInserted: opt.ADBInserted}
 				countCells(work, res)
-				after, err := d.measureTree(ctx, work)
+				after, err := d.measureTree(ctx, work, modes)
 				if err != nil {
 					return nil, nil, err
 				}
@@ -618,7 +659,8 @@ func (d *Design) OptimizeDynamicPolarity(ctx context.Context, cfg Config) (res *
 		ctx, cancel = context.WithTimeout(ctx, cfg.Budget)
 		defer cancel()
 	}
-	opt, err := xorpol.Optimize(ctx, d.Tree, d.Modes, xorpol.Config{
+	tree, modes, _ := d.snapshot()
+	opt, err := xorpol.Optimize(ctx, tree, modes, xorpol.Config{
 		Samples: cfg.Samples, ZoneSize: cfg.ZoneSize, Workers: cfg.Workers,
 	})
 	if err != nil {
@@ -627,7 +669,7 @@ func (d *Design) OptimizeDynamicPolarity(ctx context.Context, cfg Config) (res *
 	return &DynamicPolarityResult{
 		Positive:     opt.Positive,
 		PeakPerMode:  opt.PeakPerMode,
-		FlipsPerMode: opt.Flips(d.Tree, d.Modes),
+		FlipsPerMode: opt.Flips(tree, modes),
 	}, nil
 }
 
@@ -635,11 +677,11 @@ func (d *Design) OptimizeDynamicPolarity(ctx context.Context, cfg Config) (res *
 // the tree (the paper's Fig. 2 "all clock nodes" curve, in the first
 // mode) onto the span. The waveform computation is skipped entirely
 // unless the trace enables snapshots.
-func (d *Design) snapshotWaveform(sp *obs.Span, name string, t *clocktree.Tree) {
-	if !sp.SnapshotsEnabled() || len(d.Modes) == 0 {
+func snapshotWaveform(sp *obs.Span, name string, t *clocktree.Tree, modes []Mode) {
+	if !sp.SnapshotsEnabled() || len(modes) == 0 {
 		return
 	}
-	tm := t.ComputeTiming(d.Modes[0])
+	tm := t.ComputeTiming(modes[0])
 	idd, _ := t.TreeCurrents(tm, cell.Rising)
 	pts := idd.Points()
 	times := make([]float64, len(pts))
