@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DATE := $(shell date +%F)
 BENCH_LATEST = $(lastword $(sort $(filter-out BENCH_baseline.json,$(wildcard BENCH_*.json))))
 
-.PHONY: build test vet race check verify bench benchdiff cover e2e
+.PHONY: build test vet race check verify bench benchdiff cover e2e e2e-dispatch fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -22,9 +22,9 @@ race: vet
 
 # Default gate: tier 1, vet, the worker-determinism tests under the race
 # detector (the parallel fan-outs must be bitwise reproducible at any
-# worker count; the full -race suite stays in `make race`), and the
-# coverage floor.
-check: test vet cover
+# worker count; the full -race suite stays in `make race`), the coverage
+# floor, and a short fuzz smoke over the lease protocol.
+check: test vet cover fuzz-smoke
 	$(GO) test -race -run Parallel . ./internal/...
 
 # Coverage with floors: internal/obs (the telemetry layer every solver
@@ -37,13 +37,27 @@ cover:
 		-floor wavemin/internal/obs=70 \
 		-floor wavemin/internal/jobq=70 \
 		-floor wavemin/internal/rescache=70 \
-		-floor wavemin/internal/server=70
+		-floor wavemin/internal/server=70 \
+		-floor wavemin/internal/dispatch=70
 	@rm -f cover.out
 
 # End-to-end: the wavemind service suite (full HTTP stack, queue,
 # cache, fault injection, drain) under the race detector.
 e2e:
 	$(GO) test -race -timeout 120s ./internal/server/...
+
+# Distributed e2e: the coordinator/worker fleet under chaos — workers
+# killed mid-solve, heartbeats dropped, coordinator partitioned — with
+# the race detector on. Every job must terminate and requeued work must
+# stay byte-identical to an uninterrupted local solve.
+e2e-dispatch:
+	$(GO) test -race -timeout 180s ./internal/dispatch/...
+
+# Short fuzz pass over the lease wire protocol: malformed bodies, stale
+# and replayed lease IDs. Seconds-long smoke for `make check`; run with
+# a larger -fuzztime when hunting.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzLeaseProtocol$$' -fuzztime 5s ./internal/dispatch
 
 verify: test race
 

@@ -1,25 +1,43 @@
 // Command wavemind serves WaveMin clock-tree optimization as a batch
 // service: an HTTP JSON API over a bounded prioritized job queue with a
-// content-addressed result cache.
+// content-addressed result cache — and, optionally, a coordinator/worker
+// fleet that fans solves out across machines.
 //
 // Usage:
 //
-//	wavemind [-addr :8080] [-queue 64] [-workers 2] [-solver-workers 0]
+//	wavemind [-role serve|coordinator|worker] [-addr :8080]
+//	         [-queue 64] [-workers 2] [-solver-workers 0]
 //	         [-cache-bytes 67108864] [-cache-entries 4096]
 //	         [-default-timeout 30s] [-max-timeout 2m] [-drain-timeout 1m]
+//	         [-lease-ttl 15s] [-max-attempts 3] [-dispatch-local]
+//	         [-join URL] [-worker-id ID] [-poll-wait 2s]
 //	         [-debug]
+//
+// Roles:
+//
+//	serve        (default) the PR 4 single-process service: every job
+//	             solves in this process.
+//	coordinator  the same HTTP API plus the /v1/dispatch/* pull protocol:
+//	             `-role=worker` processes lease jobs, heartbeat while
+//	             solving, and deliver results; lapsed leases requeue with
+//	             a bounded retry budget. With -dispatch-local (default
+//	             on) the local pool still runs whatever no worker claims.
+//	worker       no HTTP API; joins the coordinator at -join and pulls
+//	             jobs until SIGTERM or the coordinator drains.
 //
 // Submit work with POST /v1/optimize ({"tree": <wavemin-clocktree-v1>,
 // "config": {...}}), poll GET /v1/jobs/{id}, fetch GET
-// /v1/jobs/{id}/result. See the README's Serving section for the full
-// API. On SIGTERM/SIGINT the server stops intake (new submissions get
-// 503) and finishes every job already accepted before exiting.
+// /v1/jobs/{id}/result. See the README's Serving and Scaling out
+// sections for the full API. On SIGTERM/SIGINT the server stops intake
+// (new submissions get 503) and finishes every job already accepted
+// before exiting.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -27,6 +45,7 @@ import (
 	"syscall"
 	"time"
 
+	"wavemin/internal/dispatch"
 	"wavemin/internal/server"
 )
 
@@ -35,7 +54,8 @@ func main() {
 	log.SetPrefix("wavemind: ")
 
 	var (
-		addr          = flag.String("addr", ":8080", "listen address")
+		role          = flag.String("role", "serve", "process role: serve, coordinator, or worker")
+		addr          = flag.String("addr", ":8080", "listen address (serve/coordinator)")
 		queue         = flag.Int("queue", 64, "job backlog capacity; submissions beyond it get 429 + Retry-After")
 		workers       = flag.Int("workers", 2, "jobs optimized concurrently")
 		solverWorkers = flag.Int("solver-workers", 0, "cap on per-job solver goroutines (0 = no cap); results are identical for every count")
@@ -45,10 +65,27 @@ func main() {
 		maxTimeout    = flag.Duration("max-timeout", 2*time.Minute, "per-job deadline ceiling")
 		drainTimeout  = flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for accepted jobs to finish")
 		debug         = flag.Bool("debug", false, "serve expvar (/debug/vars) and pprof (/debug/pprof) on -addr")
+
+		leaseTTL      = flag.Duration("lease-ttl", 15*time.Second, "coordinator: lease heartbeat deadline; a silent worker loses the job after this")
+		maxAttempts   = flag.Int("max-attempts", 3, "coordinator: lease grants per job before it fails as retry-exhausted")
+		dispatchLocal = flag.Bool("dispatch-local", true, "coordinator: let the local pool run jobs no worker claims")
+
+		join     = flag.String("join", "", "worker: coordinator base URL, e.g. http://coord:8080")
+		workerID = flag.String("worker-id", "", "worker: identity in protocol messages (default host-pid)")
+		pollWait = flag.Duration("poll-wait", 2*time.Second, "worker: lease long-poll duration")
 	)
 	flag.Parse()
 
-	srv := server.New(server.Options{
+	switch *role {
+	case "worker":
+		runWorker(*join, *workerID, *solverWorkers, *pollWait)
+		return
+	case "serve", "coordinator":
+	default:
+		log.Fatalf("unknown -role %q (want serve, coordinator, or worker)", *role)
+	}
+
+	opts := server.Options{
 		QueueCapacity:    *queue,
 		Workers:          *workers,
 		MaxSolverWorkers: *solverWorkers,
@@ -57,7 +94,15 @@ func main() {
 		DefaultTimeout:   *defTimeout,
 		MaxTimeout:       *maxTimeout,
 		Debug:            *debug,
-	})
+	}
+	if *role == "coordinator" {
+		opts.Dispatch = &dispatch.Options{
+			LeaseTTL:    *leaseTTL,
+			MaxAttempts: *maxAttempts,
+			LocalExec:   *dispatchLocal,
+		}
+	}
+	srv := server.New(opts)
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	done := make(chan struct{})
@@ -81,9 +126,52 @@ func main() {
 		}
 	}()
 
-	log.Printf("serving on %s (queue %d, %d workers)", *addr, *queue, *workers)
+	log.Printf("serving on %s as %s (queue %d, %d workers)", *addr, *role, *queue, *workers)
 	if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
 	<-done
+}
+
+// runWorker joins a coordinator and pulls jobs until SIGTERM/SIGINT or
+// until the coordinator reports it is draining.
+func runWorker(join, id string, solverWorkers int, pollWait time.Duration) {
+	if join == "" {
+		log.Fatal("-role=worker requires -join=<coordinator-url>")
+	}
+	if id == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	w, err := dispatch.NewWorker(dispatch.WorkerOptions{
+		Coordinator:   join,
+		ID:            id,
+		SolverWorkers: solverWorkers,
+		PollWait:      pollWait,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, os.Interrupt)
+	go func() {
+		sig := <-sigCh
+		log.Printf("%v: leaving the fleet (in-flight lease is handed back for retry)", sig)
+		cancel()
+	}()
+
+	log.Printf("worker %s joining %s", id, join)
+	switch err := w.Run(ctx); {
+	case err == nil:
+		log.Printf("coordinator drained; exiting")
+	case errors.Is(err, context.Canceled):
+		log.Printf("worker stopped")
+	default:
+		log.Fatal(err)
+	}
 }

@@ -1,0 +1,421 @@
+// Chaos e2e suite: kill workers mid-solve, drop heartbeats, partition
+// the coordinator — and assert the dispatch layer's two invariants hold
+// under all of it:
+//
+//  1. every accepted job terminates, with a result or a structured error;
+//  2. a requeued job's bytes are identical to an uninterrupted run's.
+//
+// Run with -race (make e2e-dispatch does).
+package dispatch
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math/rand"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"wavemin/internal/faultinject"
+	"wavemin/internal/jobq"
+)
+
+// TestDispatchCleanFleet is the no-chaos baseline: three workers drain a
+// batch and every result matches the in-process reference bytes.
+func TestDispatchCleanFleet(t *testing.T) {
+	spec := testSpec(t, 12, 0, false)
+	ref := referenceBytes(t, spec)
+
+	tc := newTestCoord(t, 1, Options{LeaseTTL: 2 * time.Second, MaxAttempts: 3})
+	f := newFleet(t, tc, WorkerOptions{})
+	for i := 0; i < 3; i++ {
+		f.spawn()
+	}
+
+	const jobs = 9
+	var tickets []*jobq.Ticket
+	for i := 0; i < jobs; i++ {
+		tickets = append(tickets, tc.submit(spec, time.Minute))
+	}
+	for i, tk := range tickets {
+		res, err := awaitTicket(t, tk, 30*time.Second)
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		out := res.(*Outcome)
+		if !bytes.Equal(out.ResultJSON, ref) {
+			t.Fatalf("job %d: result bytes differ from the in-process reference", i)
+		}
+		if tk.Attempts() != 1 {
+			t.Errorf("job %d: attempts = %d, want 1 in a clean run", i, tk.Attempts())
+		}
+	}
+	if m := tc.c.MetricsSnapshot(); m.Completions != jobs {
+		t.Errorf("completions = %d, want %d", m.Completions, jobs)
+	}
+}
+
+// TestDispatchChaosRandomKillSchedule is the acceptance scenario: three
+// workers, a seeded random kill schedule firing mid-solve, replacements
+// spawned after each kill. Every accepted job must terminate, and every
+// completed job's bytes must equal the uninterrupted single-process run.
+func TestDispatchChaosRandomKillSchedule(t *testing.T) {
+	spec := testSpec(t, 12, 0, false)
+	ref := referenceBytes(t, spec)
+
+	// Short leases and a fast sweeper so a killed worker's job requeues
+	// quickly; a generous retry budget so the batch survives every kill.
+	tc := newTestCoord(t, 1, Options{
+		LeaseTTL:      250 * time.Millisecond,
+		SweepInterval: 50 * time.Millisecond,
+		MaxAttempts:   10,
+	})
+
+	// Stretch each solve so kills land mid-solve, not between jobs.
+	t.Cleanup(faultinject.Reset)
+	faultinject.Set(faultinject.SiteWorkerExecute, func() {
+		time.Sleep(30 * time.Millisecond)
+	})
+
+	f := newFleet(t, tc, WorkerOptions{PollWait: 100 * time.Millisecond})
+	for i := 0; i < 3; i++ {
+		f.spawn()
+	}
+
+	const jobs = 9
+	var tickets []*jobq.Ticket
+	for i := 0; i < jobs; i++ {
+		tickets = append(tickets, tc.submit(spec, time.Minute))
+	}
+
+	// The kill schedule: seeded (reproducible), randomized (the point),
+	// each kill followed by a replacement so the fleet stays at strength.
+	rng := rand.New(rand.NewSource(5))
+	killerDone := make(chan struct{})
+	go func() {
+		defer close(killerDone)
+		for k := 0; k < 6; k++ {
+			time.Sleep(time.Duration(20+rng.Intn(60)) * time.Millisecond)
+			f.killOne(rng.Intn(3))
+			f.spawn()
+		}
+	}()
+
+	retried := 0
+	for i, tk := range tickets {
+		res, err := awaitTicket(t, tk, 60*time.Second)
+		if err != nil {
+			// Termination with a structured error is a legal outcome under
+			// chaos — but with a 10-attempt budget it means something is
+			// systematically wrong, so fail loudly.
+			t.Fatalf("job %d terminated with error after %d attempts: %v", i, tk.Attempts(), err)
+		}
+		out := res.(*Outcome)
+		if !bytes.Equal(out.ResultJSON, ref) {
+			t.Fatalf("job %d (attempts=%d): bytes differ from the uninterrupted run", i, tk.Attempts())
+		}
+		if tk.Attempts() > 1 {
+			retried++
+		}
+	}
+	<-killerDone
+	t.Logf("chaos run: %d/%d jobs were requeued at least once; coordinator metrics %+v",
+		retried, jobs, tc.c.MetricsSnapshot())
+}
+
+// TestDispatchHeartbeatLapseRequeues drops a worker's heartbeats (the
+// worker stays alive and keeps solving) until its lease lapses: the job
+// must requeue to a healthy worker, finish with reference bytes, and the
+// stale worker's late completion must be rejected — never double-applied.
+func TestDispatchHeartbeatLapseRequeues(t *testing.T) {
+	spec := testSpec(t, 12, 0, false)
+	ref := referenceBytes(t, spec)
+
+	tc := newTestCoord(t, 1, Options{
+		LeaseTTL:      150 * time.Millisecond,
+		SweepInterval: 30 * time.Millisecond,
+		MaxAttempts:   3,
+	})
+
+	// Worker 1 (manual): leases the job, never heartbeats, and solves
+	// slowly — exactly what a worker with a blackholed heartbeat path
+	// looks like to the coordinator.
+	tk := tc.submit(spec, time.Minute)
+	l1, ok := tc.q.Lease()
+	if !ok {
+		t.Fatal("manual lease: no job")
+	}
+
+	// Let the lease lapse, then bring up a healthy worker to finish it.
+	time.Sleep(300 * time.Millisecond)
+	f := newFleet(t, tc, WorkerOptions{PollWait: 100 * time.Millisecond})
+	f.spawn()
+
+	res, err := awaitTicket(t, tk, 30*time.Second)
+	if err != nil {
+		t.Fatalf("job: %v", err)
+	}
+	out := res.(*Outcome)
+	if !bytes.Equal(out.ResultJSON, ref) {
+		t.Fatal("requeued job bytes differ from the uninterrupted run")
+	}
+	if got := tk.Attempts(); got != 2 {
+		t.Errorf("attempts = %d, want 2 (lapse + retry)", got)
+	}
+
+	// The stale worker finally finishes and reports: HTTP 409, and the
+	// ticket's already-resolved outcome must not change.
+	staleOut, err := ExecuteSpec(context.Background(), spec, 0)
+	if err != nil {
+		t.Fatalf("stale solve: %v", err)
+	}
+	w, err := NewWorker(WorkerOptions{Coordinator: tc.ts.URL, ID: "stale"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	status, body, err := w.post(context.Background(), "/v1/dispatch/complete", completeRequest{
+		WorkerID: "stale", LeaseID: l1.ID, Outcome: staleOut,
+	})
+	if err != nil {
+		t.Fatalf("stale complete: %v", err)
+	}
+	if status != http.StatusConflict {
+		t.Fatalf("stale complete: status %d (%s), want 409", status, body)
+	}
+	if m := tc.c.MetricsSnapshot(); m.StaleRejected == 0 {
+		t.Error("StaleRejected = 0, want the late completion counted")
+	}
+}
+
+// TestDispatchCoordinatorPartition cuts a worker off from the
+// coordinator mid-solve: heartbeats and the eventual completion all fail
+// at the transport. The lease lapses, a healthy worker reruns the job,
+// and the partitioned worker's result never lands anywhere.
+func TestDispatchCoordinatorPartition(t *testing.T) {
+	spec := testSpec(t, 12, 0, false)
+	ref := referenceBytes(t, spec)
+
+	tc := newTestCoord(t, 1, Options{
+		LeaseTTL:      150 * time.Millisecond,
+		SweepInterval: 30 * time.Millisecond,
+		MaxAttempts:   3,
+	})
+
+	// The partition: once tripped, every request from this worker fails.
+	part := &partitionTransport{next: http.DefaultTransport}
+	// Stretch the solve past the lease TTL so the partition (tripped
+	// mid-solve below) is what kills the lease.
+	gate := make(chan struct{})
+	var gateOnce sync.Once
+	t.Cleanup(faultinject.Reset)
+	faultinject.Set(faultinject.SiteWorkerExecute, func() {
+		gateOnce.Do(func() { close(gate) }) // signal: solve started
+		time.Sleep(400 * time.Millisecond)
+	})
+
+	f := newFleet(t, tc, WorkerOptions{
+		PollWait: 100 * time.Millisecond,
+		Client:   &http.Client{Transport: part},
+	})
+	victim := f.spawn()
+
+	tk := tc.submit(spec, time.Minute)
+	<-gate // the victim is mid-solve
+	part.trip()
+
+	// A healthy worker (default transport) picks the requeued job up.
+	// Disarm the solve-stretching hook so only the victim was slowed.
+	faultinject.Clear(faultinject.SiteWorkerExecute)
+	healthy := newFleet(t, tc, WorkerOptions{ID: "h", PollWait: 100 * time.Millisecond})
+	healthy.spawn()
+
+	res, err := awaitTicket(t, tk, 30*time.Second)
+	if err != nil {
+		t.Fatalf("job: %v", err)
+	}
+	out := res.(*Outcome)
+	if !bytes.Equal(out.ResultJSON, ref) {
+		t.Fatal("post-partition rerun bytes differ from the uninterrupted run")
+	}
+	if got := tk.Attempts(); got != 2 {
+		t.Errorf("attempts = %d, want 2", got)
+	}
+	victim.w.Kill() // stop the victim's doomed retry loop
+}
+
+// TestDispatchCrashLoopExhaustsRetries makes every execution attempt
+// crash (injected panic → silent abandon, like a real worker death) and
+// asserts the job terminates with the structured retry-exhausted error
+// rather than looping forever.
+func TestDispatchCrashLoopExhaustsRetries(t *testing.T) {
+	spec := testSpec(t, 8, 0, false)
+
+	tc := newTestCoord(t, 1, Options{
+		LeaseTTL:      100 * time.Millisecond,
+		SweepInterval: 20 * time.Millisecond,
+		MaxAttempts:   2,
+	})
+	t.Cleanup(faultinject.Reset)
+	faultinject.Set(faultinject.SiteWorkerExecute, func() {
+		panic("chaos: injected worker crash")
+	})
+
+	f := newFleet(t, tc, WorkerOptions{PollWait: 50 * time.Millisecond})
+	f.spawn()
+
+	tk := tc.submit(spec, time.Minute)
+	_, err := awaitTicket(t, tk, 30*time.Second)
+	var rex *jobq.RetryExhaustedError
+	if !errors.As(err, &rex) {
+		t.Fatalf("outcome err = %v, want *jobq.RetryExhaustedError", err)
+	}
+	if rex.Attempts != 2 {
+		t.Errorf("exhausted after %d attempts, want 2", rex.Attempts)
+	}
+}
+
+// TestDispatchKillMidSolveThenRecover kills the only worker while it is
+// inside the solver, then spawns a replacement: the job must requeue and
+// complete with reference bytes.
+func TestDispatchKillMidSolveThenRecover(t *testing.T) {
+	spec := testSpec(t, 12, 0, false)
+	ref := referenceBytes(t, spec)
+
+	tc := newTestCoord(t, 1, Options{
+		LeaseTTL:      150 * time.Millisecond,
+		SweepInterval: 30 * time.Millisecond,
+		MaxAttempts:   3,
+	})
+
+	// The execute hook parks the first solve until the test has killed
+	// the worker — a guaranteed mid-solve kill, no timing games.
+	inSolve := make(chan struct{})
+	release := make(chan struct{})
+	var first sync.Once
+	t.Cleanup(faultinject.Reset)
+	faultinject.Set(faultinject.SiteWorkerExecute, func() {
+		var parked bool
+		first.Do(func() {
+			parked = true
+			close(inSolve)
+			<-release
+		})
+		_ = parked
+	})
+
+	f := newFleet(t, tc, WorkerOptions{PollWait: 50 * time.Millisecond})
+	victim := f.spawn()
+
+	tk := tc.submit(spec, time.Minute)
+	<-inSolve
+	victim.w.Kill()
+	close(release)
+	<-victim.done
+
+	f.spawn() // the replacement
+	res, err := awaitTicket(t, tk, 30*time.Second)
+	if err != nil {
+		t.Fatalf("job: %v", err)
+	}
+	out := res.(*Outcome)
+	if !bytes.Equal(out.ResultJSON, ref) {
+		t.Fatal("post-kill rerun bytes differ from the uninterrupted run")
+	}
+	if got := tk.Attempts(); got != 2 {
+		t.Errorf("attempts = %d, want 2 (kill + retry)", got)
+	}
+}
+
+// TestDispatchLocalExecZeroWorkers pins the hybrid default: a
+// coordinator with LocalExec and no remote workers still drains
+// dispatched jobs through its own pool, byte-identically.
+func TestDispatchLocalExecZeroWorkers(t *testing.T) {
+	spec := testSpec(t, 12, 0, false)
+	ref := referenceBytes(t, spec)
+
+	tc := newTestCoord(t, 2, Options{LocalExec: true})
+	tk := tc.submit(spec, time.Minute)
+	res, err := awaitTicket(t, tk, 30*time.Second)
+	if err != nil {
+		t.Fatalf("job: %v", err)
+	}
+	out := res.(*Outcome)
+	if !bytes.Equal(out.ResultJSON, ref) {
+		t.Fatal("local-exec bytes differ from the reference")
+	}
+	if m := tc.c.MetricsSnapshot(); m.Leases != 0 {
+		t.Errorf("remote leases = %d, want 0", m.Leases)
+	}
+}
+
+// TestDispatchDeadlineTicksWhileLeased pins the PR 4 deadline contract
+// across the dispatch layer: a job whose deadline passes while leased to
+// a stalled worker terminates as expired — a structured error, not a
+// hang and not a retry loop.
+func TestDispatchDeadlineTicksWhileLeased(t *testing.T) {
+	spec := testSpec(t, 8, 0, false)
+
+	tc := newTestCoord(t, 1, Options{
+		LeaseTTL:      10 * time.Second, // lease never lapses; the JOB deadline is the clock
+		SweepInterval: 30 * time.Millisecond,
+		MaxAttempts:   3,
+	})
+
+	// The worker stalls inside the solver for longer than the deadline.
+	t.Cleanup(faultinject.Reset)
+	faultinject.Set(faultinject.SiteWorkerExecute, func() {
+		time.Sleep(600 * time.Millisecond)
+	})
+	f := newFleet(t, tc, WorkerOptions{PollWait: 50 * time.Millisecond})
+	f.spawn()
+
+	tk := tc.submit(spec, 200*time.Millisecond)
+	_, err := awaitTicket(t, tk, 30*time.Second)
+	if err == nil {
+		t.Fatal("job with a 200ms deadline and a 600ms stall completed")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		// The worker reports "expired"; either the context error or the
+		// structured remote error is an acceptable terminal shape.
+		var re *RemoteError
+		if !errors.As(err, &re) || re.Code != "expired" {
+			t.Fatalf("outcome err = %v, want deadline-shaped", err)
+		}
+	}
+}
+
+// partitionTransport fails every request once tripped — a network
+// partition between one worker and the coordinator.
+type partitionTransport struct {
+	next    http.RoundTripper
+	tripped sync.Once
+	down    chan struct{}
+	mu      sync.Mutex
+	init    bool
+}
+
+func (p *partitionTransport) ensure() {
+	p.mu.Lock()
+	if !p.init {
+		p.down = make(chan struct{})
+		p.init = true
+	}
+	p.mu.Unlock()
+}
+
+func (p *partitionTransport) trip() {
+	p.ensure()
+	p.tripped.Do(func() { close(p.down) })
+}
+
+func (p *partitionTransport) RoundTrip(r *http.Request) (*http.Response, error) {
+	p.ensure()
+	select {
+	case <-p.down:
+		return nil, errors.New("partition: coordinator unreachable")
+	default:
+		return p.next.RoundTrip(r)
+	}
+}

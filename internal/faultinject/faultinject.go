@@ -29,6 +29,11 @@ const (
 	SitePowergridSim   = "powergrid.Simulate"
 	SitePolarityZone   = "polarity.zone" // before each per-zone solve
 	SitePeakminSolve   = "peakmin.Solve"
+
+	// Dispatch-layer sites, used by the chaos e2e suite to kill workers
+	// mid-solve and to drop heartbeats.
+	SiteWorkerExecute   = "dispatch.worker.execute"   // before a worker runs a leased job
+	SiteWorkerHeartbeat = "dispatch.worker.heartbeat" // before each heartbeat send
 )
 
 var (

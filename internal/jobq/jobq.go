@@ -2,22 +2,42 @@
 // the execution backbone of the wavemind batch optimization service.
 //
 // Jobs are submitted into one of three priority lanes and executed by a
-// fixed pool of workers, always highest lane first, FIFO within a lane.
-// The queue is bounded: when the backlog is at capacity Submit fails fast
-// with ErrFull so the caller can push back (HTTP 429) instead of letting
+// fixed pool of workers, highest lane first, FIFO within a lane, with a
+// starvation guard: a lane passed over for fairShare consecutive
+// dequeues gets the next slot, so a continuous high-priority stream
+// cannot pin low-priority work in the backlog forever. The queue is
+// bounded: when the backlog is at capacity Submit fails fast with
+// ErrFull so the caller can push back (HTTP 429) instead of letting
 // latency grow without bound. Draining stops intake (ErrDraining) while
 // the workers finish every job already accepted — the SIGTERM story.
 //
+// Beyond the push pool, the queue is also a lease state machine — the
+// substrate of the internal/dispatch coordinator/worker layer. A
+// leasable job (SubmitLeasable) carries an opaque payload instead of a
+// run function and is pulled by external consumers via Lease/LeaseWait,
+// which grant exclusive, heartbeat-renewed ownership for the queue's
+// lease TTL. Complete and Fail resolve the lease; a lease whose
+// heartbeats lapse (ExpireLeases) puts the job back at the front of its
+// lane and counts an attempt, until the retry budget is spent and the
+// job fails with *RetryExhaustedError. The submitter observes the whole
+// lifecycle through a Ticket and an optional per-job event callback.
+// When a lease executor is installed (SetLeaseExecutor) the push pool
+// runs leasable jobs too, so a queue with no external consumers still
+// makes progress.
+//
 // The queue runs jobs, it does not time them out: each job carries the
-// context it was submitted with, so per-job deadlines (which keep ticking
-// while the job waits in the backlog) are enforced by the job's own
-// Run function and by the solvers' context plumbing.
+// context it was submitted with, so per-job deadlines (which keep
+// ticking while the job waits in the backlog — and while it is leased)
+// are enforced by the job's own Run function, by the solvers' context
+// plumbing, and, for leasable jobs, by the cull in Lease/ExpireLeases
+// that resolves a dead-context job without handing it to anyone.
 package jobq
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 )
@@ -32,6 +52,12 @@ const (
 	Low
 	numLanes
 )
+
+// fairShare is the starvation bound: a lane with work that has been
+// passed over this many consecutive dequeues is serviced next, ahead of
+// higher-priority lanes. Strict priority below the bound, bounded wait
+// above it.
+const fairShare = 8
 
 // String returns the wire name of the priority.
 func (p Priority) String() string {
@@ -70,18 +96,141 @@ var ErrFull = errors.New("jobq: queue full")
 // in progress).
 var ErrDraining = errors.New("jobq: draining")
 
+// ErrUnknownLease reports a lease ID that is not currently active: never
+// granted, already resolved, or expired and requeued. A consumer holding
+// such an ID no longer owns the job and must not apply its result.
+var ErrUnknownLease = errors.New("jobq: unknown, expired, or already-resolved lease")
+
+// RetryExhaustedError reports that a leasable job burned its whole retry
+// budget on lapsed leases without ever being completed.
+type RetryExhaustedError struct {
+	Attempts int   // lease grants consumed
+	Last     error // what ended the final attempt
+}
+
+func (e *RetryExhaustedError) Error() string {
+	return fmt.Sprintf("jobq: job failed after %d lease attempts (last: %v)", e.Attempts, e.Last)
+}
+
+func (e *RetryExhaustedError) Unwrap() error { return e.Last }
+
 type job struct {
 	ctx context.Context
-	run func(ctx context.Context)
+	run func(ctx context.Context) // push job; nil for leasable jobs
+
+	// Leasable-job state, guarded by the queue mutex.
+	pri       Priority
+	payload   any
+	ticket    *Ticket
+	onEvent   func(LeaseEvent)
+	attempts  int
+	leaseID   string
+	leaseExp  time.Time
+	grantedAt time.Time
+}
+
+func (j *job) leasable() bool { return j.ticket != nil }
+
+// Ticket is the submitter's handle on a leasable job: Done closes when
+// the job reaches a terminal state, after which Outcome returns the
+// result a consumer completed it with, or the error that ended it.
+type Ticket struct {
+	done chan struct{}
+
+	mu       sync.Mutex
+	resolved bool
+	result   any
+	err      error
+	attempts int
+}
+
+// Done returns a channel closed when the job is terminal.
+func (t *Ticket) Done() <-chan struct{} { return t.done }
+
+// Outcome returns the job's result or terminal error. Valid after Done
+// is closed; before that it returns (nil, nil).
+func (t *Ticket) Outcome() (any, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.result, t.err
+}
+
+// Attempts returns how many lease grants the job consumed.
+func (t *Ticket) Attempts() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.attempts
+}
+
+func (t *Ticket) resolve(result any, err error, attempts int) {
+	t.mu.Lock()
+	if !t.resolved {
+		t.resolved = true
+		t.result = result
+		t.err = err
+		t.attempts = attempts
+		close(t.done)
+	}
+	t.mu.Unlock()
+}
+
+// Lease is exclusive, time-bounded ownership of one leasable job. The
+// holder must Complete or Fail it before Deadline, or extend the lease
+// with Heartbeat; otherwise the job is requeued for someone else.
+type Lease struct {
+	ID      string
+	Attempt int // 1-based grant count, this grant included
+	Payload any
+	// Ctx is the submitter's context: its deadline keeps ticking while
+	// the job is leased, and the holder should bound its work by it.
+	Ctx      context.Context
+	TTL      time.Duration
+	Deadline time.Time // heartbeat deadline (lease expiry, not job deadline)
+}
+
+// LeaseEventKind enumerates the lifecycle transitions of a leasable job.
+type LeaseEventKind int
+
+const (
+	// LeaseGranted: the job was handed to a consumer (Local reports a
+	// push-pool run rather than an external lease).
+	LeaseGranted LeaseEventKind = iota
+	// LeaseRequeued: the lease lapsed (or failed retryably) and the job
+	// went back to the front of its lane. Err carries the reason.
+	LeaseRequeued
+	// LeaseCompleted: terminal success; Result carries the outcome.
+	LeaseCompleted
+	// LeaseFailed: terminal, non-retryable failure; Err carries it.
+	LeaseFailed
+	// LeaseExpired: terminal; the job's own context ended (deadline or
+	// cancellation). Err carries the context error.
+	LeaseExpired
+	// LeaseExhausted: terminal; the retry budget is spent. Err is a
+	// *RetryExhaustedError.
+	LeaseExhausted
+)
+
+// LeaseEvent is one lifecycle transition, delivered to the callback
+// registered at SubmitLeasable. Events for one job are strictly ordered.
+// The callback runs with the queue's internal lock held: it must be fast
+// and MUST NOT call back into the Queue.
+type LeaseEvent struct {
+	Kind    LeaseEventKind
+	Attempt int
+	Local   bool // grant went to the local push pool, not an external lease
+	Result  any  // LeaseCompleted only
+	Err     error
 }
 
 // Stats is a point-in-time snapshot of the queue.
 type Stats struct {
-	Queued    [numLanes]int // backlog per lane (High, Normal, Low)
-	Running   int
-	Executed  int64
-	Rejected  int64 // Submit calls failed with ErrFull
-	AvgJobDur time.Duration
+	Queued      [numLanes]int // backlog per lane (High, Normal, Low)
+	Running     int           // push-pool executions in flight
+	Leased      int           // active external leases
+	Outstanding int           // leasable jobs not yet terminal (queued, leased, or running)
+	Executed    int64
+	Rejected    int64 // Submit calls failed with ErrFull
+	AvgJobDur   time.Duration
 }
 
 // Queue is a bounded priority job queue. Construct with New; safe for
@@ -90,15 +239,22 @@ type Queue struct {
 	capacity int
 	workers  int
 
-	mu       sync.Mutex
-	cond     *sync.Cond
-	lanes    [numLanes][]*job
-	queued   int
-	running  int
-	draining bool
-	executed int64
-	rejected int64
-	avgNs    float64 // EWMA of job wall time, ns
+	mu          sync.Mutex
+	cond        *sync.Cond
+	lanes       [numLanes][]*job
+	starve      [numLanes]int
+	queued      int
+	running     int
+	draining    bool
+	executed    int64
+	rejected    int64
+	avgNs       float64 // EWMA of job wall time, ns
+	leaseTTL    time.Duration
+	maxAttempts int
+	leaseSeq    int64
+	leases      map[string]*job
+	outstanding int
+	leaseExec   func(ctx context.Context, payload any) (any, error)
 
 	wg sync.WaitGroup
 }
@@ -113,13 +269,44 @@ func New(capacity, workers int) *Queue {
 	if workers < 1 {
 		workers = 1
 	}
-	q := &Queue{capacity: capacity, workers: workers}
+	q := &Queue{
+		capacity:    capacity,
+		workers:     workers,
+		leaseTTL:    15 * time.Second,
+		maxAttempts: 3,
+		leases:      make(map[string]*job),
+	}
 	q.cond = sync.NewCond(&q.mu)
 	q.wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go q.worker()
 	}
 	return q
+}
+
+// SetLeasePolicy sets the lease TTL (heartbeat deadline extension) and
+// the retry budget for leasable jobs. Defaults: 15s, 3 attempts.
+func (q *Queue) SetLeasePolicy(ttl time.Duration, maxAttempts int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if ttl > 0 {
+		q.leaseTTL = ttl
+	}
+	if maxAttempts > 0 {
+		q.maxAttempts = maxAttempts
+	}
+}
+
+// SetLeaseExecutor lets the push pool run leasable jobs too: when no
+// external consumer leases a job first, a pool worker executes fn on its
+// payload and resolves the ticket with the outcome — so a queue with
+// zero external consumers still drains leasable work. A nil fn restores
+// pull-only behavior.
+func (q *Queue) SetLeaseExecutor(fn func(ctx context.Context, payload any) (any, error)) {
+	q.mu.Lock()
+	q.leaseExec = fn
+	q.cond.Broadcast()
+	q.mu.Unlock()
 }
 
 // Submit enqueues run in the lane for pri. The context travels with the
@@ -142,10 +329,133 @@ func (q *Queue) Submit(ctx context.Context, pri Priority, run func(ctx context.C
 		q.rejected++
 		return ErrFull
 	}
-	q.lanes[pri] = append(q.lanes[pri], &job{ctx: ctx, run: run})
+	q.lanes[pri] = append(q.lanes[pri], &job{ctx: ctx, run: run, pri: pri})
 	q.queued++
-	q.cond.Signal()
+	q.cond.Broadcast()
 	return nil
+}
+
+// SubmitLeasable enqueues a pull-mode job: payload travels to whichever
+// consumer leases it (or to the lease executor). onEvent, if non-nil,
+// observes every lifecycle transition; it runs under the queue lock and
+// must not call back into the Queue. The returned Ticket resolves when
+// the job is terminal. Capacity and drain rules match Submit.
+func (q *Queue) SubmitLeasable(ctx context.Context, pri Priority, payload any, onEvent func(LeaseEvent)) (*Ticket, error) {
+	if pri < High || pri > Low {
+		return nil, fmt.Errorf("jobq: invalid priority %d", int(pri))
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.draining {
+		return nil, ErrDraining
+	}
+	if q.queued >= q.capacity {
+		q.rejected++
+		return nil, ErrFull
+	}
+	t := &Ticket{done: make(chan struct{})}
+	j := &job{ctx: ctx, pri: pri, payload: payload, ticket: t, onEvent: onEvent}
+	q.lanes[pri] = append(q.lanes[pri], j)
+	q.queued++
+	q.outstanding++
+	q.cond.Broadcast()
+	return t, nil
+}
+
+func (q *Queue) emitLocked(j *job, ev LeaseEvent) {
+	if j.onEvent != nil {
+		j.onEvent(ev)
+	}
+}
+
+// resolveLocked moves a leasable job to a terminal state: emits the
+// event, resolves the ticket, and releases the outstanding slot. Caller
+// holds q.mu and has already removed the job from lanes/leases.
+func (q *Queue) resolveLocked(j *job, result any, err error, kind LeaseEventKind) {
+	q.emitLocked(j, LeaseEvent{Kind: kind, Attempt: j.attempts, Result: result, Err: err})
+	j.ticket.resolve(result, err, j.attempts)
+	q.outstanding--
+	q.cond.Broadcast()
+}
+
+// cullLocked resolves queued leasable jobs whose context already ended,
+// so an expired job never costs a lease grant or an executor run.
+func (q *Queue) cullLocked() int {
+	n := 0
+	for lane := range q.lanes {
+		kept := q.lanes[lane][:0]
+		for _, j := range q.lanes[lane] {
+			if j.leasable() && j.ctx.Err() != nil {
+				q.queued--
+				q.resolveLocked(j, nil, j.ctx.Err(), LeaseExpired)
+				n++
+				continue
+			}
+			kept = append(kept, j)
+		}
+		// Zero the tail so dropped jobs don't linger in the backing array.
+		for i := len(kept); i < len(q.lanes[lane]); i++ {
+			q.lanes[lane][i] = nil
+		}
+		q.lanes[lane] = kept
+	}
+	return n
+}
+
+// pickLocked removes and returns the next job for a consumer that can
+// run push jobs (wantPush) and/or leasable jobs (wantLease): strict
+// priority with the fairShare starvation guard, FIFO within a lane.
+func (q *Queue) pickLocked(wantPush, wantLease bool) *job {
+	eligible := func(j *job) bool {
+		if j.leasable() {
+			return wantLease
+		}
+		return wantPush
+	}
+	var idx [numLanes]int
+	for lane := range q.lanes {
+		idx[lane] = -1
+		for i, j := range q.lanes[lane] {
+			if eligible(j) {
+				idx[lane] = i
+				break
+			}
+		}
+	}
+	chosen := -1
+	for lane := range q.lanes {
+		if idx[lane] >= 0 && q.starve[lane] >= fairShare {
+			chosen = lane
+			break
+		}
+	}
+	if chosen < 0 {
+		for lane := range q.lanes {
+			if idx[lane] >= 0 {
+				chosen = lane
+				break
+			}
+		}
+	}
+	if chosen < 0 {
+		return nil
+	}
+	i := idx[chosen]
+	j := q.lanes[chosen][i]
+	copy(q.lanes[chosen][i:], q.lanes[chosen][i+1:])
+	q.lanes[chosen][len(q.lanes[chosen])-1] = nil
+	q.lanes[chosen] = q.lanes[chosen][:len(q.lanes[chosen])-1]
+	q.queued--
+	q.starve[chosen] = 0
+	for lane := range q.lanes {
+		if lane != chosen && len(q.lanes[lane]) > 0 {
+			q.starve[lane]++
+		}
+	}
+	return j
 }
 
 // worker executes jobs until drain empties the backlog.
@@ -153,24 +463,46 @@ func (q *Queue) worker() {
 	defer q.wg.Done()
 	for {
 		q.mu.Lock()
-		for q.queued == 0 && !q.draining {
-			q.cond.Wait()
-		}
-		if q.queued == 0 {
-			// Draining and nothing left to pick up: this worker is done.
-			q.mu.Unlock()
-			return
-		}
 		var j *job
-		for lane := range q.lanes {
-			if len(q.lanes[lane]) > 0 {
-				j = q.lanes[lane][0]
-				q.lanes[lane][0] = nil
-				q.lanes[lane] = q.lanes[lane][1:]
+		for {
+			q.cullLocked()
+			j = q.pickLocked(true, q.leaseExec != nil)
+			if j != nil {
 				break
 			}
+			if q.draining && q.queued == 0 {
+				q.mu.Unlock()
+				return
+			}
+			q.cond.Wait()
 		}
-		q.queued--
+		if j.leasable() {
+			j.attempts++
+			exec := q.leaseExec
+			q.running++
+			q.emitLocked(j, LeaseEvent{Kind: LeaseGranted, Attempt: j.attempts, Local: true})
+			q.mu.Unlock()
+
+			start := time.Now()
+			result, err := runLeaseExec(exec, j.ctx, j.payload)
+			dur := time.Since(start)
+
+			q.mu.Lock()
+			q.running--
+			q.executed++
+			q.observeLocked(dur)
+			if err != nil {
+				kind := LeaseFailed
+				if j.ctx.Err() != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+					kind = LeaseExpired
+				}
+				q.resolveLocked(j, nil, err, kind)
+			} else {
+				q.resolveLocked(j, result, nil, LeaseCompleted)
+			}
+			q.mu.Unlock()
+			continue
+		}
 		q.running++
 		q.mu.Unlock()
 
@@ -181,21 +513,214 @@ func (q *Queue) worker() {
 		q.mu.Lock()
 		q.running--
 		q.executed++
-		// EWMA with α=0.2: smooth enough for a Retry-After estimate,
-		// responsive enough to follow workload shifts.
-		if q.avgNs == 0 {
-			q.avgNs = float64(dur)
-		} else {
-			q.avgNs += 0.2 * (float64(dur) - q.avgNs)
-		}
+		q.observeLocked(dur)
 		q.mu.Unlock()
 	}
 }
 
-// Drain stops intake and waits until every accepted job (queued or
-// running) has finished, or until ctx expires. After Drain begins, Submit
-// returns ErrDraining. Drain is idempotent; concurrent calls all wait for
-// the same completion.
+// runLeaseExec runs the lease executor with the panic/expiry guards the
+// push pool needs: a dead job context short-circuits without invoking
+// the executor, and an executor panic becomes a job failure rather than
+// a dead pool worker.
+func runLeaseExec(exec func(ctx context.Context, payload any) (any, error), ctx context.Context, payload any) (result any, err error) {
+	if cerr := ctx.Err(); cerr != nil {
+		return nil, cerr
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			result, err = nil, fmt.Errorf("jobq: lease executor panic: %v", p)
+		}
+	}()
+	return exec(ctx, payload)
+}
+
+// observeLocked folds one job duration into the EWMA behind RetryAfter.
+// α=0.2: smooth enough for a Retry-After estimate, responsive enough to
+// follow workload shifts.
+func (q *Queue) observeLocked(dur time.Duration) {
+	if dur < 0 {
+		return
+	}
+	if q.avgNs == 0 {
+		q.avgNs = float64(dur)
+	} else {
+		q.avgNs += 0.2 * (float64(dur) - q.avgNs)
+	}
+}
+
+// Lease grants exclusive ownership of the next leasable job, if one is
+// ready. The returned lease must be completed, failed, or heartbeat-
+// renewed before its Deadline, or the job is requeued.
+func (q *Queue) Lease() (*Lease, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.leaseLocked()
+}
+
+func (q *Queue) leaseLocked() (*Lease, bool) {
+	q.cullLocked()
+	j := q.pickLocked(false, true)
+	if j == nil {
+		return nil, false
+	}
+	j.attempts++
+	q.leaseSeq++
+	j.leaseID = fmt.Sprintf("L-%08d", q.leaseSeq)
+	now := time.Now()
+	j.leaseExp = now.Add(q.leaseTTL)
+	j.grantedAt = now
+	q.leases[j.leaseID] = j
+	q.emitLocked(j, LeaseEvent{Kind: LeaseGranted, Attempt: j.attempts})
+	return &Lease{
+		ID:       j.leaseID,
+		Attempt:  j.attempts,
+		Payload:  j.payload,
+		Ctx:      j.ctx,
+		TTL:      q.leaseTTL,
+		Deadline: j.leaseExp,
+	}, true
+}
+
+// LeaseWait blocks until a leasable job is available, ctx ends, or the
+// queue is draining with no leasable work left (ErrDraining) — the
+// long-poll primitive behind the dispatch coordinator's lease endpoint.
+// While draining it still grants leases: accepted work must finish.
+func (q *Queue) LeaseWait(ctx context.Context) (*Lease, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	stop := context.AfterFunc(ctx, func() {
+		q.mu.Lock()
+		q.cond.Broadcast()
+		q.mu.Unlock()
+	})
+	defer stop()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if l, ok := q.leaseLocked(); ok {
+			return l, nil
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if q.draining && q.outstanding == 0 {
+			return nil, ErrDraining
+		}
+		q.cond.Wait()
+	}
+}
+
+// Heartbeat extends a lease by the queue's TTL and returns the new TTL.
+// ErrUnknownLease means the holder no longer owns the job (resolved, or
+// expired and requeued). A dead job context resolves the job and returns
+// the context error — the holder should stop working on it.
+func (q *Queue) Heartbeat(leaseID string) (time.Duration, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.leases[leaseID]
+	if !ok {
+		return 0, ErrUnknownLease
+	}
+	if err := j.ctx.Err(); err != nil {
+		delete(q.leases, leaseID)
+		q.resolveLocked(j, nil, err, LeaseExpired)
+		return 0, fmt.Errorf("jobq: lease %s: job context: %w", leaseID, err)
+	}
+	j.leaseExp = time.Now().Add(q.leaseTTL)
+	return q.leaseTTL, nil
+}
+
+// Complete resolves a leased job with its result. ErrUnknownLease means
+// the lease is stale (expired, requeued, or already resolved) and the
+// result was NOT applied — the at-most-once guard against late or
+// replayed completions.
+func (q *Queue) Complete(leaseID string, result any) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.leases[leaseID]
+	if !ok {
+		return ErrUnknownLease
+	}
+	delete(q.leases, leaseID)
+	q.executed++
+	q.observeLocked(time.Since(j.grantedAt))
+	q.resolveLocked(j, result, nil, LeaseCompleted)
+	return nil
+}
+
+// Fail resolves a leased job with an error. Retryable failures (the
+// holder is dying, not the job) requeue the job against the retry
+// budget; non-retryable ones (the job itself failed) are terminal.
+func (q *Queue) Fail(leaseID string, cause error, retryable bool) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.leases[leaseID]
+	if !ok {
+		return ErrUnknownLease
+	}
+	delete(q.leases, leaseID)
+	if cause == nil {
+		cause = errors.New("jobq: job failed")
+	}
+	if err := j.ctx.Err(); err != nil {
+		q.resolveLocked(j, nil, err, LeaseExpired)
+		return nil
+	}
+	if !retryable {
+		q.resolveLocked(j, nil, cause, LeaseFailed)
+		return nil
+	}
+	q.requeueLocked(j, cause)
+	return nil
+}
+
+// requeueLocked puts a lapsed or retryably-failed job back at the FRONT
+// of its lane — a retried job keeps its place in line — or fails it when
+// the retry budget is spent.
+func (q *Queue) requeueLocked(j *job, cause error) {
+	j.leaseID = ""
+	if j.attempts >= q.maxAttempts {
+		q.resolveLocked(j, nil, &RetryExhaustedError{Attempts: j.attempts, Last: cause}, LeaseExhausted)
+		return
+	}
+	q.emitLocked(j, LeaseEvent{Kind: LeaseRequeued, Attempt: j.attempts, Err: cause})
+	q.lanes[j.pri] = append([]*job{j}, q.lanes[j.pri]...)
+	q.queued++
+	q.cond.Broadcast()
+}
+
+// ExpireLeases requeues every lease whose heartbeat deadline has passed
+// (crashed or partitioned holder) and resolves jobs — queued or leased —
+// whose own context has ended. The dispatch coordinator calls this on a
+// timer; tests call it directly. Returns how many jobs changed state.
+func (q *Queue) ExpireLeases() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	n := q.cullLocked()
+	now := time.Now()
+	for id, j := range q.leases {
+		if err := j.ctx.Err(); err != nil {
+			delete(q.leases, id)
+			q.resolveLocked(j, nil, err, LeaseExpired)
+			n++
+			continue
+		}
+		if now.After(j.leaseExp) {
+			delete(q.leases, id)
+			q.requeueLocked(j, fmt.Errorf("jobq: lease %s expired (heartbeat lapsed)", id))
+			n++
+		}
+	}
+	return n
+}
+
+// Drain stops intake and waits until every accepted job — push jobs
+// queued or running, and leasable jobs queued, leased, or retrying — has
+// reached a terminal state, or until ctx expires. After Drain begins,
+// Submit returns ErrDraining while Lease keeps serving: accepted work
+// must finish wherever it runs. Drain is idempotent; concurrent calls
+// all wait for the same completion.
 func (q *Queue) Drain(ctx context.Context) error {
 	q.mu.Lock()
 	q.draining = true
@@ -204,6 +729,11 @@ func (q *Queue) Drain(ctx context.Context) error {
 	done := make(chan struct{})
 	go func() {
 		q.wg.Wait()
+		q.mu.Lock()
+		for q.outstanding > 0 {
+			q.cond.Wait()
+		}
+		q.mu.Unlock()
 		close(done)
 	}()
 	select {
@@ -224,20 +754,24 @@ func (q *Queue) Depth() int {
 
 // RetryAfter estimates how long a rejected caller should wait before
 // resubmitting: the time for the pool to work one queue-capacity of
-// backlog off, based on the average job duration seen so far. Never less
-// than a second — the estimate is coarse and clients should not busy-poll.
+// backlog off, based on the average job duration seen so far. Always
+// positive and finite — clamped to [1s, 1h] — whatever the concurrent
+// duration updates did to the estimate.
 func (q *Queue) RetryAfter() time.Duration {
 	q.mu.Lock()
 	avg := q.avgNs
 	depth := q.queued
 	q.mu.Unlock()
-	if avg == 0 {
+	if math.IsNaN(avg) || math.IsInf(avg, 0) || avg <= 0 {
 		return time.Second
 	}
 	slots := (depth + q.workers) / q.workers
 	est := time.Duration(avg * float64(slots))
-	if est < time.Second {
+	switch {
+	case est < time.Second:
 		return time.Second
+	case est > time.Hour:
+		return time.Hour
 	}
 	return est.Round(time.Second)
 }
@@ -247,10 +781,12 @@ func (q *Queue) Snapshot() Stats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	st := Stats{
-		Running:   q.running,
-		Executed:  q.executed,
-		Rejected:  q.rejected,
-		AvgJobDur: time.Duration(q.avgNs),
+		Running:     q.running,
+		Leased:      len(q.leases),
+		Outstanding: q.outstanding,
+		Executed:    q.executed,
+		Rejected:    q.rejected,
+		AvgJobDur:   time.Duration(q.avgNs),
 	}
 	for lane := range q.lanes {
 		st.Queued[lane] = len(q.lanes[lane])

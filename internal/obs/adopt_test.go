@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"testing"
+)
+
+// TestAdoptAtSplicesRemoteSubtree pins the remote-span ingestion used by
+// the dispatch coordinator: a subtree serialized from one trace, adopted
+// under a span of another, reads as that span's descendant — depths and
+// paths rewritten, names/slots/attrs preserved — and sorts into the
+// parent's child slot order alongside live children.
+func TestAdoptAtSplicesRemoteSubtree(t *testing.T) {
+	// Remote side: a worker-built trace with structure.
+	remote := New(Options{})
+	rroot := remote.Start("optimize")
+	rroot.SetAttr("algorithm", "wavemin")
+	rchild := rroot.ChildAt(0, "solve")
+	rchild.Count("labels", 7)
+	rchild.End()
+	rroot.End()
+	revs := remote.Events()
+	if len(revs) != 2 {
+		t.Fatalf("remote events = %d, want 2", len(revs))
+	}
+
+	// Local side: a coordinator span with a live child at slot 0 and the
+	// adopted remote subtree at slot 1.
+	local := New(Options{})
+	job := local.Start("dispatch")
+	lease := job.ChildAt(0, "lease")
+	lease.End()
+	job.AdoptAt(1, revs)
+	tail := job.ChildAt(2, "finish")
+	tail.End()
+	job.End()
+
+	evs := local.Events()
+	wantPaths := []string{
+		"dispatch[0]",
+		"lease[0]",
+		"dispatch[0]/optimize[0]",
+		"dispatch[0]/optimize[0]/solve[0]",
+		"finish[2]",
+	}
+	// joinPath uses the parent's full path, so live children carry it too.
+	wantPaths[1] = "dispatch[0]/lease[0]"
+	wantPaths[4] = "dispatch[0]/finish[2]"
+	if len(evs) != len(wantPaths) {
+		t.Fatalf("events = %d, want %d:\n%+v", len(evs), len(wantPaths), evs)
+	}
+	for i, want := range wantPaths {
+		if evs[i].Path != want {
+			t.Errorf("event %d path = %q, want %q", i, evs[i].Path, want)
+		}
+	}
+	// Depths: dispatch=0, lease=1, optimize=1, solve=2, finish=1.
+	wantDepth := []int{0, 1, 1, 2, 1}
+	for i, want := range wantDepth {
+		if evs[i].Depth != want {
+			t.Errorf("event %d depth = %d, want %d", i, evs[i].Depth, want)
+		}
+	}
+	// Adopted content survives intact.
+	if got := evs[2].Attrs; len(got) != 1 || got[0].Key != "algorithm" || got[0].Value != "wavemin" {
+		t.Errorf("adopted root attrs = %+v", got)
+	}
+	if got := evs[3].Counters["labels"]; got != 7 {
+		t.Errorf("adopted child counter = %d, want 7", got)
+	}
+}
+
+// TestAdoptAtNilAndEmpty pins the no-op paths.
+func TestAdoptAtNilAndEmpty(t *testing.T) {
+	var nilSpan *Span
+	nilSpan.AdoptAt(0, []Event{{Name: "x"}}) // must not panic
+
+	tr := New(Options{})
+	sp := tr.Start("root")
+	sp.AdoptAt(3, nil)
+	sp.End()
+	if evs := tr.Events(); len(evs) != 1 {
+		t.Fatalf("events after empty adopt = %d, want 1", len(evs))
+	}
+	// The empty adopt still advanced the slot counter? It should NOT have:
+	// AdoptAt with no events is a full no-op.
+	c := sp.Child("next")
+	c.End()
+	evs := tr.Events()
+	if evs[1].Slot != 0 {
+		t.Fatalf("child slot after empty adopt = %d, want 0", evs[1].Slot)
+	}
+}

@@ -141,13 +141,22 @@ type Span struct {
 	dur    time.Duration
 	nextCh int // next serial child slot
 
-	mu       sync.Mutex
-	attrs    []Attr
-	counters map[string]int64
-	gauges   map[string]float64
-	sched    map[string]int64
-	snaps    []Snapshot
-	children []*Span
+	mu        sync.Mutex
+	attrs     []Attr
+	counters  map[string]int64
+	gauges    map[string]float64
+	sched     map[string]int64
+	snaps     []Snapshot
+	children  []*Span
+	adoptions []adoption
+}
+
+// adoption is a serialized remote subtree grafted under a span at an
+// explicit child slot — how a dispatch coordinator stitches a worker's
+// trace under its own job span.
+type adoption struct {
+	slot int
+	evs  []Event
 }
 
 // End records the span's duration. Idempotent enough for defer use: the
@@ -185,6 +194,27 @@ func (s *Span) ChildAt(slot int, name string) *Span {
 		return nil
 	}
 	return s.childAt(slot, name)
+}
+
+// AdoptAt grafts an already-serialized span subtree (the Events() output
+// of a trace built elsewhere — typically a remote worker) under this
+// span at an explicit child slot, following the same slot discipline as
+// ChildAt. On serialization the adopted events keep their own names,
+// slots, and relative structure; their Depth and Path are rewritten so
+// they read as descendants of this span. The events are adopted as
+// given: remote Timing blocks survive (StripTiming removes them later),
+// and content determinism is the producer's responsibility.
+func (s *Span) AdoptAt(slot int, evs []Event) {
+	if s == nil || len(evs) == 0 {
+		return
+	}
+	ad := adoption{slot: slot, evs: append([]Event(nil), evs...)}
+	s.mu.Lock()
+	s.adoptions = append(s.adoptions, ad)
+	if slot >= s.nextCh {
+		s.nextCh = slot + 1
+	}
+	s.mu.Unlock()
 }
 
 func (s *Span) childAt(slot int, name string) *Span {
@@ -305,11 +335,33 @@ func (s *Span) appendEvents(out []Event, parentPath string, depth int) []Event {
 		}
 	}
 	children := append([]*Span(nil), s.children...)
+	adoptions := append([]adoption(nil), s.adoptions...)
 	s.mu.Unlock()
-	sort.SliceStable(children, func(i, j int) bool { return children[i].slot < children[j].slot })
 	out = append(out, ev)
+	// Merge live children and adopted subtrees into one slot order.
+	type slotItem struct {
+		slot int
+		sp   *Span
+		ad   *adoption
+	}
+	items := make([]slotItem, 0, len(children)+len(adoptions))
 	for _, c := range children {
-		out = c.appendEvents(out, ev.Path, depth+1)
+		items = append(items, slotItem{slot: c.slot, sp: c})
+	}
+	for i := range adoptions {
+		items = append(items, slotItem{slot: adoptions[i].slot, ad: &adoptions[i]})
+	}
+	sort.SliceStable(items, func(i, j int) bool { return items[i].slot < items[j].slot })
+	for _, it := range items {
+		if it.sp != nil {
+			out = it.sp.appendEvents(out, ev.Path, depth+1)
+			continue
+		}
+		for _, ae := range it.ad.evs {
+			ae.Depth = depth + 1 + ae.Depth
+			ae.Path = ev.Path + "/" + ae.Path
+			out = append(out, ae)
+		}
 	}
 	return out
 }

@@ -85,6 +85,11 @@ type optimizeRequest struct {
 	noCache bool
 	trace   bool
 	key     string
+	// tree and modes retain the canonical problem inputs so a dispatch
+	// coordinator can ship the job to a worker that re-derives the design
+	// bit-for-bit (internal/dispatch.JobSpec).
+	tree  json.RawMessage
+	modes []wavemin.Mode
 }
 
 // decodeOptimizeRequest parses and validates one POST /v1/optimize body.
@@ -142,12 +147,13 @@ func decodeOptimizeRequest(body []byte, opts Options) (*optimizeRequest, *apiErr
 		return nil, badRequest("config: %v", err)
 	}
 
+	var modes []wavemin.Mode
 	if len(wire.Modes) > 0 {
 		if len(wire.Modes) > maxModes {
 			return nil, badRequest("modes: %d modes exceeds the limit of %d", len(wire.Modes), maxModes)
 		}
 		seen := make(map[string]bool, len(wire.Modes))
-		modes := make([]wavemin.Mode, 0, len(wire.Modes))
+		modes = make([]wavemin.Mode, 0, len(wire.Modes))
 		for i, m := range wire.Modes {
 			if m.Name == "" {
 				return nil, badRequest("modes[%d]: missing name", i)
@@ -198,5 +204,7 @@ func decodeOptimizeRequest(body []byte, opts Options) (*optimizeRequest, *apiErr
 		noCache: wire.NoCache,
 		trace:   wire.Trace,
 		key:     key,
+		tree:    wire.Tree,
+		modes:   modes,
 	}, nil
 }

@@ -1,0 +1,188 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"wavemin/internal/dispatch"
+)
+
+// startWorker runs one dispatch worker against the harness until the
+// returned stop function is called (or the server drains).
+func startWorker(t *testing.T, url, id string) (stop func()) {
+	t.Helper()
+	w, err := dispatch.NewWorker(dispatch.WorkerOptions{
+		Coordinator: url,
+		ID:          id,
+		PollWait:    200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_ = w.Run(context.Background())
+	}()
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		w.Kill()
+		<-done
+	}
+}
+
+// TestDispatchServerEndToEnd drives the full fleet path through the
+// public API: a coordinator-mode server, two remote workers, a traced
+// request — asserting completion, the stitched dispatch trace, cache
+// replay, and a clean drain that releases the workers.
+func TestDispatchServerEndToEnd(t *testing.T) {
+	srv := New(Options{
+		Workers:        1,
+		DefaultTimeout: time.Minute,
+		MaxTimeout:     time.Minute,
+		Dispatch: &dispatch.Options{
+			LeaseTTL:      2 * time.Second,
+			SweepInterval: 100 * time.Millisecond,
+			MaxAttempts:   3,
+			LocalExec:     false, // force the remote path
+		},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	stop1 := startWorker(t, ts.URL, "w1")
+	defer stop1()
+	stop2 := startWorker(t, ts.URL, "w2")
+	defer stop2()
+	h := &harness{t: t, srv: srv, ts: ts}
+
+	body := marshalReq(t, map[string]any{
+		"tree":   smallTreeJSON(t, 12),
+		"config": fastConfig(),
+		"trace":  true,
+	})
+	code, resp := h.post(body)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %v", code, resp)
+	}
+	id := resp["jobId"].(string)
+	v := h.waitJob(id, 30*time.Second)
+	if v.Status != StatusDone {
+		t.Fatalf("job status = %s (error %q), want done", v.Status, v.Error)
+	}
+	if v.AlgorithmUsed == "" {
+		t.Error("job record missing algorithmUsed")
+	}
+
+	// The result must decode as a wavemin result with zero Runtime (the
+	// dispatch path's canonical-bytes rule).
+	code, rb := h.get("/v1/jobs/" + id + "/result")
+	if code != http.StatusOK {
+		t.Fatalf("result: status %d: %s", code, rb)
+	}
+	var rres struct {
+		Result map[string]any `json:"result"`
+	}
+	if err := json.Unmarshal(rb, &rres); err != nil {
+		t.Fatal(err)
+	}
+	if rt, ok := rres.Result["Runtime"].(float64); !ok || rt != 0 {
+		t.Errorf("dispatched result Runtime = %v, want 0 (canonical bytes)", rres.Result["Runtime"])
+	}
+
+	// The trace is the coordinator's dispatch tree with the worker's
+	// solver trace stitched underneath.
+	code, tb := h.get("/v1/jobs/" + id + "/trace")
+	if code != http.StatusOK {
+		t.Fatalf("trace: status %d: %s", code, tb)
+	}
+	trace := string(tb)
+	for _, want := range []string{`"path":"dispatch[0]"`, `"path":"dispatch[0]/attempt[0]"`, `dispatch[0]/attempt[0]/optimize[0]`} {
+		if !strings.Contains(trace, want) {
+			t.Errorf("trace missing %s", want)
+		}
+	}
+
+	// An identical resubmission is a cache hit with byte-identical result.
+	code, resp = h.post(body)
+	if code != http.StatusOK || resp["cacheHit"] != true {
+		t.Fatalf("resubmit: status %d, cacheHit %v; want 200 cached", code, resp["cacheHit"])
+	}
+	id2 := resp["jobId"].(string)
+	_, rb2 := h.get("/v1/jobs/" + id2 + "/result")
+	var rres2 struct {
+		Result json.RawMessage `json:"result"`
+	}
+	var rres1 struct {
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(rb, &rres1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(rb2, &rres2); err != nil {
+		t.Fatal(err)
+	}
+	if string(rres1.Result) != string(rres2.Result) {
+		t.Error("cache replay bytes differ from the dispatched result")
+	}
+
+	// Drain: accepted work is done, so drain completes promptly and the
+	// lease endpoint starts reporting draining, releasing worker loops.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+}
+
+// TestDispatchLocalExecMatchesInProcessPath pins the hybrid default
+// against PR 4 semantics: a coordinator with LocalExec and zero remote
+// workers must answer exactly like the plain in-process server — same
+// result fields, modulo the Runtime wall clock the dispatch path zeroes.
+func TestDispatchLocalExecMatchesInProcessPath(t *testing.T) {
+	body := marshalReq(t, map[string]any{
+		"tree":   smallTreeJSON(t, 12),
+		"config": fastConfig(),
+	})
+
+	runOne := func(opts Options) map[string]any {
+		h := newHarness(t, opts)
+		code, resp := h.post(body)
+		if code != http.StatusAccepted {
+			t.Fatalf("submit: status %d: %v", code, resp)
+		}
+		id := resp["jobId"].(string)
+		if v := h.waitJob(id, 30*time.Second); v.Status != StatusDone {
+			t.Fatalf("job status = %s (error %q)", v.Status, v.Error)
+		}
+		_, rb := h.get("/v1/jobs/" + id + "/result")
+		var rres struct {
+			Result map[string]any `json:"result"`
+		}
+		if err := json.Unmarshal(rb, &rres); err != nil {
+			t.Fatal(err)
+		}
+		return rres.Result
+	}
+
+	plain := runOne(Options{Workers: 1, DefaultTimeout: time.Minute, MaxTimeout: time.Minute})
+	hybrid := runOne(Options{Workers: 1, DefaultTimeout: time.Minute, MaxTimeout: time.Minute,
+		Dispatch: &dispatch.Options{LocalExec: true}})
+
+	// Runtime is the one legitimate difference: wall clock on the local
+	// path, canonically zero on the dispatch path.
+	delete(plain, "Runtime")
+	delete(hybrid, "Runtime")
+	if !reflect.DeepEqual(plain, hybrid) {
+		t.Errorf("hybrid result diverged from the in-process path:\nplain:  %v\nhybrid: %v", plain, hybrid)
+	}
+}

@@ -38,6 +38,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wavemin/internal/dispatch"
 	"wavemin/internal/jobq"
 	"wavemin/internal/obs"
 	"wavemin/internal/rescache"
@@ -55,6 +56,12 @@ type Options struct {
 	MaxJobs          int           // finished job records retained (default 4096)
 	MaxSolverWorkers int           // cap on per-job solver parallelism (0 = uncapped)
 	Debug            bool          // mount /debug/vars and /debug/pprof
+	// Dispatch, when non-nil, runs the server as a dispatch coordinator:
+	// jobs are enqueued as leasable work that `wavemind -role=worker`
+	// processes pull over /v1/dispatch/*, and (with Dispatch.LocalExec)
+	// the local pool still executes whatever no worker claims. Nil — the
+	// default — keeps the PR 4 in-process path exactly as it was.
+	Dispatch *dispatch.Options
 }
 
 func (o Options) withDefaults() Options {
@@ -170,6 +177,9 @@ type Server struct {
 	cache *rescache.Cache
 	mux   *http.ServeMux
 
+	coord      *dispatch.Coordinator // non-nil iff Options.Dispatch was set
+	dispatchWG sync.WaitGroup        // finishDispatched goroutines in flight
+
 	draining atomic.Bool
 	nextID   atomic.Int64
 	met      counters
@@ -188,8 +198,18 @@ func New(opts Options) *Server {
 		cache: rescache.New(opts.CacheMaxBytes, opts.CacheMaxEntries),
 		jobs:  make(map[string]*job),
 	}
+	if opts.Dispatch != nil {
+		dopts := *opts.Dispatch
+		if dopts.SolverWorkers == 0 {
+			dopts.SolverWorkers = opts.MaxSolverWorkers
+		}
+		s.coord = dispatch.NewCoordinator(s.q, dopts)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/optimize", s.handleOptimize)
+	if s.coord != nil {
+		s.coord.Register(mux)
+	}
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
@@ -212,8 +232,21 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // expires — the SIGTERM path.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
-	return s.q.Drain(ctx)
+	err := s.q.Drain(ctx)
+	if err == nil {
+		// The queue resolved every ticket; wait for the goroutines that
+		// turn resolved tickets into job records and cache entries.
+		s.dispatchWG.Wait()
+	}
+	if s.coord != nil {
+		s.coord.Close()
+	}
+	return err
 }
+
+// Coordinator returns the dispatch coordinator, or nil when the server
+// runs pure in-process (Options.Dispatch unset).
+func (s *Server) Coordinator() *dispatch.Coordinator { return s.coord }
 
 // MetricsSnapshot returns the server's counters.
 func (s *Server) MetricsSnapshot() Metrics {
@@ -280,34 +313,132 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 
 	j := s.addJob(req, false)
-	jctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(req.timeout))
+	deadline := time.Now().Add(req.timeout)
+	jctx, cancel := context.WithDeadline(context.Background(), deadline)
 	j.cancel = cancel
-	err = s.q.Submit(jctx, req.pri, func(ctx context.Context) { s.runJob(ctx, j, req) })
+	if s.coord != nil {
+		err = s.submitDispatched(jctx, j, req, deadline)
+	} else {
+		err = s.q.Submit(jctx, req.pri, func(ctx context.Context) { s.runJob(ctx, j, req) })
+	}
 	if err != nil {
 		cancel()
 		s.removeJob(j.id)
-		switch {
-		case errors.Is(err, jobq.ErrFull):
-			bump(&s.met.rejectedFull, "server_rejected_full")
-			retry := s.q.RetryAfter()
-			w.Header().Set("Retry-After", strconv.Itoa(int(retry.Seconds())))
-			writeJSON(w, http.StatusTooManyRequests, map[string]any{
-				"error": map[string]any{
-					"code":              "queue_full",
-					"message":           "job queue at capacity; retry later",
-					"retryAfterSeconds": int(retry.Seconds()),
-				},
-			})
-		case errors.Is(err, jobq.ErrDraining):
-			s.rejectDraining(w)
-		default:
-			writeAPIError(w, badRequest("submit: %v", err))
-		}
+		s.writeSubmitError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{
 		"jobId": j.id, "status": StatusQueued, "cacheHit": false,
 	})
+}
+
+// writeSubmitError renders a queue-admission failure: 429 + Retry-After
+// on a full backlog, 503 while draining, 400 otherwise.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, jobq.ErrFull):
+		bump(&s.met.rejectedFull, "server_rejected_full")
+		retry := s.q.RetryAfter()
+		w.Header().Set("Retry-After", strconv.Itoa(int(retry.Seconds())))
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error": map[string]any{
+				"code":              "queue_full",
+				"message":           "job queue at capacity; retry later",
+				"retryAfterSeconds": int(retry.Seconds()),
+			},
+		})
+	case errors.Is(err, jobq.ErrDraining):
+		s.rejectDraining(w)
+	default:
+		writeAPIError(w, badRequest("submit: %v", err))
+	}
+}
+
+// submitDispatched enqueues a job through the dispatch coordinator:
+// instead of a closure bound to this process, the queue carries a
+// serializable JobSpec that a remote worker (or the local executor) can
+// run — same deadlines, same cache policy, same canonical result bytes.
+func (s *Server) submitDispatched(jctx context.Context, j *job, req *optimizeRequest, deadline time.Time) error {
+	spec := &dispatch.JobSpec{
+		Tree:     req.tree,
+		Config:   req.cfg,
+		Modes:    req.modes,
+		Trace:    req.trace,
+		Key:      req.key,
+		Deadline: deadline,
+	}
+	var tr *obs.Trace
+	if req.trace {
+		mem := &obs.Memory{}
+		tr = obs.New(obs.Options{})
+		tr.AttachSink(mem)
+		tr.AttachSink(obs.ExpvarSink{})
+		j.mu.Lock()
+		j.trace = mem
+		j.mu.Unlock()
+	}
+	tk, err := s.coord.Submit(jctx, req.pri, spec, tr, func(ev jobq.LeaseEvent) {
+		// Runs under the queue lock: job-record field writes only.
+		if ev.Kind == jobq.LeaseGranted && ev.Attempt == 1 {
+			j.mu.Lock()
+			j.status = StatusRunning
+			j.started = time.Now()
+			j.mu.Unlock()
+		}
+	})
+	if err != nil {
+		return err
+	}
+	s.dispatchWG.Add(1)
+	go s.finishDispatched(j, req, tr, tk)
+	return nil
+}
+
+// finishDispatched waits for a dispatched job's ticket and lands the
+// outcome in the job record and (for clean, undegraded results) the
+// cache — the dispatch-path twin of runJob's tail.
+func (s *Server) finishDispatched(j *job, req *optimizeRequest, tr *obs.Trace, tk *jobq.Ticket) {
+	defer s.dispatchWG.Done()
+	defer j.cancel()
+	<-tk.Done()
+	result, err := tk.Outcome()
+	if ferr := tr.Flush(); ferr != nil && err == nil {
+		err = fmt.Errorf("trace flush: %w", ferr)
+	}
+	if err != nil {
+		var rex *jobq.RetryExhaustedError
+		switch {
+		case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+			bump(&s.met.expired, "server_jobs_expired")
+			j.finishErr(StatusExpired, err)
+		case errors.As(err, &rex):
+			bump(&s.met.failed, "server_jobs_failed")
+			j.finishErr(StatusFailed, err)
+		default:
+			bump(&s.met.failed, "server_jobs_failed")
+			j.finishErr(StatusFailed, err)
+		}
+		return
+	}
+	out, ok := result.(*dispatch.Outcome)
+	if !ok {
+		bump(&s.met.failed, "server_jobs_failed")
+		j.finishErr(StatusFailed, fmt.Errorf("dispatch: unexpected outcome %T", result))
+		return
+	}
+	// Same cache policy as the local path: degraded results are what the
+	// deadline allowed, not the answer to the problem — never cache them.
+	if !out.Degraded && !req.noCache {
+		s.cache.Put(req.key, out.ResultJSON)
+	}
+	bump(&s.met.completed, "server_jobs_completed")
+	j.mu.Lock()
+	j.status = StatusDone
+	j.finished = time.Now()
+	j.resultJSON = out.ResultJSON
+	j.algorithmUsed = out.AlgorithmUsed
+	j.degraded = out.Degraded
+	j.mu.Unlock()
 }
 
 func (s *Server) rejectDraining(w http.ResponseWriter) {
