@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DATE := $(shell date +%F)
 BENCH_LATEST = $(lastword $(sort $(filter-out BENCH_baseline.json,$(wildcard BENCH_*.json))))
 
-.PHONY: build test vet race check verify bench benchdiff cover e2e e2e-dispatch fuzz-smoke
+.PHONY: build test vet race check verify bench benchdiff cover e2e e2e-dispatch e2e-crash fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -23,14 +23,15 @@ race: vet
 # Default gate: tier 1, vet, the worker-determinism tests under the race
 # detector (the parallel fan-outs must be bitwise reproducible at any
 # worker count; the full -race suite stays in `make race`), the coverage
-# floor, and a short fuzz smoke over the lease protocol.
-check: test vet cover fuzz-smoke
+# floor, a short fuzz smoke over the lease protocol and journal replay,
+# and the subprocess kill -9 recovery loop.
+check: test vet cover fuzz-smoke e2e-crash
 	$(GO) test -race -run Parallel . ./internal/...
 
 # Coverage with floors: internal/obs (the telemetry layer every solver
-# calls into) and the serving stack (jobq, rescache, server) must stay
-# above 70% statement coverage; everything else is reported for
-# information only.
+# calls into), the serving stack (jobq, rescache, server, dispatch), and
+# the durability tier (wal, castore) must stay above 70% statement
+# coverage; everything else is reported for information only.
 cover:
 	$(GO) test -coverprofile=cover.out ./...
 	$(GO) run ./scripts/coverfloor -profile cover.out \
@@ -38,7 +39,9 @@ cover:
 		-floor wavemin/internal/jobq=70 \
 		-floor wavemin/internal/rescache=70 \
 		-floor wavemin/internal/server=70 \
-		-floor wavemin/internal/dispatch=70
+		-floor wavemin/internal/dispatch=70 \
+		-floor wavemin/internal/wal=70 \
+		-floor wavemin/internal/castore=70
 	@rm -f cover.out
 
 # End-to-end: the wavemind service suite (full HTTP stack, queue,
@@ -53,11 +56,20 @@ e2e:
 e2e-dispatch:
 	$(GO) test -race -timeout 180s ./internal/dispatch/...
 
-# Short fuzz pass over the lease wire protocol: malformed bodies, stale
-# and replayed lease IDs. Seconds-long smoke for `make check`; run with
-# a larger -fuzztime when hunting.
+# Crash-recovery e2e: build the real wavemind binary, kill -9 it at
+# seeded-random moments across several incarnations on one -data-dir,
+# and assert the final incarnation answers every problem with
+# byte-identical results. WAVEMIND_E2E_CRASH_SEED varies the schedule.
+e2e-crash:
+	WAVEMIND_E2E_CRASH=1 $(GO) test -timeout 120s -run '^TestCrashLoopKill9$$' ./internal/server
+
+# Short fuzz passes: the lease wire protocol (malformed bodies, stale
+# and replayed lease IDs) and journal replay (arbitrary bytes on disk
+# must recover or refuse, never panic). Seconds-long smoke for
+# `make check`; run with a larger -fuzztime when hunting.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzLeaseProtocol$$' -fuzztime 5s ./internal/dispatch
+	$(GO) test -run '^$$' -fuzz '^FuzzJournalReplay$$' -fuzztime 5s ./internal/wal
 
 verify: test race
 

@@ -11,7 +11,8 @@
 //	         [-default-timeout 30s] [-max-timeout 2m] [-drain-timeout 1m]
 //	         [-lease-ttl 15s] [-max-attempts 3] [-dispatch-local]
 //	         [-join URL] [-worker-id ID] [-poll-wait 2s]
-//	         [-debug]
+//	         [-data-dir DIR] [-fsync batch] [-recover-best-effort]
+//	         [-store-bytes 268435456] [-debug]
 //
 // Roles:
 //
@@ -66,6 +67,11 @@ func main() {
 		drainTimeout  = flag.Duration("drain-timeout", time.Minute, "how long shutdown waits for accepted jobs to finish")
 		debug         = flag.Bool("debug", false, "serve expvar (/debug/vars) and pprof (/debug/pprof) on -addr")
 
+		dataDir    = flag.String("data-dir", "", "durable state directory (journal + result store); empty = in-memory only")
+		fsync      = flag.String("fsync", "batch", "journal durability: always, batch, or none")
+		recoverBE  = flag.Bool("recover-best-effort", false, "salvage the valid journal prefix past mid-journal corruption instead of refusing to start")
+		storeBytes = flag.Int64("store-bytes", 256<<20, "persistent result store size bound, bytes (with -data-dir)")
+
 		leaseTTL      = flag.Duration("lease-ttl", 15*time.Second, "coordinator: lease heartbeat deadline; a silent worker loses the job after this")
 		maxAttempts   = flag.Int("max-attempts", 3, "coordinator: lease grants per job before it fails as retry-exhausted")
 		dispatchLocal = flag.Bool("dispatch-local", true, "coordinator: let the local pool run jobs no worker claims")
@@ -86,14 +92,18 @@ func main() {
 	}
 
 	opts := server.Options{
-		QueueCapacity:    *queue,
-		Workers:          *workers,
-		MaxSolverWorkers: *solverWorkers,
-		CacheMaxBytes:    *cacheBytes,
-		CacheMaxEntries:  *cacheEntries,
-		DefaultTimeout:   *defTimeout,
-		MaxTimeout:       *maxTimeout,
-		Debug:            *debug,
+		QueueCapacity:     *queue,
+		Workers:           *workers,
+		MaxSolverWorkers:  *solverWorkers,
+		CacheMaxBytes:     *cacheBytes,
+		CacheMaxEntries:   *cacheEntries,
+		DefaultTimeout:    *defTimeout,
+		MaxTimeout:        *maxTimeout,
+		Debug:             *debug,
+		DataDir:           *dataDir,
+		Fsync:             *fsync,
+		RecoverBestEffort: *recoverBE,
+		StoreMaxBytes:     *storeBytes,
 	}
 	if *role == "coordinator" {
 		opts.Dispatch = &dispatch.Options{
@@ -102,7 +112,18 @@ func main() {
 			LocalExec:   *dispatchLocal,
 		}
 	}
-	srv := server.New(opts)
+	srv, err := server.New(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rec := srv.Recovery(); rec.Durable {
+		log.Printf("recovered %d job(s) from %s (replayed %d records, %d checkpoint(s))",
+			rec.JobsRestored, *dataDir, rec.Records, rec.Checkpoints)
+		if rec.Salvaged || rec.TornBytes > 0 {
+			log.Printf("journal recovery was lossy: torn bytes %d, salvaged=%v, quarantined segments %d",
+				rec.TornBytes, rec.Salvaged, rec.Quarantined)
+		}
+	}
 	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	done := make(chan struct{})

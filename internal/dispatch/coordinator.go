@@ -36,6 +36,17 @@ type Options struct {
 	// MaxLeaseWait bounds the long-poll duration of the lease endpoint
 	// (default 30s); client waitMs beyond it is clamped.
 	MaxLeaseWait time.Duration
+	// MaxWireBytes bounds a protocol request body (default 64 MiB).
+	// Outcome bodies carry a full result plus trace events, so the
+	// default is generous; operators fronting untrusted workers can
+	// tighten it.
+	MaxWireBytes int64
+	// PersistResult, when set, makes completion durable-before-ack: it is
+	// called with the job's cache key and canonical result bytes BEFORE
+	// the completion is applied to the queue, and an error refuses the
+	// completion (the worker's report is rejected, the lease eventually
+	// lapses, and the job re-runs). Degraded results are not persisted.
+	PersistResult func(key string, resultJSON []byte) error
 }
 
 func (o Options) withDefaults() Options {
@@ -50,6 +61,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxLeaseWait == 0 {
 		o.MaxLeaseWait = 30 * time.Second
+	}
+	if o.MaxWireBytes == 0 {
+		o.MaxWireBytes = 64 << 20
 	}
 	return o
 }
@@ -93,7 +107,19 @@ func NewCoordinator(q *jobq.Queue, opts Options) *Coordinator {
 			if !ok {
 				return nil, fmt.Errorf("dispatch: unexpected payload %T", payload)
 			}
-			return ExecuteSpec(ctx, spec, opts.SolverWorkers)
+			out, err := ExecuteSpec(ctx, spec, opts.SolverWorkers)
+			if err != nil {
+				return nil, err
+			}
+			// Durable-before-ack: the result bytes reach stable storage
+			// before the queue learns the job completed, so a journal that
+			// says "complete" always has the bytes to back it up.
+			if opts.PersistResult != nil && !out.Degraded && !spec.NoCache {
+				if perr := opts.PersistResult(spec.Key, out.ResultJSON); perr != nil {
+					return nil, fmt.Errorf("dispatch: persist result: %w", perr)
+				}
+			}
+			return out, nil
 		})
 	}
 	c.sweeper.Add(1)
@@ -181,6 +207,9 @@ type completeRequest struct {
 	WorkerID string   `json:"workerId"`
 	LeaseID  string   `json:"leaseId"`
 	Outcome  *Outcome `json:"outcome"`
+	// Key echoes the spec's cache key so a durable coordinator can
+	// persist the result before applying the completion.
+	Key string `json:"key,omitempty"`
 }
 
 // failRequest is the body of POST /v1/dispatch/fail.
@@ -210,14 +239,18 @@ func (c *Coordinator) Register(mux *http.ServeMux) {
 	mux.HandleFunc("POST /v1/dispatch/fail", c.handleFail)
 }
 
-// maxWireBytes bounds a protocol request body. Outcome bodies carry a
-// full result plus trace events, so the bound is generous.
+// maxWireBytes is the default protocol body bound; Options.MaxWireBytes
+// overrides it per coordinator. Workers also use it to cap how much of a
+// coordinator response they will read.
 const maxWireBytes = 64 << 20
 
 // decodeWire reads and decodes one protocol body into dst, returning a
 // structured 4xx error for every malformed input.
-func decodeWire(w http.ResponseWriter, r *http.Request, dst any) *wireError {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxWireBytes))
+func decodeWire(w http.ResponseWriter, r *http.Request, dst any, limit int64) *wireError {
+	if limit <= 0 {
+		limit = maxWireBytes
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, limit))
 	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
@@ -262,7 +295,7 @@ func staleLease(w http.ResponseWriter, c *Coordinator) {
 
 func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 	var req leaseRequest
-	if werr := decodeWire(w, r, &req); werr != nil {
+	if werr := decodeWire(w, r, &req, c.opts.MaxWireBytes); werr != nil {
 		writeWireError(w, werr)
 		return
 	}
@@ -329,7 +362,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	var req heartbeatRequest
-	if werr := decodeWire(w, r, &req); werr != nil {
+	if werr := decodeWire(w, r, &req, c.opts.MaxWireBytes); werr != nil {
 		writeWireError(w, werr)
 		return
 	}
@@ -356,7 +389,7 @@ func (c *Coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 	var req completeRequest
-	if werr := decodeWire(w, r, &req); werr != nil {
+	if werr := decodeWire(w, r, &req, c.opts.MaxWireBytes); werr != nil {
 		writeWireError(w, werr)
 		return
 	}
@@ -364,6 +397,18 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 		writeWireError(w, &wireError{status: http.StatusBadRequest, code: "bad_request",
 			message: "completion requires \"leaseId\" and a non-empty \"outcome.resultJson\""})
 		return
+	}
+	// Durable-before-ack: the result bytes must be on stable storage
+	// before the completion is applied, or a crash between the two could
+	// journal a completed job whose result no longer exists. A persist
+	// failure refuses the completion — the lease lapses and the job
+	// re-runs — rather than acknowledging what cannot be kept.
+	if c.opts.PersistResult != nil && req.Key != "" && !req.Outcome.Degraded {
+		if err := c.opts.PersistResult(req.Key, req.Outcome.ResultJSON); err != nil {
+			writeWireError(w, &wireError{status: http.StatusServiceUnavailable, code: "persist_failed",
+				message: fmt.Sprintf("result could not be made durable: %v", err)})
+			return
+		}
 	}
 	if err := c.q.Complete(req.LeaseID, req.Outcome); err != nil {
 		staleLease(w, c)
@@ -375,7 +420,7 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 
 func (c *Coordinator) handleFail(w http.ResponseWriter, r *http.Request) {
 	var req failRequest
-	if werr := decodeWire(w, r, &req); werr != nil {
+	if werr := decodeWire(w, r, &req, c.opts.MaxWireBytes); werr != nil {
 		writeWireError(w, werr)
 		return
 	}

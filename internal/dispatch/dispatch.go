@@ -56,6 +56,13 @@ type JobSpec struct {
 	// job is queued or leased; a worker must bound its solve by it. Zero
 	// means no deadline.
 	Deadline time.Time `json:"deadline"`
+	// JobID is the submitting server's public job identifier. It rides in
+	// the spec so a coordinator that crashes and replays its journal can
+	// rebuild its job registry under the same IDs clients are polling.
+	JobID string `json:"jobId,omitempty"`
+	// NoCache mirrors the request's cache opt-out, so a recovered job
+	// keeps the caching policy it was submitted with.
+	NoCache bool `json:"noCache,omitempty"`
 }
 
 // Outcome is the terminal result of a successfully completed job: the

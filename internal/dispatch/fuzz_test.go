@@ -301,3 +301,55 @@ func FuzzLeaseProtocol(f *testing.F) {
 		}
 	})
 }
+
+// TestWireBodyBoundConfigurable pins Options.MaxWireBytes: every
+// protocol endpoint rejects bodies past the configured bound with a
+// structured 413 before decoding, while messages inside the bound keep
+// flowing on the same coordinator.
+func TestWireBodyBoundConfigurable(t *testing.T) {
+	spec := testSpec(t, 8, 0, false)
+	tc := newTestCoord(t, 1, Options{
+		LeaseTTL:      time.Minute,
+		SweepInterval: time.Hour,
+		MaxAttempts:   3,
+		MaxWireBytes:  32 << 10,
+	})
+	base := tc.ts.URL
+
+	oversized, _ := json.Marshal(map[string]any{
+		"workerId": "w",
+		"leaseId":  "L-00000001",
+		"padding":  strings.Repeat("x", 64<<10),
+	})
+	for _, path := range dispatchPaths {
+		status, rb := postRaw(t, base, path, oversized)
+		if status != http.StatusRequestEntityTooLarge {
+			t.Fatalf("%s oversized body: status %d (%s), want 413", path, status, rb)
+		}
+		assertStructured4xx(t, path, status, rb)
+		var e struct {
+			Error struct {
+				Code string `json:"code"`
+			} `json:"error"`
+		}
+		if json.Unmarshal(rb, &e); e.Error.Code != "too_large" {
+			t.Fatalf("%s oversized body: code %q, want too_large", path, e.Error.Code)
+		}
+	}
+
+	// The bound rejects, it does not wedge: a normal-sized exchange on the
+	// same coordinator still completes end to end.
+	tk := tc.submit(spec, time.Minute)
+	lease := leaseViaHTTP(t, base)
+	out, err := ExecuteSpec(context.Background(), spec, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done, _ := json.Marshal(completeRequest{WorkerID: "w", LeaseID: lease.LeaseID, Outcome: out})
+	if status, rb := postRaw(t, base, "/v1/dispatch/complete", done); status != http.StatusOK {
+		t.Fatalf("in-bound complete: status %d: %s", status, rb)
+	}
+	if _, err := awaitTicket(t, tk, 10*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}

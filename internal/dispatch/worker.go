@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sync/atomic"
 	"time"
@@ -33,6 +34,14 @@ type WorkerOptions struct {
 	Client *http.Client
 	// PollWait is the long-poll duration per lease request (default 2s).
 	PollWait time.Duration
+	// RetryBaseWait seeds the lease-poll backoff after a transport
+	// failure (default 100ms). Each consecutive failure doubles the wait
+	// up to RetryMaxWait, with full jitter, and any successful poll —
+	// including an empty 204 — resets it, so a restarting coordinator is
+	// not met by its whole fleet retrying in lockstep.
+	RetryBaseWait time.Duration
+	// RetryMaxWait caps the backoff (default 5s).
+	RetryMaxWait time.Duration
 }
 
 // Worker pulls jobs from a coordinator and solves them: the client side
@@ -55,6 +64,15 @@ func NewWorker(opts WorkerOptions) (*Worker, error) {
 	}
 	if opts.PollWait <= 0 {
 		opts.PollWait = 2 * time.Second
+	}
+	if opts.RetryBaseWait <= 0 {
+		opts.RetryBaseWait = 100 * time.Millisecond
+	}
+	if opts.RetryMaxWait <= 0 {
+		opts.RetryMaxWait = 5 * time.Second
+	}
+	if opts.RetryMaxWait < opts.RetryBaseWait {
+		opts.RetryMaxWait = opts.RetryBaseWait
 	}
 	client := opts.Client
 	if client == nil {
@@ -81,6 +99,7 @@ func (w *Worker) Run(ctx context.Context) error {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	w.cancel.Store(cancel)
+	retryWait := w.opts.RetryBaseWait
 	for {
 		if w.killed.Load() {
 			return ErrKilled
@@ -100,14 +119,22 @@ func (w *Worker) Run(ctx context.Context) error {
 				return ctx.Err()
 			}
 			// Transient poll failure (coordinator restarting, network
-			// blip): back off briefly and retry.
+			// blip): exponential backoff with full jitter, so a fleet of
+			// workers spreads its retries instead of stampeding the
+			// coordinator the instant it comes back.
+			jittered := retryWait/2 + time.Duration(rand.Int63n(int64(retryWait/2)+1))
 			select {
-			case <-time.After(200 * time.Millisecond):
+			case <-time.After(jittered):
 			case <-ctx.Done():
 				return ctx.Err()
 			}
+			retryWait *= 2
+			if retryWait > w.opts.RetryMaxWait {
+				retryWait = w.opts.RetryMaxWait
+			}
 			continue
 		}
+		retryWait = w.opts.RetryBaseWait // the coordinator answered
 		if lease == nil {
 			continue // long poll elapsed with no work
 		}
@@ -222,9 +249,15 @@ func (w *Worker) serve(ctx context.Context, lease *leaseResponse) {
 		})
 		return
 	}
+	// Echo the cache key so the coordinator can persist the result before
+	// acknowledging the completion; a cache opt-out job omits it.
+	key := lease.Spec.Key
+	if lease.Spec.NoCache {
+		key = ""
+	}
 	for attempt := 0; attempt < 3; attempt++ {
 		status, _, err := w.post(repCtx, "/v1/dispatch/complete", completeRequest{
-			WorkerID: w.opts.ID, LeaseID: lease.LeaseID, Outcome: outcome,
+			WorkerID: w.opts.ID, LeaseID: lease.LeaseID, Outcome: outcome, Key: key,
 		})
 		if err == nil {
 			_ = status // 200 applied; 409 stale (someone else owns the job now)

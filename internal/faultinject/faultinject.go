@@ -34,12 +34,23 @@ const (
 	// mid-solve and to drop heartbeats.
 	SiteWorkerExecute   = "dispatch.worker.execute"   // before a worker runs a leased job
 	SiteWorkerHeartbeat = "dispatch.worker.heartbeat" // before each heartbeat send
+
+	// Durability-layer error sites (see ErrAt): the WAL and the
+	// content-addressed store consult these before the corresponding IO,
+	// so the recovery suite can make fsyncs fail, renames fail, and
+	// appends tear mid-record without a real disk fault.
+	SiteWALSync       = "wal.sync"       // before fsync of a journal segment
+	SiteWALAppend     = "wal.append"     // before writing a batch of records; an injected error tears the batch mid-frame
+	SiteCastoreWrite  = "castore.write"  // before writing an entry's temp file
+	SiteCastoreRename = "castore.rename" // before the tmp→final rename
+	SiteCastoreSync   = "castore.sync"   // before fsync of an entry file
 )
 
 var (
-	active atomic.Int32 // number of registered hooks; 0 = fast path
+	active atomic.Int32 // number of registered hooks (At + ErrAt); 0 = fast path
 	mu     sync.Mutex
 	hooks  = make(map[string]func())
+	errs   = make(map[string]func() error)
 )
 
 // At runs the hook registered for site, if any. Safe for concurrent use;
@@ -75,6 +86,43 @@ func Set(site string, fn func()) {
 	}
 }
 
+// ErrAt returns the error injected at site, if any. Durability code
+// (WAL fsync, castore rename) consults it before the real IO so tests
+// can simulate disk faults; like At, it is a single atomic load when no
+// hooks are registered.
+func ErrAt(site string) error {
+	if active.Load() == 0 {
+		return nil
+	}
+	mu.Lock()
+	fn := errs[site]
+	mu.Unlock()
+	if fn != nil {
+		return fn()
+	}
+	return nil
+}
+
+// SetErr registers fn as the error source for ErrAt(site), replacing any
+// previous one. fn returning nil lets the IO proceed — so a hook can
+// fail only the Nth call. A nil fn clears the site.
+func SetErr(site string, fn func() error) {
+	mu.Lock()
+	defer mu.Unlock()
+	_, had := errs[site]
+	if fn == nil {
+		if had {
+			delete(errs, site)
+			active.Add(-1)
+		}
+		return
+	}
+	errs[site] = fn
+	if !had {
+		active.Add(1)
+	}
+}
+
 // Clear removes the hook for site, if any.
 func Clear(site string) { Set(site, nil) }
 
@@ -85,6 +133,9 @@ func Reset() {
 	defer mu.Unlock()
 	for k := range hooks {
 		delete(hooks, k)
+	}
+	for k := range errs {
+		delete(errs, k)
 	}
 	active.Store(0)
 }

@@ -39,7 +39,10 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"wavemin/internal/wal"
 )
 
 // Priority selects the lane. Higher priorities are always dequeued first;
@@ -115,10 +118,12 @@ func (e *RetryExhaustedError) Error() string {
 func (e *RetryExhaustedError) Unwrap() error { return e.Last }
 
 type job struct {
-	ctx context.Context
-	run func(ctx context.Context) // push job; nil for leasable jobs
+	ctx    context.Context
+	cancel context.CancelFunc        // non-nil only for restored deadline contexts
+	run    func(ctx context.Context) // push job; nil for leasable jobs
 
 	// Leasable-job state, guarded by the queue mutex.
+	id        uint64 // journal identity; 0 = never journaled
 	pri       Priority
 	payload   any
 	ticket    *Ticket
@@ -252,9 +257,18 @@ type Queue struct {
 	leaseTTL    time.Duration
 	maxAttempts int
 	leaseSeq    int64
+	leaseEpoch  string
 	leases      map[string]*job
 	outstanding int
 	leaseExec   func(ctx context.Context, payload any) (any, error)
+	retryHint   time.Duration
+
+	// Durability (see journal.go). jrnl/codec are set once by
+	// AttachJournal before serving; jobSeq assigns journal identities.
+	jrnl        *wal.Writer
+	codec       PayloadCodec
+	jobSeq      uint64
+	journalErrs atomic.Int64
 
 	wg sync.WaitGroup
 }
@@ -274,7 +288,13 @@ func New(capacity, workers int) *Queue {
 		workers:     workers,
 		leaseTTL:    15 * time.Second,
 		maxAttempts: 3,
-		leases:      make(map[string]*job),
+		retryHint:   time.Second,
+		// Lease IDs carry a per-incarnation epoch so that after a crash
+		// and journal replay, a stale worker holding a pre-crash lease can
+		// never collide with a freshly issued ID: its mutations are
+		// rejected as stale instead of double-applying.
+		leaseEpoch: fmt.Sprintf("%x", time.Now().UnixNano()),
+		leases:     make(map[string]*job),
 	}
 	q.cond = sync.NewCond(&q.mu)
 	q.wg.Add(workers)
@@ -340,6 +360,11 @@ func (q *Queue) Submit(ctx context.Context, pri Priority, run func(ctx context.C
 // observes every lifecycle transition; it runs under the queue lock and
 // must not call back into the Queue. The returned Ticket resolves when
 // the job is terminal. Capacity and drain rules match Submit.
+//
+// With a journal attached (AttachJournal), the accept is ack-gated: the
+// Ticket is returned only after the accept record is durable, so a
+// submitter that has a Ticket holds a job that survives any crash. A
+// journal failure rejects the submission.
 func (q *Queue) SubmitLeasable(ctx context.Context, pri Priority, payload any, onEvent func(LeaseEvent)) (*Ticket, error) {
 	if pri < High || pri > Low {
 		return nil, fmt.Errorf("jobq: invalid priority %d", int(pri))
@@ -348,20 +373,58 @@ func (q *Queue) SubmitLeasable(ctx context.Context, pri Priority, payload any, o
 		ctx = context.Background()
 	}
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	if q.draining {
+		q.mu.Unlock()
 		return nil, ErrDraining
 	}
 	if q.queued >= q.capacity {
 		q.rejected++
+		q.mu.Unlock()
 		return nil, ErrFull
 	}
 	t := &Ticket{done: make(chan struct{})}
 	j := &job{ctx: ctx, pri: pri, payload: payload, ticket: t, onEvent: onEvent}
+	var commit *wal.Commit
+	if q.jrnl != nil {
+		enc, err := q.codec.Encode(payload)
+		if err != nil {
+			q.mu.Unlock()
+			return nil, fmt.Errorf("jobq: encode payload for journal: %w", err)
+		}
+		q.jobSeq++
+		j.id = q.jobSeq
+		var dl int64
+		if d, ok := ctx.Deadline(); ok {
+			dl = d.UnixNano()
+		}
+		commit, err = q.appendJournalLocked(opAccept, j, enc, dl)
+		if err != nil {
+			q.journalErrs.Add(1)
+			q.mu.Unlock()
+			return nil, fmt.Errorf("jobq: journal accept: %w", err)
+		}
+	}
 	q.lanes[pri] = append(q.lanes[pri], j)
 	q.queued++
 	q.outstanding++
 	q.cond.Broadcast()
+	q.mu.Unlock()
+	if commit != nil {
+		if err := commit.Wait(); err != nil {
+			// Not durable: withdraw the job if nothing grabbed it yet so
+			// the caller's rejection is honest. If it was already picked
+			// up it will run — the caller was told "no" and a duplicate
+			// resubmission is deduplicated downstream by content key.
+			q.journalErrs.Add(1)
+			q.mu.Lock()
+			if q.removeQueuedLocked(j) {
+				q.queued--
+				q.resolveLocked(j, nil, err, LeaseFailed)
+			}
+			q.mu.Unlock()
+			return nil, fmt.Errorf("jobq: journal accept not durable: %w", err)
+		}
+	}
 	return t, nil
 }
 
@@ -371,14 +434,40 @@ func (q *Queue) emitLocked(j *job, ev LeaseEvent) {
 	}
 }
 
-// resolveLocked moves a leasable job to a terminal state: emits the
-// event, resolves the ticket, and releases the outstanding slot. Caller
-// holds q.mu and has already removed the job from lanes/leases.
-func (q *Queue) resolveLocked(j *job, result any, err error, kind LeaseEventKind) {
+// resolveLocked moves a leasable job to a terminal state: journals the
+// transition, emits the event, resolves the ticket, and releases the
+// outstanding slot. Caller holds q.mu and has already removed the job
+// from lanes/leases. The returned commit (nil when not journaled) lets
+// ack-gated callers wait for durability after unlocking; everyone else
+// ignores it and the record rides the next group commit.
+func (q *Queue) resolveLocked(j *job, result any, err error, kind LeaseEventKind) *wal.Commit {
+	var op string
+	switch kind {
+	case LeaseCompleted:
+		op = opComplete
+	case LeaseFailed:
+		op = opFail
+	case LeaseExpired:
+		op = opExpire
+	case LeaseExhausted:
+		op = opExhaust
+	}
+	var commit *wal.Commit
+	if op != "" {
+		var jerr error
+		commit, jerr = q.appendJournalLocked(op, j, nil, 0)
+		if jerr != nil {
+			q.journalErrs.Add(1)
+		}
+	}
+	if j.cancel != nil {
+		j.cancel()
+	}
 	q.emitLocked(j, LeaseEvent{Kind: kind, Attempt: j.attempts, Result: result, Err: err})
 	j.ticket.resolve(result, err, j.attempts)
 	q.outstanding--
 	q.cond.Broadcast()
+	return commit
 }
 
 // cullLocked resolves queued leasable jobs whose context already ended,
@@ -480,6 +569,7 @@ func (q *Queue) worker() {
 			j.attempts++
 			exec := q.leaseExec
 			q.running++
+			q.journalAsyncLocked(opGrant, j)
 			q.emitLocked(j, LeaseEvent{Kind: LeaseGranted, Attempt: j.attempts, Local: true})
 			q.mu.Unlock()
 
@@ -565,11 +655,15 @@ func (q *Queue) leaseLocked() (*Lease, bool) {
 	}
 	j.attempts++
 	q.leaseSeq++
-	j.leaseID = fmt.Sprintf("L-%08d", q.leaseSeq)
+	j.leaseID = fmt.Sprintf("L-%s-%08d", q.leaseEpoch, q.leaseSeq)
 	now := time.Now()
 	j.leaseExp = now.Add(q.leaseTTL)
 	j.grantedAt = now
 	q.leases[j.leaseID] = j
+	// Grants are journaled but not ack-gated: a lost grant record just
+	// means replay sees the job as still queued, which is where a
+	// crashed coordinator's leases end up anyway.
+	q.journalAsyncLocked(opGrant, j)
 	q.emitLocked(j, LeaseEvent{Kind: LeaseGranted, Attempt: j.attempts})
 	return &Lease{
 		ID:       j.leaseID,
@@ -634,18 +728,22 @@ func (q *Queue) Heartbeat(leaseID string) (time.Duration, error) {
 // Complete resolves a leased job with its result. ErrUnknownLease means
 // the lease is stale (expired, requeued, or already resolved) and the
 // result was NOT applied — the at-most-once guard against late or
-// replayed completions.
+// replayed completions. With a journal attached, Complete returns only
+// after the terminal record is durable, so the caller's acknowledgement
+// to the worker never outruns the journal.
 func (q *Queue) Complete(leaseID string, result any) error {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	j, ok := q.leases[leaseID]
 	if !ok {
+		q.mu.Unlock()
 		return ErrUnknownLease
 	}
 	delete(q.leases, leaseID)
 	q.executed++
 	q.observeLocked(time.Since(j.grantedAt))
-	q.resolveLocked(j, result, nil, LeaseCompleted)
+	commit := q.resolveLocked(j, result, nil, LeaseCompleted)
+	q.mu.Unlock()
+	q.waitJournal(commit)
 	return nil
 }
 
@@ -654,24 +752,26 @@ func (q *Queue) Complete(leaseID string, result any) error {
 // budget; non-retryable ones (the job itself failed) are terminal.
 func (q *Queue) Fail(leaseID string, cause error, retryable bool) error {
 	q.mu.Lock()
-	defer q.mu.Unlock()
 	j, ok := q.leases[leaseID]
 	if !ok {
+		q.mu.Unlock()
 		return ErrUnknownLease
 	}
 	delete(q.leases, leaseID)
 	if cause == nil {
 		cause = errors.New("jobq: job failed")
 	}
-	if err := j.ctx.Err(); err != nil {
-		q.resolveLocked(j, nil, err, LeaseExpired)
-		return nil
+	var commit *wal.Commit
+	switch {
+	case j.ctx.Err() != nil:
+		commit = q.resolveLocked(j, nil, j.ctx.Err(), LeaseExpired)
+	case !retryable:
+		commit = q.resolveLocked(j, nil, cause, LeaseFailed)
+	default:
+		q.requeueLocked(j, cause)
 	}
-	if !retryable {
-		q.resolveLocked(j, nil, cause, LeaseFailed)
-		return nil
-	}
-	q.requeueLocked(j, cause)
+	q.mu.Unlock()
+	q.waitJournal(commit)
 	return nil
 }
 
@@ -684,6 +784,7 @@ func (q *Queue) requeueLocked(j *job, cause error) {
 		q.resolveLocked(j, nil, &RetryExhaustedError{Attempts: j.attempts, Last: cause}, LeaseExhausted)
 		return
 	}
+	q.journalAsyncLocked(opRequeue, j)
 	q.emitLocked(j, LeaseEvent{Kind: LeaseRequeued, Attempt: j.attempts, Err: cause})
 	q.lanes[j.pri] = append([]*job{j}, q.lanes[j.pri]...)
 	q.queued++
@@ -752,18 +853,39 @@ func (q *Queue) Depth() int {
 	return q.queued
 }
 
+// SetRetryHint sets the Retry-After returned before the queue has seen
+// any completion — the cold-start case where the EWMA has no samples and
+// the old behavior (a flat 1s) told a client to hammer a queue that was
+// full precisely because jobs take much longer than a second. A sensible
+// hint is the operator's expected job duration (e.g. the service's
+// default solve timeout). Non-positive values are ignored; default 1s.
+func (q *Queue) SetRetryHint(d time.Duration) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if d > 0 {
+		q.retryHint = d
+	}
+}
+
 // RetryAfter estimates how long a rejected caller should wait before
 // resubmitting: the time for the pool to work one queue-capacity of
-// backlog off, based on the average job duration seen so far. Always
-// positive and finite — clamped to [1s, 1h] — whatever the concurrent
-// duration updates did to the estimate.
+// backlog off, based on the average job duration seen so far. Before any
+// sample exists it returns the configured retry hint (SetRetryHint).
+// Always positive and finite — clamped to [1s, 1h] — whatever the
+// concurrent duration updates did to the estimate.
 func (q *Queue) RetryAfter() time.Duration {
 	q.mu.Lock()
 	avg := q.avgNs
 	depth := q.queued
+	hint := q.retryHint
 	q.mu.Unlock()
 	if math.IsNaN(avg) || math.IsInf(avg, 0) || avg <= 0 {
-		return time.Second
+		if hint < time.Second {
+			hint = time.Second
+		} else if hint > time.Hour {
+			hint = time.Hour
+		}
+		return hint.Round(time.Second)
 	}
 	slots := (depth + q.workers) / q.workers
 	est := time.Duration(avg * float64(slots))

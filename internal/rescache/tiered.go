@@ -1,0 +1,103 @@
+package rescache
+
+import "sync/atomic"
+
+// Backing is the persistence tier a Tiered cache spills to. It is
+// deliberately a two-method interface so rescache stays decoupled from
+// any particular store; castore.Store satisfies it. Get must return
+// (nil, false) — never wrong bytes — for entries it cannot verify.
+type Backing interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, val []byte) error
+}
+
+// TieredStats extends the in-memory counters with the disk tier's view.
+type TieredStats struct {
+	Mem       Stats
+	DiskHits  int64 // memory misses served from the backing store
+	DiskMiss  int64 // misses in both tiers
+	WriteErrs int64 // backing Put failures (entry stays memory-only)
+}
+
+// Tiered is a two-level read-through cache: an in-memory LRU in front of
+// a persistent backing store. Reads consult memory first and promote
+// disk hits; writes go through to disk before landing in memory, so
+// anything a caller has been told is cached survives a crash (modulo
+// backing-store sync policy). Safe for concurrent use.
+type Tiered struct {
+	mem  *Cache
+	disk Backing
+
+	diskHits  atomic.Int64
+	diskMiss  atomic.Int64
+	writeErrs atomic.Int64
+}
+
+// NewTiered layers mem over disk. A nil disk degrades to memory-only
+// behavior, so callers can construct one unconditionally and only wire
+// a backing store when durability is configured.
+func NewTiered(mem *Cache, disk Backing) *Tiered {
+	return &Tiered{mem: mem, disk: disk}
+}
+
+// Get returns the cached value for key, promoting a disk hit into the
+// memory tier so repeated reads stay cheap.
+func (t *Tiered) Get(key string) ([]byte, bool) {
+	if val, ok := t.mem.Get(key); ok {
+		return val, true
+	}
+	if t.disk == nil {
+		return nil, false
+	}
+	val, ok := t.disk.Get(key)
+	if !ok {
+		t.diskMiss.Add(1)
+		return nil, false
+	}
+	t.diskHits.Add(1)
+	t.mem.Put(key, val)
+	return val, true
+}
+
+// Put stores val in both tiers, disk first: by the time a caller can
+// observe the entry, it is already on its way to stable storage. A
+// backing-store failure is counted but does not block the memory tier —
+// serving keeps working with durability degraded.
+func (t *Tiered) Put(key string, val []byte) {
+	if t.disk != nil {
+		if err := t.disk.Put(key, val); err != nil {
+			t.writeErrs.Add(1)
+		}
+	}
+	t.mem.Put(key, val)
+}
+
+// PutLocal stores val in the memory tier only. The durable serving path
+// uses it when the bytes already reached the backing store through a
+// stricter channel (persist-before-ack), so writing disk again here
+// would be redundant.
+func (t *Tiered) PutLocal(key string, val []byte) {
+	t.mem.Put(key, val)
+}
+
+// Contains reports residency in either tier without touching recency.
+func (t *Tiered) Contains(key string) bool {
+	if t.mem.Contains(key) {
+		return true
+	}
+	if t.disk == nil {
+		return false
+	}
+	_, ok := t.disk.Get(key)
+	return ok
+}
+
+// Stats snapshots both tiers' counters.
+func (t *Tiered) Stats() TieredStats {
+	return TieredStats{
+		Mem:       t.mem.Stats(),
+		DiskHits:  t.diskHits.Load(),
+		DiskMiss:  t.diskMiss.Load(),
+		WriteErrs: t.writeErrs.Load(),
+	}
+}

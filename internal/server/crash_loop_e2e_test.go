@@ -1,0 +1,212 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestCrashLoopKill9 is the out-of-process chaos recovery suite: it
+// builds the real wavemind binary, runs it with -data-dir, and kill -9s
+// it repeatedly at seeded-random moments — mid-solve, mid-fsync,
+// wherever the schedule lands. After each kill the next incarnation must
+// come up healthy on the same state, and at the end every problem must
+// be answerable with byte-identical results across a final restart.
+//
+// Gated behind WAVEMIND_E2E_CRASH=1 (run via `make e2e-crash`): it
+// builds a binary and spawns processes, which is too heavy for the
+// default `go test ./...` tier. WAVEMIND_E2E_CRASH_SEED overrides the
+// kill schedule's seed.
+func TestCrashLoopKill9(t *testing.T) {
+	if os.Getenv("WAVEMIND_E2E_CRASH") == "" {
+		t.Skip("set WAVEMIND_E2E_CRASH=1 (make e2e-crash) to run the subprocess kill -9 loop")
+	}
+	seed := int64(1)
+	if s := os.Getenv("WAVEMIND_E2E_CRASH_SEED"); s != "" {
+		n, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("WAVEMIND_E2E_CRASH_SEED %q: %v", s, err)
+		}
+		seed = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	t.Logf("kill schedule seed %d", seed)
+
+	bin := filepath.Join(t.TempDir(), "wavemind")
+	if out, err := exec.Command("go", "build", "-o", bin, "wavemin/cmd/wavemind").CombinedOutput(); err != nil {
+		t.Fatalf("building wavemind: %v\n%s", err, out)
+	}
+	dir := t.TempDir()
+
+	bodies := [][]byte{
+		marshalReq(t, map[string]any{"tree": smallTreeJSON(t, 8), "config": fastConfig()}),
+		marshalReq(t, map[string]any{"tree": smallTreeJSON(t, 12), "config": fastConfig()}),
+		marshalReq(t, map[string]any{"tree": smallTreeJSON(t, 16), "config": fastConfig()}),
+	}
+
+	const killRounds = 4
+	for round := 0; round < killRounds; round++ {
+		url, cmd := startWavemind(t, bin, dir)
+		for i, body := range bodies {
+			code := crashLoopSubmit(t, url, body)
+			if code != http.StatusAccepted && code != http.StatusOK {
+				t.Fatalf("round %d submit %d: status %d", round, i, code)
+			}
+		}
+		// Kill at a seeded-random moment: sometimes mid-solve, sometimes
+		// after everything completed, sometimes between the two.
+		time.Sleep(time.Duration(rng.Intn(250)) * time.Millisecond)
+		if err := cmd.Process.Kill(); err != nil {
+			t.Fatal(err)
+		}
+		_ = cmd.Wait()
+	}
+
+	// Settle incarnation: every problem must resolve, and its bytes are
+	// the canon the final restart must reproduce.
+	url, cmd := startWavemind(t, bin, dir)
+	canon := make([][]byte, len(bodies))
+	for i, body := range bodies {
+		canon[i] = crashLoopResolve(t, url, body)
+	}
+	stopWavemind(t, cmd)
+
+	// Final restart: every result must now come back from the store,
+	// byte-identical, without another solve.
+	url, cmd = startWavemind(t, bin, dir)
+	for i, body := range bodies {
+		code := crashLoopSubmit(t, url, body)
+		if code != http.StatusOK {
+			t.Fatalf("final restart lost result %d: submit status %d, want cache hit", i, code)
+		}
+		if got := crashLoopResolve(t, url, body); !bytes.Equal(canon[i], got) {
+			t.Fatalf("result %d diverged across restart:\n want %s\n got  %s", i, canon[i], got)
+		}
+	}
+	stopWavemind(t, cmd)
+}
+
+// startWavemind launches one wavemind incarnation on dir and waits for
+// /healthz to go ready (recovery finished).
+func startWavemind(t *testing.T, bin, dir string) (string, *exec.Cmd) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	cmd := exec.Command(bin, "-addr", addr, "-data-dir", dir, "-workers", "2", "-drain-timeout", "30s")
+	cmd.Stdout = io.Discard
+	cmd.Stderr = io.Discard
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+		}
+	})
+	url := "http://" + addr
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		resp, err := http.Get(url + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return url, cmd
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("wavemind on %s never became healthy (recovery wedged?)", addr)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func stopWavemind(t *testing.T, cmd *exec.Cmd) {
+	t.Helper()
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("wavemind exited dirty on SIGTERM: %v", err)
+	}
+}
+
+func crashLoopSubmit(t *testing.T, url string, body []byte) int {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/optimize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode
+}
+
+// crashLoopResolve submits body and drives it to a done result, via
+// cache hit or a full solve, returning the canonical result bytes.
+func crashLoopResolve(t *testing.T, url string, body []byte) []byte {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/optimize", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		JobID  string `json:"jobId"`
+		Status string `json:"status"`
+	}
+	derr := json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if derr != nil || sub.JobID == "" {
+		t.Fatalf("submit: status %d, decode %v, job %q", resp.StatusCode, derr, sub.JobID)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s", url, sub.JobID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v jobView
+		derr := json.NewDecoder(r.Body).Decode(&v)
+		r.Body.Close()
+		if derr != nil {
+			t.Fatal(derr)
+		}
+		if v.Status == StatusDone {
+			break
+		}
+		if v.Status != StatusQueued && v.Status != StatusRunning {
+			t.Fatalf("job %s finished %s (error %q)", sub.JobID, v.Status, v.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job %s stuck %s", sub.JobID, v.Status)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	r, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/result", url, sub.JobID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Body.Close()
+	var out struct {
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.NewDecoder(r.Body).Decode(&out); err != nil || len(out.Result) == 0 {
+		t.Fatalf("result fetch: status %d, err %v", r.StatusCode, err)
+	}
+	return out.Result
+}

@@ -46,7 +46,7 @@ func startWorker(t *testing.T, url, id string) (stop func()) {
 // request — asserting completion, the stitched dispatch trace, cache
 // replay, and a clean drain that releases the workers.
 func TestDispatchServerEndToEnd(t *testing.T) {
-	srv := New(Options{
+	srv := mustNew(t, Options{
 		Workers:        1,
 		DefaultTimeout: time.Minute,
 		MaxTimeout:     time.Minute,

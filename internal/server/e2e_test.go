@@ -58,9 +58,18 @@ type harness struct {
 	ts  *httptest.Server
 }
 
+func mustNew(t *testing.T, opts Options) *Server {
+	t.Helper()
+	srv, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
 func newHarness(t *testing.T, opts Options) *harness {
 	t.Helper()
-	srv := New(opts)
+	srv := mustNew(t, opts)
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return &harness{t: t, srv: srv, ts: ts}
@@ -353,8 +362,8 @@ func e2eBackpressure(t *testing.T) {
 		t.Fatalf("rejectedFull = %d, want 3", m.RejectedFull)
 	}
 
-	faultinject.Reset()  // let the queued job pass its own zone hooks
-	close(release)       // unblock every held hook call of the running job
+	faultinject.Reset() // let the queued job pass its own zone hooks
+	close(release)      // unblock every held hook call of the running job
 	for _, id := range []string{running, queued} {
 		if v := h.waitJob(id, 30*time.Second); v.Status != StatusDone {
 			t.Fatalf("job %s finished %s (error %q) after release", id, v.Status, v.Error)

@@ -97,7 +97,7 @@ func FuzzOptimizeRequest(f *testing.F) {
 // stack: each malformed body must yield a structured JSON 400 from
 // POST /v1/optimize.
 func TestOptimizeRejectsMalformed(t *testing.T) {
-	srv := New(Options{})
+	srv := mustNew(t, Options{})
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 
@@ -134,7 +134,7 @@ func TestOptimizeRejectsMalformed(t *testing.T) {
 
 	// Oversized bodies are bounded before decoding: 413, not an OOM.
 	big := fmt.Sprintf(`{"tree":"%s"}`, strings.Repeat("x", 1<<20))
-	srvSmall := New(Options{MaxRequestBytes: 1024})
+	srvSmall := mustNew(t, Options{MaxRequestBytes: 1024})
 	tsSmall := httptest.NewServer(srvSmall.Handler())
 	defer tsSmall.Close()
 	resp, err := http.Post(tsSmall.URL+"/v1/optimize", "application/json", strings.NewReader(big))

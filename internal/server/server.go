@@ -33,15 +33,18 @@ import (
 	"io"
 	"net/http"
 	_ "net/http/pprof" // /debug/pprof when Options.Debug mounts the default mux
+	"path/filepath"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"wavemin/internal/castore"
 	"wavemin/internal/dispatch"
 	"wavemin/internal/jobq"
 	"wavemin/internal/obs"
 	"wavemin/internal/rescache"
+	"wavemin/internal/wal"
 )
 
 // Options configures a Server. Zero values take the defaults noted.
@@ -62,6 +65,31 @@ type Options struct {
 	// the local pool still executes whatever no worker claims. Nil — the
 	// default — keeps the PR 4 in-process path exactly as it was.
 	Dispatch *dispatch.Options
+
+	// DataDir, when set, makes the server crash-safe: accepted jobs are
+	// journaled to DataDir/journal before their submission is
+	// acknowledged, results are persisted to the content-addressed store
+	// under DataDir/store before completions are acknowledged, and a
+	// restart replays both — the backlog is re-enqueued (attempts, lane
+	// order, and deadlines preserved) and cached results survive. DataDir
+	// implies the dispatch path (jobs must be serializable to replay);
+	// when Dispatch is nil it defaults to local-only execution.
+	DataDir string
+	// Fsync is the journal durability policy: "batch" (group-commit
+	// fsync, the default), "always" (fsync per record), or "none" (OS
+	// flush timing; a crash may lose the most recent acknowledgements).
+	// It also controls whether result-store writes fsync.
+	Fsync string
+	// RecoverBestEffort salvages the valid journal prefix when startup
+	// replay hits mid-journal corruption (quarantining the corrupt
+	// segment) instead of refusing to start.
+	RecoverBestEffort bool
+	// CheckpointEvery is how often the journal is compacted to a
+	// snapshot of the live backlog (default 30s).
+	CheckpointEvery time.Duration
+	// StoreMaxBytes bounds the persistent result store (default 256 MiB);
+	// least-recently-used results are evicted.
+	StoreMaxBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -88,6 +116,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxJobs == 0 {
 		o.MaxJobs = 4096
+	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 30 * time.Second
+	}
+	if o.StoreMaxBytes == 0 {
+		o.StoreMaxBytes = 256 << 20
 	}
 	return o
 }
@@ -149,6 +183,25 @@ type Metrics struct {
 	RejectedDraining int64
 	CacheStats       rescache.Stats
 	QueueStats       jobq.Stats
+
+	// Durable-tier counters; zero values when DataDir is unset.
+	TieredCache    rescache.TieredStats
+	StoreStats     castore.Stats
+	JournalErrs    int64 // journal appends/waits that failed (durability degraded)
+	CheckpointErrs int64 // journal checkpoints that failed
+	Recovery       RecoveryInfo
+}
+
+// RecoveryInfo describes what startup replay found in DataDir.
+type RecoveryInfo struct {
+	Durable      bool  // DataDir was configured
+	JobsRestored int   // non-terminal jobs re-enqueued from the journal
+	Ignored      int   // journal records referencing unknown job IDs
+	Records      int   // journal data records replayed
+	Checkpoints  int   // journal checkpoint records replayed
+	TornBytes    int64 // bytes truncated from a torn journal tail
+	Salvaged     bool  // best-effort recovery dropped a corrupt suffix
+	Quarantined  int   // journal segments quarantined by best-effort recovery
 }
 
 type counters struct {
@@ -174,12 +227,22 @@ func bump(c *atomic.Int64, expvarName string) {
 type Server struct {
 	opts  Options
 	q     *jobq.Queue
-	cache *rescache.Cache
+	cache *rescache.Tiered
 	mux   *http.ServeMux
 
 	coord      *dispatch.Coordinator // non-nil iff Options.Dispatch was set
 	dispatchWG sync.WaitGroup        // finishDispatched goroutines in flight
 
+	// Durable tier; all nil/zero when Options.DataDir is unset.
+	store      *castore.Store
+	wal        *wal.Writer
+	recovery   RecoveryInfo
+	ckStop     chan struct{}
+	ckStopOnce sync.Once
+	ckWG       sync.WaitGroup
+	ckErrs     atomic.Int64
+
+	ready    atomic.Bool
 	draining atomic.Bool
 	nextID   atomic.Int64
 	met      counters
@@ -189,20 +252,85 @@ type Server struct {
 	order []string // submission order, for bounded retention
 }
 
-// New builds a server and starts its worker pool.
-func New(opts Options) *Server {
+// New builds a server and starts its worker pool. With Options.DataDir
+// set it first recovers: the journal is replayed, the surviving backlog
+// is re-enqueued under the job IDs clients were already polling, and the
+// persistent result store is reopened — only then does New return, so a
+// ready server has always finished recovery.
+func New(opts Options) (*Server, error) {
 	opts = opts.withDefaults()
-	s := &Server{
-		opts:  opts,
-		q:     jobq.New(opts.QueueCapacity, opts.Workers),
-		cache: rescache.New(opts.CacheMaxBytes, opts.CacheMaxEntries),
-		jobs:  make(map[string]*job),
+	if opts.DataDir != "" && opts.Dispatch == nil {
+		// Durability requires replayable jobs: the dispatch path carries
+		// serializable JobSpecs where the in-process path carries
+		// closures. LocalExec keeps execution in this process.
+		opts.Dispatch = &dispatch.Options{LocalExec: true}
 	}
+	s := &Server{
+		opts: opts,
+		q:    jobq.New(opts.QueueCapacity, opts.Workers),
+		jobs: make(map[string]*job),
+	}
+	var dopts dispatch.Options
 	if opts.Dispatch != nil {
-		dopts := *opts.Dispatch
+		dopts = *opts.Dispatch
 		if dopts.SolverWorkers == 0 {
 			dopts.SolverWorkers = opts.MaxSolverWorkers
 		}
+	}
+
+	var backing rescache.Backing
+	var recovered []jobq.RecoveredJob
+	var lastID uint64
+	if opts.DataDir != "" {
+		pol, err := wal.ParseSyncPolicy(opts.Fsync)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		store, err := castore.Open(filepath.Join(opts.DataDir, "store"), castore.Options{
+			MaxBytes: opts.StoreMaxBytes,
+			Sync:     pol != wal.SyncNone,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("server: result store: %w", err)
+		}
+		s.store = store
+		backing = store
+
+		replayer := jobq.NewReplayer(decodeSpecPayload)
+		w, rep, err := wal.Open(filepath.Join(opts.DataDir, "journal"), wal.Options{
+			Sync:       pol,
+			BestEffort: opts.RecoverBestEffort,
+		}, replayer.Apply)
+		if err != nil {
+			store.Close()
+			return nil, fmt.Errorf("server: journal: %w", err)
+		}
+		recovered, err = replayer.Jobs()
+		if err != nil {
+			w.Abort()
+			store.Close()
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.wal = w
+		lastID = replayer.LastID()
+		s.recovery = RecoveryInfo{
+			Durable:      true,
+			JobsRestored: len(recovered),
+			Ignored:      replayer.Ignored(),
+			Records:      rep.Records,
+			Checkpoints:  rep.Checkpoints,
+			TornBytes:    rep.TornBytes,
+			Salvaged:     rep.Salvaged,
+			Quarantined:  rep.Quarantined,
+		}
+		s.q.AttachJournal(w, jobq.PayloadCodec{Encode: encodeSpecPayload, Decode: decodeSpecPayload})
+		// Durable-before-ack: completions reach the store before the
+		// queue (and its journal) learn the job completed.
+		dopts.PersistResult = store.Put
+	}
+	s.cache = rescache.NewTiered(rescache.New(opts.CacheMaxBytes, opts.CacheMaxEntries), backing)
+
+	if opts.Dispatch != nil {
 		s.coord = dispatch.NewCoordinator(s.q, dopts)
 	}
 	mux := http.NewServeMux()
@@ -221,8 +349,184 @@ func New(opts Options) *Server {
 		mux.Handle("GET /debug/", http.DefaultServeMux)
 	}
 	s.mux = mux
-	return s
+
+	if s.wal != nil {
+		if err := s.restoreJobs(recovered, lastID); err != nil {
+			s.wal.Abort()
+			s.store.Close()
+			return nil, err
+		}
+		// Compact the replayed history into one checkpoint so the next
+		// start replays from here, and keep compacting in the background.
+		if err := s.q.CheckpointJournal(); err != nil {
+			s.ckErrs.Add(1)
+		}
+		s.ckStop = make(chan struct{})
+		s.ckWG.Add(1)
+		go s.checkpointLoop()
+	}
+	s.ready.Store(true)
+	return s, nil
 }
+
+// encodeSpecPayload / decodeSpecPayload form the journal's payload
+// codec: every journaled queue payload is a *dispatch.JobSpec.
+func encodeSpecPayload(payload any) ([]byte, error) {
+	spec, ok := payload.(*dispatch.JobSpec)
+	if !ok {
+		return nil, fmt.Errorf("server: journal: unexpected payload %T", payload)
+	}
+	return json.Marshal(spec)
+}
+
+func decodeSpecPayload(data []byte) (any, error) {
+	var spec dispatch.JobSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return nil, err
+	}
+	return &spec, nil
+}
+
+// restoreJobs rebuilds registry records for journal-recovered jobs and
+// re-enqueues them. Each job keeps the public ID its submitter was
+// given, so clients polling across the crash see "queued", not 404.
+func (s *Server) restoreJobs(recs []jobq.RecoveredJob, lastID uint64) error {
+	type slot struct {
+		j    *job
+		tr   *obs.Trace
+		spec *dispatch.JobSpec
+	}
+	slots := make(map[uint64]*slot, len(recs))
+	for _, rj := range recs {
+		spec, ok := rj.Payload.(*dispatch.JobSpec)
+		if !ok {
+			return fmt.Errorf("server: recovered job %d: unexpected payload %T", rj.ID, rj.Payload)
+		}
+		j := s.reattachJob(spec.JobID, rj.Pri)
+		sl := &slot{j: j, spec: spec}
+		if spec.Trace {
+			// The pre-crash trace died with the process; recovered jobs
+			// get a fresh one covering the post-recovery attempts.
+			mem := &obs.Memory{}
+			sl.tr = obs.New(obs.Options{})
+			sl.tr.AttachSink(mem)
+			sl.tr.AttachSink(obs.ExpvarSink{})
+			j.mu.Lock()
+			j.trace = mem
+			j.mu.Unlock()
+		}
+		slots[rj.ID] = sl
+	}
+	tickets := s.q.Restore(recs, lastID, func(rj jobq.RecoveredJob) func(jobq.LeaseEvent) {
+		sl := slots[rj.ID]
+		traceFn := dispatch.TraceObserver(sl.tr)
+		j := sl.j
+		return func(ev jobq.LeaseEvent) {
+			// Runs under the queue lock: job-record field writes only.
+			if traceFn != nil {
+				traceFn(ev)
+			}
+			if ev.Kind == jobq.LeaseGranted {
+				j.mu.Lock()
+				if j.status == StatusQueued {
+					j.status = StatusRunning
+					j.started = time.Now()
+				}
+				j.mu.Unlock()
+			}
+		}
+	})
+	for i, rj := range recs {
+		sl := slots[rj.ID]
+		obs.ExpvarCounters().Add("server_jobs_recovered", 1)
+		s.dispatchWG.Add(1)
+		go s.finishDispatched(sl.j, sl.spec.Key, sl.spec.NoCache, sl.tr, tickets[i])
+	}
+	return nil
+}
+
+// reattachJob rebuilds the registry record of a recovered job under its
+// pre-crash public ID, keeping the ID counter past every recovered ID.
+func (s *Server) reattachJob(id string, pri jobq.Priority) *job {
+	var n int64
+	if id == "" || parseJobID(id, &n) != nil {
+		id = fmt.Sprintf("j-%06d", s.nextID.Add(1))
+	} else {
+		for {
+			cur := s.nextID.Load()
+			if cur >= n || s.nextID.CompareAndSwap(cur, n) {
+				break
+			}
+		}
+	}
+	j := &job{
+		id:  id,
+		pri: pri,
+		// The original submission time died with the crashed process;
+		// recovery time is the honest substitute.
+		submitted: time.Now(),
+		status:    StatusQueued,
+		cancel:    func() {},
+	}
+	s.mu.Lock()
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.evictJobsLocked()
+	s.mu.Unlock()
+	return j
+}
+
+func parseJobID(id string, n *int64) error {
+	_, err := fmt.Sscanf(id, "j-%d", n)
+	return err
+}
+
+// checkpointLoop compacts the journal periodically so replay time stays
+// proportional to the live backlog, not to total history.
+func (s *Server) checkpointLoop() {
+	defer s.ckWG.Done()
+	tick := time.NewTicker(s.opts.CheckpointEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.ckStop:
+			return
+		case <-tick.C:
+			if err := s.q.CheckpointJournal(); err != nil {
+				s.ckErrs.Add(1)
+			}
+		}
+	}
+}
+
+func (s *Server) stopCheckpoints() {
+	if s.ckStop == nil {
+		return
+	}
+	s.ckStopOnce.Do(func() { close(s.ckStop) })
+	s.ckWG.Wait()
+}
+
+// Crash simulates a power failure for recovery tests: background
+// goroutines stop and the journal and store are abandoned without
+// flushing buffered state — disk is left exactly as kill -9 would leave
+// it. The server is unusable afterward; recover by calling New on the
+// same DataDir.
+func (s *Server) Crash() {
+	s.stopCheckpoints()
+	if s.coord != nil {
+		s.coord.Close()
+	}
+	if s.wal != nil {
+		s.wal.Abort()
+	}
+	if s.store != nil {
+		s.store.Abort()
+	}
+}
+
+// Recovery reports what startup replay found.
+func (s *Server) Recovery() RecoveryInfo { return s.recovery }
 
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler { return s.mux }
@@ -241,6 +545,27 @@ func (s *Server) Drain(ctx context.Context) error {
 	if s.coord != nil {
 		s.coord.Close()
 	}
+	if err != nil {
+		// Backlog unfinished: leave the journal live so the state on disk
+		// stays crash-consistent and the next start recovers it.
+		return err
+	}
+	s.stopCheckpoints()
+	if s.wal != nil {
+		// Every job is terminal: a final checkpoint leaves an empty
+		// snapshot, so the next start replays nothing.
+		if cerr := s.q.CheckpointJournal(); cerr != nil {
+			s.ckErrs.Add(1)
+		}
+		if cerr := s.wal.Close(); cerr != nil {
+			err = cerr
+		}
+	}
+	if s.store != nil {
+		if cerr := s.store.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	return err
 }
 
@@ -250,7 +575,8 @@ func (s *Server) Coordinator() *dispatch.Coordinator { return s.coord }
 
 // MetricsSnapshot returns the server's counters.
 func (s *Server) MetricsSnapshot() Metrics {
-	return Metrics{
+	tiered := s.cache.Stats()
+	m := Metrics{
 		Submitted:        s.met.submitted.Load(),
 		SolverRuns:       s.met.solverRuns.Load(),
 		CacheHits:        s.met.cacheHits.Load(),
@@ -260,9 +586,17 @@ func (s *Server) MetricsSnapshot() Metrics {
 		Expired:          s.met.expired.Load(),
 		RejectedFull:     s.met.rejectedFull.Load(),
 		RejectedDraining: s.met.rejectedDraining.Load(),
-		CacheStats:       s.cache.Stats(),
+		CacheStats:       tiered.Mem,
 		QueueStats:       s.q.Snapshot(),
+		TieredCache:      tiered,
+		JournalErrs:      s.q.JournalErrs(),
+		CheckpointErrs:   s.ckErrs.Load(),
+		Recovery:         s.recovery,
 	}
+	if s.store != nil {
+		m.StoreStats = s.store.Stats()
+	}
+	return m
 }
 
 // --- submission ----------------------------------------------------------
@@ -366,6 +700,8 @@ func (s *Server) submitDispatched(jctx context.Context, j *job, req *optimizeReq
 		Trace:    req.trace,
 		Key:      req.key,
 		Deadline: deadline,
+		JobID:    j.id,
+		NoCache:  req.noCache,
 	}
 	var tr *obs.Trace
 	if req.trace {
@@ -390,14 +726,16 @@ func (s *Server) submitDispatched(jctx context.Context, j *job, req *optimizeReq
 		return err
 	}
 	s.dispatchWG.Add(1)
-	go s.finishDispatched(j, req, tr, tk)
+	go s.finishDispatched(j, req.key, req.noCache, tr, tk)
 	return nil
 }
 
 // finishDispatched waits for a dispatched job's ticket and lands the
 // outcome in the job record and (for clean, undegraded results) the
-// cache — the dispatch-path twin of runJob's tail.
-func (s *Server) finishDispatched(j *job, req *optimizeRequest, tr *obs.Trace, tk *jobq.Ticket) {
+// cache — the dispatch-path twin of runJob's tail. It takes the key and
+// cache policy rather than the request because recovered jobs have no
+// request: their spec is all that survived the crash.
+func (s *Server) finishDispatched(j *job, key string, noCache bool, tr *obs.Trace, tk *jobq.Ticket) {
 	defer s.dispatchWG.Done()
 	defer j.cancel()
 	<-tk.Done()
@@ -428,8 +766,11 @@ func (s *Server) finishDispatched(j *job, req *optimizeRequest, tr *obs.Trace, t
 	}
 	// Same cache policy as the local path: degraded results are what the
 	// deadline allowed, not the answer to the problem — never cache them.
-	if !out.Degraded && !req.noCache {
-		s.cache.Put(req.key, out.ResultJSON)
+	// Memory tier only: on the dispatch path the bytes already reached
+	// the persistent store (when one is configured) before the
+	// completion was acknowledged.
+	if !out.Degraded && !noCache {
+		s.cache.PutLocal(key, out.ResultJSON)
 	}
 	bump(&s.met.completed, "server_jobs_completed")
 	j.mu.Lock()
@@ -674,6 +1015,10 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
+		return
+	}
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
