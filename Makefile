@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DATE := $(shell date +%F)
 BENCH_LATEST = $(lastword $(sort $(filter-out BENCH_baseline.json,$(wildcard BENCH_*.json))))
 
-.PHONY: build test vet race check verify bench benchdiff cover e2e e2e-dispatch e2e-crash fuzz-smoke
+.PHONY: build test vet race check verify bench benchdiff cover e2e e2e-dispatch e2e-crash e2e-eco fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,7 @@ race: vet
 # worker count; the full -race suite stays in `make race`), the coverage
 # floor, a short fuzz smoke over the lease protocol and journal replay,
 # and the subprocess kill -9 recovery loop.
-check: test vet cover fuzz-smoke e2e-crash
+check: test vet cover fuzz-smoke e2e-crash e2e-eco
 	$(GO) test -race -run Parallel . ./internal/...
 
 # Coverage with floors: internal/obs (the telemetry layer every solver
@@ -38,6 +38,7 @@ cover:
 		-floor wavemin/internal/obs=70 \
 		-floor wavemin/internal/jobq=70 \
 		-floor wavemin/internal/rescache=70 \
+		-floor wavemin/internal/zonecache=70 \
 		-floor wavemin/internal/server=70 \
 		-floor wavemin/internal/dispatch=70 \
 		-floor wavemin/internal/wal=70 \
@@ -62,6 +63,13 @@ e2e-dispatch:
 # byte-identical results. WAVEMIND_E2E_CRASH_SEED varies the schedule.
 e2e-crash:
 	WAVEMIND_E2E_CRASH=1 $(GO) test -timeout 120s -run '^TestCrashLoopKill9$$' ./internal/server
+
+# ECO e2e: incremental re-optimization over the full HTTP stack under
+# the race detector — base-reference error contract, bitwise equivalence
+# of delta vs cold solves across worker counts (local and dispatched),
+# and crash recovery mid-ECO on a durable data dir.
+e2e-eco:
+	$(GO) test -race -timeout 180s -run 'ECO' ./internal/server
 
 # Short fuzz passes: the lease wire protocol (malformed bodies, stale
 # and replayed lease IDs) and journal replay (arbitrary bytes on disk

@@ -7,7 +7,9 @@ package wavemin
 // full-parameter runs live in cmd/experiments.
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"testing"
@@ -289,6 +291,165 @@ func BenchmarkAblationNonLeaf(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- ECO / incremental re-optimization --------------------------------------
+
+func ecoBenchConfig() Config {
+	return Config{Kappa: 20, Samples: 16, Epsilon: 0.01, MaxIntervals: 384}
+}
+
+// cloneForRun snapshots a design for one solver run without sharing tree
+// storage — the ECO benchmarks mirror the serving flow, where every job
+// rebuilds its design from the canonical tree bytes, so a run's commit
+// must never leak into the next iteration's problem.
+func cloneForRun(d *Design) *Design {
+	t, modes, lib := d.snapshot()
+	return &Design{Tree: t, Grid: d.Grid, Modes: modes, lib: lib, dieW: d.dieW, dieH: d.dieH}
+}
+
+// BenchmarkECODelta1Leaf is the headline ECO number: on s35932, one leaf's
+// sink load changes and the delta re-solve (seeded with the base run's
+// per-zone solutions) is compared against a cold solve of the same edited
+// tree. The results are bitwise-identical by contract — the benchmark
+// asserts that once, untimed — so the cold/delta ns-per-op ratio is pure
+// speedup, not a quality trade.
+func BenchmarkECODelta1Leaf(b *testing.B) {
+	base, err := Benchmark("s35932")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	cfg := ecoBenchConfig()
+
+	// Base run: an empty ECO config opens a session that records every
+	// (interval, zone) solution the run touches.
+	baseCfg := cfg
+	baseCfg.ECO = &ECOConfig{}
+	baseRes, err := cloneForRun(base).Optimize(ctx, baseCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(baseRes.Zones) == 0 {
+		b.Fatal("base run recorded no zone solutions")
+	}
+
+	// The ECO: one leaf's sink load changes.
+	delta := cloneForRun(base)
+	leaf := delta.Tree.Leaves()[0]
+	delta.Tree.SetSinkCap(leaf, delta.Tree.Node(leaf).SinkCap+0.5)
+
+	deltaCfg := cfg
+	deltaCfg.ECO = &ECOConfig{BaseZones: baseRes.Zones}
+
+	coldRes, err := cloneForRun(delta).Optimize(ctx, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	warmRes, err := cloneForRun(delta).Optimize(ctx, deltaCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if warmRes.ZonesReused == 0 || warmRes.ZonesResolved == 0 {
+		b.Fatalf("delta run reused/resolved = %d/%d, want both > 0",
+			warmRes.ZonesReused, warmRes.ZonesResolved)
+	}
+	coldJSON := resultBytesNoRuntime(b, coldRes)
+	warmJSON := resultBytesNoRuntime(b, warmRes)
+	if !bytes.Equal(coldJSON, warmJSON) {
+		b.Fatalf("delta result diverged from cold solve:\ncold %s\nwarm %s", coldJSON, warmJSON)
+	}
+
+	run := func(b *testing.B, runCfg Config) *Result {
+		var res *Result
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			d := cloneForRun(delta)
+			b.StartTimer()
+			var err error
+			if res, err = d.Optimize(ctx, runCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return res
+	}
+	b.Run("cold", func(b *testing.B) { run(b, cfg) })
+	b.Run("delta", func(b *testing.B) {
+		res := run(b, deltaCfg)
+		b.ReportMetric(float64(res.ZonesReused), "zones-reused")
+		b.ReportMetric(float64(res.ZonesResolved), "zones-resolved")
+	})
+}
+
+// resultBytesNoRuntime renders a result's canonical bytes minus Runtime —
+// the one field that reports wall time, not answer content (the dispatch
+// equivalence tests strip it the same way).
+func resultBytesNoRuntime(b *testing.B, res *Result) []byte {
+	b.Helper()
+	blob, err := json.Marshal(res)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(blob, &m); err != nil {
+		b.Fatal(err)
+	}
+	delete(m, "Runtime")
+	out, err := json.Marshal(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return out
+}
+
+// BenchmarkECOColdVsWarm isolates the warm-start half of ECO: every leaf's
+// load is perturbed, so no zone can replay and every instance re-solves —
+// but the base run's solutions still pre-size the solver arenas by spatial
+// zone. Warm starts are output-neutral capacity hints; the delta here is
+// pure allocation behavior.
+func BenchmarkECOColdVsWarm(b *testing.B) {
+	base, err := Benchmark("s15850")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	cfg := ecoBenchConfig()
+
+	baseCfg := cfg
+	baseCfg.ECO = &ECOConfig{}
+	baseRes, err := cloneForRun(base).Optimize(ctx, baseCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	delta := cloneForRun(base)
+	for _, leaf := range delta.Tree.Leaves() {
+		delta.Tree.SetSinkCap(leaf, delta.Tree.Node(leaf).SinkCap+0.2)
+	}
+	warmCfg := cfg
+	warmCfg.ECO = &ECOConfig{BaseZones: baseRes.Zones}
+
+	run := func(b *testing.B, runCfg Config) *Result {
+		var res *Result
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			d := cloneForRun(delta)
+			b.StartTimer()
+			var err error
+			if res, err = d.Optimize(ctx, runCfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return res
+	}
+	b.Run("cold", func(b *testing.B) { run(b, cfg) })
+	b.Run("warm", func(b *testing.B) {
+		res := run(b, warmCfg)
+		if res.ZonesReused != 0 {
+			b.Fatalf("perturbed tree replayed %d zones; the warm bench must re-solve everything", res.ZonesReused)
+		}
+		b.ReportMetric(float64(res.WarmStartLabels), "warmstart-labels")
+	})
 }
 
 // --- Substrate micro-benchmarks --------------------------------------------

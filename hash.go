@@ -1,12 +1,11 @@
 package wavemin
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"fmt"
 	"sort"
 	"strconv"
 	"strings"
+
+	"wavemin/internal/canon"
 )
 
 // cacheKeyFormat versions the canonical request encoding. Bump it whenever
@@ -31,7 +30,9 @@ const cacheKeyFormat = "wavemin-cachekey-v1"
 //     Workers is excluded because results are bitwise identical at every
 //     worker count; Budget is excluded because it is execution policy, not
 //     problem statement (callers must not cache Degraded results, which
-//     are the only way Budget can show through);
+//     are the only way Budget can show through); ECO is excluded because
+//     an incremental run replays bitwise-identical zone solutions — the
+//     same problem answered faster is still the same problem;
 //   - the modes section sorts the mode list (and each mode's supply map)
 //     canonically and drops exact duplicates, so permuted-but-identical
 //     mode lists hash identically while any semantic change — a mode
@@ -56,18 +57,12 @@ func (d *Design) CacheKey(cfg Config) (string, error) {
 	dieW, dieH := d.dieW, d.dieH
 	d.mu.Unlock()
 
-	h := sha256.New()
-	section := func(label, body string) {
-		// Length-prefixed sections: no concatenation of two requests can
-		// collide with a single request's encoding.
-		fmt.Fprintf(h, "%s:%d\n%s\n", label, len(body), body)
-	}
-	section("format", cacheKeyFormat)
-	section("tree", tree.String())
-	section("config", cfg.canonical())
-	section("modes", canonicalModes(modes))
-	section("die", canonFloat(dieW)+"x"+canonFloat(dieH))
-	return hex.EncodeToString(h.Sum(nil)), nil
+	h := canon.NewHasher(cacheKeyFormat)
+	h.Section("tree", tree.String())
+	h.Section("config", cfg.canonical())
+	h.Section("modes", canonicalModes(modes))
+	h.Section("die", canonFloat(dieW)+"x"+canonFloat(dieH))
+	return h.Sum(), nil
 }
 
 // canonical renders the problem-defining configuration fields with
@@ -123,9 +118,9 @@ func canonicalModes(modes []Mode) string {
 	return strings.Join(out, ";")
 }
 
-// canonFloat is the one float rendering used in cache keys: shortest form
-// that round-trips float64 exactly, so equal values always render equally
-// and distinct values never collide.
+// canonFloat is the one float rendering used in cache keys — shared with
+// the zone-level keys via internal/canon so the two formats can never
+// drift apart.
 func canonFloat(v float64) string {
-	return strconv.FormatFloat(v, 'g', -1, 64)
+	return canon.Float(v)
 }

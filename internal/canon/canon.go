@@ -1,0 +1,72 @@
+// Package canon holds the canonical-encoding primitives shared by every
+// content hash in the system: the whole-design CacheKey at the facade and
+// the per-zone solution keys in internal/zonecache. Both must agree on how
+// sections are framed and how floats render, so the primitives live here
+// rather than being duplicated per key format.
+package canon
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+	"math"
+	"strconv"
+)
+
+// Hasher accumulates length-prefixed sections into a SHA-256 content hash.
+// The framing ("label:len\nbody\n") means no concatenation of two encoded
+// requests can collide with a single request's encoding, and a section
+// boundary can never be forged from inside a body.
+type Hasher struct {
+	h hash.Hash
+}
+
+// NewHasher starts a content hash whose first section pins the format tag;
+// bump the tag whenever any section's canonical form changes so entries
+// written under an older encoding can never alias a new request.
+func NewHasher(format string) *Hasher {
+	h := &Hasher{h: sha256.New()}
+	h.Section("format", format)
+	return h
+}
+
+// Section appends one length-prefixed labelled section.
+func (h *Hasher) Section(label, body string) {
+	fmt.Fprintf(h.h, "%s:%d\n%s\n", label, len(body), body)
+}
+
+// SectionBytes is Section for raw byte bodies (digest lists, packed
+// integer streams) without a string conversion.
+func (h *Hasher) SectionBytes(label string, body []byte) {
+	fmt.Fprintf(h.h, "%s:%d\n", label, len(body))
+	h.h.Write(body)
+	h.h.Write([]byte{'\n'})
+}
+
+// Sum returns the accumulated hash as lowercase hex — the form
+// internal/castore accepts as a key.
+func (h *Hasher) Sum() string {
+	return hex.EncodeToString(h.h.Sum(nil))
+}
+
+// Float is the one float rendering used in content keys: shortest form
+// that round-trips float64 exactly, so equal values always render equally
+// and distinct values never collide.
+func Float(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// AppendFloat appends the raw IEEE-754 bits of v big-endian — the
+// allocation-free float encoding for packed digest bodies. Bit patterns
+// are compared, not values, so +0 and −0 differ; content keys treat that
+// as a (harmless) conservative miss.
+func AppendFloat(dst []byte, v float64) []byte {
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(v))
+}
+
+// AppendInt appends v as a big-endian 64-bit two's-complement integer.
+func AppendInt(dst []byte, v int) []byte {
+	return binary.BigEndian.AppendUint64(dst, uint64(int64(v)))
+}

@@ -77,6 +77,17 @@ type Outcome struct {
 	// TraceEvents is the executor's serialized obs trace when the spec
 	// asked for one; the coordinator stitches it under its job span.
 	TraceEvents []obs.Event `json:"traceEvents,omitempty"`
+
+	// Zones is every zone solution the run replayed or produced (zone
+	// content key → encoded zonecache.Solution), present only when the
+	// spec's Config.ECO asked for zone recording and the result was not
+	// degraded. Workers have no shared zone store, so the solutions ride
+	// home with the outcome; the coordinator persists them and chains
+	// later deltas off them. ZonesReused / ZonesResolved mirror the
+	// Result accounting for the job registry's decoration.
+	Zones         map[string][]byte `json:"zones,omitempty"`
+	ZonesReused   int               `json:"zonesReused,omitempty"`
+	ZonesResolved int               `json:"zonesResolved,omitempty"`
 }
 
 // RemoteError is a structured, wire-serializable job failure reported by
@@ -155,6 +166,16 @@ func ExecuteSpec(ctx context.Context, spec *JobSpec, solverWorkers int) (*Outcom
 		ResultJSON:    blob,
 		AlgorithmUsed: res.AlgorithmUsed,
 		Degraded:      res.Degraded,
+	}
+	// Zone solutions travel with the outcome only for clean results: a
+	// degraded run's zones must never seed a future delta (the base
+	// contract the server's 409 enforces). The accounting fields are
+	// deterministic per spec — the seeds are part of the spec, so reuse
+	// counts replay identically on every attempt.
+	if spec.Config.ECO != nil && !res.Degraded {
+		out.Zones = res.Zones
+		out.ZonesReused = res.ZonesReused
+		out.ZonesResolved = res.ZonesResolved
 	}
 	if mem != nil {
 		out.TraceEvents = mem.Events()

@@ -372,6 +372,25 @@ type Options struct {
 	// valve. When hit, the labels with the smallest current max survive;
 	// the ε guarantee then degrades gracefully. 0 = default.
 	MaxLabels int
+	// WarmLabels / WarmFrontier are warm-start capacity hints from a prior
+	// solve of a similar instance (ECO mode): expected label expansions and
+	// final frontier size. They pre-size the label slab, the per-layer
+	// frontier slice, and the dedup map — and do nothing else. No pruning
+	// bound, tie-break, or cap depends on them, so the solution (and every
+	// result byte derived from it) is identical with or without hints; a
+	// stale hint costs memory or speed, never correctness. 0 = cold sizing.
+	WarmLabels   int
+	WarmFrontier int
+	// Info, when non-nil, receives the solve-effort stats a later warm
+	// start feeds back as hints.
+	Info *SolveInfo
+}
+
+// SolveInfo reports how much work a Solve did — the numbers a warm start
+// reuses as capacity hints.
+type SolveInfo struct {
+	Expanded int // labels materialized (post incumbent prune)
+	Frontier int // labels on the final frontier
 }
 
 // DefaultMaxLabels bounds the per-layer Pareto set.
@@ -425,15 +444,22 @@ func (a *floatArena) reset() {
 
 // labelArena slab-allocates labels in fixed chunks so pointers remain
 // stable (prev chains) while amortizing allocation to one make per chunk.
+// firstChunk, when positive, sizes the initial chunk — the warm-start
+// hint's only effect is fewer chunk allocations.
 type labelArena struct {
-	chunks [][]label
+	chunks     [][]label
+	firstChunk int
 }
 
 const labelChunkSize = 1024
 
 func (a *labelArena) alloc() *label {
 	if n := len(a.chunks); n == 0 || len(a.chunks[n-1]) == cap(a.chunks[n-1]) {
-		a.chunks = append(a.chunks, make([]label, 0, labelChunkSize))
+		size := labelChunkSize
+		if len(a.chunks) == 0 && a.firstChunk > size {
+			size = a.firstChunk
+		}
+		a.chunks = append(a.chunks, make([]label, 0, size))
 	}
 	c := &a.chunks[len(a.chunks)-1]
 	*c = append(*c, label{})
@@ -457,8 +483,10 @@ func Solve(ctx context.Context, g *Graph, opt Options) (Solution, error) {
 	}
 	sp := obs.FromContext(ctx)
 	var st *solveStats
-	if sp != nil {
+	if sp != nil || opt.Info != nil {
 		st = &solveStats{}
+	}
+	if sp != nil {
 		sp.Count("mosp.layers", int64(len(g.Layers)))
 	}
 	// Incumbent from the greedy; its value bounds the optimum from above.
@@ -467,12 +495,18 @@ func Solve(ctx context.Context, g *Graph, opt Options) (Solution, error) {
 		return Solution{}, err
 	}
 	frontier, err := expandLayers(ctx, g, opt, greedy.Max, true, st)
-	st.flush(sp)
+	if sp != nil {
+		st.flush(sp)
+	}
 	if err != nil {
 		return Solution{}, err
 	}
 	if sp != nil {
 		sp.Count("mosp.frontier", int64(len(frontier)))
+	}
+	if opt.Info != nil {
+		opt.Info.Expanded = int(st.expanded)
+		opt.Info.Frontier = len(frontier)
 	}
 	if len(frontier) == 0 {
 		// Numerical corner: everything pruned against UB. The greedy
@@ -508,7 +542,15 @@ func expandLayers(ctx context.Context, g *Graph, opt Options, ub float64, sites 
 		delta = opt.Epsilon * ub / float64(len(g.Layers))
 	}
 
-	labels := &labelArena{}
+	// Warm-start capacity hints: strictly pre-sizing. Clamped so a stale
+	// or hostile hint can only waste a bounded allocation, and bounded by
+	// MaxLabels since no frontier outgrows the safety valve by more than
+	// one layer's expansion.
+	const warmClamp = 1 << 18
+	warmLabels := min(opt.WarmLabels, warmClamp)
+	warmFrontier := min(opt.WarmFrontier, min(opt.MaxLabels, warmClamp))
+
+	labels := &labelArena{firstChunk: warmLabels}
 	// Cost vectors double-buffer between two arenas: the current frontier
 	// reads from one while the next layer writes into the other; the swap
 	// recycles the now-dead frontier costs without any per-label GC work.
@@ -525,10 +567,18 @@ func expandLayers(ctx context.Context, g *Graph, opt Options, ub float64, sites 
 	start := labels.alloc()
 	*start = label{cost: base, max: maxOf(base), layer: -1, pick: -1}
 	frontier := []*label{start}
-	next := make([]*label, 0, 64)
+	nextCap := 64
+	if warmFrontier > nextCap {
+		nextCap = warmFrontier
+	}
+	next := make([]*label, 0, nextCap)
 	var seen map[uint64]int32
 	if delta > 0 {
-		seen = make(map[uint64]int32, 256)
+		seenCap := 256
+		if warmFrontier > seenCap {
+			seenCap = warmFrontier
+		}
+		seen = make(map[uint64]int32, seenCap)
 	}
 
 	for li, layer := range g.Layers {

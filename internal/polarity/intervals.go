@@ -2,7 +2,6 @@ package polarity
 
 import (
 	"fmt"
-	"strings"
 )
 
 // Interval is a feasible arrival-time window [Lo, Hi] with Hi−Lo = κ
@@ -41,31 +40,39 @@ func FeasibleIntervals(cs *CandidateSet, kappa float64) ([]Interval, error) {
 	}
 	var out []Interval
 	seen := make(map[string]bool)
+	// The signature is a fixed-width (leaf, candidate) pair stream in a
+	// reused buffer: same dedup semantics as the old "%d.%d," string at a
+	// fraction of the cost, and the feasible sets are only materialized
+	// for intervals that survive dedup.
+	var sig []byte
 	for _, t := range cs.ArrivalTimes() {
 		lo, hi := t-kappa, t
-		feas := make([][]int, len(leaves))
+		sig = sig[:0]
 		ok := true
-		var sig strings.Builder
 		for li, leaf := range leaves {
+			n := len(sig)
 			for ci, c := range cs.ByLeaf[leaf] {
 				if c.AT >= lo-1e-9 && c.AT <= hi+1e-9 {
-					feas[li] = append(feas[li], ci)
-					fmt.Fprintf(&sig, "%d.%d,", li, ci)
+					sig = append(sig,
+						byte(li), byte(li>>8), byte(li>>16), byte(li>>24),
+						byte(ci), byte(ci>>8), byte(ci>>16), byte(ci>>24))
 				}
 			}
-			if len(feas[li]) == 0 {
+			if len(sig) == n {
 				ok = false
 				break
 			}
 		}
-		if !ok {
+		if !ok || seen[string(sig)] {
 			continue
 		}
-		key := sig.String()
-		if seen[key] {
-			continue
+		seen[string(sig)] = true
+		feas := make([][]int, len(leaves))
+		for p := 0; p+8 <= len(sig); p += 8 {
+			li := int(sig[p]) | int(sig[p+1])<<8 | int(sig[p+2])<<16 | int(sig[p+3])<<24
+			ci := int(sig[p+4]) | int(sig[p+5])<<8 | int(sig[p+6])<<16 | int(sig[p+7])<<24
+			feas[li] = append(feas[li], ci)
 		}
-		seen[key] = true
 		out = append(out, Interval{Lo: lo, Hi: hi, Feasible: feas})
 	}
 	if len(out) == 0 {

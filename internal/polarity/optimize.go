@@ -13,6 +13,7 @@ import (
 	"wavemin/internal/obs"
 	"wavemin/internal/parallel"
 	"wavemin/internal/peakmin"
+	"wavemin/internal/zonecache"
 )
 
 // Algorithm selects the per-zone solver.
@@ -69,6 +70,14 @@ type Config struct {
 	// Fig. 8 is embarrassingly parallel). 0 = GOMAXPROCS, 1 = serial.
 	// Results are bitwise identical for every worker count.
 	Workers int
+	// Zones, when non-nil, is the ECO-mode zone solution session: each
+	// (interval, zone) instance is content-keyed (ZoneKeyer) and replayed
+	// from the cache when unchanged, solved and stored when not. Replay is
+	// bitwise-identical to solving by construction — the key covers every
+	// solver input and the solver is deterministic — so attaching a
+	// session never changes the result, only the cost. Ignored by the
+	// ClkPeakMinBaseline algorithm (its zone solve is already cheap).
+	Zones *zonecache.Session
 }
 
 // ZoneOutcome reports one zone's optimized peak estimate.
@@ -86,6 +95,12 @@ type Result struct {
 	ZonePeaks      []ZoneOutcome
 	IntervalsTried int
 	SkewEstimate   float64 // candidate-model skew of the assignment, ps
+	// ECO-mode accounting (zero unless Config.Zones was attached):
+	// instances replayed from the zone cache, instances actually solved,
+	// and warm-start labels seeded into re-solved instances.
+	ZonesReused    int
+	ZonesResolved  int
+	WarmStartLabel int
 }
 
 // Optimize runs the full single-mode flow of Fig. 8 and returns the best
@@ -136,6 +151,15 @@ func Optimize(ctx context.Context, t *clocktree.Tree, cfg Config) (*Result, erro
 		leafIndex[leaf] = i
 	}
 
+	// ECO mode: precompute content digests once so each (interval, zone)
+	// instance can be keyed cheaply inside the fan-out. The baseline
+	// solver algorithm is excluded — its per-zone solve costs less than a
+	// cache round-trip.
+	var zk *ZoneKeyer
+	if cfg.Zones != nil && cfg.Algorithm != ClkPeakMinBaseline {
+		zk = NewZoneKeyer(t, tm, cs, zones, cfg)
+	}
+
 	// Every (interval, zone) pair is an independent solver instance; fan
 	// them out as one flat index space and merge afterwards in fixed
 	// order, so the outcome is identical for every worker count.
@@ -155,7 +179,7 @@ func Optimize(ctx context.Context, t *clocktree.Tree, cfg Config) (*Result, erro
 			zsp.Count("zone.leaves", int64(len(zones[zi].Leaves)))
 			zctx = obs.WithSpan(ctx, zsp)
 		}
-		s, err := solveZone(zctx, t, tm, cs, zones[zi], &intervals[ii], leafIndex, cfg)
+		s, err := solveZone(zctx, t, tm, cs, zones[zi], &intervals[ii], leafIndex, cfg, zk)
 		if err != nil {
 			iv := &intervals[ii]
 			return fmt.Errorf("polarity: interval [%g,%g]: %w", iv.Lo, iv.Hi, err)
@@ -187,14 +211,33 @@ func Optimize(ctx context.Context, t *clocktree.Tree, cfg Config) (*Result, erro
 	if skew, err := cs.SkewOf(best.Assignment); err == nil {
 		best.SkewEstimate = skew
 	}
+	if zk != nil {
+		// Aggregated after the fan-out from the ordered slots, so the
+		// counts (and the trace counters below) are identical at every
+		// worker count.
+		for i := range solved {
+			if solved[i].reused {
+				best.ZonesReused++
+			} else {
+				best.ZonesResolved++
+				best.WarmStartLabel += solved[i].warm
+			}
+		}
+		sp.Count("eco.zones_reused", int64(best.ZonesReused))
+		sp.Count("eco.zones_resolved", int64(best.ZonesResolved))
+		sp.Count("eco.warmstart_labels", int64(best.WarmStartLabel))
+	}
 	return best, nil
 }
 
 // zoneSolved is one (interval, zone) outcome: candidate-index picks per
-// leaf plus the solver's peak estimate.
+// leaf plus the solver's peak estimate, and the ECO accounting for the
+// instance (replayed from cache vs solved, warm-start labels seeded).
 type zoneSolved struct {
-	picks []int
-	peak  float64
+	picks  []int
+	peak   float64
+	reused bool
+	warm   int
 }
 
 // solveZone solves a single (interval, zone) instance. It runs on worker
@@ -203,7 +246,7 @@ type zoneSolved struct {
 // the IgnoreNonLeaf mutation stays local).
 func solveZone(
 	ctx context.Context, t *clocktree.Tree, tm *clocktree.Timing, cs *CandidateSet,
-	zone Zone, iv *Interval, leafIndex map[clocktree.NodeID]int, cfg Config,
+	zone Zone, iv *Interval, leafIndex map[clocktree.NodeID]int, cfg Config, zk *ZoneKeyer,
 ) (zoneSolved, error) {
 	faultinject.At(faultinject.SitePolarityZone)
 	if cfg.IgnoreNonLeaf {
@@ -219,6 +262,19 @@ func solveZone(
 		}
 		return zoneSolved{picks: picks, peak: peak}, nil
 	default:
+		var key string
+		if zk != nil {
+			key = zk.Key(zone, iv, leafIndex)
+			if sol, ok := cfg.Zones.Lookup(key); ok && replayValid(sol, cs, zone, iv, leafIndex) {
+				// Content hit: the key pins the exact solver input, so the
+				// cached picks are what the solve below would compute —
+				// skip building the instance entirely.
+				if zsp := obs.FromContext(ctx); zsp != nil {
+					zsp.Count("zone.replayed", 1)
+				}
+				return zoneSolved{picks: sol.Picks, peak: sol.Peak, reused: true}, nil
+			}
+		}
 		zi, err := BuildZoneInstance(t, tm, cs, zone, iv, leafIndex, cfg.Samples)
 		if err != nil {
 			return zoneSolved{}, err
@@ -231,9 +287,21 @@ func solveZone(
 			zsp.Count("zone.candidates", cands)
 		}
 		var sol mosp.Solution
+		var info mosp.SolveInfo
+		var warm int
 		switch cfg.Algorithm {
 		case ClkWaveMin:
-			sol, err = mosp.Solve(ctx, zi.Graph, mosp.Options{Epsilon: cfg.Epsilon, MaxLabels: cfg.MaxLabels})
+			opts := mosp.Options{Epsilon: cfg.Epsilon, MaxLabels: cfg.MaxLabels}
+			if zk != nil {
+				opts.Info = &info
+				if labels, front, ok := cfg.Zones.Warm(zone.Key); ok {
+					// Output-neutral warm start: prior effort for this
+					// spatial zone pre-sizes the solver's arenas.
+					opts.WarmLabels, opts.WarmFrontier = labels, front
+					warm = labels
+				}
+			}
+			sol, err = mosp.Solve(ctx, zi.Graph, opts)
 		case ClkWaveMinF:
 			sol, err = mosp.SolveFast(ctx, zi.Graph)
 		default:
@@ -246,8 +314,41 @@ func solveZone(
 		for li, pi := range sol.Picks {
 			picks[li] = zi.Graph.Layers[li][pi].Tag
 		}
-		return zoneSolved{picks: picks, peak: sol.Max}, nil
+		if zk != nil {
+			cfg.Zones.Store(key, &zonecache.Solution{
+				Zone: zone.Key, Picks: picks, Peak: sol.Max,
+				Expanded: info.Expanded, Frontier: info.Frontier,
+			})
+		}
+		return zoneSolved{picks: picks, peak: sol.Max, warm: warm}, nil
 	}
+}
+
+// replayValid defensively bounds-checks a cached solution against the live
+// candidate set before replaying it: right leaf count, every pick a
+// feasible candidate of its leaf. A mismatch (corrupt or aliased entry)
+// falls back to a fresh solve — never an error.
+func replayValid(sol *zonecache.Solution, cs *CandidateSet, zone Zone, iv *Interval, leafIndex map[clocktree.NodeID]int) bool {
+	if len(sol.Picks) != len(zone.Leaves) {
+		return false
+	}
+	for li, leaf := range zone.Leaves {
+		p := sol.Picks[li]
+		if p < 0 || p >= len(cs.ByLeaf[leaf]) {
+			return false
+		}
+		ok := false
+		for _, ci := range iv.Feasible[leafIndex[leaf]] {
+			if ci == p {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
 }
 
 // solveZonePeakMin runs the [27] baseline on one zone: per-element peaks

@@ -1,4 +1,4 @@
-package rescache
+package rescache_test
 
 import (
 	"bytes"
@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"wavemin"
+	"wavemin/internal/rescache"
 )
 
 // --- Content-hash property: hash equality ⇔ canonical-form equality ----
@@ -249,7 +250,7 @@ func TestCacheKeyPropertySemanticChangeChangesKey(t *testing.T) {
 // --- LRU behavior --------------------------------------------------------
 
 func TestLRUEvictionOrder(t *testing.T) {
-	c := New(0, 3)
+	c := rescache.New(0, 3)
 	c.Put("a", []byte("1"))
 	c.Put("b", []byte("2"))
 	c.Put("c", []byte("3"))
@@ -275,7 +276,7 @@ func TestLRUEvictionOrder(t *testing.T) {
 
 func TestLRUMaxBytesAccounting(t *testing.T) {
 	// Each entry is 1-byte key + 9-byte value = 10 bytes.
-	c := New(25, 0)
+	c := rescache.New(25, 0)
 	c.Put("a", bytes.Repeat([]byte("x"), 9))
 	c.Put("b", bytes.Repeat([]byte("y"), 9))
 	if st := c.Stats(); st.Bytes != 20 || st.Entries != 2 {
@@ -305,7 +306,7 @@ func TestLRUMaxBytesAccounting(t *testing.T) {
 }
 
 func TestLRUGetCopiesAreStable(t *testing.T) {
-	c := New(0, 0)
+	c := rescache.New(0, 0)
 	val := []byte("payload")
 	c.Put("k", val)
 	val[0] = 'X' // caller mutating its slice must not reach the cache

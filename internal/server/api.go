@@ -40,6 +40,14 @@ type wireRequest struct {
 	// NoCache skips the result-cache lookup for this request (the result
 	// is still stored for future requests).
 	NoCache bool `json:"noCache"`
+	// BaseJobID names a completed job to re-optimize incrementally from:
+	// the base job's per-zone solutions seed this run, unchanged zones
+	// replay, and only the delta is solved. Requires the server's ECO mode
+	// (Options.Eco). Unknown bases are a 404 ("unknown_base"); bases that
+	// cannot seed a delta — unfinished, failed, degraded, or without
+	// recorded zones — are a 409 ("base_not_reusable"). The result is
+	// bitwise-identical to a cold solve of the same tree either way.
+	BaseJobID string `json:"baseJobId"`
 	// Trace captures a per-job telemetry trace, served at
 	// GET /v1/jobs/{id}/trace. Off by default: traces cost memory.
 	Trace bool `json:"trace"`
@@ -90,6 +98,9 @@ type optimizeRequest struct {
 	// bit-for-bit (internal/dispatch.JobSpec).
 	tree  json.RawMessage
 	modes []wavemin.Mode
+	// baseJobID is the raw (unresolved) ECO base reference; the server
+	// resolves it against its job registry and zone store at submit time.
+	baseJobID string
 }
 
 // decodeOptimizeRequest parses and validates one POST /v1/optimize body.
@@ -197,14 +208,15 @@ func decodeOptimizeRequest(body []byte, opts Options) (*optimizeRequest, *apiErr
 		return nil, badRequest("cache key: %v", err)
 	}
 	return &optimizeRequest{
-		design:  design,
-		cfg:     cfg,
-		pri:     pri,
-		timeout: timeout,
-		noCache: wire.NoCache,
-		trace:   wire.Trace,
-		key:     key,
-		tree:    wire.Tree,
-		modes:   modes,
+		design:    design,
+		cfg:       cfg,
+		pri:       pri,
+		timeout:   timeout,
+		noCache:   wire.NoCache,
+		trace:     wire.Trace,
+		key:       key,
+		tree:      wire.Tree,
+		modes:     modes,
+		baseJobID: wire.BaseJobID,
 	}, nil
 }

@@ -47,6 +47,12 @@ var malformedRequests = []string{
 	`{"tree":{"format":"wavemin-clocktree-v1","nodes":[{"id":0,"parent":-1,"cell":"BUF_X8","x":0,"y":0}]},"modes":[{"name":""}]}`,
 	`{"tree":{"format":"wavemin-clocktree-v1","nodes":[{"id":0,"parent":-1,"cell":"BUF_X8","x":0,"y":0}]},"modes":[{"name":"m","supplies":{"core":-1}}]}`,
 	`{"tree":{"format":"wavemin-clocktree-v1","nodes":[{"id":0,"parent":-1,"cell":"BUF_X8","x":0,"y":0}]},"modes":[{"name":"m"},{"name":"m"}]}`,
+	// ECO base references: a non-string baseJobId is a decode-level 400;
+	// a well-formed one on a server without ECO enabled is a structured
+	// 400 ("eco_disabled") from the submit path — never a 5xx, and never
+	// a solver run.
+	`{"tree":{"format":"wavemin-clocktree-v1","nodes":[{"id":0,"parent":-1,"cell":"BUF_X8","x":0,"y":0}]},"baseJobId":17}`,
+	`{"tree":{"format":"wavemin-clocktree-v1","nodes":[{"id":0,"parent":-1,"cell":"BUF_X8","x":0,"y":0}]},"baseJobId":"j-000001"}`,
 }
 
 // FuzzOptimizeRequest drives arbitrary bytes through the request decoder:
@@ -66,6 +72,13 @@ func FuzzOptimizeRequest(f *testing.F) {
 		 {"id":1,"parent":0,"cell":"BUF_X8","x":20,"y":10,"wire_res":1,"wire_cap":2,"sink_cap":8},
 		 {"id":2,"parent":0,"cell":"INV_X8","x":10,"y":20,"wire_res":1,"wire_cap":2,"sink_cap":8}]}`)
 	f.Add([]byte(valid))
+	// ECO base references the decoder must pass through untouched (the
+	// server resolves them at submit time): a replayed-looking ID, a
+	// hostile path-shaped ID, and one with control bytes.
+	validTree := `{"format":"wavemin-clocktree-v1","nodes":[{"id":0,"parent":-1,"cell":"BUF_X8","x":0,"y":0}]}`
+	f.Add([]byte(fmt.Sprintf(`{"tree":%s,"baseJobId":"j-000001"}`, validTree)))
+	f.Add([]byte(fmt.Sprintf("{\"tree\":%s,\"baseJobId\":\"j-\u0000\u001b[2J\"}", validTree)))
+	f.Add([]byte(fmt.Sprintf(`{"tree":%s,"baseJobId":"../../etc/passwd"}`, validTree)))
 
 	opts := Options{}.withDefaults()
 	f.Fuzz(func(t *testing.T, body []byte) {

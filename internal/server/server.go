@@ -26,6 +26,8 @@ package server
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	_ "expvar" // /debug/vars when Options.Debug mounts the default mux
@@ -34,17 +36,20 @@ import (
 	"net/http"
 	_ "net/http/pprof" // /debug/pprof when Options.Debug mounts the default mux
 	"path/filepath"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"wavemin"
 	"wavemin/internal/castore"
 	"wavemin/internal/dispatch"
 	"wavemin/internal/jobq"
 	"wavemin/internal/obs"
 	"wavemin/internal/rescache"
 	"wavemin/internal/wal"
+	"wavemin/internal/zonecache"
 )
 
 // Options configures a Server. Zero values take the defaults noted.
@@ -90,6 +95,19 @@ type Options struct {
 	// StoreMaxBytes bounds the persistent result store (default 256 MiB);
 	// least-recently-used results are evicted.
 	StoreMaxBytes int64
+
+	// Eco enables incremental re-optimization: every solver job records
+	// its per-zone solutions in a zone cache (durable under DataDir/zones
+	// when DataDir is set), and POST /v1/optimize accepts a "baseJobId"
+	// whose zone solutions seed the new job — unchanged zones replay,
+	// only the delta is solved. Off by default: recording zones adds keying
+	// work and eco counters to job traces.
+	Eco bool
+	// ZoneCacheMaxBytes bounds the in-memory zone-solution tier (default
+	// 32 MiB); ZoneStoreMaxBytes bounds the durable tier under
+	// DataDir/zones (default 64 MiB). Both LRU-evict.
+	ZoneCacheMaxBytes int64
+	ZoneStoreMaxBytes int64
 }
 
 func (o Options) withDefaults() Options {
@@ -123,6 +141,12 @@ func (o Options) withDefaults() Options {
 	if o.StoreMaxBytes == 0 {
 		o.StoreMaxBytes = 256 << 20
 	}
+	if o.ZoneCacheMaxBytes == 0 {
+		o.ZoneCacheMaxBytes = 32 << 20
+	}
+	if o.ZoneStoreMaxBytes == 0 {
+		o.ZoneStoreMaxBytes = 64 << 20
+	}
 	return o
 }
 
@@ -152,6 +176,12 @@ type job struct {
 	degraded      bool
 	errMsg        string
 	trace         *obs.Memory // non-nil iff the request asked for a trace
+	// ECO bookkeeping (Options.Eco): the zone-solution keys this job
+	// recorded — what a later delta submitted with baseJobId=<this id>
+	// seeds from — plus the reuse counters for the job view.
+	zoneKeys      []string
+	zonesReused   int
+	zonesResolved int
 }
 
 // jobView is the wire form of a job record.
@@ -167,6 +197,8 @@ type jobView struct {
 	Degraded      bool   `json:"degraded,omitempty"`
 	Error         string `json:"error,omitempty"`
 	HasTrace      bool   `json:"hasTrace,omitempty"`
+	ZonesReused   int    `json:"zonesReused,omitempty"`
+	ZonesResolved int    `json:"zonesResolved,omitempty"`
 }
 
 // Metrics is a snapshot of the server's counters (also published to the
@@ -190,6 +222,11 @@ type Metrics struct {
 	JournalErrs    int64 // journal appends/waits that failed (durability degraded)
 	CheckpointErrs int64 // journal checkpoints that failed
 	Recovery       RecoveryInfo
+
+	// ECO counters; zero values when Options.Eco is unset.
+	EcoZonesReused   int64 // zone instances replayed instead of solved
+	EcoZonesResolved int64 // zone instances solved by eco-enabled jobs
+	ZoneCache        rescache.TieredStats
 }
 
 // RecoveryInfo describes what startup replay found in DataDir.
@@ -214,6 +251,8 @@ type counters struct {
 	expired          atomic.Int64
 	rejectedFull     atomic.Int64
 	rejectedDraining atomic.Int64
+	ecoReused        atomic.Int64
+	ecoResolved      atomic.Int64
 }
 
 // bump increments a counter and mirrors it into the process-wide expvar
@@ -232,6 +271,8 @@ type Server struct {
 
 	coord      *dispatch.Coordinator // non-nil iff Options.Dispatch was set
 	dispatchWG sync.WaitGroup        // finishDispatched goroutines in flight
+
+	zones *zonecache.Cache // non-nil iff Options.Eco was set
 
 	// Durable tier; all nil/zero when Options.DataDir is unset.
 	store      *castore.Store
@@ -281,14 +322,16 @@ func New(opts Options) (*Server, error) {
 	var backing rescache.Backing
 	var recovered []jobq.RecoveredJob
 	var lastID uint64
+	syncWrites := false
 	if opts.DataDir != "" {
 		pol, err := wal.ParseSyncPolicy(opts.Fsync)
 		if err != nil {
 			return nil, fmt.Errorf("server: %w", err)
 		}
+		syncWrites = pol != wal.SyncNone
 		store, err := castore.Open(filepath.Join(opts.DataDir, "store"), castore.Options{
 			MaxBytes: opts.StoreMaxBytes,
-			Sync:     pol != wal.SyncNone,
+			Sync:     syncWrites,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("server: result store: %w", err)
@@ -329,6 +372,25 @@ func New(opts Options) (*Server, error) {
 		dopts.PersistResult = store.Put
 	}
 	s.cache = rescache.NewTiered(rescache.New(opts.CacheMaxBytes, opts.CacheMaxEntries), backing)
+
+	if opts.Eco {
+		if opts.DataDir != "" {
+			z, err := zonecache.Open(filepath.Join(opts.DataDir, "zones"),
+				opts.ZoneCacheMaxBytes, opts.ZoneStoreMaxBytes, syncWrites)
+			if err != nil {
+				if s.wal != nil {
+					s.wal.Abort()
+				}
+				if s.store != nil {
+					s.store.Close()
+				}
+				return nil, fmt.Errorf("server: zone store: %w", err)
+			}
+			s.zones = z
+		} else {
+			s.zones = zonecache.New(opts.ZoneCacheMaxBytes, 0)
+		}
+	}
 
 	if opts.Dispatch != nil {
 		s.coord = dispatch.NewCoordinator(s.q, dopts)
@@ -523,6 +585,7 @@ func (s *Server) Crash() {
 	if s.store != nil {
 		s.store.Abort()
 	}
+	s.zones.Abort()
 }
 
 // Recovery reports what startup replay found.
@@ -566,6 +629,9 @@ func (s *Server) Drain(ctx context.Context) error {
 			err = cerr
 		}
 	}
+	if cerr := s.zones.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
 	return err
 }
 
@@ -596,6 +662,11 @@ func (s *Server) MetricsSnapshot() Metrics {
 	if s.store != nil {
 		m.StoreStats = s.store.Stats()
 	}
+	if s.zones != nil {
+		m.EcoZonesReused = s.met.ecoReused.Load()
+		m.EcoZonesResolved = s.met.ecoResolved.Load()
+		m.ZoneCache = s.zones.Stats()
+	}
 	return m
 }
 
@@ -619,6 +690,10 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	}
 	req, apiErr := decodeOptimizeRequest(body, s.opts)
 	if apiErr != nil {
+		writeAPIError(w, apiErr)
+		return
+	}
+	if apiErr := s.attachEco(req); apiErr != nil {
 		writeAPIError(w, apiErr)
 		return
 	}
@@ -664,6 +739,121 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, map[string]any{
 		"jobId": j.id, "status": StatusQueued, "cacheHit": false,
 	})
+}
+
+// --- incremental re-optimization (ECO) -----------------------------------
+
+// attachEco resolves a request's ECO inputs before admission. With
+// Options.Eco set, every solver job records its zone solutions (an empty
+// ECOConfig); a baseJobId additionally seeds the run with the base job's
+// solutions so unchanged zones replay. Every rejection is a structured
+// 4xx — an unknown base is a 404, a base whose result cannot seed a delta
+// is a 409 — never a 5xx: a bad base reference is a client error, and a
+// missing seed is at worst a cold solve, not a failure.
+func (s *Server) attachEco(req *optimizeRequest) *apiError {
+	if req.baseJobID != "" {
+		if s.zones == nil {
+			return &apiError{status: http.StatusBadRequest, code: "eco_disabled",
+				message: "baseJobId requires the server's ECO mode (Options.Eco / wavemind -eco)"}
+		}
+		seeds, apiErr := s.resolveBase(req.baseJobID)
+		if apiErr != nil {
+			return apiErr
+		}
+		req.cfg.ECO = &wavemin.ECOConfig{BaseZones: seeds}
+		return nil
+	}
+	if s.zones != nil {
+		req.cfg.ECO = &wavemin.ECOConfig{}
+	}
+	return nil
+}
+
+// resolveBase turns a base job reference into the seed map a delta run
+// starts from.
+func (s *Server) resolveBase(id string) (map[string][]byte, *apiError) {
+	j := s.lookup(id)
+	if j == nil {
+		// The registry forgets finished jobs at restart and under
+		// retention pressure, but every clean completion also persisted
+		// its job → zone-keys mapping in the zone store — a recovered
+		// coordinator answers deltas from the durable tier.
+		if raw, ok := s.zones.Get(jobZonesKey(id)); ok {
+			var keys []string
+			if json.Unmarshal(raw, &keys) == nil {
+				return s.fetchZones(keys), nil
+			}
+		}
+		return nil, &apiError{status: http.StatusNotFound, code: "unknown_base",
+			message: fmt.Sprintf("base job %q: no such job (unknown, evicted, or never completed cleanly)", id)}
+	}
+	j.mu.Lock()
+	status, degraded, keys := j.status, j.degraded, j.zoneKeys
+	j.mu.Unlock()
+	reject := func(msg string) (map[string][]byte, *apiError) {
+		return nil, &apiError{status: http.StatusConflict, code: "base_not_reusable",
+			message: fmt.Sprintf("base job %q: %s", id, msg)}
+	}
+	switch {
+	case status != StatusDone:
+		return reject("job is " + status + "; a delta needs a finished base")
+	case degraded:
+		return reject("result is degraded (deadline-shaped); a delta never seeds from degraded solutions")
+	case len(keys) == 0:
+		return reject("job recorded no zone solutions (cache hit, multi-mode, or pre-ECO run)")
+	}
+	return s.fetchZones(keys), nil
+}
+
+// fetchZones loads whichever of the base's solutions are still cached.
+// Misses are dropped, not errors: seeds are an optimization, so an
+// evicted solution just means that zone is re-solved.
+func (s *Server) fetchZones(keys []string) map[string][]byte {
+	out := make(map[string][]byte, len(keys))
+	for _, k := range keys {
+		if v, ok := s.zones.Get(k); ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// jobZonesKey derives the zone-store key of a job's zone-keys mapping
+// from its public ID (store keys must be hex digests; job IDs are not).
+func jobZonesKey(jobID string) string {
+	sum := sha256.Sum256([]byte("wavemin-jobzones\x00" + jobID))
+	return hex.EncodeToString(sum[:])
+}
+
+// landZones records a cleanly completed job's zone solutions: each lands
+// in the zone cache (and its durable tier), and the sorted key list lands
+// both in the job record and — keyed by job ID — in the store itself, so
+// the job can seed deltas even after the registry forgets it. Callers
+// skip degraded results entirely.
+func (s *Server) landZones(j *job, zones map[string][]byte, reused, resolved int) {
+	if s.zones == nil {
+		return
+	}
+	s.met.ecoReused.Add(int64(reused))
+	s.met.ecoResolved.Add(int64(resolved))
+	obs.ExpvarCounters().Add("server_eco_zones_reused", int64(reused))
+	obs.ExpvarCounters().Add("server_eco_zones_resolved", int64(resolved))
+	keys := make([]string, 0, len(zones))
+	for k, v := range zones {
+		s.zones.Put(k, v)
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	if len(keys) > 0 {
+		if blob, err := json.Marshal(keys); err == nil {
+			s.zones.Put(jobZonesKey(j.id), blob)
+		}
+	}
+	j.mu.Lock()
+	j.zoneKeys = keys
+	j.zonesReused = reused
+	j.zonesResolved = resolved
+	j.mu.Unlock()
 }
 
 // writeSubmitError renders a queue-admission failure: 429 + Retry-After
@@ -772,6 +962,9 @@ func (s *Server) finishDispatched(j *job, key string, noCache bool, tr *obs.Trac
 	if !out.Degraded && !noCache {
 		s.cache.PutLocal(key, out.ResultJSON)
 	}
+	if !out.Degraded {
+		s.landZones(j, out.Zones, out.ZonesReused, out.ZonesResolved)
+	}
 	bump(&s.met.completed, "server_jobs_completed")
 	j.mu.Lock()
 	j.status = StatusDone
@@ -846,6 +1039,9 @@ func (s *Server) runJob(ctx context.Context, j *job, req *optimizeRequest) {
 	// caller with a roomier budget.
 	if !res.Degraded && !req.noCache {
 		s.cache.Put(req.key, blob)
+	}
+	if !res.Degraded {
+		s.landZones(j, res.Zones, res.ZonesReused, res.ZonesResolved)
 	}
 	bump(&s.met.completed, "server_jobs_completed")
 	j.mu.Lock()
@@ -948,6 +1144,8 @@ func (j *job) view() jobView {
 		Degraded:      j.degraded,
 		Error:         j.errMsg,
 		HasTrace:      j.trace != nil,
+		ZonesReused:   j.zonesReused,
+		ZonesResolved: j.zonesResolved,
 	}
 	if !j.started.IsZero() {
 		v.StartedAt = j.started.UTC().Format(time.RFC3339Nano)

@@ -3,6 +3,8 @@ package spice
 import (
 	"context"
 	"fmt"
+
+	"wavemin/internal/waveform"
 )
 
 // gmin is a tiny conductance added from every node to ground so that nodes
@@ -84,12 +86,19 @@ func (c *Circuit) Transient(ctx context.Context, t0, t1, dt float64) (*Result, e
 	}
 	rhs := make([]float64, dim)
 	x := make([]float64, dim)
+	// Source times are queried in ascending order (t0, then each step),
+	// so cursors replace per-step binary searches; Cursor.At is
+	// bit-identical to Waveform.At for nondecreasing times.
+	srcCur := make([]waveform.Cursor, len(c.isources))
+	for i, is := range c.isources {
+		srcCur[i] = is.w.Cursor()
+	}
 	fillSources := func(t float64) {
 		for i := range rhs {
 			rhs[i] = 0
 		}
-		for _, is := range c.isources {
-			cur := is.w.At(t) / 1000 // µA → mA
+		for i, is := range c.isources {
+			cur := srcCur[i].At(t) / 1000 // µA → mA
 			if is.from != Ground {
 				rhs[idx(is.from)] -= cur
 			}

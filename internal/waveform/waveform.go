@@ -127,6 +127,37 @@ func (w Waveform) At(t float64) float64 {
 	return a.I + frac*(b.I-a.I)
 }
 
+// Cursor evaluates a waveform at a nondecreasing sequence of times in
+// amortized O(1) per query. It returns exactly the values At would —
+// same boundary handling, same interpolation arithmetic — so replacing a
+// loop of At calls with a Cursor is a bit-identical transformation as
+// long as the query times never decrease.
+type Cursor struct {
+	pts []Point
+	k   int // smallest index with pts[k].T >= the last queried time
+}
+
+// Cursor returns a cursor positioned before the first sample.
+func (w Waveform) Cursor() Cursor { return Cursor{pts: w.pts} }
+
+// At evaluates the waveform at t. Queries must be nondecreasing in t;
+// earlier times silently evaluate as if clamped to the cursor position.
+func (c *Cursor) At(t float64) float64 {
+	n := len(c.pts)
+	if n == 0 || t < c.pts[0].T || t > c.pts[n-1].T {
+		return 0
+	}
+	for c.k < n && c.pts[c.k].T < t {
+		c.k++
+	}
+	if c.k < n && c.pts[c.k].T == t {
+		return c.pts[c.k].I
+	}
+	a, b := c.pts[c.k-1], c.pts[c.k]
+	frac := (t - a.T) / (b.T - a.T)
+	return a.I + frac*(b.I-a.I)
+}
+
 // Shift returns the waveform translated by dt along the time axis.
 func (w Waveform) Shift(dt float64) Waveform {
 	if len(w.pts) == 0 || dt == 0 {
@@ -188,11 +219,17 @@ func Sum(ws ...Waveform) Waveform {
 		all = append(all, w.pts...)
 	}
 	times := mergeTimes(all)
+	// Merged times are ascending, so each term can be read through a
+	// cursor instead of a fresh binary search per (waveform, time).
+	curs := make([]Cursor, len(nonzero))
+	for i, w := range nonzero {
+		curs[i] = w.Cursor()
+	}
 	pts := make([]Point, len(times))
 	for i, t := range times {
 		var s float64
-		for _, w := range nonzero {
-			s += w.At(t)
+		for j := range curs {
+			s += curs[j].At(t)
 		}
 		pts[i] = Point{T: t, I: s}
 	}

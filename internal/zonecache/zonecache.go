@@ -1,0 +1,283 @@
+// Package zonecache is the per-zone MOSP solution cache behind ECO mode.
+//
+// The whole-design result cache (Design.CacheKey → result bytes) can only
+// replay a request that is byte-for-byte the same problem. Real clock-tree
+// work arrives as deltas — one leaf resized, one zone nudged — and the
+// paper's Observation 4 (per-leaf delay independence, additive noise)
+// means a delta invalidates only the zones it touches. This package
+// stores each (skew interval × placement zone) solver outcome under a
+// canonical content key (internal/polarity computes the keys, versioned
+// by KeyFormat), so an incremental re-optimization replays every
+// unchanged zone and pays the solver only for the delta.
+//
+// Storage composes the existing tiers: an in-memory LRU
+// (internal/rescache) optionally backed by the persistent
+// content-addressed store (internal/castore), so zone solutions survive
+// coordinator restarts and a recovered coordinator still answers a delta
+// from disk. Replayed solutions are bitwise-safe by construction: the key
+// covers every input the solver sees, and the solver itself is
+// deterministic, so key equality implies the cold solve would have
+// produced exactly the cached picks.
+package zonecache
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"wavemin/internal/castore"
+	"wavemin/internal/rescache"
+)
+
+// KeyFormat versions the zone key encoding. Bump it whenever the
+// canonical form of any section of the zone key changes, so entries
+// written under an older encoding can never alias a new instance.
+const KeyFormat = "wavemin-zonekey-v1"
+
+// solutionVersion versions the stored value encoding independently of the
+// key: a decode of a foreign or stale blob fails closed into a cache miss.
+const solutionVersion = 1
+
+// Solution is one (interval, zone) solver outcome: the per-leaf candidate
+// picks in the zone's canonical leaf order, plus the solve-effort stats a
+// warm start uses as capacity hints.
+type Solution struct {
+	V        int     `json:"v"`
+	Zone     [2]int  `json:"zone"`     // spatial zone key (PartitionZones grid cell)
+	Picks    []int   `json:"picks"`    // candidate index per leaf, canonical leaf order
+	Peak     float64 `json:"peak"`     // the instance's peak estimate (merge tie-break input)
+	Expanded int     `json:"expanded"` // labels expanded by the cold solve
+	Frontier int     `json:"frontier"` // final Pareto frontier size
+}
+
+// Encode renders a solution as its stored bytes.
+func (s *Solution) Encode() []byte {
+	s.V = solutionVersion
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Solution has no unmarshalable fields; this cannot happen.
+		panic(fmt.Sprintf("zonecache: encode: %v", err))
+	}
+	return b
+}
+
+// Decode parses stored bytes, failing closed (nil, error → cache miss) on
+// any malformed or version-skewed blob.
+func Decode(b []byte) (*Solution, error) {
+	var s Solution
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("zonecache: decode: %w", err)
+	}
+	if s.V != solutionVersion {
+		return nil, fmt.Errorf("zonecache: version %d, want %d", s.V, solutionVersion)
+	}
+	for _, p := range s.Picks {
+		if p < 0 {
+			return nil, fmt.Errorf("zonecache: negative pick %d", p)
+		}
+	}
+	return &s, nil
+}
+
+// Cache is the shared zone-solution store: an in-memory LRU, optionally
+// write-through to a durable castore so solutions survive restarts.
+type Cache struct {
+	tier *rescache.Tiered
+	disk *castore.Store // nil when memory-only
+}
+
+// New builds a memory-only cache bounded by bytes and entry count.
+func New(maxBytes int64, maxEntries int) *Cache {
+	return &Cache{tier: rescache.NewTiered(rescache.New(maxBytes, maxEntries), nil)}
+}
+
+// Open builds a durable cache at dir (castore framing, CRC-checked,
+// LRU-evicted at diskMaxBytes) fronted by a memory LRU.
+func Open(dir string, memMaxBytes, diskMaxBytes int64, sync bool) (*Cache, error) {
+	disk, err := castore.Open(dir, castore.Options{MaxBytes: diskMaxBytes, Sync: sync})
+	if err != nil {
+		return nil, err
+	}
+	return &Cache{
+		tier: rescache.NewTiered(rescache.New(memMaxBytes, 0), disk),
+		disk: disk,
+	}, nil
+}
+
+// Get returns the stored bytes for key, if present in either tier.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	return c.tier.Get(key)
+}
+
+// Put stores val under key in both tiers.
+func (c *Cache) Put(key string, val []byte) {
+	if c == nil {
+		return
+	}
+	c.tier.Put(key, val)
+}
+
+// Stats reports both tiers' counters.
+func (c *Cache) Stats() rescache.TieredStats {
+	if c == nil {
+		return rescache.TieredStats{}
+	}
+	return c.tier.Stats()
+}
+
+// Close releases the durable tier, if any.
+func (c *Cache) Close() error {
+	if c == nil || c.disk == nil {
+		return nil
+	}
+	return c.disk.Close()
+}
+
+// Abort abandons the durable tier without flushing — the crash-simulation
+// path: disk is left exactly as a power failure would leave it.
+func (c *Cache) Abort() {
+	if c != nil && c.disk != nil {
+		c.disk.Abort()
+	}
+}
+
+// Session is one optimization run's view of the cache: it layers a seeded
+// base-solution map (shipped with dispatched delta jobs, whose workers do
+// not share the coordinator's cache) over the shared cache, records every
+// solution the run touched so the job registry can chain deltas off it,
+// and answers warm-start capacity hints for zones whose content changed.
+//
+// A nil *Session is valid and always misses, so solver code can thread it
+// unconditionally. All methods are safe for concurrent use — the solver
+// fan-out looks up and stores from its worker pool.
+type Session struct {
+	cache *Cache // may be nil (remote worker: seeds only)
+
+	mu   sync.Mutex
+	seed map[string]seedEntry // base solutions by zone key, decoded once
+	used map[string][]byte    // every solution this run replayed or produced
+	warm map[[2]int]warmHint
+}
+
+// seedEntry keeps a seed in both forms: the stored bytes (what Used
+// re-exports) and the decoded solution (what Lookup returns). Decoding
+// once at Seed time keeps the hot replay path allocation-free — a delta
+// solve replays tens of thousands of seeds.
+type seedEntry struct {
+	raw []byte
+	sol *Solution
+}
+
+type warmHint struct{ labels, frontier int }
+
+// NewSession starts a run view over cache (which may be nil).
+func NewSession(cache *Cache) *Session {
+	return &Session{cache: cache, seed: map[string]seedEntry{}, used: map[string][]byte{}, warm: map[[2]int]warmHint{}}
+}
+
+// Seed loads base-run solutions (zone key → encoded Solution). Malformed
+// entries are dropped: a seed is an optimization, never a correctness
+// input. Seeded solutions also feed the warm-hint index by spatial zone.
+func (s *Session) Seed(zones map[string][]byte) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key, raw := range zones {
+		sol, err := Decode(raw)
+		if err != nil {
+			continue
+		}
+		s.seed[key] = seedEntry{raw: append([]byte(nil), raw...), sol: sol}
+		s.noteWarmLocked(sol)
+	}
+}
+
+func (s *Session) noteWarmLocked(sol *Solution) {
+	h := s.warm[sol.Zone]
+	if sol.Expanded > h.labels {
+		h.labels = sol.Expanded
+	}
+	if sol.Frontier > h.frontier {
+		h.frontier = sol.Frontier
+	}
+	s.warm[sol.Zone] = h
+}
+
+// Lookup returns the solution stored under key, checking the seeded base
+// map first and the shared cache second, and records the use. The
+// returned Solution is shared between callers and must not be mutated —
+// the replay path only reads it.
+func (s *Session) Lookup(key string) (*Solution, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	if e, ok := s.seed[key]; ok {
+		// Seed bytes are session-owned; record the reference, skip the
+		// copy and the re-decode.
+		s.used[key] = e.raw
+		s.mu.Unlock()
+		return e.sol, true
+	}
+	s.mu.Unlock()
+	raw, ok := s.cache.Get(key)
+	if !ok {
+		return nil, false
+	}
+	sol, err := Decode(raw)
+	if err != nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	s.used[key] = append([]byte(nil), raw...)
+	s.mu.Unlock()
+	return sol, true
+}
+
+// Store records a freshly solved instance and writes it through to the
+// shared cache (when one is attached).
+func (s *Session) Store(key string, sol *Solution) {
+	if s == nil {
+		return
+	}
+	raw := sol.Encode()
+	s.mu.Lock()
+	s.used[key] = raw
+	s.mu.Unlock()
+	s.cache.Put(key, raw)
+}
+
+// Warm returns capacity hints for a zone that must be re-solved: the
+// largest label-expansion and frontier counts any base solution for the
+// same spatial zone recorded. Hints are strictly output-neutral — they
+// pre-size solver arenas, never change pruning — so a wrong or missing
+// hint costs speed, not correctness.
+func (s *Session) Warm(zone [2]int) (labels, frontier int, ok bool) {
+	if s == nil {
+		return 0, 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.warm[zone]
+	return h.labels, h.frontier, ok
+}
+
+// Used snapshots every solution this run touched, keyed by zone key — the
+// map a job registry records and a dispatched delta job ships to workers.
+func (s *Session) Used() map[string][]byte {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string][]byte, len(s.used))
+	for k, v := range s.used {
+		out[k] = append([]byte(nil), v...)
+	}
+	return out
+}

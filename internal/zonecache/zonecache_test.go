@@ -1,0 +1,214 @@
+package zonecache
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"wavemin/internal/rescache"
+)
+
+func sol(zone [2]int, picks []int, expanded, frontier int) *Solution {
+	return &Solution{Zone: zone, Picks: picks, Peak: 1.5, Expanded: expanded, Frontier: frontier}
+}
+
+func TestSolutionRoundTrip(t *testing.T) {
+	want := sol([2]int{3, -1}, []int{0, 2, 1}, 40, 7)
+	got, err := Decode(want.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip: got %+v want %+v", got, want)
+	}
+}
+
+// TestDecodeFailsClosed: any blob that is not exactly a current-version
+// solution must come back (nil, error) — a cache miss, never a bad replay.
+func TestDecodeFailsClosed(t *testing.T) {
+	skewed := sol([2]int{0, 0}, []int{1}, 1, 1).Encode()
+	skewed = bytes.Replace(skewed, []byte(`"v":1`), []byte(`"v":2`), 1)
+	for name, blob := range map[string][]byte{
+		"empty":        nil,
+		"garbage":      []byte("not json"),
+		"wrongShape":   []byte(`[1,2,3]`),
+		"versionSkew":  skewed,
+		"negativePick": []byte(`{"v":1,"zone":[0,0],"picks":[-1]}`),
+	} {
+		if s, err := Decode(blob); err == nil || s != nil {
+			t.Errorf("%s: Decode = (%v, %v), want fail-closed", name, s, err)
+		}
+	}
+}
+
+func TestEncodeStampsVersion(t *testing.T) {
+	var m map[string]any
+	if err := json.Unmarshal(sol([2]int{0, 0}, nil, 0, 0).Encode(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["v"] != float64(solutionVersion) {
+		t.Fatalf("encoded version %v, want %d", m["v"], solutionVersion)
+	}
+}
+
+func TestMemoryCache(t *testing.T) {
+	c := New(1<<20, 16)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put("k", []byte("v"))
+	if got, ok := c.Get("k"); !ok || string(got) != "v" {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	st := c.Stats()
+	if st.Mem.Hits != 1 || st.Mem.Misses != 1 {
+		t.Fatalf("stats %+v, want 1 hit 1 miss", st.Mem)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNilCacheSafe: a nil *Cache is a valid always-miss cache, so session
+// code can thread it unconditionally.
+func TestNilCacheSafe(t *testing.T) {
+	var c *Cache
+	c.Put("k", []byte("v"))
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("nil cache hit")
+	}
+	if st := c.Stats(); st != (rescache.TieredStats{}) {
+		t.Fatalf("nil stats %+v", st)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c.Abort()
+}
+
+func TestDurableCacheSurvivesReopen(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "zones")
+	key := "00ab45cdef012345" // castore keys must be >= 8 chars of lowercase hex
+	c, err := Open(dir, 1<<20, 1<<20, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Put(key, []byte("payload"))
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := Open(dir, 1<<20, 1<<20, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	got, ok := c2.Get(key)
+	if !ok || string(got) != "payload" {
+		t.Fatalf("after reopen: Get = %q, %v", got, ok)
+	}
+	// The disk hit was promoted into the fresh memory tier.
+	if st := c2.Stats(); st.DiskHits != 1 {
+		t.Fatalf("stats %+v, want 1 disk hit", st)
+	}
+	c2.Abort()
+}
+
+func seedMap(t *testing.T, sols ...*Solution) map[string][]byte {
+	t.Helper()
+	m := make(map[string][]byte, len(sols))
+	for i, s := range sols {
+		m[string(rune('a'+i))] = s.Encode()
+	}
+	return m
+}
+
+func TestSessionSeedLookupUsed(t *testing.T) {
+	s := NewSession(nil) // remote-worker shape: seeds only, no shared cache
+	seeds := seedMap(t, sol([2]int{1, 1}, []int{0, 1}, 10, 3))
+	seeds["bad"] = []byte("junk") // malformed seeds are dropped, not fatal
+	s.Seed(seeds)
+
+	if _, ok := s.Lookup("bad"); ok {
+		t.Fatal("malformed seed was served")
+	}
+	got, ok := s.Lookup("a")
+	if !ok || !reflect.DeepEqual(got.Picks, []int{0, 1}) {
+		t.Fatalf("Lookup(a) = %+v, %v", got, ok)
+	}
+	fresh := sol([2]int{2, 2}, []int{4}, 20, 5)
+	s.Store("f", fresh)
+
+	used := s.Used()
+	if len(used) != 2 {
+		t.Fatalf("Used has %d entries, want 2 (replayed + stored): %v", len(used), used)
+	}
+	if _, ok := used["a"]; !ok {
+		t.Fatal("replayed seed missing from Used")
+	}
+	if dec, err := Decode(used["f"]); err != nil || dec.Picks[0] != 4 {
+		t.Fatalf("stored solution corrupt in Used: %+v, %v", dec, err)
+	}
+}
+
+func TestSessionLookupPrefersSeedOverCache(t *testing.T) {
+	c := New(1<<20, 16)
+	c.Put("k", sol([2]int{0, 0}, []int{9}, 1, 1).Encode())
+	s := NewSession(c)
+	s.Seed(map[string][]byte{"k": sol([2]int{0, 0}, []int{5}, 1, 1).Encode()})
+	got, ok := s.Lookup("k")
+	if !ok || got.Picks[0] != 5 {
+		t.Fatalf("Lookup = %+v, %v; want the seeded copy", got, ok)
+	}
+}
+
+func TestSessionStoreWritesThrough(t *testing.T) {
+	c := New(1<<20, 16)
+	s := NewSession(c)
+	s.Store("k", sol([2]int{0, 0}, []int{1}, 2, 2))
+	if _, ok := c.Get("k"); !ok {
+		t.Fatal("Store did not write through to the shared cache")
+	}
+	// A second session over the same cache replays it.
+	if got, ok := NewSession(c).Lookup("k"); !ok || got.Picks[0] != 1 {
+		t.Fatalf("second session Lookup = %+v, %v", got, ok)
+	}
+}
+
+// TestSessionWarmHints: seeds index capacity hints by spatial zone, and
+// the hint is the max over every seed for that zone — hints pre-size
+// arenas, so under-reporting wastes speed while the max is always safe.
+func TestSessionWarmHints(t *testing.T) {
+	s := NewSession(nil)
+	s.Seed(map[string][]byte{
+		"a": sol([2]int{1, 2}, []int{0}, 10, 3).Encode(),
+		"b": sol([2]int{1, 2}, []int{0}, 25, 2).Encode(),
+		"c": sol([2]int{9, 9}, []int{0}, 7, 7).Encode(),
+	})
+	labels, frontier, ok := s.Warm([2]int{1, 2})
+	if !ok || labels != 25 || frontier != 3 {
+		t.Fatalf("Warm = %d, %d, %v; want max (25, 3)", labels, frontier, ok)
+	}
+	if _, _, ok := s.Warm([2]int{0, 0}); ok {
+		t.Fatal("Warm hit for an unseeded zone")
+	}
+}
+
+// TestNilSessionSafe: a nil *Session always misses and swallows writes,
+// so non-ECO solver paths pay no branches.
+func TestNilSessionSafe(t *testing.T) {
+	var s *Session
+	s.Seed(map[string][]byte{"k": nil})
+	if _, ok := s.Lookup("k"); ok {
+		t.Fatal("nil session hit")
+	}
+	s.Store("k", sol([2]int{0, 0}, nil, 0, 0))
+	if _, _, ok := s.Warm([2]int{0, 0}); ok {
+		t.Fatal("nil session warm hit")
+	}
+	if u := s.Used(); u != nil {
+		t.Fatalf("nil session Used = %v", u)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"wavemin/internal/polarity"
 	"wavemin/internal/powergrid"
 	"wavemin/internal/xorpol"
+	"wavemin/internal/zonecache"
 )
 
 // Sink is a clock consumer: a flip-flop group at a die location with a
@@ -114,6 +115,27 @@ type Config struct {
 	// A deadline on the Context passed to Optimize enables the same
 	// degradation; the tighter of the two wins.
 	Budget time.Duration
+	// ECO, when non-nil, runs this optimization incrementally: every
+	// (interval, zone) solver instance is content-keyed, unchanged zones
+	// replay their cached solution, and only the delta is solved (with
+	// warm-started arenas). ECO never changes the answer — replay is
+	// bitwise-identical to solving by construction — so, like Workers and
+	// Budget, it is an execution hint: it is excluded from CacheKey and the
+	// eco accounting fields it populates are excluded from the marshaled
+	// Result. Single-mode flow only; multi-mode rungs ignore it.
+	ECO *ECOConfig `json:"ECO,omitempty"`
+}
+
+// ECOConfig carries the incremental re-optimization inputs of one run.
+// A non-nil-but-empty ECOConfig is meaningful: it records the run's zone
+// solutions (Result.Zones) without seeding any, which is how a cold run
+// becomes a base for later deltas.
+type ECOConfig struct {
+	// BaseZones seeds the run's zone-solution session with a base run's
+	// recorded solutions: zone content key → encoded zonecache.Solution.
+	// Seeds are an optimization, never a correctness input — malformed or
+	// stale entries are dropped and those zones are simply re-solved.
+	BaseZones map[string][]byte `json:"baseZones,omitempty"`
 }
 
 // Validate rejects nonsensical configurations with a descriptive error.
@@ -182,10 +204,41 @@ type Design struct {
 	Modes []Mode
 
 	// mu guards the Tree pointer's node storage (snapshot/commit), Modes,
-	// and the lazy lib init. The Grid is immutable after construction.
+	// the lazy lib init, and the zone cache pointer. The Grid is immutable
+	// after construction.
 	mu         sync.Mutex
 	lib        *cell.Library
 	dieW, dieH float64
+	zcache     *zonecache.Cache
+}
+
+// SetZoneCache attaches a shared per-zone solution cache to the design:
+// every subsequent Optimize run looks its (interval, zone) solver
+// instances up by content key, replays hits, and writes fresh solutions
+// through. Because zone keys pin the exact solver input, sharing a cache
+// across designs or across edits of one design is safe — replay is
+// bitwise-identical to solving — and attaching one never changes any
+// result, only the cost. Pass nil to detach.
+func (d *Design) SetZoneCache(c *zonecache.Cache) {
+	d.mu.Lock()
+	d.zcache = c
+	d.mu.Unlock()
+}
+
+// zoneSession builds the per-run ECO session, or nil when this run has
+// neither a cache attached nor an ECO request.
+func (d *Design) zoneSession(cfg Config) *zonecache.Session {
+	d.mu.Lock()
+	zc := d.zcache
+	d.mu.Unlock()
+	if zc == nil && cfg.ECO == nil {
+		return nil
+	}
+	zs := zonecache.NewSession(zc)
+	if cfg.ECO != nil {
+		zs.Seed(cfg.ECO.BaseZones)
+	}
+	return zs
 }
 
 // snapshot returns a consistent private view of the design — a deep clone
@@ -387,6 +440,24 @@ type Result struct {
 	// Stats carries the run's telemetry summary when the context carries a
 	// trace (internal/obs); nil otherwise.
 	Stats *Stats
+
+	// ECO accounting, populated only when the run had a zone session
+	// (Config.ECO set or a cache attached via SetZoneCache). All four are
+	// excluded from the marshaled result: like Stats, they describe the
+	// run, not the answer, and the canonical result bytes of a delta solve
+	// must equal those of the cold solve it shortcuts.
+	//
+	// ZonesReused counts (interval, zone) solver instances replayed from
+	// cached solutions; ZonesResolved counts instances actually solved;
+	// WarmStartLabels totals the label-arena capacity seeded into
+	// re-solved instances.
+	ZonesReused     int `json:"-"`
+	ZonesResolved   int `json:"-"`
+	WarmStartLabels int `json:"-"`
+	// Zones is every zone solution this run replayed or produced, keyed by
+	// zone content key — the map a job registry records so later deltas
+	// can chain off this result, and a dispatched run ships home.
+	Zones map[string][]byte `json:"-"`
 }
 
 // PeakReduction returns the percent peak-current improvement.
@@ -461,7 +532,8 @@ func (d *Design) Optimize(ctx context.Context, cfg Config) (res *Result, err err
 	if err != nil {
 		return nil, err
 	}
-	rungs, err := d.ladder(cfg, sizing, degradable, snap, modes, lib)
+	zs := d.zoneSession(cfg)
+	rungs, err := d.ladder(cfg, sizing, degradable, snap, modes, lib, zs)
 	if err != nil {
 		return nil, err
 	}
@@ -512,6 +584,15 @@ func (d *Design) Optimize(ctx context.Context, cfg Config) (res *Result, err err
 			rr.Runtime = time.Since(start)
 			rr.AlgorithmUsed = r.name
 			rr.Degraded = i > 0
+			if zs != nil {
+				rr.Zones = zs.Used()
+				if esp := sp.Child("eco"); esp != nil {
+					esp.Count("eco.zones_reused", int64(rr.ZonesReused))
+					esp.Count("eco.zones_resolved", int64(rr.ZonesResolved))
+					esp.Count("eco.warmstart_labels", int64(rr.WarmStartLabels))
+					esp.End()
+				}
+			}
 			return rr, nil
 		}
 		rsp.SetAttr("outcome", "error")
@@ -538,7 +619,7 @@ func (d *Design) Optimize(ctx context.Context, cfg Config) (res *Result, err err
 // degradation meaningful — every cheaper variant below it. Every rung
 // optimizes a private clone of snap, so the design itself is untouched
 // until Optimize commits.
-func (d *Design) ladder(cfg Config, sizing *cell.Library, degradable bool, snap *clocktree.Tree, modes []Mode, lib *cell.Library) ([]rung, error) {
+func (d *Design) ladder(cfg Config, sizing *cell.Library, degradable bool, snap *clocktree.Tree, modes []Mode, lib *cell.Library, zs *zonecache.Session) ([]rung, error) {
 	var rungs []rung
 	if len(modes) == 1 {
 		single := func(algo polarity.Algorithm) rung {
@@ -548,13 +629,17 @@ func (d *Design) ladder(cfg Config, sizing *cell.Library, degradable bool, snap 
 					Library: sizing, Kappa: cfg.Kappa, Samples: cfg.Samples,
 					Epsilon: cfg.Epsilon, ZoneSize: cfg.ZoneSize, Algorithm: algo,
 					Mode: modes[0], MaxIntervals: cfg.MaxIntervals,
-					Workers: cfg.Workers,
+					Workers: cfg.Workers, Zones: zs,
 				})
 				if err != nil {
 					return nil, nil, err
 				}
 				polarity.Apply(work, opt.Assignment)
-				res := &Result{}
+				res := &Result{
+					ZonesReused:     opt.ZonesReused,
+					ZonesResolved:   opt.ZonesResolved,
+					WarmStartLabels: opt.WarmStartLabel,
+				}
 				countCells(work, res)
 				after, err := d.measureTree(ctx, work, modes)
 				if err != nil {
