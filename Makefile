@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DATE := $(shell date +%F)
 BENCH_LATEST = $(lastword $(sort $(filter-out BENCH_baseline.json,$(wildcard BENCH_*.json))))
 
-.PHONY: build test vet race check verify bench benchdiff cover e2e e2e-dispatch e2e-crash e2e-eco fuzz-smoke
+.PHONY: build test vet race check verify bench benchdiff cover e2e e2e-dispatch e2e-crash e2e-eco e2e-shard fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,7 @@ race: vet
 # worker count; the full -race suite stays in `make race`), the coverage
 # floor, a short fuzz smoke over the lease protocol and journal replay,
 # and the subprocess kill -9 recovery loop.
-check: test vet cover fuzz-smoke e2e-crash e2e-eco
+check: test vet cover fuzz-smoke e2e-crash e2e-eco e2e-shard
 	$(GO) test -race -run Parallel . ./internal/...
 
 # Coverage with floors: internal/obs (the telemetry layer every solver
@@ -42,7 +42,8 @@ cover:
 		-floor wavemin/internal/server=70 \
 		-floor wavemin/internal/dispatch=70 \
 		-floor wavemin/internal/wal=70 \
-		-floor wavemin/internal/castore=70
+		-floor wavemin/internal/castore=70 \
+		-floor wavemin/internal/shard=70
 	@rm -f cover.out
 
 # End-to-end: the wavemind service suite (full HTTP stack, queue,
@@ -71,13 +72,27 @@ e2e-crash:
 e2e-eco:
 	$(GO) test -race -timeout 180s -run 'ECO' ./internal/server
 
+# Cluster e2e: a 3-coordinator in-process fleet behind the shard-routing
+# layer, under the race detector — cross-node cache hits must be bitwise
+# replays with no solver re-run, the replayed-workload hit rate must
+# equal a single-node baseline, and a seeded kill/restart of one owner
+# mid-solve must degrade to structured 503s that clear on recovery with
+# results byte-identical to a single-node reference run.
+# WAVEMIND_E2E_SHARD_SEED varies the kill schedule.
+e2e-shard:
+	$(GO) test -race -timeout 180s -run 'ShardFleet' ./internal/server
+	$(GO) test -race -timeout 60s ./internal/shard
+
 # Short fuzz passes: the lease wire protocol (malformed bodies, stale
-# and replayed lease IDs) and journal replay (arbitrary bytes on disk
-# must recover or refuse, never panic). Seconds-long smoke for
-# `make check`; run with a larger -fuzztime when hunting.
+# and replayed lease IDs), journal replay (arbitrary bytes on disk
+# must recover or refuse, never panic), and shard routing (forged
+# forwards and hostile job IDs must terminate in structured 4xx with no
+# wrong-shard cache writes). Seconds-long smoke for `make check`; run
+# with a larger -fuzztime when hunting.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzLeaseProtocol$$' -fuzztime 5s ./internal/dispatch
 	$(GO) test -run '^$$' -fuzz '^FuzzJournalReplay$$' -fuzztime 5s ./internal/wal
+	$(GO) test -run '^$$' -fuzz '^FuzzShardRoute$$' -fuzztime 5s ./internal/server
 
 verify: test race
 

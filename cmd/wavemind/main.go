@@ -13,6 +13,13 @@
 //	         [-join URL] [-worker-id ID] [-poll-wait 2s]
 //	         [-data-dir DIR] [-fsync batch] [-recover-best-effort]
 //	         [-store-bytes 268435456] [-debug]
+//	         [-shard-id N -shard-map v1:8:3 -peers URL,URL,URL]
+//
+// A fleet of serve/coordinator nodes becomes one logical service with
+// -shard-id/-shard-map/-peers: every node carries the same versioned
+// key-space map, owns the requests whose cache key hashes into its
+// shard, and forwards the rest a single hop to the owner. See the
+// README's Running a fleet section.
 //
 // Roles:
 //
@@ -43,11 +50,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"wavemin/internal/dispatch"
 	"wavemin/internal/server"
+	"wavemin/internal/shard"
 )
 
 func main() {
@@ -83,6 +92,10 @@ func main() {
 		join     = flag.String("join", "", "worker: coordinator base URL, e.g. http://coord:8080")
 		workerID = flag.String("worker-id", "", "worker: identity in protocol messages (default host-pid)")
 		pollWait = flag.Duration("poll-wait", 2*time.Second, "worker: lease long-poll duration")
+
+		shardID   = flag.Int("shard-id", -1, "fleet: the shard this node owns (with -shard-map and -peers)")
+		shardMap  = flag.String("shard-map", "", "fleet: encoded shard map, v<version>:<prefix-bits>:<shards>[:<assignments>] — identical on every node")
+		peersList = flag.String("peers", "", "fleet: comma-separated coordinator base URLs in shard order, one per shard (this node's own entry included)")
 	)
 	flag.Parse()
 
@@ -118,6 +131,18 @@ func main() {
 			MaxAttempts: *maxAttempts,
 			LocalExec:   *dispatchLocal,
 		}
+	}
+	if *shardMap != "" || *shardID >= 0 || *peersList != "" {
+		if *shardMap == "" || *shardID < 0 || *peersList == "" {
+			log.Fatal("sharding needs all three of -shard-id, -shard-map, and -peers")
+		}
+		m, err := shard.Decode(*shardMap)
+		if err != nil {
+			log.Fatalf("-shard-map: %v", err)
+		}
+		opts.ShardMap = m
+		opts.ShardID = *shardID
+		opts.Peers = strings.Split(*peersList, ",")
 	}
 	srv, err := server.New(opts)
 	if err != nil {

@@ -47,6 +47,12 @@ type Options struct {
 	// completion (the worker's report is rejected, the lease eventually
 	// lapses, and the job re-runs). Degraded results are not persisted.
 	PersistResult func(key string, resultJSON []byte) error
+	// ShardLabel, when set, names the shard this coordinator serves in a
+	// sharded fleet (e.g. "s2"). It rides on lease grants so workers —
+	// which may join any coordinator — can log which shard's work they
+	// run. Leases themselves stay shard-local: a coordinator only ever
+	// leases out jobs it owns.
+	ShardLabel string
 }
 
 func (o Options) withDefaults() Options {
@@ -194,6 +200,10 @@ type leaseResponse struct {
 	TTLMs    int64     `json:"ttlMs"`
 	Deadline time.Time `json:"deadline"` // job deadline (zero = none)
 	Spec     *JobSpec  `json:"spec"`
+	// Shard names the granting coordinator's shard in a sharded fleet
+	// (Options.ShardLabel); empty on unsharded coordinators. Informational
+	// for the worker — the lease protocol is identical either way.
+	Shard string `json:"shard,omitempty"`
 }
 
 // heartbeatRequest is the body of POST /v1/dispatch/heartbeat.
@@ -357,6 +367,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		TTLMs:    lease.TTL.Milliseconds(),
 		Deadline: deadline,
 		Spec:     spec,
+		Shard:    c.opts.ShardLabel,
 	})
 }
 

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"expvar"
+	"fmt"
 	"io"
 	"sync"
 )
@@ -89,4 +90,26 @@ func ExpvarCounters() *expvar.Map {
 		expvarMap = expvar.NewMap("wavemin")
 	})
 	return expvarMap
+}
+
+var (
+	shardMu   sync.Mutex
+	shardMaps = map[int]*expvar.Map{}
+)
+
+// ExpvarShard returns (publishing on first use) the per-shard expvar map
+// "wavemin_shard_<id>". The sharded serving tier's routing counters —
+// forwards out/in, wrong-shard rejections, peer cache traffic — live
+// here beside the process-wide "wavemin" map, so /debug/vars tells a
+// fleet's nodes apart by the shard they own. Safe for concurrent use;
+// repeated calls for the same shard return the same map.
+func ExpvarShard(shard int) *expvar.Map {
+	shardMu.Lock()
+	defer shardMu.Unlock()
+	m, ok := shardMaps[shard]
+	if !ok {
+		m = expvar.NewMap(fmt.Sprintf("wavemin_shard_%d", shard))
+		shardMaps[shard] = m
+	}
+	return m
 }

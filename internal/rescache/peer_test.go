@@ -1,0 +1,141 @@
+package rescache
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"wavemin/internal/faultinject"
+)
+
+// fakePeer scripts the peer tier: a map of owned entries plus a failure
+// switch that simulates a dead or partitioned owner.
+type fakePeer struct {
+	entries map[string][]byte
+	dead    atomic.Bool
+	calls   atomic.Int64
+}
+
+func (p *fakePeer) PeerGet(key string) ([]byte, bool, error) {
+	p.calls.Add(1)
+	if p.dead.Load() {
+		return nil, false, errors.New("peer: connection refused")
+	}
+	v, ok := p.entries[key]
+	return v, ok, nil
+}
+
+// fakeDisk is an in-memory Backing that records writes, so tests can
+// prove the peer tier never reaches the durable tier.
+type fakeDisk struct {
+	entries map[string][]byte
+	puts    atomic.Int64
+}
+
+func (d *fakeDisk) Get(key string) ([]byte, bool) { v, ok := d.entries[key]; return v, ok }
+func (d *fakeDisk) Put(key string, val []byte) error {
+	d.puts.Add(1)
+	d.entries[key] = append([]byte(nil), val...)
+	return nil
+}
+
+// TestPeerTierReadThrough: a local miss consults the peer, a peer hit is
+// served and promoted to the MEMORY tier only — the local disk never
+// adopts a key another shard owns.
+func TestPeerTierReadThrough(t *testing.T) {
+	disk := &fakeDisk{entries: map[string][]byte{}}
+	peer := &fakePeer{entries: map[string][]byte{"k1": []byte("remote-bytes")}}
+	tc := NewTiered(New(1<<20, 16), disk)
+	tc.SetPeer(peer)
+
+	got, ok := tc.Get("k1")
+	if !ok || string(got) != "remote-bytes" {
+		t.Fatalf("Get(k1) = (%q, %v), want peer hit", got, ok)
+	}
+	if n := disk.puts.Load(); n != 0 {
+		t.Fatalf("peer hit wrote %d entries to the local disk tier (wrong-shard write)", n)
+	}
+	// Promotion landed in memory: the second read is local, no peer call.
+	before := peer.calls.Load()
+	if _, ok := tc.Get("k1"); !ok {
+		t.Fatal("promoted entry missing from memory tier")
+	}
+	if peer.calls.Load() != before {
+		t.Fatal("second read re-consulted the peer; promotion failed")
+	}
+	st := tc.Stats()
+	if st.PeerHits != 1 {
+		t.Fatalf("PeerHits = %d, want 1", st.PeerHits)
+	}
+
+	// An authoritative peer miss is a miss, counted as such.
+	if _, ok := tc.Get("absent"); ok {
+		t.Fatal("absent key reported a hit")
+	}
+	if st := tc.Stats(); st.PeerMiss != 1 {
+		t.Fatalf("PeerMiss = %d, want 1", st.PeerMiss)
+	}
+}
+
+// TestPeerTierErrorDegradesToMiss is the regression for the fleet
+// degradation contract: a dead peer must read as a local miss — the
+// caller re-solves — and must never surface as an error or corrupt the
+// local tiers. Exercised both through a failing PeerTier and through the
+// rescache.peer.get fault-injection site.
+func TestPeerTierErrorDegradesToMiss(t *testing.T) {
+	t.Cleanup(faultinject.Reset)
+	disk := &fakeDisk{entries: map[string][]byte{}}
+	peer := &fakePeer{entries: map[string][]byte{"k1": []byte("remote-bytes")}}
+	peer.dead.Store(true)
+	tc := NewTiered(New(1<<20, 16), disk)
+	tc.SetPeer(peer)
+
+	if _, ok := tc.Get("k1"); ok {
+		t.Fatal("dead peer produced a hit")
+	}
+	if st := tc.Stats(); st.PeerErrs != 1 {
+		t.Fatalf("PeerErrs = %d, want 1", st.PeerErrs)
+	}
+	// The degraded lookup must not poison later ones: the peer recovers
+	// and the same key is served remotely.
+	peer.dead.Store(false)
+	if got, ok := tc.Get("k1"); !ok || string(got) != "remote-bytes" {
+		t.Fatalf("recovered peer: Get(k1) = (%q, %v), want hit", got, ok)
+	}
+
+	// Fault injection at the site: even a healthy peer is skipped and the
+	// lookup degrades, proving the guard sits before the network call.
+	faultinject.SetErr(SitePeerGet, func() error { return errors.New("injected peer fault") })
+	if _, ok := tc.Get("k2"); ok {
+		t.Fatal("injected fault produced a hit")
+	}
+	if st := tc.Stats(); st.PeerErrs != 2 {
+		t.Fatalf("PeerErrs = %d, want 2 after injected fault", st.PeerErrs)
+	}
+	// Local writes still work while the peer path is faulted — serving
+	// degrades, it does not stop.
+	tc.Put("k3", []byte("local"))
+	if got, ok := tc.Get("k3"); !ok || string(got) != "local" {
+		t.Fatalf("local Put/Get under peer fault = (%q, %v)", got, ok)
+	}
+}
+
+// TestGetLocalNeverConsultsPeer: the lookup that answers a peer's
+// read-through request must stay node-local, or two nodes could bounce
+// a missing key between each other forever.
+func TestGetLocalNeverConsultsPeer(t *testing.T) {
+	disk := &fakeDisk{entries: map[string][]byte{"d1": []byte("disk-bytes")}}
+	peer := &fakePeer{entries: map[string][]byte{"p1": []byte("peer-bytes")}}
+	tc := NewTiered(New(1<<20, 16), disk)
+	tc.SetPeer(peer)
+
+	if got, ok := tc.GetLocal("d1"); !ok || string(got) != "disk-bytes" {
+		t.Fatalf("GetLocal(d1) = (%q, %v), want local disk hit", got, ok)
+	}
+	if _, ok := tc.GetLocal("p1"); ok {
+		t.Fatal("GetLocal served a key only the peer holds")
+	}
+	if n := peer.calls.Load(); n != 0 {
+		t.Fatalf("GetLocal made %d peer calls, want 0", n)
+	}
+}

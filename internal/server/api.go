@@ -101,6 +101,10 @@ type optimizeRequest struct {
 	// baseJobID is the raw (unresolved) ECO base reference; the server
 	// resolves it against its job registry and zone store at submit time.
 	baseJobID string
+	// forwardedFrom is the shard that forwarded this submission to its
+	// owner, or -1 for direct submissions (and unsharded servers). Set by
+	// the routing layer after decode; feeds the forwarded-hop trace span.
+	forwardedFrom int
 }
 
 // decodeOptimizeRequest parses and validates one POST /v1/optimize body.
@@ -208,15 +212,16 @@ func decodeOptimizeRequest(body []byte, opts Options) (*optimizeRequest, *apiErr
 		return nil, badRequest("cache key: %v", err)
 	}
 	return &optimizeRequest{
-		design:    design,
-		cfg:       cfg,
-		pri:       pri,
-		timeout:   timeout,
-		noCache:   wire.NoCache,
-		trace:     wire.Trace,
-		key:       key,
-		tree:      wire.Tree,
-		modes:     modes,
-		baseJobID: wire.BaseJobID,
+		design:        design,
+		cfg:           cfg,
+		pri:           pri,
+		timeout:       timeout,
+		noCache:       wire.NoCache,
+		trace:         wire.Trace,
+		key:           key,
+		tree:          wire.Tree,
+		modes:         modes,
+		baseJobID:     wire.BaseJobID,
+		forwardedFrom: -1,
 	}, nil
 }

@@ -48,6 +48,7 @@ import (
 	"wavemin/internal/jobq"
 	"wavemin/internal/obs"
 	"wavemin/internal/rescache"
+	"wavemin/internal/shard"
 	"wavemin/internal/wal"
 	"wavemin/internal/zonecache"
 )
@@ -108,6 +109,21 @@ type Options struct {
 	// DataDir/zones (default 64 MiB). Both LRU-evict.
 	ZoneCacheMaxBytes int64
 	ZoneStoreMaxBytes int64
+
+	// ShardMap, when non-nil, runs the server as one node of a sharded
+	// fleet (see shardroute.go): ShardID names the shard this node owns,
+	// Peers lists every node's base URL in shard order, and requests for
+	// keys other shards own are forwarded a single hop to their owner.
+	// All three must be set together.
+	ShardMap *shard.Map
+	ShardID  int
+	Peers    []string
+	// MaxForwardInFlight bounds concurrent forwards to peers (default
+	// 128); past it, submissions get 503 forward_backpressure.
+	MaxForwardInFlight int
+	// PeerTimeout bounds each peer call — forwarded requests and cache
+	// read-throughs alike (default 15s).
+	PeerTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -146,6 +162,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ZoneStoreMaxBytes == 0 {
 		o.ZoneStoreMaxBytes = 64 << 20
+	}
+	if o.MaxForwardInFlight == 0 {
+		o.MaxForwardInFlight = 128
+	}
+	if o.PeerTimeout == 0 {
+		o.PeerTimeout = 15 * time.Second
 	}
 	return o
 }
@@ -227,6 +249,9 @@ type Metrics struct {
 	EcoZonesReused   int64 // zone instances replayed instead of solved
 	EcoZonesResolved int64 // zone instances solved by eco-enabled jobs
 	ZoneCache        rescache.TieredStats
+
+	// Shard-routing counters; zero values when Options.ShardMap is unset.
+	Shard ShardMetrics
 }
 
 // RecoveryInfo describes what startup replay found in DataDir.
@@ -274,6 +299,8 @@ type Server struct {
 
 	zones *zonecache.Cache // non-nil iff Options.Eco was set
 
+	sh *shardState // non-nil iff Options.ShardMap was set
+
 	// Durable tier; all nil/zero when Options.DataDir is unset.
 	store      *castore.Store
 	wal        *wal.Writer
@@ -311,11 +338,23 @@ func New(opts Options) (*Server, error) {
 		q:    jobq.New(opts.QueueCapacity, opts.Workers),
 		jobs: make(map[string]*job),
 	}
+	if opts.ShardMap != nil {
+		sh, err := newShardState(opts)
+		if err != nil {
+			return nil, err
+		}
+		s.sh = sh
+	} else if len(opts.Peers) != 0 {
+		return nil, fmt.Errorf("server: Peers set without ShardMap (sharding needs ShardMap, ShardID, and Peers together)")
+	}
 	var dopts dispatch.Options
 	if opts.Dispatch != nil {
 		dopts = *opts.Dispatch
 		if dopts.SolverWorkers == 0 {
 			dopts.SolverWorkers = opts.MaxSolverWorkers
+		}
+		if s.sh != nil && dopts.ShardLabel == "" {
+			dopts.ShardLabel = fmt.Sprintf("s%d", s.sh.id)
 		}
 	}
 
@@ -372,6 +411,11 @@ func New(opts Options) (*Server, error) {
 		dopts.PersistResult = store.Put
 	}
 	s.cache = rescache.NewTiered(rescache.New(opts.CacheMaxBytes, opts.CacheMaxEntries), backing)
+	if s.sh != nil {
+		// Fleet read-through: local result-cache misses consult the key's
+		// owning coordinator before falling back to a local solve.
+		s.cache.SetPeer(&peerCacheTier{sh: s.sh, path: "/v1/shard/cache/"})
+	}
 
 	if opts.Eco {
 		if opts.DataDir != "" {
@@ -390,6 +434,9 @@ func New(opts Options) (*Server, error) {
 		} else {
 			s.zones = zonecache.New(opts.ZoneCacheMaxBytes, 0)
 		}
+		if s.sh != nil {
+			s.zones.SetPeer(&peerCacheTier{sh: s.sh, path: "/v1/shard/zones/"})
+		}
 	}
 
 	if opts.Dispatch != nil {
@@ -404,6 +451,11 @@ func New(opts Options) (*Server, error) {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.sh != nil {
+		mux.HandleFunc("GET /v1/shard/map", s.handleShardMap)
+		mux.HandleFunc("GET /v1/shard/cache/{key}", s.handleShardCache)
+		mux.HandleFunc("GET /v1/shard/zones/{key}", s.handleShardZones)
+	}
 	if opts.Debug {
 		// The blank expvar and pprof imports register on the default
 		// mux; mounting it exposes the same /debug/* endpoints
@@ -512,7 +564,7 @@ func (s *Server) restoreJobs(recs []jobq.RecoveredJob, lastID uint64) error {
 func (s *Server) reattachJob(id string, pri jobq.Priority) *job {
 	var n int64
 	if id == "" || parseJobID(id, &n) != nil {
-		id = fmt.Sprintf("j-%06d", s.nextID.Add(1))
+		id = s.newJobID()
 	} else {
 		for {
 			cur := s.nextID.Load()
@@ -539,6 +591,10 @@ func (s *Server) reattachJob(id string, pri jobq.Priority) *job {
 }
 
 func parseJobID(id string, n *int64) error {
+	if _, seq, sharded, err := shard.DecodeJobID(id); err == nil && sharded {
+		*n = seq
+		return nil
+	}
 	_, err := fmt.Sscanf(id, "j-%d", n)
 	return err
 }
@@ -667,6 +723,9 @@ func (s *Server) MetricsSnapshot() Metrics {
 		m.EcoZonesResolved = s.met.ecoResolved.Load()
 		m.ZoneCache = s.zones.Stats()
 	}
+	if s.sh != nil {
+		m.Shard = s.sh.metrics()
+	}
 	return m
 }
 
@@ -691,6 +750,12 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	req, apiErr := decodeOptimizeRequest(body, s.opts)
 	if apiErr != nil {
 		writeAPIError(w, apiErr)
+		return
+	}
+	if s.sh != nil && s.routeOptimize(w, r, req, body) {
+		// Another shard owns the key: the request was forwarded (or
+		// refused) and everything below — admission counters included —
+		// happens on the owner.
 		return
 	}
 	if apiErr := s.attachEco(req); apiErr != nil {
@@ -902,6 +967,7 @@ func (s *Server) submitDispatched(jctx context.Context, j *job, req *optimizeReq
 		j.mu.Lock()
 		j.trace = mem
 		j.mu.Unlock()
+		s.recordForwardHop(tr, req)
 	}
 	tk, err := s.coord.Submit(jctx, req.pri, spec, tr, func(ev jobq.LeaseEvent) {
 		// Runs under the queue lock: job-record field writes only.
@@ -1006,6 +1072,7 @@ func (s *Server) runJob(ctx context.Context, j *job, req *optimizeRequest) {
 		j.mu.Lock()
 		j.trace = mem
 		j.mu.Unlock()
+		s.recordForwardHop(tr, req)
 		ctx = obs.Into(ctx, tr)
 	}
 
@@ -1063,8 +1130,19 @@ func (j *job) finishErr(status string, err error) {
 
 // --- job registry --------------------------------------------------------
 
+// newJobID mints the next public job ID. Sharded nodes bake their shard
+// into the ID (j-s<shard>-<seq>), so any fleet node can route a later
+// read straight to the owner without a registry lookup.
+func (s *Server) newJobID() string {
+	n := s.nextID.Add(1)
+	if s.sh != nil {
+		return shard.EncodeJobID(s.sh.id, n)
+	}
+	return fmt.Sprintf("j-%06d", n)
+}
+
 func (s *Server) addJob(req *optimizeRequest, cacheHit bool) *job {
-	id := fmt.Sprintf("j-%06d", s.nextID.Add(1))
+	id := s.newJobID()
 	j := &job{
 		id:        id,
 		pri:       req.pri,
@@ -1123,6 +1201,9 @@ func (s *Server) lookup(id string) *job {
 // --- read endpoints ------------------------------------------------------
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	if s.sh != nil && s.routeJobRead(w, r, r.PathValue("id")) {
+		return
+	}
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
 		writeAPIError(w, &apiError{status: http.StatusNotFound, code: "unknown_job", message: "no such job"})
@@ -1157,6 +1238,9 @@ func (j *job) view() jobView {
 }
 
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	if s.sh != nil && s.routeJobRead(w, r, r.PathValue("id")) {
+		return
+	}
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
 		writeAPIError(w, &apiError{status: http.StatusNotFound, code: "unknown_job", message: "no such job"})
@@ -1187,6 +1271,9 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.sh != nil && s.routeJobRead(w, r, r.PathValue("id")) {
+		return
+	}
 	j := s.lookup(r.PathValue("id"))
 	if j == nil {
 		writeAPIError(w, &apiError{status: http.StatusNotFound, code: "unknown_job", message: "no such job"})
@@ -1221,7 +1308,12 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+	body := map[string]any{"status": "ok"}
+	if s.sh != nil {
+		body["shardId"] = s.sh.id
+		body["shardMapVersion"] = s.sh.m.Version
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // --- response helpers ----------------------------------------------------

@@ -1,0 +1,465 @@
+package server
+
+// Shard routing: the layer that makes a fleet of wavemind coordinators
+// behave as one logical service. Every node carries the same versioned
+// shard map (internal/shard); POST /v1/optimize hashes the request's
+// canonical CacheKey, serves it locally when this node owns the key's
+// shard, and otherwise forwards it — exactly one hop — to the owner.
+// Job reads route by the shard ID baked into sharded job IDs. Cache
+// lookups consult the owning peer read-through (rescache.PeerTier);
+// peer failures degrade to local misses, never errors, and peer hits
+// are promoted memory-only so a node's durable tier stays shard-pure.
+//
+// The forwarding protocol is deliberately tiny:
+//
+//   - X-Wavemin-Forwarded-From: <shard> marks a forwarded request. Its
+//     presence means "never forward again" — a node that receives a
+//     forwarded request it does not own answers 421 wrong_shard rather
+//     than bouncing it onward, so routing loops are structurally
+//     impossible (single hop, enforced by the receiver).
+//   - X-Wavemin-Shard-Map-Version carries the sender's map version; a
+//     mismatch is a 409 shard_map_version, the signal that a rebalance
+//     is propagating and the client should retry.
+//   - A dead owner is a 503 shard_unavailable with Retry-After — the
+//     shard's keys are unavailable until the owner returns; no other
+//     node may adopt them (serving a stale or wrong-shard answer is
+//     worse than a retryable refusal).
+//
+// In-flight forwards are bounded (Options.MaxForwardInFlight); past the
+// bound, submissions are refused with 503 forward_backpressure so a
+// slow peer cannot pile unbounded goroutines onto its neighbors.
+
+import (
+	"bytes"
+	"context"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync/atomic"
+
+	"wavemin/internal/obs"
+	"wavemin/internal/rescache"
+	"wavemin/internal/shard"
+)
+
+// Forwarding protocol headers.
+const (
+	headerForwardedFrom   = "X-Wavemin-Forwarded-From"
+	headerShardMapVersion = "X-Wavemin-Shard-Map-Version"
+	headerServedByShard   = "X-Wavemin-Served-By-Shard"
+)
+
+// maxPeerResponseBytes bounds what a forward or peer-cache read will
+// accept back: generous enough for any result JSON (dispatch bounds its
+// wire frames similarly), small enough that a misbehaving peer cannot
+// exhaust memory.
+const maxPeerResponseBytes = 64 << 20
+
+// shardUnavailableRetrySeconds is the Retry-After hint on 503
+// shard_unavailable: long enough for a restart to come back, short
+// enough that clients re-probe a recovered owner promptly.
+const shardUnavailableRetrySeconds = 1
+
+// shardState is a sharded node's routing identity: which shard it is,
+// the fleet's shard map, and the peer base URLs indexed by shard ID.
+type shardState struct {
+	id     int
+	m      *shard.Map
+	peers  []string // base URL per shard; peers[id] unused (self)
+	client *http.Client
+	slots  chan struct{} // in-flight forward bound
+	vars   *expvar.Map   // per-shard expvar map (obs.ExpvarShard)
+
+	forwardsOut     atomic.Int64
+	forwardsIn      atomic.Int64
+	wrongShard      atomic.Int64
+	unavailable     atomic.Int64
+	backpressure    atomic.Int64
+	badJobID        atomic.Int64
+	mapVersionConf  atomic.Int64
+	peerServeHits   atomic.Int64
+	peerServeMisses atomic.Int64
+}
+
+// ShardMetrics is the routing layer's counter snapshot; all zero when
+// the server runs unsharded.
+type ShardMetrics struct {
+	ShardID         int
+	MapVersion      int
+	Shards          int
+	ForwardsOut     int64 // requests this node forwarded to an owner
+	ForwardsIn      int64 // forwarded requests this node served as owner
+	WrongShard      int64 // forwarded requests refused (421 wrong_shard)
+	Unavailable     int64 // forwards that found the owner unreachable (503)
+	Backpressure    int64 // forwards refused at the in-flight bound (503)
+	BadJobID        int64 // job reads refused for malformed sharded IDs
+	MapVersionConf  int64 // forwarded requests refused on map-version skew (409)
+	PeerServeHits   int64 // peer read-through lookups this node answered
+	PeerServeMisses int64 // peer read-through lookups this node missed
+}
+
+func newShardState(opts Options) (*shardState, error) {
+	m := opts.ShardMap
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("server: shard map: %w", err)
+	}
+	if opts.ShardID < 0 || opts.ShardID >= m.Shards {
+		return nil, fmt.Errorf("server: shard ID %d outside the map's 0..%d", opts.ShardID, m.Shards-1)
+	}
+	if len(opts.Peers) != m.Shards {
+		return nil, fmt.Errorf("server: %d peer URLs for a %d-shard map (need one per shard, in shard order)", len(opts.Peers), m.Shards)
+	}
+	peers := make([]string, m.Shards)
+	for i, p := range opts.Peers {
+		if i == opts.ShardID {
+			peers[i] = strings.TrimSuffix(p, "/") // unused, kept for symmetry
+			continue
+		}
+		u, err := url.Parse(p)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("server: peer %d: %q is not an absolute base URL", i, p)
+		}
+		peers[i] = strings.TrimSuffix(p, "/")
+	}
+	sh := &shardState{
+		id:     opts.ShardID,
+		m:      m,
+		peers:  peers,
+		client: &http.Client{Timeout: opts.PeerTimeout},
+		slots:  make(chan struct{}, opts.MaxForwardInFlight),
+		vars:   obs.ExpvarShard(opts.ShardID),
+	}
+	return sh, nil
+}
+
+// bump increments a routing counter and mirrors it into the node's
+// per-shard expvar map.
+func (sh *shardState) bump(c *atomic.Int64, name string) {
+	c.Add(1)
+	sh.vars.Add(name, 1)
+}
+
+func (sh *shardState) metrics() ShardMetrics {
+	return ShardMetrics{
+		ShardID:         sh.id,
+		MapVersion:      sh.m.Version,
+		Shards:          sh.m.Shards,
+		ForwardsOut:     sh.forwardsOut.Load(),
+		ForwardsIn:      sh.forwardsIn.Load(),
+		WrongShard:      sh.wrongShard.Load(),
+		Unavailable:     sh.unavailable.Load(),
+		Backpressure:    sh.backpressure.Load(),
+		BadJobID:        sh.badJobID.Load(),
+		MapVersionConf:  sh.mapVersionConf.Load(),
+		PeerServeHits:   sh.peerServeHits.Load(),
+		PeerServeMisses: sh.peerServeMisses.Load(),
+	}
+}
+
+// forwardedFrom reports whether r is a peer-forwarded request and which
+// shard sent it (-1 when the header value is not a shard number — the
+// hop marker still counts; only the attribution is lost).
+func forwardedFrom(r *http.Request) (from int, forwarded bool) {
+	v := r.Header.Get(headerForwardedFrom)
+	if v == "" {
+		return -1, false
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return -1, true
+	}
+	return n, true
+}
+
+// checkForwarded runs the receiver-side protocol checks on a forwarded
+// request that must be owned by shard `owner`: map-version agreement
+// (409) and ownership (421). It writes the refusal and returns true when
+// the request is finished.
+func (s *Server) checkForwarded(w http.ResponseWriter, r *http.Request, owner int) (rejected bool) {
+	sh := s.sh
+	if v := r.Header.Get(headerShardMapVersion); v != strconv.Itoa(sh.m.Version) {
+		sh.bump(&sh.mapVersionConf, "map_version_conflicts")
+		writeAPIError(w, &apiError{status: http.StatusConflict, code: "shard_map_version",
+			message: fmt.Sprintf("shard map version skew: sender has %q, this node has %d; retry after the rebalance settles", v, sh.m.Version)})
+		return true
+	}
+	if owner != sh.id {
+		// A forwarded request this node does not own is either a forged
+		// header or a misrouted hop; refusing (never re-forwarding) makes
+		// routing loops structurally impossible.
+		sh.bump(&sh.wrongShard, "wrong_shard_rejected")
+		writeAPIError(w, &apiError{status: http.StatusMisdirectedRequest, code: "wrong_shard",
+			message: fmt.Sprintf("key belongs to shard %d; this node is shard %d and forwarded requests are never re-forwarded", owner, sh.id)})
+		return true
+	}
+	return false
+}
+
+// routeOptimize decides where a decoded submission runs. It returns true
+// when it fully handled the request (forwarded it, or refused it); false
+// means this node owns the key and admission continues locally.
+func (s *Server) routeOptimize(w http.ResponseWriter, r *http.Request, req *optimizeRequest, body []byte) bool {
+	sh := s.sh
+	owner, err := sh.m.ShardOf(req.key)
+	if err != nil {
+		// CacheKey always yields a routable 64-hex key, so this is
+		// unreachable in practice — but routing must degrade to a 4xx.
+		writeAPIError(w, badRequest("shard routing: %v", err))
+		return true
+	}
+	if from, fwd := forwardedFrom(r); fwd {
+		if s.checkForwarded(w, r, owner) {
+			return true
+		}
+		sh.bump(&sh.forwardsIn, "forwards_in")
+		req.forwardedFrom = from
+		return false
+	}
+	if owner == sh.id {
+		return false
+	}
+	s.forwardToPeer(w, r, owner, http.MethodPost, "/v1/optimize", body, "application/json")
+	return true
+}
+
+// routeJobRead decides where a GET /v1/jobs/... lands, by the shard ID
+// encoded in the job ID. Legacy (unsharded) IDs resolve locally. Returns
+// true when the request was fully handled here.
+func (s *Server) routeJobRead(w http.ResponseWriter, r *http.Request, id string) bool {
+	sh := s.sh
+	owner, _, sharded, err := shard.DecodeJobID(id)
+	if err != nil {
+		sh.bump(&sh.badJobID, "bad_job_ids")
+		writeAPIError(w, &apiError{status: http.StatusBadRequest, code: "bad_job_id",
+			message: fmt.Sprintf("job ID %q: %v", id, err)})
+		return true
+	}
+	if sharded && owner >= sh.m.Shards {
+		sh.bump(&sh.badJobID, "bad_job_ids")
+		writeAPIError(w, &apiError{status: http.StatusBadRequest, code: "bad_job_id",
+			message: fmt.Sprintf("job ID %q references shard %d beyond the %d-shard map", id, owner, sh.m.Shards)})
+		return true
+	}
+	if _, fwd := forwardedFrom(r); fwd {
+		// Forwarded reads terminate here whatever the ID says — single hop.
+		if !sharded {
+			return false
+		}
+		return s.checkForwarded(w, r, owner)
+	}
+	if !sharded || owner == sh.id {
+		return false
+	}
+	s.forwardToPeer(w, r, owner, http.MethodGet, r.URL.EscapedPath(), nil, "")
+	return true
+}
+
+// forwardToPeer relays a request to the owning shard and streams the
+// owner's response back verbatim (plus a served-by header). Backpressure
+// and owner failures become the structured 503s of the routing contract.
+func (s *Server) forwardToPeer(w http.ResponseWriter, r *http.Request, owner int, method, path string, body []byte, contentType string) {
+	sh := s.sh
+	select {
+	case sh.slots <- struct{}{}:
+		defer func() { <-sh.slots }()
+	default:
+		sh.bump(&sh.backpressure, "forward_backpressure")
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"error": map[string]any{
+				"code":              "forward_backpressure",
+				"message":           fmt.Sprintf("too many forwards to peers in flight (bound %d); retry shortly", cap(sh.slots)),
+				"retryAfterSeconds": 1,
+			},
+		})
+		return
+	}
+	sh.bump(&sh.forwardsOut, "forwards_out")
+	preq, err := http.NewRequestWithContext(r.Context(), method, sh.peers[owner]+path, bytes.NewReader(body))
+	if err != nil {
+		s.writeShardUnavailable(w, owner, err)
+		return
+	}
+	preq.Header.Set(headerForwardedFrom, strconv.Itoa(sh.id))
+	preq.Header.Set(headerShardMapVersion, strconv.Itoa(sh.m.Version))
+	if contentType != "" {
+		preq.Header.Set("Content-Type", contentType)
+	}
+	resp, err := sh.client.Do(preq)
+	if err != nil {
+		s.writeShardUnavailable(w, owner, err)
+		return
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerResponseBytes))
+	if err != nil {
+		s.writeShardUnavailable(w, owner, err)
+		return
+	}
+	for _, h := range []string{"Content-Type", "Retry-After"} {
+		if v := resp.Header.Get(h); v != "" {
+			w.Header().Set(h, v)
+		}
+	}
+	w.Header().Set(headerServedByShard, strconv.Itoa(owner))
+	w.WriteHeader(resp.StatusCode)
+	_, _ = w.Write(respBody)
+}
+
+// writeShardUnavailable is the routing contract's "owner is down"
+// answer: the shard's keys are temporarily unserviceable — no other node
+// may adopt them — so the client gets a retryable 503 with a hint.
+func (s *Server) writeShardUnavailable(w http.ResponseWriter, owner int, err error) {
+	sh := s.sh
+	sh.bump(&sh.unavailable, "shard_unavailable")
+	w.Header().Set("Retry-After", strconv.Itoa(shardUnavailableRetrySeconds))
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"error": map[string]any{
+			"code":              "shard_unavailable",
+			"message":           fmt.Sprintf("shard %d owner unreachable: %v", owner, err),
+			"retryAfterSeconds": shardUnavailableRetrySeconds,
+		},
+	})
+}
+
+// recordForwardHop emits the forwarded-hop span into a job's trace, so a
+// cross-node submission shows where it entered the fleet.
+func (s *Server) recordForwardHop(tr *obs.Trace, req *optimizeRequest) {
+	if tr == nil || s.sh == nil || req.forwardedFrom < 0 {
+		return
+	}
+	sp := tr.Start("shard.forward")
+	sp.SetAttr("from_shard", strconv.Itoa(req.forwardedFrom))
+	sp.SetAttr("to_shard", strconv.Itoa(s.sh.id))
+	sp.End()
+}
+
+// --- gossip / peer-serving endpoints --------------------------------------
+
+// handleShardMap is the fleet's health/gossip endpoint: which shard this
+// node is, which map version it routes by, and the peer list it uses.
+// Nodes (and operators) compare versions here to detect skew.
+func (s *Server) handleShardMap(w http.ResponseWriter, r *http.Request) {
+	sh := s.sh
+	writeJSON(w, http.StatusOK, map[string]any{
+		"shardId":    sh.id,
+		"mapVersion": sh.m.Version,
+		"shards":     sh.m.Shards,
+		"prefixBits": sh.m.PrefixBits,
+		"map":        sh.m.Encode(),
+		"peers":      sh.peers,
+	})
+}
+
+// validCacheKey reports whether key has the only shape the caches store:
+// a 64-char lowercase-hex sha256 digest.
+func validCacheKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// handleShardCache answers a peer's read-through lookup against this
+// node's LOCAL result-cache tiers only (consulting its own peer tier
+// here would bounce misses around the fleet). 200 + bytes on hit,
+// structured 404 on miss, 400 on a malformed key.
+func (s *Server) handleShardCache(w http.ResponseWriter, r *http.Request) {
+	s.servePeerLookup(w, r, func(key string) ([]byte, bool) { return s.cache.GetLocal(key) })
+}
+
+// handleShardZones is handleShardCache for the zone-solution cache.
+func (s *Server) handleShardZones(w http.ResponseWriter, r *http.Request) {
+	s.servePeerLookup(w, r, func(key string) ([]byte, bool) { return s.zones.GetLocal(key) })
+}
+
+func (s *Server) servePeerLookup(w http.ResponseWriter, r *http.Request, get func(string) ([]byte, bool)) {
+	sh := s.sh
+	key := r.PathValue("key")
+	if !validCacheKey(key) {
+		writeAPIError(w, &apiError{status: http.StatusBadRequest, code: "bad_key",
+			message: "cache keys are 64-character lowercase-hex digests"})
+		return
+	}
+	val, ok := get(key)
+	if !ok {
+		sh.bump(&sh.peerServeMisses, "peer_serve_misses")
+		writeAPIError(w, &apiError{status: http.StatusNotFound, code: "cache_miss",
+			message: "key not cached on this node"})
+		return
+	}
+	sh.bump(&sh.peerServeHits, "peer_serve_hits")
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set(headerServedByShard, strconv.Itoa(sh.id))
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(val)
+}
+
+// --- peer cache tier -------------------------------------------------------
+
+// peerCacheTier implements rescache.PeerTier over the fleet: a local
+// miss asks the key's owning coordinator for its locally cached bytes.
+// It is read-only by construction and shares the forward slot bound, so
+// cache read-through cannot outgrow the same backpressure budget.
+type peerCacheTier struct {
+	sh   *shardState
+	path string // "/v1/shard/cache/" or "/v1/shard/zones/"
+}
+
+func (p *peerCacheTier) PeerGet(key string) ([]byte, bool, error) {
+	owner, err := p.sh.m.ShardOf(key)
+	if err != nil {
+		// Not a routable key (zone keys and cache keys always are); there
+		// is no owner to ask, so it is an authoritative miss, not a fault.
+		return nil, false, nil
+	}
+	if owner == p.sh.id {
+		// This node IS the authority; its local tiers already missed.
+		return nil, false, nil
+	}
+	select {
+	case p.sh.slots <- struct{}{}:
+		defer func() { <-p.sh.slots }()
+	default:
+		return nil, false, fmt.Errorf("peer cache: forward slots saturated")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), p.sh.client.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.sh.peers[owner]+p.path+key, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set(headerForwardedFrom, strconv.Itoa(p.sh.id))
+	req.Header.Set(headerShardMapVersion, strconv.Itoa(p.sh.m.Version))
+	resp, err := p.sh.client.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		val, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerResponseBytes))
+		if err != nil {
+			return nil, false, err
+		}
+		p.sh.vars.Add("peer_fetch_hits", 1)
+		return val, true, nil
+	case http.StatusNotFound:
+		p.sh.vars.Add("peer_fetch_misses", 1)
+		return nil, false, nil
+	default:
+		return nil, false, fmt.Errorf("peer cache: shard %d answered %d", owner, resp.StatusCode)
+	}
+}
+
+var _ rescache.PeerTier = (*peerCacheTier)(nil)

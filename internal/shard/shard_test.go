@@ -1,0 +1,248 @@
+package shard_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"wavemin"
+	"wavemin/internal/shard"
+)
+
+// designKeys synthesizes n random designs (seeded, so the test is
+// deterministic) and returns their real CacheKeys — the exact strings the
+// serving tier routes by.
+func designKeys(t testing.TB, n int, seed int64) []string {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	keys := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		sinks := make([]wavemin.Sink, 0, 4)
+		for j := 0; j < 4; j++ {
+			sinks = append(sinks, wavemin.Sink{
+				X:   10 + rng.Float64()*80,
+				Y:   10 + rng.Float64()*80,
+				Cap: 4 + rng.Float64()*8,
+			})
+		}
+		d, err := wavemin.New(sinks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key, err := d.CacheKey(wavemin.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys = append(keys, key)
+	}
+	return keys
+}
+
+// syntheticKeys derives n sha256-hex keys cheaply; the serving tier's
+// keys are themselves sha256 digests, so these share their distribution.
+func syntheticKeys(n int, seed int64) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		sum := sha256.Sum256([]byte(fmt.Sprintf("design-%d-%d", seed, i)))
+		keys[i] = hex.EncodeToString(sum[:])
+	}
+	return keys
+}
+
+// TestShardOfTotalAndDeterministic is the partitioner's core property:
+// for a fixed map version, every CacheKey maps to exactly one shard —
+// the mapping is total over well-formed keys, deterministic across
+// calls, and identical however the map was obtained (constructed or
+// decoded from its wire form).
+func TestShardOfTotalAndDeterministic(t *testing.T) {
+	m, err := shard.New(1, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := shard.Decode(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Real designs: the keys the fleet actually routes.
+	for _, key := range designKeys(t, 64, 7) {
+		s1, err := m.ShardOf(key)
+		if err != nil {
+			t.Fatalf("ShardOf(%s): %v", key, err)
+		}
+		if s1 < 0 || s1 >= m.Shards {
+			t.Fatalf("ShardOf(%s) = %d, outside 0..%d", key, s1, m.Shards-1)
+		}
+		s2, err := m.ShardOf(key)
+		if err != nil || s2 != s1 {
+			t.Fatalf("ShardOf(%s) not deterministic: %d then %d (err %v)", key, s1, s2, err)
+		}
+		s3, err := decoded.ShardOf(key)
+		if err != nil || s3 != s1 {
+			t.Fatalf("decoded map disagrees for %s: %d vs %d (err %v)", key, s1, s3, err)
+		}
+	}
+}
+
+// TestDistributionWithinTwiceUniform checks balance on 10k random design
+// keys: across the 256 prefix buckets of an 8-bit map every bucket's
+// share stays within 2x of uniform (in both directions), and so does
+// every shard's share under a 3-shard round-robin assignment.
+func TestDistributionWithinTwiceUniform(t *testing.T) {
+	const n = 10000
+	keys := syntheticKeys(n, 42)
+	// A sample of real CacheKeys rides along so the synthetic stand-ins
+	// are provably drawn from the same space (64-char lowercase hex).
+	keys = append(keys, designKeys(t, 32, 11)...)
+
+	m, err := shard.New(1, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buckets := make(map[string]int)
+	shards := make([]int, m.Shards)
+	for _, key := range keys {
+		s, err := m.ShardOf(key)
+		if err != nil {
+			t.Fatalf("ShardOf(%s): %v", key, err)
+		}
+		shards[s]++
+		buckets[key[:2]]++ // 8 prefix bits == first two hex nibbles
+	}
+	if len(buckets) != 256 {
+		t.Fatalf("keys landed in %d prefix buckets, want all 256", len(buckets))
+	}
+	bucketAvg := float64(len(keys)) / 256
+	for b, c := range buckets {
+		if float64(c) > 2*bucketAvg || float64(c) < bucketAvg/2 {
+			t.Errorf("bucket %s holds %d keys, outside [%.1f, %.1f] (2x of uniform %.1f)",
+				b, c, bucketAvg/2, 2*bucketAvg, bucketAvg)
+		}
+	}
+	shardAvg := float64(len(keys)) / float64(m.Shards)
+	for s, c := range shards {
+		if float64(c) > 2*shardAvg || float64(c) < shardAvg/2 {
+			t.Errorf("shard %d holds %d keys, outside 2x of uniform %.1f", s, c, shardAvg)
+		}
+	}
+}
+
+// TestMapRoundTrip: Encode/Decode is the identity on valid maps,
+// including non-round-robin assignments, for seeded-random shapes.
+func TestMapRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		bits := 1 + rng.Intn(10)
+		shards := 1 + rng.Intn(1<<bits)
+		if shards > shard.MaxShards {
+			shards = shard.MaxShards
+		}
+		m, err := shard.New(1+rng.Intn(9), bits, shards)
+		if err != nil {
+			t.Fatalf("New(bits=%d, shards=%d): %v", bits, shards, err)
+		}
+		if trial%2 == 1 {
+			// Perturb away from round-robin, preserving the every-shard-
+			// owns-a-bucket invariant by only touching duplicate owners.
+			for i := shards; i < len(m.Assign); i++ {
+				m.Assign[i] = rng.Intn(shards)
+			}
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("trial %d: perturbed map invalid: %v", trial, err)
+		}
+		enc := m.Encode()
+		back, err := shard.Decode(enc)
+		if err != nil {
+			t.Fatalf("trial %d: Decode(%q): %v", trial, enc, err)
+		}
+		if back.Version != m.Version || back.PrefixBits != m.PrefixBits || back.Shards != m.Shards {
+			t.Fatalf("trial %d: header changed across round-trip: %+v vs %+v", trial, back, m)
+		}
+		for b := range m.Assign {
+			if back.Assign[b] != m.Assign[b] {
+				t.Fatalf("trial %d: bucket %d owner %d -> %d across round-trip", trial, b, m.Assign[b], back.Assign[b])
+			}
+		}
+		if back.Encode() != enc {
+			t.Fatalf("trial %d: re-encode differs: %q vs %q", trial, back.Encode(), enc)
+		}
+	}
+}
+
+func TestMapValidation(t *testing.T) {
+	bad := []string{
+		"",                 // empty
+		"v1:8",             // missing shards
+		"1:8:3",            // no version marker
+		"v0:8:3",           // version < 1
+		"v1:0:3",           // bits out of range
+		"v1:17:3",          // bits out of range
+		"v1:8:0",           // no shards
+		"v1:2:5",           // more shards than buckets
+		"v1:8:2000",        // beyond MaxShards
+		"v1:1:2:0,2",       // assignment out of range
+		"v1:1:2:0",         // short assignment
+		"v1:1:2:0,0",       // shard 1 owns no bucket
+		"v1:1:2:0,x",       // non-numeric assignment
+		"v1:8:3:../../etc", // hostile assignment
+		"vv1:8:3",          // garbage version
+	}
+	for _, s := range bad {
+		if m, err := shard.Decode(s); err == nil {
+			t.Errorf("Decode(%q) accepted invalid map %+v", s, m)
+		}
+	}
+	m, _ := shard.New(1, 8, 3)
+	if _, err := m.ShardOf("ab"); err != nil {
+		t.Errorf("2-nibble key must satisfy an 8-bit prefix: %v", err)
+	}
+	if _, err := (&shard.Map{Version: 1, PrefixBits: 8, Shards: 3}).ShardOf("ab00"); err == nil {
+		t.Error("ShardOf on a map without an assignment table must error")
+	}
+	for _, key := range []string{"", "a", "AB00", "zz00", "0G"} {
+		if s, err := m.ShardOf(key); err == nil {
+			t.Errorf("ShardOf(%q) accepted a malformed key (shard %d)", key, s)
+		}
+	}
+}
+
+func TestJobIDRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		shard int
+		seq   int64
+	}{{0, 1}, {2, 42}, {15, 999999}, {1023, 1000000}} {
+		id := shard.EncodeJobID(tc.shard, tc.seq)
+		s, seq, sharded, err := shard.DecodeJobID(id)
+		if err != nil || !sharded || s != tc.shard || seq != tc.seq {
+			t.Fatalf("DecodeJobID(%q) = (%d, %d, %v, %v), want (%d, %d, true, nil)",
+				id, s, seq, sharded, err, tc.shard, tc.seq)
+		}
+	}
+	// Legacy single-node IDs (and arbitrary non-prefixed strings) are not
+	// sharded and not errors: they resolve against the local registry.
+	for _, id := range []string{"j-000001", "j-42", "nope", "", "J-S1-1"} {
+		if _, _, sharded, err := shard.DecodeJobID(id); sharded || err != nil {
+			t.Fatalf("DecodeJobID(%q) = (sharded=%v, err=%v), want unsharded no-error", id, sharded, err)
+		}
+	}
+	// Hostile sharded forms must error — never parse into a route.
+	for _, id := range []string{
+		"j-s-000001",                     // empty shard field
+		"j-s12345-000001",                // shard overflow (5 digits)
+		"j-s1-",                          // empty sequence
+		"j-s1-9999999999999999999",       // sequence overflow (19 digits)
+		"j-s1-00001x",                    // non-digit sequence
+		"j-s1x-000001",                   // non-digit shard
+		"j-s1-../../etc/passwd",          // path traversal
+		"j-s1-000001/result",             // trailing path segment
+		"j-s+1-000001",                   // sign prefix
+		strings.Repeat("j-s1-000001", 3), // concatenated IDs
+	} {
+		if s, seq, sharded, err := shard.DecodeJobID(id); err == nil {
+			t.Errorf("DecodeJobID(%q) accepted hostile ID: (%d, %d, %v)", id, s, seq, sharded)
+		}
+	}
+}

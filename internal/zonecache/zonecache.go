@@ -104,12 +104,32 @@ func Open(dir string, memMaxBytes, diskMaxBytes int64, sync bool) (*Cache, error
 	}, nil
 }
 
-// Get returns the stored bytes for key, if present in either tier.
+// SetPeer attaches a fleet read-through tier: zone solutions not held
+// locally are fetched from the key's owning coordinator. Peer errors
+// degrade to misses (the zone is re-solved) and peer hits are promoted
+// to memory only — the durable tier stays shard-pure.
+func (c *Cache) SetPeer(p rescache.PeerTier) {
+	if c != nil {
+		c.tier.SetPeer(p)
+	}
+}
+
+// Get returns the stored bytes for key, if present in any tier
+// (memory, durable, or — when attached — the owning peer).
 func (c *Cache) Get(key string) ([]byte, bool) {
 	if c == nil {
 		return nil, false
 	}
 	return c.tier.Get(key)
+}
+
+// GetLocal returns the stored bytes for key from this node's own tiers
+// only — the lookup that answers a peer's read-through request.
+func (c *Cache) GetLocal(key string) ([]byte, bool) {
+	if c == nil {
+		return nil, false
+	}
+	return c.tier.GetLocal(key)
 }
 
 // Put stores val under key in both tiers.
