@@ -94,8 +94,10 @@ func main() {
 		pollWait = flag.Duration("poll-wait", 2*time.Second, "worker: lease long-poll duration")
 
 		shardID   = flag.Int("shard-id", -1, "fleet: the shard this node owns (with -shard-map and -peers)")
-		shardMap  = flag.String("shard-map", "", "fleet: encoded shard map, v<version>:<prefix-bits>:<shards>[:<assignments>] — identical on every node")
+		shardMap  = flag.String("shard-map", "", "fleet: encoded shard map, v<version>:<prefix-bits>:<shards>[:<assignments>][:r<replicas>] — the boot map; a live fleet converges on the highest gossiped version")
 		peersList = flag.String("peers", "", "fleet: comma-separated coordinator base URLs in shard order, one per shard (this node's own entry included)")
+		replicas  = flag.Int("replicas", 0, "fleet: readers per bucket (ring successors of the owner); a dead owner's cached reads degrade to a replica instead of 503")
+		gossipInt = flag.Duration("gossip-interval", 2*time.Second, "fleet: anti-entropy map pull cadence (0 disables the loop; version piggybacking on forwards still converges active routes)")
 	)
 	flag.Parse()
 
@@ -140,9 +142,18 @@ func main() {
 		if err != nil {
 			log.Fatalf("-shard-map: %v", err)
 		}
+		if *replicas > 0 && m.Replicas == nil {
+			// A map that already encodes replica sets wins over the flag:
+			// -replicas is the convenience spelling for uniform ring
+			// successors on a plain boot map.
+			if m, err = m.WithReplicas(*replicas); err != nil {
+				log.Fatalf("-replicas: %v", err)
+			}
+		}
 		opts.ShardMap = m
 		opts.ShardID = *shardID
 		opts.Peers = strings.Split(*peersList, ",")
+		opts.GossipInterval = *gossipInt
 	}
 	srv, err := server.New(opts)
 	if err != nil {

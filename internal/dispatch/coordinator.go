@@ -91,6 +91,12 @@ type Coordinator struct {
 	q    *jobq.Queue
 	opts Options
 
+	// shardLabel is the live value of Options.ShardLabel: a sharded
+	// fleet's routing map is a versioned, gossiped object, and the label
+	// follows the adopted map (SetShardLabel), so lease grants always name
+	// the map epoch the work was granted under. Read on every lease.
+	shardLabel atomic.Value // string
+
 	met struct {
 		leases, heartbeats, completions, failures, requeues, staleRejected atomic.Int64
 	}
@@ -106,6 +112,7 @@ type Coordinator struct {
 func NewCoordinator(q *jobq.Queue, opts Options) *Coordinator {
 	opts = opts.withDefaults()
 	c := &Coordinator{q: q, opts: opts, stop: make(chan struct{})}
+	c.shardLabel.Store(opts.ShardLabel)
 	q.SetLeasePolicy(opts.LeaseTTL, opts.MaxAttempts)
 	if opts.LocalExec {
 		q.SetLeaseExecutor(func(ctx context.Context, payload any) (any, error) {
@@ -152,6 +159,20 @@ func (c *Coordinator) sweep() {
 
 // Close stops the lease sweeper. It does not drain the queue — that is
 // the owner's job (Server.Drain / Queue.Drain).
+// ShardLabel returns the label lease grants currently carry.
+func (c *Coordinator) ShardLabel() string {
+	s, _ := c.shardLabel.Load().(string)
+	return s
+}
+
+// SetShardLabel updates the shard label on live lease grants — called by
+// the routing layer when the node adopts a newer shard map, so grants
+// issued after the flip name the new epoch. Safe for concurrent use with
+// in-flight leases.
+func (c *Coordinator) SetShardLabel(label string) {
+	c.shardLabel.Store(label)
+}
+
 func (c *Coordinator) Close() {
 	c.stopOnce.Do(func() { close(c.stop) })
 	c.sweeper.Wait()
@@ -367,7 +388,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 		TTLMs:    lease.TTL.Milliseconds(),
 		Deadline: deadline,
 		Spec:     spec,
-		Shard:    c.opts.ShardLabel,
+		Shard:    c.ShardLabel(),
 	})
 }
 

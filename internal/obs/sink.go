@@ -113,3 +113,20 @@ func ExpvarShard(shard int) *expvar.Map {
 	}
 	return m
 }
+
+// ExpvarGauge returns (publishing into m on first use) a named
+// point-in-time gauge — a settable expvar.Int, as opposed to the
+// monotonic Add counters the maps otherwise hold. The sharded serving
+// tier uses one per node for the live shard-map version, so /debug/vars
+// shows a fleet's convergence state directly. Safe for concurrent use;
+// repeated calls for the same (map, name) return the same gauge.
+func ExpvarGauge(m *expvar.Map, name string) *expvar.Int {
+	shardMu.Lock()
+	defer shardMu.Unlock()
+	if v, ok := m.Get(name).(*expvar.Int); ok {
+		return v
+	}
+	g := new(expvar.Int)
+	m.Set(name, g)
+	return g
+}

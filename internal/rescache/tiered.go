@@ -165,6 +165,15 @@ func (t *Tiered) PutLocal(key string, val []byte) {
 	t.mem.Put(key, val)
 }
 
+// LocalKeys snapshots the memory tier's resident keys — the hot set a
+// bucket handoff drains to a new owner. The durable tier is deliberately
+// not enumerated: handoff copies what is warm, and anything colder is
+// re-solved by the new owner (content addressing makes every copy
+// identical, so a partial drain costs hit rate, never correctness).
+func (t *Tiered) LocalKeys() []string {
+	return t.mem.Keys()
+}
+
 // Contains reports residency in either tier without touching recency.
 func (t *Tiered) Contains(key string) bool {
 	if t.mem.Contains(key) {

@@ -1,0 +1,544 @@
+package server
+
+// Rebalance e2e: the live shard-map machinery — gossip convergence,
+// drain-before-flip bucket handoff, and replica failover — exercised on
+// a real in-process fleet (run via `make e2e-rebalance`, which adds
+// -race and a seed). Three scenarios:
+//
+//   - TestShardRebalanceHandoffHitRate: moving a warm bucket must not
+//     cost a single cache hit or solver re-run — the old owner drains
+//     the bucket to the new owner before flipping, so a post-rebalance
+//     replay of the whole workload hits exactly like the pre-rebalance
+//     baseline.
+//   - TestShardGossipSkewConverges: a node left on version N beside
+//     peers on N+1 converges WITHOUT restart — by anti-entropy pull
+//     when gossip is on, by 409-driven catch-up on the traffic path
+//     when it is off — and the version-conflict counter plateaus once
+//     the fleet agrees.
+//   - TestShardRebalanceChaos: a seeded schedule rebalances a durable
+//     fleet mid-workload and kills the OLD owner and then the NEW owner
+//     of the moved bucket. Acknowledged jobs survive every crash
+//     (DataDir journals), reads degrade to replicas instead of 503,
+//     and every byte served anywhere matches a single-node reference.
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"wavemin/internal/dispatch"
+	"wavemin/internal/shard"
+)
+
+const rebalanceGossipTick = 25 * time.Millisecond
+
+// ownedKeys snapshots the result-cache keys node currently holds that it
+// OWNS under its live map — its own solves, excluding replica copies
+// pushed to it (those route elsewhere and would pollute the diff below).
+func (fl *fleet) ownedKeys(node int) map[string]bool {
+	srv := fl.nodes[node].srv.Load()
+	m := srv.sh.Map()
+	out := map[string]bool{}
+	for _, k := range srv.cache.LocalKeys() {
+		if owner, err := m.ShardOf(k); err == nil && owner == node {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+// solveTracked submits body via entry, waits for completion, and returns
+// the job ID, the owning shard, and the design's cache key — recovered
+// as the one key the owner's owned-set gained. Designs must be solved
+// one at a time for the diff to be unambiguous.
+func (fl *fleet) solveTracked(entry int, body []byte) (id string, owner int, key string) {
+	fl.t.Helper()
+	before := make([]map[string]bool, len(fl.nodes))
+	for i := range fl.nodes {
+		before[i] = fl.ownedKeys(i)
+	}
+	code, resp, _ := fl.post(entry, body)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		fl.t.Fatalf("submit via node %d: status %d %v", entry, code, resp)
+	}
+	id = jobID(fl.t, resp)
+	owner = jobOwner(fl.t, id)
+	if v, ok := fl.waitJob(entry, id, 30*time.Second); !ok || v.Status != StatusDone {
+		fl.t.Fatalf("job %s: %q (ok=%v)", id, v.Status, ok)
+	}
+	for k := range fl.ownedKeys(owner) {
+		if !before[owner][k] {
+			if key != "" {
+				fl.t.Fatalf("owner %d gained two keys for one design (%s, %s)", owner, key, k)
+			}
+			key = k
+		}
+	}
+	if key == "" {
+		fl.t.Fatalf("owner %d gained no cache key solving job %s", owner, id)
+	}
+	return id, owner, key
+}
+
+// injectMap posts an encoded map to node — the operator rebalance entry
+// point — and requires adoption.
+func (fl *fleet) injectMap(node int, m *shard.Map) {
+	fl.t.Helper()
+	body, _ := json.Marshal(map[string]string{"map": m.Encode()})
+	resp, err := http.Post(fl.peers[node]+"/v1/shard/map", "application/json", bytes.NewReader(body))
+	if err != nil {
+		fl.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		fl.t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fl.t.Fatalf("map injection at node %d: status %d %v", node, resp.StatusCode, out)
+	}
+}
+
+// mapVersionOf reads node's live map version over the gossip endpoint.
+func (fl *fleet) mapVersionOf(node int) int {
+	fl.t.Helper()
+	code, body, _ := fl.get(node, "/v1/shard/map")
+	if code != http.StatusOK {
+		fl.t.Fatalf("GET /v1/shard/map via node %d: status %d: %s", node, code, body)
+	}
+	var out struct {
+		MapVersion int `json:"mapVersion"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		fl.t.Fatal(err)
+	}
+	return out.MapVersion
+}
+
+// waitMapVersion polls the listed nodes until every one reports ver.
+func (fl *fleet) waitMapVersion(nodes []int, ver int, timeout time.Duration) {
+	fl.t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		settled := true
+		for _, n := range nodes {
+			if fl.mapVersionOf(n) != ver {
+				settled = false
+			}
+		}
+		if settled {
+			return
+		}
+		if time.Now().After(deadline) {
+			vers := make([]int, 0, len(nodes))
+			for _, n := range nodes {
+				vers = append(vers, fl.mapVersionOf(n))
+			}
+			fl.t.Fatalf("fleet did not converge on map v%d within %v (nodes %v at %v)", ver, timeout, nodes, vers)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func rebalanceFleetMap(t *testing.T, shards int) *shard.Map {
+	t.Helper()
+	m, err := shard.New(1, 8, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err = m.WithReplicas(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestShardRebalanceHandoffHitRate(t *testing.T) {
+	fl := newFleetWithMap(t, rebalanceFleetMap(t, 3), Options{GossipInterval: rebalanceGossipTick}, nil)
+	const designs = 4
+	bodies := make([][]byte, designs)
+	keys := make([]string, designs)
+	owners := make([]int, designs)
+	for i := range bodies {
+		bodies[i] = marshalReq(t, map[string]any{
+			"tree":   smallTreeJSON(t, 6+i),
+			"config": fastConfig(),
+		})
+		_, owners[i], keys[i] = fl.solveTracked(i%3, bodies[i])
+	}
+
+	// Pre-rebalance baseline: the whole workload replays as cache hits.
+	replayAllHits := func(stage string) {
+		t.Helper()
+		for i, body := range bodies {
+			code, resp, _ := fl.post((i+1)%3, body)
+			if code != http.StatusOK {
+				t.Fatalf("%s: design %d replay: status %d %v", stage, i, code, resp)
+			}
+			if hit, _ := resp["cacheHit"].(bool); !hit {
+				t.Fatalf("%s: design %d replay missed the cache", stage, i)
+			}
+		}
+	}
+	fleetRuns := func() int64 {
+		var runs int64
+		for _, node := range fl.nodes {
+			runs += node.srv.Load().MetricsSnapshot().SolverRuns
+		}
+		return runs
+	}
+	replayAllHits("baseline")
+	baselineRuns := fleetRuns()
+	if baselineRuns != designs {
+		t.Fatalf("baseline solver runs = %d, want %d", baselineRuns, designs)
+	}
+
+	// Move design 0's bucket from its owner to the ring successor,
+	// injected at the OLD owner — the node that must drain before it
+	// flips. Then the whole fleet converges by gossip.
+	oldOwner := owners[0]
+	newOwner := (oldOwner + 1) % 3
+	bucket, err := fl.m.BucketOf(keys[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := fl.m.MoveBucket(bucket, newOwner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl.injectMap(oldOwner, next)
+	fl.waitMapVersion([]int{0, 1, 2}, next.Version, 10*time.Second)
+
+	// Post-handoff: identical hit rate, not one extra solver run — the
+	// moved bucket's artifacts traveled with the bucket.
+	replayAllHits("post-handoff")
+	if runs := fleetRuns(); runs != baselineRuns {
+		t.Fatalf("rebalance cost solver runs: %d after, %d before", runs, baselineRuns)
+	}
+	// The moved design is now answered by the new owner.
+	code, resp, hdr := fl.post((newOwner+1)%3, bodies[0])
+	if code != http.StatusOK {
+		t.Fatalf("moved design via third node: status %d %v", code, resp)
+	}
+	if got := hdr.Get("X-Wavemin-Served-By-Shard"); got != strconv.Itoa(newOwner) {
+		t.Fatalf("moved design served by shard %q, want %d", got, newOwner)
+	}
+	sent := fl.nodes[oldOwner].srv.Load().MetricsSnapshot().Shard
+	recv := fl.nodes[newOwner].srv.Load().MetricsSnapshot().Shard
+	if sent.HandoffSent == 0 || recv.HandoffRecv == 0 {
+		t.Fatalf("handoff moved no artifacts (sent=%d recv=%d)", sent.HandoffSent, recv.HandoffRecv)
+	}
+}
+
+// TestShardGossipSkewConverges pins the convergence regression: a node
+// left behind on version N beside peers on N+1 must reach N+1 without a
+// restart — and once it has, the 409 version-conflict counter stops
+// moving (skew is transient, not a steady-state tax).
+func TestShardGossipSkewConverges(t *testing.T) {
+	confSum := func(fl *fleet) int64 {
+		var sum int64
+		for _, node := range fl.nodes {
+			sum += node.srv.Load().MetricsSnapshot().Shard.MapVersionConf
+		}
+		return sum
+	}
+	// pickBucketOwnedBy returns a bucket owned by shard s.
+	pickBucketOwnedBy := func(m *shard.Map, s int) int {
+		for b, owner := range m.Assign {
+			if owner == s {
+				return b
+			}
+		}
+		t.Fatalf("shard %d owns no bucket", s)
+		return -1
+	}
+
+	t.Run("anti-entropy pull", func(t *testing.T) {
+		fl := newFleetWithMap(t, rebalanceFleetMap(t, 3), Options{GossipInterval: rebalanceGossipTick}, nil)
+		next, err := fl.m.MoveBucket(pickBucketOwnedBy(fl.m, 1), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Inject at node 0 only; 1 and 2 must find it by pulling.
+		fl.injectMap(0, next)
+		fl.waitMapVersion([]int{0, 1, 2}, next.Version, 10*time.Second)
+		for i := range fl.nodes {
+			if a := fl.nodes[i].srv.Load().MetricsSnapshot().Shard.MapsAdopted; i != 0 && a == 0 {
+				t.Fatalf("node %d converged without counting an adoption", i)
+			}
+		}
+		// Plateau: an agreed fleet serves traffic with zero new conflicts.
+		before := confSum(fl)
+		for i := 0; i < 3; i++ {
+			body := marshalReq(t, map[string]any{"tree": smallTreeJSON(t, 9+i), "config": fastConfig()})
+			if _, owner, _ := fl.solveTracked(i, body); owner < 0 {
+				t.Fatal("unreachable")
+			}
+		}
+		if after := confSum(fl); after != before {
+			t.Fatalf("version conflicts kept rising after convergence: %d -> %d", before, after)
+		}
+	})
+
+	t.Run("traffic-path catch-up", func(t *testing.T) {
+		// Gossip off: the ONLY convergence channel is the request path —
+		// a stale sender's forward meets a 409 whose response header
+		// names the newer version, and the sender fetches and retries.
+		fl := newFleetWithMap(t, rebalanceFleetMap(t, 3), Options{GossipInterval: 0}, nil)
+		// A design owned by node 0 gives nodes 1 and 2 a reason to
+		// forward to it after it adopts the newer map.
+		var body0 []byte
+		found := false
+		for n := 6; n < 40 && !found; n++ {
+			body := marshalReq(t, map[string]any{"tree": smallTreeJSON(t, n), "config": fastConfig()})
+			if _, owner, _ := fl.solveTracked(0, body); owner == 0 {
+				body0, found = body, true
+			}
+		}
+		if !found {
+			t.Fatal("no probe design owned by shard 0")
+		}
+		next, err := fl.m.MoveBucket(pickBucketOwnedBy(fl.m, 1), 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl.injectMap(0, next)
+		if got := fl.mapVersionOf(1); got != fl.m.Version {
+			t.Fatalf("node 1 moved to v%d with gossip off and no traffic", got)
+		}
+		// Each stale node's forward to node 0 trips the 409, catches up,
+		// and retries to a successful cache hit in the same call.
+		for _, stale := range []int{1, 2} {
+			code, resp, _ := fl.post(stale, body0)
+			if code != http.StatusOK {
+				t.Fatalf("stale node %d submit: status %d %v", stale, code, resp)
+			}
+			if hit, _ := resp["cacheHit"].(bool); !hit {
+				t.Fatalf("stale node %d replay missed the cache", stale)
+			}
+			if got := fl.mapVersionOf(stale); got != next.Version {
+				t.Fatalf("node %d still at v%d after the 409 round trip", stale, got)
+			}
+		}
+		if confSum(fl) == 0 {
+			t.Fatal("catch-up happened without a single 409 being counted")
+		}
+		// Plateau, again: once agreed, replays add no conflicts.
+		before := confSum(fl)
+		for _, node := range []int{1, 2} {
+			if code, resp, _ := fl.post(node, body0); code != http.StatusOK {
+				t.Fatalf("post-convergence replay via %d: status %d %v", node, code, resp)
+			}
+		}
+		if after := confSum(fl); after != before {
+			t.Fatalf("version conflicts kept rising after convergence: %d -> %d", before, after)
+		}
+	})
+}
+
+// TestShardRebalanceChaos is the full rebalance-under-fire scenario on a
+// DURABLE fleet: per-node DataDirs, replicas, live gossip. A bucket
+// moves mid-workload; then the old owner is killed (replica failover
+// must answer for its remaining buckets), restarted (it reboots on the
+// STALE boot map and must gossip its way forward), and finally the NEW
+// owner is killed (the restarted old owner — now a replica of the moved
+// bucket — must answer from its durable copy). Every acknowledged job
+// survives, and every byte matches the single-node reference.
+// WAVEMIND_E2E_REBALANCE_SEED varies the submission schedule.
+func TestShardRebalanceChaos(t *testing.T) {
+	seed := int64(1)
+	if env := os.Getenv("WAVEMIND_E2E_REBALANCE_SEED"); env != "" {
+		n, err := strconv.ParseInt(env, 10, 64)
+		if err != nil {
+			t.Fatalf("WAVEMIND_E2E_REBALANCE_SEED: %v", err)
+		}
+		seed = n
+	}
+	rng := rand.New(rand.NewSource(seed))
+
+	const designs = 6
+	single := newHarness(t, Options{Dispatch: &dispatch.Options{LocalExec: true}})
+	bodies := make([][]byte, designs)
+	refBytes := make([]json.RawMessage, designs)
+	for i := range bodies {
+		bodies[i] = marshalReq(t, map[string]any{
+			"tree":   smallTreeJSON(t, 5+i),
+			"config": fastConfig(),
+		})
+		code, resp := single.post(bodies[i])
+		if code != http.StatusAccepted {
+			t.Fatalf("reference submit %d: status %d %v", i, code, resp)
+		}
+		id := jobID(t, resp)
+		if v := single.waitJob(id, 30*time.Second); v.Status != StatusDone {
+			t.Fatalf("reference job %d: %s (%s)", i, v.Status, v.Error)
+		}
+		_, refBytes[i] = single.resultBody(id)
+	}
+
+	dirs := make([]string, 3)
+	for i := range dirs {
+		dirs[i] = t.TempDir()
+	}
+	fl := newFleetWithMap(t, rebalanceFleetMap(t, 3),
+		Options{Dispatch: &dispatch.Options{LocalExec: true}, GossipInterval: rebalanceGossipTick},
+		func(i int, opts *Options) { opts.DataDir = dirs[i] })
+
+	// Phase 1: solve the workload via seeded entry nodes. Every job the
+	// fleet acknowledges here must stay readable through all the chaos.
+	acked := make([]string, designs)
+	keys := make([]string, designs)
+	for i, body := range bodies {
+		id, _, key := fl.solveTracked(rng.Intn(3), body)
+		acked[i], keys[i] = id, key
+		if _, got := fl.resultBody(rng.Intn(3), id); !bytes.Equal(got, refBytes[i]) {
+			t.Fatalf("design %d: fleet result differs from reference before any chaos", i)
+		}
+	}
+
+	// Phase 2: rebalance mid-workload — move design 0's bucket from its
+	// owner to the ring successor, injected at the old owner.
+	oldOwner := jobOwner(t, acked[0])
+	newOwner := (oldOwner + 1) % 3
+	bucket, err := fl.m.BucketOf(keys[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := fl.m.MoveBucket(bucket, newOwner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The old owner must keep answering for its OTHER buckets after it
+	// dies — find a design it still owns under the new map (solving
+	// extra probes if the seeded workload left it none).
+	dOld := -1
+	for i, key := range keys {
+		if owner, err := next.ShardOf(key); err == nil && owner == oldOwner && i != 0 {
+			dOld = i
+			break
+		}
+	}
+	for n := 20; dOld == -1 && n < 60; n++ {
+		body := marshalReq(t, map[string]any{"tree": smallTreeJSON(t, n), "config": fastConfig()})
+		id, owner, key := fl.solveTracked(rng.Intn(3), body)
+		if nextOwner, err := next.ShardOf(key); err == nil && nextOwner == oldOwner && owner == oldOwner {
+			bodies = append(bodies, body)
+			acked = append(acked, id)
+			keys = append(keys, key)
+			refBytes = append(refBytes, nil) // reference fetched below
+			code, resp := single.post(body)
+			if code != http.StatusAccepted && code != http.StatusOK {
+				t.Fatalf("reference probe: status %d %v", code, resp)
+			}
+			pid := jobID(t, resp)
+			if v := single.waitJob(pid, 30*time.Second); v.Status != StatusDone {
+				t.Fatalf("reference probe: %s", v.Status)
+			}
+			_, refBytes[len(refBytes)-1] = single.resultBody(pid)
+			dOld = len(bodies) - 1
+		}
+	}
+	if dOld == -1 {
+		t.Fatal("could not find a design the old owner keeps after the move")
+	}
+
+	fl.injectMap(oldOwner, next)
+	fl.waitMapVersion([]int{0, 1, 2}, next.Version, 10*time.Second)
+
+	// Phase 3: kill the OLD owner. Its remaining buckets' reads must
+	// degrade to the ring-successor replica (warm from
+	// replication-on-write), not to 503.
+	fl.kill(oldOwner)
+	entry := (oldOwner + 2) % 3
+	code, resp, _ := fl.post(entry, bodies[dOld])
+	if code != http.StatusOK {
+		t.Fatalf("dead old owner: replica failover answered %d %v, want 200", code, resp)
+	}
+	if hit, _ := resp["cacheHit"].(bool); !hit {
+		t.Fatal("replica failover served a non-hit")
+	}
+	failoverID := jobID(t, resp)
+	if _, got := fl.resultBody(entry, failoverID); !bytes.Equal(got, refBytes[dOld]) {
+		t.Fatal("replica failover bytes differ from the single-node reference")
+	}
+
+	// Phase 4: restart the old owner. It boots on the STALE v1 map and
+	// must gossip forward without another restart. No acknowledged work
+	// may be lost: each acked design either still reads done under its
+	// job ID, or — the journal checkpoints completed jobs away — its
+	// result survives in the durable store, so a resubmission is an
+	// immediate cache hit with the reference bytes, never a re-solve.
+	fl.restart(oldOwner)
+	fl.waitMapVersion([]int{oldOwner}, next.Version, 10*time.Second)
+	for i, id := range acked {
+		if v, ok := fl.waitJob(rng.Intn(3), id, 30*time.Second); ok {
+			if v.Status != StatusDone {
+				t.Fatalf("acknowledged job %s (design %d) finished %q after restart", id, i, v.Status)
+			}
+			if _, got := fl.resultBody(rng.Intn(3), id); !bytes.Equal(got, refBytes[i]) {
+				t.Fatalf("design %d: bytes diverged from reference after restart", i)
+			}
+			continue
+		}
+		code, resp, _ := fl.post(rng.Intn(3), bodies[i])
+		if code != http.StatusOK {
+			t.Fatalf("acknowledged design %d lost to the crash: resubmit answered %d %v, want 200 hit", i, code, resp)
+		}
+		if hit, _ := resp["cacheHit"].(bool); !hit {
+			t.Fatalf("acknowledged design %d lost to the crash: resubmission re-solved", i)
+		}
+		if _, got := fl.resultBody(rng.Intn(3), jobID(t, resp)); !bytes.Equal(got, refBytes[i]) {
+			t.Fatalf("design %d: bytes diverged from reference after restart", i)
+		}
+	}
+
+	// Phase 5: kill the NEW owner. The moved bucket's replica is the
+	// restarted old owner — MoveBucket swapped it into the replica set —
+	// and it must answer design 0 from its durable copy.
+	fl.kill(newOwner)
+	entry = (newOwner + 2) % 3
+	if entry == oldOwner {
+		entry = (newOwner + 1) % 3
+	}
+	code, resp, _ = fl.post(entry, bodies[0])
+	if code != http.StatusOK {
+		t.Fatalf("dead new owner: replica failover answered %d %v, want 200", code, resp)
+	}
+	if hit, _ := resp["cacheHit"].(bool); !hit {
+		t.Fatal("moved-bucket failover served a non-hit")
+	}
+	if _, got := fl.resultBody(entry, jobID(t, resp)); !bytes.Equal(got, refBytes[0]) {
+		t.Fatal("moved-bucket failover bytes differ from the single-node reference")
+	}
+
+	// Recovery: with the fleet whole again, the entire workload replays
+	// as IMMEDIATE cache hits — a 202 here would mean some acknowledged
+	// result was lost and re-solved — and the failover counters show the
+	// chaos was real.
+	fl.restart(newOwner)
+	fl.waitMapVersion([]int{0, 1, 2}, next.Version, 10*time.Second)
+	for i, body := range bodies {
+		code, resp, _ := fl.post(rng.Intn(3), body)
+		if code != http.StatusOK {
+			t.Fatalf("final replay design %d: status %d %v, want 200 hit", i, code, resp)
+		}
+		if hit, _ := resp["cacheHit"].(bool); !hit {
+			t.Fatalf("final replay design %d re-solved: an acknowledged result was lost", i)
+		}
+		if _, got := fl.resultBody(rng.Intn(3), jobID(t, resp)); !bytes.Equal(got, refBytes[i]) {
+			t.Fatalf("final replay design %d: bytes differ from reference", i)
+		}
+	}
+	var replicaHits int64
+	for _, node := range fl.nodes {
+		replicaHits += node.srv.Load().MetricsSnapshot().Shard.ReplicaHits
+	}
+	if replicaHits == 0 {
+		t.Fatal("chaos never exercised a replica failover read")
+	}
+}

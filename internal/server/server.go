@@ -124,6 +124,12 @@ type Options struct {
 	// PeerTimeout bounds each peer call — forwarded requests and cache
 	// read-throughs alike (default 15s).
 	PeerTimeout time.Duration
+	// GossipInterval is the anti-entropy cadence: how often this node
+	// pulls each peer's shard map (GET /v1/shard/map) and adopts anything
+	// newer. Zero disables the loop — version piggybacking on forwards
+	// still converges the routes that carry traffic, but an idle node
+	// will not follow a rebalance on its own.
+	GossipInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -289,10 +295,11 @@ func bump(c *atomic.Int64, expvarName string) {
 
 // Server is the wavemind service. Construct with New; serve Handler().
 type Server struct {
-	opts  Options
-	q     *jobq.Queue
-	cache *rescache.Tiered
-	mux   *http.ServeMux
+	opts    Options
+	q       *jobq.Queue
+	cache   *rescache.Tiered
+	mux     *http.ServeMux
+	handler http.Handler // mux, wrapped (when sharded) in the version-piggyback middleware
 
 	coord      *dispatch.Coordinator // non-nil iff Options.Dispatch was set
 	dispatchWG sync.WaitGroup        // finishDispatched goroutines in flight
@@ -300,6 +307,12 @@ type Server struct {
 	zones *zonecache.Cache // non-nil iff Options.Eco was set
 
 	sh *shardState // non-nil iff Options.ShardMap was set
+
+	// Anti-entropy gossip loop; nil/zero unless sharded with a
+	// GossipInterval.
+	gossipStop     chan struct{}
+	gossipStopOnce sync.Once
+	gossipWG       sync.WaitGroup
 
 	// Durable tier; all nil/zero when Options.DataDir is unset.
 	store      *castore.Store
@@ -354,7 +367,9 @@ func New(opts Options) (*Server, error) {
 			dopts.SolverWorkers = opts.MaxSolverWorkers
 		}
 		if s.sh != nil && dopts.ShardLabel == "" {
-			dopts.ShardLabel = fmt.Sprintf("s%d", s.sh.id)
+			// The label names the map epoch too, and follows every
+			// adoption (Coordinator.SetShardLabel in adoptMap).
+			dopts.ShardLabel = shardLabel(s.sh.id, s.sh.Map().Version)
 		}
 	}
 
@@ -453,8 +468,11 @@ func New(opts Options) (*Server, error) {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if s.sh != nil {
 		mux.HandleFunc("GET /v1/shard/map", s.handleShardMap)
+		mux.HandleFunc("POST /v1/shard/map", s.handleShardMapPost)
 		mux.HandleFunc("GET /v1/shard/cache/{key}", s.handleShardCache)
+		mux.HandleFunc("PUT /v1/shard/cache/{key}", s.handleShardCachePut)
 		mux.HandleFunc("GET /v1/shard/zones/{key}", s.handleShardZones)
+		mux.HandleFunc("PUT /v1/shard/zones/{key}", s.handleShardZonesPut)
 	}
 	if opts.Debug {
 		// The blank expvar and pprof imports register on the default
@@ -463,6 +481,16 @@ func New(opts Options) (*Server, error) {
 		mux.Handle("GET /debug/", http.DefaultServeMux)
 	}
 	s.mux = mux
+	s.handler = http.Handler(mux)
+	if s.sh != nil {
+		// Piggyback this node's live map version on EVERY response, so any
+		// exchange — forwards, pushes, plain reads — doubles as a gossip
+		// edge: a peer that sees a higher version fetches and adopts.
+		s.handler = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set(headerShardMapVersion, strconv.Itoa(s.sh.Map().Version))
+			mux.ServeHTTP(w, r)
+		})
+	}
 
 	if s.wal != nil {
 		if err := s.restoreJobs(recovered, lastID); err != nil {
@@ -478,6 +506,11 @@ func New(opts Options) (*Server, error) {
 		s.ckStop = make(chan struct{})
 		s.ckWG.Add(1)
 		go s.checkpointLoop()
+	}
+	if s.sh != nil && opts.GossipInterval > 0 {
+		s.gossipStop = make(chan struct{})
+		s.gossipWG.Add(1)
+		go s.gossipLoop(opts.GossipInterval)
 	}
 	s.ready.Store(true)
 	return s, nil
@@ -631,6 +664,7 @@ func (s *Server) stopCheckpoints() {
 // it. The server is unusable afterward; recover by calling New on the
 // same DataDir.
 func (s *Server) Crash() {
+	s.stopGossip()
 	s.stopCheckpoints()
 	if s.coord != nil {
 		s.coord.Close()
@@ -648,13 +682,14 @@ func (s *Server) Crash() {
 func (s *Server) Recovery() RecoveryInfo { return s.recovery }
 
 // Handler returns the service's HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s.handler }
 
 // Drain stops intake (new submissions get 503, health checks report
 // draining) and waits until every accepted job has finished or ctx
 // expires — the SIGTERM path.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
+	s.stopGossip()
 	err := s.q.Drain(ctx)
 	if err == nil {
 		// The queue resolved every ticket; wait for the goroutines that
@@ -1027,6 +1062,7 @@ func (s *Server) finishDispatched(j *job, key string, noCache bool, tr *obs.Trac
 	// completion was acknowledged.
 	if !out.Degraded && !noCache {
 		s.cache.PutLocal(key, out.ResultJSON)
+		s.replicateResult(key, out.ResultJSON)
 	}
 	if !out.Degraded {
 		s.landZones(j, out.Zones, out.ZonesReused, out.ZonesResolved)
@@ -1106,6 +1142,7 @@ func (s *Server) runJob(ctx context.Context, j *job, req *optimizeRequest) {
 	// caller with a roomier budget.
 	if !res.Degraded && !req.noCache {
 		s.cache.Put(req.key, blob)
+		s.replicateResult(req.key, blob)
 	}
 	if !res.Degraded {
 		s.landZones(j, res.Zones, res.ZonesReused, res.ZonesResolved)
@@ -1311,7 +1348,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	body := map[string]any{"status": "ok"}
 	if s.sh != nil {
 		body["shardId"] = s.sh.id
-		body["shardMapVersion"] = s.sh.m.Version
+		body["shardMapVersion"] = s.sh.Map().Version
 	}
 	writeJSON(w, http.StatusOK, body)
 }

@@ -42,6 +42,10 @@ type fleet struct {
 	base  Options
 	peers []string
 	nodes []*fleetNode
+	// perNode, when set, customizes each node's Options after the shared
+	// base is applied — per-node DataDirs for durable fleets, and the
+	// like. Runs again on restart, so a restarted node keeps its config.
+	perNode func(i int, opts *Options)
 }
 
 func newFleet(t *testing.T, n int, base Options) *fleet {
@@ -50,7 +54,15 @@ func newFleet(t *testing.T, n int, base Options) *fleet {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fl := &fleet{t: t, m: m, base: base}
+	return newFleetWithMap(t, m, base, nil)
+}
+
+// newFleetWithMap boots a fleet on an explicit starting map (replica
+// sets, custom assignments) with an optional per-node Options hook.
+func newFleetWithMap(t *testing.T, m *shard.Map, base Options, perNode func(int, *Options)) *fleet {
+	t.Helper()
+	n := m.Shards
+	fl := &fleet{t: t, m: m, base: base, perNode: perNode}
 	for i := 0; i < n; i++ {
 		node := &fleetNode{}
 		node.proxy = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -76,6 +88,9 @@ func (fl *fleet) newServer(i int) *Server {
 	opts.ShardMap = fl.m
 	opts.ShardID = i
 	opts.Peers = fl.peers
+	if fl.perNode != nil {
+		fl.perNode(i, &opts)
+	}
 	return mustNew(fl.t, opts)
 }
 
@@ -435,12 +450,13 @@ func TestShardFleetLeaseStaysShardLocal(t *testing.T) {
 			t.Fatalf("node %d (non-owner) leased out %v, want 204 no work", node, out)
 		}
 	}
-	// The owner grants the lease, labeled with its shard.
+	// The owner grants the lease, labeled with its shard and the map
+	// epoch it routes by (the label follows adopted maps).
 	code, out := lease(owner, 5000)
 	if code != http.StatusOK {
 		t.Fatalf("lease from owner: status %d %v", code, out)
 	}
-	if got, want := out["shard"], fmt.Sprintf("s%d", owner); got != want {
+	if got, want := out["shard"], fmt.Sprintf("s%d@v1", owner); got != want {
 		t.Fatalf("lease grant shard label = %v, want %q", got, want)
 	}
 }

@@ -1,7 +1,7 @@
 package server
 
 // Shard routing: the layer that makes a fleet of wavemind coordinators
-// behave as one logical service. Every node carries the same versioned
+// behave as one logical service. Every node carries a LIVE versioned
 // shard map (internal/shard); POST /v1/optimize hashes the request's
 // canonical CacheKey, serves it locally when this node owns the key's
 // shard, and otherwise forwards it — exactly one hop — to the owner.
@@ -10,20 +10,35 @@ package server
 // peer failures degrade to local misses, never errors, and peer hits
 // are promoted memory-only so a node's durable tier stays shard-pure.
 //
-// The forwarding protocol is deliberately tiny:
+// The map is no longer frozen at boot: nodes converge on the highest
+// valid version the fleet has published (see gossip.go — anti-entropy
+// pulls, version piggybacking, and the single shard.ShouldAdopt gate),
+// and adjacent versions move at most one bucket, so a node that is one
+// version behind misroutes at most one bucket's keys — and the receiver
+// catches it by version header, never by a silent wrong-shard write.
+//
+// The forwarding protocol:
 //
 //   - X-Wavemin-Forwarded-From: <shard> marks a forwarded request. Its
 //     presence means "never forward again" — a node that receives a
 //     forwarded request it does not own answers 421 wrong_shard rather
 //     than bouncing it onward, so routing loops are structurally
 //     impossible (single hop, enforced by the receiver).
-//   - X-Wavemin-Shard-Map-Version carries the sender's map version; a
-//     mismatch is a 409 shard_map_version, the signal that a rebalance
-//     is propagating and the client should retry.
-//   - A dead owner is a 503 shard_unavailable with Retry-After — the
-//     shard's keys are unavailable until the owner returns; no other
-//     node may adopt them (serving a stale or wrong-shard answer is
-//     worse than a retryable refusal).
+//   - X-Wavemin-Shard-Map-Version carries the sender's map version on
+//     forwards, and — piggybacked by middleware — this node's version
+//     on EVERY response. Version skew is no longer a terminal refusal:
+//     a receiver that is behind fetches the sender's map and adopts it
+//     before re-checking; a sender whose forward bounces 409 against a
+//     newer receiver adopts the receiver's map and retries once. Only
+//     when catch-up fails does the 409 shard_map_version reach the
+//     client — the retryable signal that a rebalance is propagating.
+//   - A dead owner degrades before it refuses: a cached read is served
+//     from one of the bucket's replicas (the map's read-only copies,
+//     kept warm by replication-on-write and bucket handoff) and only a
+//     key with no reachable copy gets the 503 shard_unavailable with
+//     Retry-After. Content addressing makes a replica-served answer
+//     byte-identical to the owner's, so failover is never-wrong, only
+//     possibly a miss.
 //
 // In-flight forwards are bounded (Options.MaxForwardInFlight); past the
 // bound, submissions are refused with 503 forward_backpressure so a
@@ -32,6 +47,7 @@ package server
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"expvar"
 	"fmt"
 	"io"
@@ -39,7 +55,9 @@ import (
 	"net/url"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
+	"time"
 
 	"wavemin/internal/obs"
 	"wavemin/internal/rescache"
@@ -51,6 +69,12 @@ const (
 	headerForwardedFrom   = "X-Wavemin-Forwarded-From"
 	headerShardMapVersion = "X-Wavemin-Shard-Map-Version"
 	headerServedByShard   = "X-Wavemin-Served-By-Shard"
+	// headerShardMap carries the sender's full encoded map on handoff
+	// pushes, so the receiving owner can adopt the new version from the
+	// push itself — the sender cannot serve it over GET /v1/shard/map
+	// yet, because drain-before-flip pushes while still routing by the
+	// old map.
+	headerShardMap = "X-Wavemin-Shard-Map"
 )
 
 // maxPeerResponseBytes bounds what a forward or peer-cache read will
@@ -59,20 +83,32 @@ const (
 // exhaust memory.
 const maxPeerResponseBytes = 64 << 20
 
+// maxShardMapBytes bounds an encoded shard map on the wire (gossip
+// responses, operator injection, piggybacked handoff headers). The
+// largest legal map — 64k buckets of explicit assignments and replica
+// sets — fits comfortably; anything bigger is hostile.
+const maxShardMapBytes = 1 << 20
+
 // shardUnavailableRetrySeconds is the Retry-After hint on 503
 // shard_unavailable: long enough for a restart to come back, short
 // enough that clients re-probe a recovered owner promptly.
 const shardUnavailableRetrySeconds = 1
 
 // shardState is a sharded node's routing identity: which shard it is,
-// the fleet's shard map, and the peer base URLs indexed by shard ID.
+// the fleet's live shard map, and the peer base URLs indexed by shard
+// ID. The map pointer is atomic — request paths load it lock-free —
+// and adoptions serialize on adoptMu so drain-before-flip handoffs
+// never interleave.
 type shardState struct {
 	id     int
-	m      *shard.Map
+	m      atomic.Pointer[shard.Map]
 	peers  []string // base URL per shard; peers[id] unused (self)
 	client *http.Client
 	slots  chan struct{} // in-flight forward bound
 	vars   *expvar.Map   // per-shard expvar map (obs.ExpvarShard)
+
+	adoptMu  sync.Mutex  // serializes adoptMap (drain, then flip)
+	mapGauge *expvar.Int // live map version (point-in-time, not a counter)
 
 	forwardsOut     atomic.Int64
 	forwardsIn      atomic.Int64
@@ -83,13 +119,32 @@ type shardState struct {
 	mapVersionConf  atomic.Int64
 	peerServeHits   atomic.Int64
 	peerServeMisses atomic.Int64
+
+	mapsAdopted     atomic.Int64
+	mapsStale       atomic.Int64
+	mapsRejected    atomic.Int64
+	gossipPulls     atomic.Int64
+	gossipErrs      atomic.Int64
+	handoffSent     atomic.Int64
+	handoffSendErrs atomic.Int64
+	handoffRecv     atomic.Int64
+	replicaStored   atomic.Int64
+	pushRefused     atomic.Int64
+	replicaPushes   atomic.Int64
+	replicaPushErrs atomic.Int64
+	replicaHits     atomic.Int64
 }
+
+// Map returns the node's current shard map. The returned map is
+// immutable — adoption stores a fresh clone — so callers may hold it
+// across a whole request without locking.
+func (sh *shardState) Map() *shard.Map { return sh.m.Load() }
 
 // ShardMetrics is the routing layer's counter snapshot; all zero when
 // the server runs unsharded.
 type ShardMetrics struct {
 	ShardID         int
-	MapVersion      int
+	MapVersion      int // live map version (a gauge: rises on adoption)
 	Shards          int
 	ForwardsOut     int64 // requests this node forwarded to an owner
 	ForwardsIn      int64 // forwarded requests this node served as owner
@@ -97,9 +152,23 @@ type ShardMetrics struct {
 	Unavailable     int64 // forwards that found the owner unreachable (503)
 	Backpressure    int64 // forwards refused at the in-flight bound (503)
 	BadJobID        int64 // job reads refused for malformed sharded IDs
-	MapVersionConf  int64 // forwarded requests refused on map-version skew (409)
+	MapVersionConf  int64 // version skew that survived catch-up (409)
 	PeerServeHits   int64 // peer read-through lookups this node answered
 	PeerServeMisses int64 // peer read-through lookups this node missed
+
+	MapsAdopted     int64 // map versions adopted (gossip, piggyback, handoff, operator)
+	MapsStale       int64 // candidate maps ignored as not-newer (normal during rebalance)
+	MapsRejected    int64 // candidate maps refused (invalid or wrong-shape)
+	GossipPulls     int64 // anti-entropy map pulls attempted
+	GossipErrs      int64 // anti-entropy pulls that failed (peer down or hostile)
+	HandoffSent     int64 // artifacts pushed to new owners during bucket handoff
+	HandoffSendErrs int64 // handoff pushes that failed (new owner re-solves)
+	HandoffRecv     int64 // handoff artifacts this node accepted as new owner
+	ReplicaStored   int64 // pushed copies this node accepted as a bucket replica
+	PushRefused     int64 // pushes refused as wrong-shard (421, nothing written)
+	ReplicaPushes   int64 // clean results copied to bucket replicas on write
+	ReplicaPushErrs int64 // replica copies that failed (failover degrades to miss)
+	ReplicaHits     int64 // reads served by a replica copy instead of the owner
 }
 
 func newShardState(opts Options) (*shardState, error) {
@@ -127,12 +196,16 @@ func newShardState(opts Options) (*shardState, error) {
 	}
 	sh := &shardState{
 		id:     opts.ShardID,
-		m:      m,
 		peers:  peers,
 		client: &http.Client{Timeout: opts.PeerTimeout},
 		slots:  make(chan struct{}, opts.MaxForwardInFlight),
 		vars:   obs.ExpvarShard(opts.ShardID),
 	}
+	// The boot map is cloned so a caller mutating its copy (tests build
+	// successors from the original) can never race the router.
+	sh.m.Store(m.Clone())
+	sh.mapGauge = obs.ExpvarGauge(sh.vars, "map_version")
+	sh.mapGauge.Set(int64(m.Version))
 	return sh, nil
 }
 
@@ -144,10 +217,11 @@ func (sh *shardState) bump(c *atomic.Int64, name string) {
 }
 
 func (sh *shardState) metrics() ShardMetrics {
+	m := sh.Map()
 	return ShardMetrics{
 		ShardID:         sh.id,
-		MapVersion:      sh.m.Version,
-		Shards:          sh.m.Shards,
+		MapVersion:      m.Version,
+		Shards:          m.Shards,
 		ForwardsOut:     sh.forwardsOut.Load(),
 		ForwardsIn:      sh.forwardsIn.Load(),
 		WrongShard:      sh.wrongShard.Load(),
@@ -157,6 +231,19 @@ func (sh *shardState) metrics() ShardMetrics {
 		MapVersionConf:  sh.mapVersionConf.Load(),
 		PeerServeHits:   sh.peerServeHits.Load(),
 		PeerServeMisses: sh.peerServeMisses.Load(),
+		MapsAdopted:     sh.mapsAdopted.Load(),
+		MapsStale:       sh.mapsStale.Load(),
+		MapsRejected:    sh.mapsRejected.Load(),
+		GossipPulls:     sh.gossipPulls.Load(),
+		GossipErrs:      sh.gossipErrs.Load(),
+		HandoffSent:     sh.handoffSent.Load(),
+		HandoffSendErrs: sh.handoffSendErrs.Load(),
+		HandoffRecv:     sh.handoffRecv.Load(),
+		ReplicaStored:   sh.replicaStored.Load(),
+		PushRefused:     sh.pushRefused.Load(),
+		ReplicaPushes:   sh.replicaPushes.Load(),
+		ReplicaPushErrs: sh.replicaPushErrs.Load(),
+		ReplicaHits:     sh.replicaHits.Load(),
 	}
 }
 
@@ -175,60 +262,125 @@ func forwardedFrom(r *http.Request) (from int, forwarded bool) {
 	return n, true
 }
 
-// checkForwarded runs the receiver-side protocol checks on a forwarded
-// request that must be owned by shard `owner`: map-version agreement
-// (409) and ownership (421). It writes the refusal and returns true when
-// the request is finished.
-func (s *Server) checkForwarded(w http.ResponseWriter, r *http.Request, owner int) (rejected bool) {
+// syncForwardedVersion reconciles a forwarded request's map version with
+// this node's. Equal versions agree immediately. A sender that is AHEAD
+// is the convergence signal: this node fetches the sender's map and
+// adopts it (through the shard.ShouldAdopt gate) before re-checking, so
+// a lagging receiver catches up inside the request instead of bouncing
+// 409s until gossip arrives. A sender that is behind — or a fetch that
+// fails — leaves the skew standing, and the caller answers the 409; the
+// response carries this node's version (piggyback middleware), so the
+// SENDER then adopts and retries. Returns the map to route by and
+// whether the versions agree.
+func (s *Server) syncForwardedVersion(r *http.Request, from int) (*shard.Map, bool) {
 	sh := s.sh
-	if v := r.Header.Get(headerShardMapVersion); v != strconv.Itoa(sh.m.Version) {
-		sh.bump(&sh.mapVersionConf, "map_version_conflicts")
-		writeAPIError(w, &apiError{status: http.StatusConflict, code: "shard_map_version",
-			message: fmt.Sprintf("shard map version skew: sender has %q, this node has %d; retry after the rebalance settles", v, sh.m.Version)})
-		return true
+	m := sh.Map()
+	v, err := strconv.Atoi(r.Header.Get(headerShardMapVersion))
+	if err != nil {
+		return m, false
 	}
-	if owner != sh.id {
-		// A forwarded request this node does not own is either a forged
-		// header or a misrouted hop; refusing (never re-forwarding) makes
-		// routing loops structurally impossible.
-		sh.bump(&sh.wrongShard, "wrong_shard_rejected")
-		writeAPIError(w, &apiError{status: http.StatusMisdirectedRequest, code: "wrong_shard",
-			message: fmt.Sprintf("key belongs to shard %d; this node is shard %d and forwarded requests are never re-forwarded", owner, sh.id)})
-		return true
+	if v == m.Version {
+		return m, true
 	}
-	return false
+	if v > m.Version && from >= 0 && from < len(sh.peers) && from != sh.id {
+		if enc := r.Header.Get(headerShardMap); enc != "" && len(enc) <= maxShardMapBytes {
+			// Handoff pushes carry the map inline: the sender is mid-adoption
+			// and cannot serve the new version over GET yet.
+			if cand, derr := shard.Decode(enc); derr == nil {
+				_ = s.adoptMap(cand, "piggyback")
+			} else {
+				sh.bump(&sh.mapsRejected, "maps_rejected")
+			}
+		} else {
+			_ = s.fetchAndAdopt(from)
+		}
+		if m = sh.Map(); v == m.Version {
+			return m, true
+		}
+	}
+	return m, false
+}
+
+// writeMapSkew answers version skew that survived catch-up: the
+// retryable 409 of the routing contract. The piggybacked version header
+// on this very response is what lets the sender converge and retry.
+func (s *Server) writeMapSkew(w http.ResponseWriter, senderVer string) {
+	sh := s.sh
+	sh.bump(&sh.mapVersionConf, "map_version_conflicts")
+	writeAPIError(w, &apiError{status: http.StatusConflict, code: "shard_map_version",
+		message: fmt.Sprintf("shard map version skew: sender has %q, this node has %d; retry after the rebalance settles", senderVer, sh.Map().Version)})
+}
+
+// writeWrongShard refuses a forwarded request this node does not own:
+// either a forged header or a misrouted hop, and refusing (never
+// re-forwarding) makes routing loops structurally impossible.
+func (s *Server) writeWrongShard(w http.ResponseWriter, owner int) {
+	sh := s.sh
+	sh.bump(&sh.wrongShard, "wrong_shard_rejected")
+	writeAPIError(w, &apiError{status: http.StatusMisdirectedRequest, code: "wrong_shard",
+		message: fmt.Sprintf("key belongs to shard %d; this node is shard %d and forwarded requests are never re-forwarded", owner, sh.id)})
 }
 
 // routeOptimize decides where a decoded submission runs. It returns true
-// when it fully handled the request (forwarded it, or refused it); false
-// means this node owns the key and admission continues locally.
+// when it fully handled the request (forwarded it, failed it over to a
+// replica, or refused it); false means this node owns the key and
+// admission continues locally.
 func (s *Server) routeOptimize(w http.ResponseWriter, r *http.Request, req *optimizeRequest, body []byte) bool {
 	sh := s.sh
-	owner, err := sh.m.ShardOf(req.key)
-	if err != nil {
-		// CacheKey always yields a routable 64-hex key, so this is
-		// unreachable in practice — but routing must degrade to a 4xx.
-		writeAPIError(w, badRequest("shard routing: %v", err))
-		return true
-	}
 	if from, fwd := forwardedFrom(r); fwd {
-		if s.checkForwarded(w, r, owner) {
+		m, agreed := s.syncForwardedVersion(r, from)
+		if !agreed {
+			s.writeMapSkew(w, r.Header.Get(headerShardMapVersion))
+			return true
+		}
+		owner, err := m.ShardOf(req.key)
+		if err != nil {
+			writeAPIError(w, badRequest("shard routing: %v", err))
+			return true
+		}
+		if owner != sh.id {
+			s.writeWrongShard(w, owner)
 			return true
 		}
 		sh.bump(&sh.forwardsIn, "forwards_in")
 		req.forwardedFrom = from
 		return false
 	}
-	if owner == sh.id {
-		return false
+	for attempt := 0; ; attempt++ {
+		m := sh.Map()
+		owner, err := m.ShardOf(req.key)
+		if err != nil {
+			// CacheKey always yields a routable 64-hex key, so this is
+			// unreachable in practice — but routing must degrade to a 4xx.
+			writeAPIError(w, badRequest("shard routing: %v", err))
+			return true
+		}
+		if owner == sh.id {
+			return false
+		}
+		res, ferr := s.forwardToPeer(w, r, owner, http.MethodPost, "/v1/optimize", body, "application/json", attempt == 0)
+		switch res {
+		case forwardRetry:
+			// A newer map was adopted mid-forward; recompute the owner
+			// (it may now be this node) and try once more.
+			continue
+		case forwardOwnerDown:
+			if s.serveFromReplica(w, req) {
+				return true
+			}
+			s.writeShardUnavailable(w, owner, ferr)
+			return true
+		default:
+			return true
+		}
 	}
-	s.forwardToPeer(w, r, owner, http.MethodPost, "/v1/optimize", body, "application/json")
-	return true
 }
 
 // routeJobRead decides where a GET /v1/jobs/... lands, by the shard ID
 // encoded in the job ID. Legacy (unsharded) IDs resolve locally. Returns
-// true when the request was fully handled here.
+// true when the request was fully handled here. Job state — unlike
+// cached results — is owner-local and has no replicas, so a dead owner
+// here stays a 503.
 func (s *Server) routeJobRead(w http.ResponseWriter, r *http.Request, id string) bool {
 	sh := s.sh
 	owner, _, sharded, err := shard.DecodeJobID(id)
@@ -238,30 +390,65 @@ func (s *Server) routeJobRead(w http.ResponseWriter, r *http.Request, id string)
 			message: fmt.Sprintf("job ID %q: %v", id, err)})
 		return true
 	}
-	if sharded && owner >= sh.m.Shards {
+	if sharded && owner >= sh.Map().Shards {
 		sh.bump(&sh.badJobID, "bad_job_ids")
 		writeAPIError(w, &apiError{status: http.StatusBadRequest, code: "bad_job_id",
-			message: fmt.Sprintf("job ID %q references shard %d beyond the %d-shard map", id, owner, sh.m.Shards)})
+			message: fmt.Sprintf("job ID %q references shard %d beyond the %d-shard map", id, owner, sh.Map().Shards)})
 		return true
 	}
-	if _, fwd := forwardedFrom(r); fwd {
+	if from, fwd := forwardedFrom(r); fwd {
 		// Forwarded reads terminate here whatever the ID says — single hop.
 		if !sharded {
 			return false
 		}
-		return s.checkForwarded(w, r, owner)
+		if _, agreed := s.syncForwardedVersion(r, from); !agreed {
+			s.writeMapSkew(w, r.Header.Get(headerShardMapVersion))
+			return true
+		}
+		if owner != sh.id {
+			s.writeWrongShard(w, owner)
+			return true
+		}
+		return false
 	}
 	if !sharded || owner == sh.id {
 		return false
 	}
-	s.forwardToPeer(w, r, owner, http.MethodGet, r.URL.EscapedPath(), nil, "")
+	res, ferr := s.forwardToPeer(w, r, owner, http.MethodGet, r.URL.EscapedPath(), nil, "", true)
+	if res == forwardRetry {
+		// Job ownership is fixed by the ID, so the adopted map cannot
+		// change the target — but the retry now carries the agreed version.
+		res, ferr = s.forwardToPeer(w, r, owner, http.MethodGet, r.URL.EscapedPath(), nil, "", false)
+	}
+	if res == forwardOwnerDown {
+		s.writeShardUnavailable(w, owner, ferr)
+	}
 	return true
 }
 
+// forwardResult is what forwardToPeer did with the request.
+type forwardResult int
+
+const (
+	// forwardDone: a response was written (the owner's answer relayed,
+	// or a structured refusal) — the request is finished.
+	forwardDone forwardResult = iota
+	// forwardOwnerDown: the owner was unreachable and NOTHING was
+	// written; the caller chooses replica failover or 503.
+	forwardOwnerDown
+	// forwardRetry: the peer answered 409 with a newer map, this node
+	// adopted it, and nothing was written; the caller re-routes.
+	forwardRetry
+)
+
 // forwardToPeer relays a request to the owning shard and streams the
-// owner's response back verbatim (plus a served-by header). Backpressure
-// and owner failures become the structured 503s of the routing contract.
-func (s *Server) forwardToPeer(w http.ResponseWriter, r *http.Request, owner int, method, path string, body []byte, contentType string) {
+// owner's response back verbatim (plus a served-by header). A 409 from
+// a peer that is AHEAD triggers fetch-and-adopt and (when allowRetry)
+// returns forwardRetry instead of relaying the refusal — the sender-side
+// half of live-map convergence. Backpressure is answered directly;
+// transport failures are returned unwritten so the caller can degrade
+// to a replica read.
+func (s *Server) forwardToPeer(w http.ResponseWriter, r *http.Request, owner int, method, path string, body []byte, contentType string, allowRetry bool) (forwardResult, error) {
 	sh := s.sh
 	select {
 	case sh.slots <- struct{}{}:
@@ -276,29 +463,33 @@ func (s *Server) forwardToPeer(w http.ResponseWriter, r *http.Request, owner int
 				"retryAfterSeconds": 1,
 			},
 		})
-		return
+		return forwardDone, nil
 	}
 	sh.bump(&sh.forwardsOut, "forwards_out")
 	preq, err := http.NewRequestWithContext(r.Context(), method, sh.peers[owner]+path, bytes.NewReader(body))
 	if err != nil {
-		s.writeShardUnavailable(w, owner, err)
-		return
+		return forwardOwnerDown, err
 	}
 	preq.Header.Set(headerForwardedFrom, strconv.Itoa(sh.id))
-	preq.Header.Set(headerShardMapVersion, strconv.Itoa(sh.m.Version))
+	preq.Header.Set(headerShardMapVersion, strconv.Itoa(sh.Map().Version))
 	if contentType != "" {
 		preq.Header.Set("Content-Type", contentType)
 	}
 	resp, err := sh.client.Do(preq)
 	if err != nil {
-		s.writeShardUnavailable(w, owner, err)
-		return
+		return forwardOwnerDown, err
 	}
 	defer resp.Body.Close()
 	respBody, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerResponseBytes))
 	if err != nil {
-		s.writeShardUnavailable(w, owner, err)
-		return
+		return forwardOwnerDown, err
+	}
+	if resp.StatusCode == http.StatusConflict && allowRetry {
+		if pv, perr := strconv.Atoi(resp.Header.Get(headerShardMapVersion)); perr == nil && pv > sh.Map().Version {
+			if s.fetchAndAdopt(owner) == nil {
+				return forwardRetry, nil
+			}
+		}
 	}
 	for _, h := range []string{"Content-Type", "Retry-After"} {
 		if v := resp.Header.Get(h); v != "" {
@@ -308,11 +499,13 @@ func (s *Server) forwardToPeer(w http.ResponseWriter, r *http.Request, owner int
 	w.Header().Set(headerServedByShard, strconv.Itoa(owner))
 	w.WriteHeader(resp.StatusCode)
 	_, _ = w.Write(respBody)
+	return forwardDone, nil
 }
 
-// writeShardUnavailable is the routing contract's "owner is down"
-// answer: the shard's keys are temporarily unserviceable — no other node
-// may adopt them — so the client gets a retryable 503 with a hint.
+// writeShardUnavailable is the routing contract's "owner is down and no
+// replica could answer" refusal: the key is temporarily unserviceable —
+// no other node may ADOPT it (only replicas may READ for it) — so the
+// client gets a retryable 503 with a hint.
 func (s *Server) writeShardUnavailable(w http.ResponseWriter, owner int, err error) {
 	sh := s.sh
 	sh.bump(&sh.unavailable, "shard_unavailable")
@@ -324,6 +517,56 @@ func (s *Server) writeShardUnavailable(w http.ResponseWriter, owner int, err err
 			"retryAfterSeconds": shardUnavailableRetrySeconds,
 		},
 	})
+}
+
+// serveFromReplica answers a submission whose owner is down from a
+// replica copy of the cached result: the bucket's reader shards (this
+// node included) are consulted in map order, and a hit is served as a
+// normal cache-hit job minted locally. Content addressing makes the
+// copy byte-identical to the owner's answer, so the only thing degraded
+// about this path is that an uncached key still gets the 503. Returns
+// false when no replica could answer (caller falls through to 503).
+func (s *Server) serveFromReplica(w http.ResponseWriter, req *optimizeRequest) bool {
+	sh := s.sh
+	if req.noCache {
+		return false
+	}
+	m := sh.Map()
+	set, err := m.ReplicasOf(req.key)
+	if err != nil || len(set) == 0 {
+		return false
+	}
+	for _, t := range set {
+		var blob []byte
+		var ok bool
+		if t == sh.id {
+			blob, ok = s.cache.GetLocal(req.key)
+		} else {
+			blob, ok, _ = sh.fetchCached(t, "/v1/shard/cache/", req.key)
+		}
+		if !ok {
+			continue
+		}
+		sh.bump(&sh.replicaHits, "replica_read_hits")
+		bump(&s.met.submitted, "server_jobs_submitted")
+		bump(&s.met.cacheHits, "server_cache_hits")
+		j := s.addJob(req, true)
+		var res struct {
+			AlgorithmUsed string
+		}
+		_ = json.Unmarshal(blob, &res)
+		j.mu.Lock()
+		j.status = StatusDone
+		j.finished = time.Now()
+		j.resultJSON = blob
+		j.algorithmUsed = res.AlgorithmUsed
+		j.mu.Unlock()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"jobId": j.id, "status": StatusDone, "cacheHit": true,
+		})
+		return true
+	}
+	return false
 }
 
 // recordForwardHop emits the forwarded-hop span into a job's trace, so a
@@ -342,15 +585,17 @@ func (s *Server) recordForwardHop(tr *obs.Trace, req *optimizeRequest) {
 
 // handleShardMap is the fleet's health/gossip endpoint: which shard this
 // node is, which map version it routes by, and the peer list it uses.
-// Nodes (and operators) compare versions here to detect skew.
+// Nodes pull here on the anti-entropy tick (and after a 409) to
+// converge; operators compare versions here to watch a rebalance settle.
 func (s *Server) handleShardMap(w http.ResponseWriter, r *http.Request) {
 	sh := s.sh
+	m := sh.Map()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"shardId":    sh.id,
-		"mapVersion": sh.m.Version,
-		"shards":     sh.m.Shards,
-		"prefixBits": sh.m.PrefixBits,
-		"map":        sh.m.Encode(),
+		"mapVersion": m.Version,
+		"shards":     m.Shards,
+		"prefixBits": m.PrefixBits,
+		"map":        m.Encode(),
 		"peers":      sh.peers,
 	})
 }
@@ -405,43 +650,21 @@ func (s *Server) servePeerLookup(w http.ResponseWriter, r *http.Request, get fun
 	_, _ = w.Write(val)
 }
 
-// --- peer cache tier -------------------------------------------------------
-
-// peerCacheTier implements rescache.PeerTier over the fleet: a local
-// miss asks the key's owning coordinator for its locally cached bytes.
-// It is read-only by construction and shares the forward slot bound, so
-// cache read-through cannot outgrow the same backpressure budget.
-type peerCacheTier struct {
-	sh   *shardState
-	path string // "/v1/shard/cache/" or "/v1/shard/zones/"
-}
-
-func (p *peerCacheTier) PeerGet(key string) ([]byte, bool, error) {
-	owner, err := p.sh.m.ShardOf(key)
-	if err != nil {
-		// Not a routable key (zone keys and cache keys always are); there
-		// is no owner to ask, so it is an authoritative miss, not a fault.
-		return nil, false, nil
+// fetchCached performs one peer cache lookup against target's local
+// tiers. Callers manage forward slots; this only does the wire work.
+func (sh *shardState) fetchCached(target int, path, key string) ([]byte, bool, error) {
+	if target < 0 || target >= len(sh.peers) || target == sh.id {
+		return nil, false, fmt.Errorf("peer cache: no peer %d", target)
 	}
-	if owner == p.sh.id {
-		// This node IS the authority; its local tiers already missed.
-		return nil, false, nil
-	}
-	select {
-	case p.sh.slots <- struct{}{}:
-		defer func() { <-p.sh.slots }()
-	default:
-		return nil, false, fmt.Errorf("peer cache: forward slots saturated")
-	}
-	ctx, cancel := context.WithTimeout(context.Background(), p.sh.client.Timeout)
+	ctx, cancel := context.WithTimeout(context.Background(), sh.client.Timeout)
 	defer cancel()
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, p.sh.peers[owner]+p.path+key, nil)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, sh.peers[target]+path+key, nil)
 	if err != nil {
 		return nil, false, err
 	}
-	req.Header.Set(headerForwardedFrom, strconv.Itoa(p.sh.id))
-	req.Header.Set(headerShardMapVersion, strconv.Itoa(p.sh.m.Version))
-	resp, err := p.sh.client.Do(req)
+	req.Header.Set(headerForwardedFrom, strconv.Itoa(sh.id))
+	req.Header.Set(headerShardMapVersion, strconv.Itoa(sh.Map().Version))
+	resp, err := sh.client.Do(req)
 	if err != nil {
 		return nil, false, err
 	}
@@ -452,14 +675,83 @@ func (p *peerCacheTier) PeerGet(key string) ([]byte, bool, error) {
 		if err != nil {
 			return nil, false, err
 		}
-		p.sh.vars.Add("peer_fetch_hits", 1)
+		sh.vars.Add("peer_fetch_hits", 1)
 		return val, true, nil
 	case http.StatusNotFound:
-		p.sh.vars.Add("peer_fetch_misses", 1)
+		sh.vars.Add("peer_fetch_misses", 1)
 		return nil, false, nil
 	default:
-		return nil, false, fmt.Errorf("peer cache: shard %d answered %d", owner, resp.StatusCode)
+		return nil, false, fmt.Errorf("peer cache: shard %d answered %d", target, resp.StatusCode)
 	}
+}
+
+// --- peer cache tier -------------------------------------------------------
+
+// peerCacheTier implements rescache.PeerTier over the fleet: a local
+// miss asks the key's owning coordinator for its locally cached bytes,
+// and — when the owner cannot be consulted — falls back to the bucket's
+// replicas, so a dead owner degrades a read to its warm copies before
+// it degrades to a local re-solve. It is read-only by construction and
+// shares the forward slot bound, so cache read-through cannot outgrow
+// the same backpressure budget.
+type peerCacheTier struct {
+	sh   *shardState
+	path string // "/v1/shard/cache/" or "/v1/shard/zones/"
+}
+
+func (p *peerCacheTier) PeerGet(key string) ([]byte, bool, error) {
+	sh := p.sh
+	m := sh.Map()
+	owner, err := m.ShardOf(key)
+	if err != nil {
+		// Not a routable key (zone keys and cache keys always are); there
+		// is no owner to ask, so it is an authoritative miss, not a fault.
+		return nil, false, nil
+	}
+	set, _ := m.ReplicasOf(key)
+	targets := make([]int, 0, 1+len(set))
+	if owner != sh.id {
+		targets = append(targets, owner)
+	}
+	for _, t := range set {
+		if t != sh.id && t != owner {
+			targets = append(targets, t)
+		}
+	}
+	if len(targets) == 0 {
+		// This node IS the authority (and any replicas are itself); its
+		// local tiers already missed.
+		return nil, false, nil
+	}
+	select {
+	case sh.slots <- struct{}{}:
+		defer func() { <-sh.slots }()
+	default:
+		return nil, false, fmt.Errorf("peer cache: forward slots saturated")
+	}
+	var lastErr error
+	for _, t := range targets {
+		val, ok, err := sh.fetchCached(t, p.path, key)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if ok {
+			if t != owner {
+				sh.bump(&sh.replicaHits, "replica_read_hits")
+			}
+			return val, true, nil
+		}
+		if t == owner {
+			// The owner answered: the miss is authoritative, and replicas
+			// only ever hold copies of what the owner had.
+			return nil, false, nil
+		}
+	}
+	if lastErr != nil {
+		return nil, false, lastErr
+	}
+	return nil, false, nil
 }
 
 var _ rescache.PeerTier = (*peerCacheTier)(nil)

@@ -12,9 +12,11 @@ package server
 //
 // Every fuzz request carries the forwarded-from marker, which by the
 // protocol pins it to this node: forwarded requests are never
-// re-forwarded, so the dead peer URLs below are provably never dialed —
-// if they were, the requests would surface as 503s and fail the 4xx
-// assertion.
+// re-forwarded. The dead peer URLs below are dialed at most by the
+// live-map catch-up path (a sender claiming a newer version triggers a
+// fetch-and-adopt against it), and that dial failing is part of the
+// contract under test: catch-up failure must surface as the structured
+// 409, never as a 5xx or a hung request.
 
 import (
 	"bytes"
@@ -26,6 +28,7 @@ import (
 	"strings"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"wavemin/internal/shard"
 )
@@ -35,9 +38,11 @@ func FuzzShardRoute(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	// Peer URLs are black holes: nothing in this fuzz may ever dial them.
+	// Peer URLs are black holes: forwards never dial them (single hop),
+	// and the catch-up fetches that do must fail closed into 4xx. The
+	// short PeerTimeout keeps those failures immediate.
 	dead := []string{"http://127.0.0.1:1", "http://127.0.0.1:1", "http://127.0.0.1:1"}
-	srv, err := New(Options{ShardMap: m, ShardID: 0, Peers: dead})
+	srv, err := New(Options{ShardMap: m, ShardID: 0, Peers: dead, PeerTimeout: 200 * time.Millisecond})
 	if err != nil {
 		f.Fatal(err)
 	}

@@ -44,6 +44,10 @@ const (
 	// MaxShards bounds fleet size; 1024 coordinators is far past the
 	// design point and keeps the assignment table small.
 	MaxShards = 1024
+	// MaxVersion bounds the partition epoch. Versions advance one step
+	// per rebalance, so a real fleet never approaches it; a gossiped map
+	// claiming a version beyond it is an overflow attempt, not a map.
+	MaxVersion = 1 << 30
 	// maxJobShardDigits bounds the shard field of a job ID: 4 digits
 	// covers MaxShards with room, and anything longer is an overflow
 	// attempt, not a real shard.
@@ -68,6 +72,12 @@ type Map struct {
 	Shards int `json:"shards"`
 	// Assign maps bucket → owning shard; len(Assign) == 1<<PrefixBits.
 	Assign []int `json:"assign"`
+	// Replicas, when non-nil, maps bucket → reader shards: nodes that
+	// hold a read-only copy of the bucket's cached artifacts and serve
+	// them when the owner is unreachable. A replica set never contains
+	// the bucket's owner, never repeats a shard, and may be empty. Nil
+	// means no bucket has replicas (the pre-replica wire form).
+	Replicas [][]int `json:"replicas,omitempty"`
 }
 
 // New builds a version'd map with the uniform round-robin assignment:
@@ -84,9 +94,56 @@ func New(version, prefixBits, shards int) (*Map, error) {
 	return m, nil
 }
 
+// WithReplicas returns a copy of m (same version) in which every bucket
+// has r replicas: the r shards following the bucket's owner in ring
+// order. r must leave at least the owner outside the set (r < Shards);
+// r == 0 clears all replica sets.
+func (m *Map) WithReplicas(r int) (*Map, error) {
+	if r < 0 || r >= m.Shards {
+		return nil, fmt.Errorf("shard: %d replicas per bucket needs %d+ shards, map has %d", r, r+1, m.Shards)
+	}
+	out := m.Clone()
+	if r == 0 {
+		out.Replicas = nil
+		return out, nil
+	}
+	out.Replicas = uniformReplicas(out.Assign, out.Shards, r)
+	return out, nil
+}
+
+// uniformReplicas derives the ring-successor replica sets WithReplicas
+// assigns: bucket b's readers are the r shards after its owner.
+func uniformReplicas(assign []int, shards, r int) [][]int {
+	out := make([][]int, len(assign))
+	for b, owner := range assign {
+		set := make([]int, r)
+		for i := 0; i < r; i++ {
+			set[i] = (owner + 1 + i) % shards
+		}
+		out[b] = set
+	}
+	return out
+}
+
+// Clone returns a deep copy of m, safe to mutate independently.
+func (m *Map) Clone() *Map {
+	out := &Map{Version: m.Version, PrefixBits: m.PrefixBits, Shards: m.Shards}
+	out.Assign = append([]int(nil), m.Assign...)
+	if m.Replicas != nil {
+		out.Replicas = make([][]int, len(m.Replicas))
+		for b, set := range m.Replicas {
+			out.Replicas[b] = append([]int{}, set...)
+		}
+	}
+	return out
+}
+
 func (m *Map) validateHeader() error {
 	if m.Version < 1 {
 		return fmt.Errorf("shard: map version %d, want >= 1", m.Version)
+	}
+	if m.Version > MaxVersion {
+		return fmt.Errorf("shard: map version %d beyond %d (overflow)", m.Version, MaxVersion)
 	}
 	if m.PrefixBits < minPrefixBits || m.PrefixBits > maxPrefixBits {
 		return fmt.Errorf("shard: prefix bits %d, want %d..%d", m.PrefixBits, minPrefixBits, maxPrefixBits)
@@ -125,7 +182,61 @@ func (m *Map) Validate() error {
 			return fmt.Errorf("shard: shard %d owns no buckets", s)
 		}
 	}
+	if m.Replicas != nil {
+		if len(m.Replicas) != len(m.Assign) {
+			return fmt.Errorf("shard: replica table covers %d buckets, want %d", len(m.Replicas), len(m.Assign))
+		}
+		for b, set := range m.Replicas {
+			inSet := make([]bool, m.Shards)
+			for _, s := range set {
+				if s < 0 || s >= m.Shards {
+					return fmt.Errorf("shard: bucket %d replica %d outside 0..%d", b, s, m.Shards-1)
+				}
+				if s == m.Assign[b] {
+					return fmt.Errorf("shard: bucket %d lists its owner %d as a replica", b, s)
+				}
+				if inSet[s] {
+					return fmt.Errorf("shard: bucket %d repeats replica %d", b, s)
+				}
+				inSet[s] = true
+			}
+		}
+	}
 	return nil
+}
+
+// ReplicasOf returns the reader shards of the bucket key hashes into —
+// the failover set a router consults when the owner is unreachable. The
+// returned slice is the map's own; callers must not mutate it.
+func (m *Map) ReplicasOf(key string) ([]int, error) {
+	if m == nil || len(m.Assign) != 1<<m.PrefixBits {
+		return nil, fmt.Errorf("shard: map has no complete assignment table")
+	}
+	b, err := m.bucketOf(key)
+	if err != nil {
+		return nil, err
+	}
+	if m.Replicas == nil {
+		return nil, nil
+	}
+	return m.Replicas[b], nil
+}
+
+// IsReplica reports whether shard is in the replica set of the bucket
+// key hashes into — the check a node runs before accepting a pushed
+// artifact it does not own. A bad key or an out-of-range shard is simply
+// not a replica.
+func (m *Map) IsReplica(key string, shard int) bool {
+	set, err := m.ReplicasOf(key)
+	if err != nil {
+		return false
+	}
+	for _, s := range set {
+		if s == shard {
+			return true
+		}
+	}
+	return false
 }
 
 // ShardOf maps a content key (a lowercase-hex digest — Design.CacheKey,
@@ -142,6 +253,16 @@ func (m *Map) ShardOf(key string) (int, error) {
 		return 0, err
 	}
 	return m.Assign[b], nil
+}
+
+// BucketOf returns the prefix bucket key hashes into — what the handoff
+// path uses to decide whether a cached artifact belongs to a bucket
+// being drained. Same key rules as ShardOf.
+func (m *Map) BucketOf(key string) (int, error) {
+	if m == nil || len(m.Assign) != 1<<m.PrefixBits {
+		return 0, fmt.Errorf("shard: map has no complete assignment table")
+	}
+	return m.bucketOf(key)
 }
 
 // bucketOf extracts the leading PrefixBits bits of the hex key.
@@ -172,8 +293,15 @@ func (m *Map) bucketOf(key string) (int, error) {
 //	v<version>:<prefixBits>:<shards>              round-robin assignment
 //	v<version>:<prefixBits>:<shards>:<a0>,<a1>,…  explicit assignment
 //
-// The explicit tail is emitted only when the assignment differs from
-// round-robin, so the common uniform map stays short ("v1:8:3").
+// Maps with replica sets append one more field:
+//
+//	:r*<k>             uniform — every bucket's readers are the k shards
+//	                   after its owner in ring order (WithReplicas)
+//	:r<s0>|<s1>|…      explicit — one comma-joined reader set per bucket
+//
+// The explicit tails are emitted only when the assignment differs from
+// round-robin (or the replicas from uniform), so the common map stays
+// short ("v1:8:3:r*1").
 func (m *Map) Encode() string {
 	head := fmt.Sprintf("v%d:%d:%d", m.Version, m.PrefixBits, m.Shards)
 	rr := true
@@ -183,21 +311,58 @@ func (m *Map) Encode() string {
 			break
 		}
 	}
-	if rr {
+	if !rr {
+		parts := make([]string, len(m.Assign))
+		for i, s := range m.Assign {
+			parts[i] = strconv.Itoa(s)
+		}
+		head += ":" + strings.Join(parts, ",")
+	}
+	if m.Replicas == nil {
 		return head
 	}
-	parts := make([]string, len(m.Assign))
-	for i, s := range m.Assign {
-		parts[i] = strconv.Itoa(s)
+	return head + ":" + m.encodeReplicas()
+}
+
+func (m *Map) encodeReplicas() string {
+	if k := len(m.Replicas[0]); k > 0 {
+		uniform := true
+		want := uniformReplicas(m.Assign, m.Shards, k)
+		for b, set := range m.Replicas {
+			if len(set) != k {
+				uniform = false
+				break
+			}
+			for i, s := range set {
+				if want[b][i] != s {
+					uniform = false
+					break
+				}
+			}
+			if !uniform {
+				break
+			}
+		}
+		if uniform {
+			return fmt.Sprintf("r*%d", k)
+		}
 	}
-	return head + ":" + strings.Join(parts, ",")
+	sets := make([]string, len(m.Replicas))
+	for b, set := range m.Replicas {
+		parts := make([]string, len(set))
+		for i, s := range set {
+			parts[i] = strconv.Itoa(s)
+		}
+		sets[b] = strings.Join(parts, ",")
+	}
+	return "r" + strings.Join(sets, "|")
 }
 
 // Decode parses an Encode'd map and validates it.
 func Decode(s string) (*Map, error) {
 	fields := strings.Split(s, ":")
-	if len(fields) != 3 && len(fields) != 4 {
-		return nil, fmt.Errorf("shard: map %q: want v<ver>:<bits>:<shards>[:<assign>]", s)
+	if len(fields) < 3 || len(fields) > 5 {
+		return nil, fmt.Errorf("shard: map %q: want v<ver>:<bits>:<shards>[:<assign>][:r<replicas>]", s)
 	}
 	if !strings.HasPrefix(fields[0], "v") {
 		return nil, fmt.Errorf("shard: map %q: version field must start with 'v'", s)
@@ -214,30 +379,95 @@ func Decode(s string) (*Map, error) {
 	if err != nil {
 		return nil, fmt.Errorf("shard: map %q: shards: %v", s, err)
 	}
-	var m *Map
-	if len(fields) == 3 {
-		if m, err = New(ver, bits, shards); err != nil {
-			return nil, err
+	var replicaField string
+	assignField := ""
+	switch rest := fields[3:]; len(rest) {
+	case 0:
+	case 1:
+		if strings.HasPrefix(rest[0], "r") {
+			replicaField = rest[0]
+		} else {
+			assignField = rest[0]
 		}
-		return m, nil
+	case 2:
+		assignField = rest[0]
+		if !strings.HasPrefix(rest[1], "r") {
+			return nil, fmt.Errorf("shard: map %q: fifth field must be a replica spec (r...)", s)
+		}
+		replicaField = rest[1]
 	}
-	m = &Map{Version: ver, PrefixBits: bits, Shards: shards}
+	m := &Map{Version: ver, PrefixBits: bits, Shards: shards}
 	if err := m.validateHeader(); err != nil {
 		return nil, err
 	}
-	parts := strings.Split(fields[3], ",")
-	m.Assign = make([]int, 0, len(parts))
-	for i, p := range parts {
-		a, err := strconv.Atoi(p)
-		if err != nil {
-			return nil, fmt.Errorf("shard: map %q: assignment[%d]: %v", s, i, err)
+	if assignField == "" {
+		m.Assign = make([]int, 1<<bits)
+		for i := range m.Assign {
+			m.Assign[i] = i % shards
 		}
-		m.Assign = append(m.Assign, a)
+	} else {
+		parts := strings.Split(assignField, ",")
+		m.Assign = make([]int, 0, len(parts))
+		for i, p := range parts {
+			a, err := strconv.Atoi(p)
+			if err != nil {
+				return nil, fmt.Errorf("shard: map %q: assignment[%d]: %v", s, i, err)
+			}
+			m.Assign = append(m.Assign, a)
+		}
+	}
+	if replicaField != "" {
+		if err := m.decodeReplicas(replicaField[1:]); err != nil {
+			return nil, fmt.Errorf("shard: map %q: %w", s, err)
+		}
 	}
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
 	return m, nil
+}
+
+// decodeReplicas parses the replica field (with its leading 'r' already
+// stripped): "*<k>" uniform, or per-bucket "|"-separated sets. Bounds are
+// checked while parsing so a hostile field cannot allocate past the
+// map's own size.
+func (m *Map) decodeReplicas(spec string) error {
+	if k, ok := strings.CutPrefix(spec, "*"); ok {
+		r, err := strconv.Atoi(k)
+		if err != nil {
+			return fmt.Errorf("replicas: %v", err)
+		}
+		if r < 1 || r >= m.Shards {
+			return fmt.Errorf("replicas: %d per bucket needs %d+ shards, map has %d", r, r+1, m.Shards)
+		}
+		m.Replicas = uniformReplicas(m.Assign, m.Shards, r)
+		return nil
+	}
+	sets := strings.Split(spec, "|")
+	if len(sets) != len(m.Assign) {
+		return fmt.Errorf("replicas: %d sets for %d buckets", len(sets), len(m.Assign))
+	}
+	m.Replicas = make([][]int, len(sets))
+	for b, set := range sets {
+		if set == "" {
+			m.Replicas[b] = []int{}
+			continue
+		}
+		parts := strings.Split(set, ",")
+		if len(parts) >= m.Shards {
+			return fmt.Errorf("replicas: bucket %d lists %d readers, map has %d shards", b, len(parts), m.Shards)
+		}
+		out := make([]int, 0, len(parts))
+		for _, p := range parts {
+			r, err := strconv.Atoi(p)
+			if err != nil {
+				return fmt.Errorf("replicas: bucket %d: %v", b, err)
+			}
+			out = append(out, r)
+		}
+		m.Replicas[b] = out
+	}
+	return nil
 }
 
 // --- job-ID routing --------------------------------------------------------

@@ -1,0 +1,358 @@
+package shard
+
+// Property suite for live-map transitions: randomized maps (seeded, so
+// failures replay) are pushed through the wire codec, the MoveBucket
+// successor constructor, and the ShouldAdopt gate, checking the
+// invariants the serving tier's convergence proof leans on:
+//
+//   - Encode/Decode is the identity on every valid map, replica sets
+//     included (gossip cannot corrupt a map in flight).
+//   - Every MoveBucket successor is a ValidTransition and differs from
+//     its parent in at most one bucket's owner.
+//   - Validate rejects the replica-table corruptions a hostile or buggy
+//     peer could ship: owner inside its own replica set, repeated
+//     replicas, out-of-range shards.
+//   - ShouldAdopt is monotone: feeding a node any shuffle of a map
+//     history converges it to the highest version, never backward, and
+//     two nodes fed different shuffles of the same history agree.
+
+import (
+	"errors"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomMap builds a valid map with arbitrary assignment and (half the
+// time) arbitrary replica sets, using rng only.
+func randomMap(t *testing.T, rng *rand.Rand) *Map {
+	t.Helper()
+	bits := 1 + rng.Intn(6) // 2..64 buckets keeps the suite fast
+	buckets := 1 << bits
+	shards := 1 + rng.Intn(buckets)
+	m := &Map{
+		Version:    1 + rng.Intn(100),
+		PrefixBits: bits,
+		Shards:     shards,
+		Assign:     make([]int, buckets),
+	}
+	// Seed every shard with one bucket (Validate requires non-empty
+	// ownership), then scatter the rest.
+	perm := rng.Perm(buckets)
+	for s := 0; s < shards; s++ {
+		m.Assign[perm[s]] = s
+	}
+	for _, b := range perm[shards:] {
+		m.Assign[b] = rng.Intn(shards)
+	}
+	if shards > 1 && rng.Intn(2) == 0 {
+		m.Replicas = make([][]int, buckets)
+		for b := range m.Replicas {
+			// A random subset of the non-owner shards, in random order.
+			others := make([]int, 0, shards-1)
+			for s := 0; s < shards; s++ {
+				if s != m.Assign[b] {
+					others = append(others, s)
+				}
+			}
+			rng.Shuffle(len(others), func(i, j int) { others[i], others[j] = others[j], others[i] })
+			m.Replicas[b] = others[:rng.Intn(len(others)+1)]
+		}
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("randomMap built an invalid map: %v\nmap: %+v", err, m)
+	}
+	return m
+}
+
+func TestTransitionWireRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(0x5eed))
+	for i := 0; i < 500; i++ {
+		m := randomMap(t, rng)
+		enc := m.Encode()
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("iter %d: Decode(%q): %v", i, enc, err)
+		}
+		if !mapsEqual(m, got) {
+			t.Fatalf("iter %d: round trip changed the map\nencoded: %q\nin:  %+v\nout: %+v", i, enc, m, got)
+		}
+		// Second pass: re-encoding the decoded map must be stable, so a
+		// map relayed through many nodes keeps one canonical wire form.
+		if enc2 := got.Encode(); enc2 != enc {
+			t.Fatalf("iter %d: Encode not stable: %q then %q", i, enc, enc2)
+		}
+	}
+}
+
+// mapsEqual compares maps treating a nil replica table and one of all
+// empty sets as DIFFERENT — they encode differently and Decode must
+// reproduce exactly what Encode saw.
+func mapsEqual(a, b *Map) bool {
+	if a.Version != b.Version || a.PrefixBits != b.PrefixBits || a.Shards != b.Shards {
+		return false
+	}
+	if !reflect.DeepEqual(a.Assign, b.Assign) {
+		return false
+	}
+	if (a.Replicas == nil) != (b.Replicas == nil) {
+		return false
+	}
+	if a.Replicas == nil {
+		return true
+	}
+	if len(a.Replicas) != len(b.Replicas) {
+		return false
+	}
+	for i := range a.Replicas {
+		if len(a.Replicas[i]) != len(b.Replicas[i]) {
+			return false
+		}
+		for j := range a.Replicas[i] {
+			if a.Replicas[i][j] != b.Replicas[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// pickMove selects a random legal single-bucket move: the bucket's
+// current owner keeps at least one other bucket afterward.
+func pickMove(m *Map, rng *rand.Rand) (bucket, newOwner int, ok bool) {
+	owned := make([]int, m.Shards)
+	for _, s := range m.Assign {
+		owned[s]++
+	}
+	var movable []int
+	for b, s := range m.Assign {
+		if owned[s] > 1 {
+			movable = append(movable, b)
+		}
+	}
+	if len(movable) == 0 {
+		return 0, 0, false
+	}
+	bucket = movable[rng.Intn(len(movable))]
+	newOwner = rng.Intn(m.Shards)
+	if newOwner == m.Assign[bucket] {
+		newOwner = (newOwner + 1) % m.Shards
+	}
+	return bucket, newOwner, true
+}
+
+func TestMoveBucketAlwaysValidTransition(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xbeef))
+	for i := 0; i < 300; i++ {
+		m := randomMap(t, rng)
+		if m.Shards < 2 {
+			continue // nowhere to move a bucket
+		}
+		// Walk a random chain of moves; every link must be adoptable. A
+		// move may not orphan its source shard (Validate requires every
+		// shard to own a bucket), so pick only from multi-bucket owners.
+		cur := m
+		for step := 0; step < 5; step++ {
+			bucket, newOwner, ok := pickMove(cur, rng)
+			if !ok {
+				break // every shard owns exactly one bucket: no legal move
+			}
+			next, err := cur.MoveBucket(bucket, newOwner)
+			if err != nil {
+				t.Fatalf("iter %d step %d: MoveBucket(%d, %d): %v", i, step, bucket, newOwner, err)
+			}
+			if next.Version != cur.Version+1 {
+				t.Fatalf("iter %d step %d: version %d -> %d, want +1", i, step, cur.Version, next.Version)
+			}
+			if err := ValidTransition(cur, next); err != nil {
+				t.Fatalf("iter %d step %d: MoveBucket produced an invalid transition: %v", i, step, err)
+			}
+			moved, _, err := Diff(cur, next)
+			if err != nil {
+				t.Fatalf("iter %d step %d: Diff: %v", i, step, err)
+			}
+			if len(moved) != 1 || moved[0] != bucket {
+				t.Fatalf("iter %d step %d: moved buckets %v, want exactly [%d]", i, step, moved, bucket)
+			}
+			if err := ShouldAdopt(cur, next); err != nil {
+				t.Fatalf("iter %d step %d: adjacent successor not adoptable: %v", i, step, err)
+			}
+			// The displaced owner keeps read access: when the map carries
+			// replica sets, the old owner must land in the bucket's set.
+			if next.Replicas != nil {
+				old := cur.Assign[bucket]
+				found := false
+				for _, s := range next.Replicas[bucket] {
+					if s == old {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("iter %d step %d: old owner %d not in replica set %v after move",
+						i, step, old, next.Replicas[bucket])
+				}
+			}
+			cur = next
+		}
+	}
+}
+
+func TestValidateRejectsCorruptReplicaTables(t *testing.T) {
+	base := func() *Map {
+		m, err := New(1, 3, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err = m.WithReplicas(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	cases := []struct {
+		name    string
+		corrupt func(m *Map)
+	}{
+		{"owner in own replica set", func(m *Map) { m.Replicas[0][0] = m.Assign[0] }},
+		{"repeated replica", func(m *Map) { m.Replicas[1][1] = m.Replicas[1][0] }},
+		{"replica shard out of range high", func(m *Map) { m.Replicas[2][0] = m.Shards }},
+		{"replica shard negative", func(m *Map) { m.Replicas[2][0] = -1 }},
+		{"replica table too short", func(m *Map) { m.Replicas = m.Replicas[:3] }},
+		{"assignment out of range", func(m *Map) { m.Assign[0] = m.Shards }},
+		{"shard owns no buckets", func(m *Map) {
+			for b := range m.Assign {
+				if m.Assign[b] == 3 {
+					m.Assign[b] = 0
+				}
+			}
+			m.Replicas = nil // avoid tripping the owner-as-replica check first
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := base()
+			tc.corrupt(m)
+			if err := m.Validate(); err == nil {
+				t.Fatalf("Validate accepted a corrupt map: %+v", m)
+			}
+			// The same corruption arriving by gossip must be rejected by
+			// the adoption gate, not just by direct validation.
+			cur := base()
+			m.Version = cur.Version + 2 // non-adjacent: only shape+validity gate it
+			if err := ShouldAdopt(cur, m); err == nil || errors.Is(err, ErrStaleVersion) {
+				t.Fatalf("ShouldAdopt admitted a corrupt map (err=%v)", err)
+			}
+		})
+	}
+}
+
+// TestShouldAdoptMonotoneConvergence replays a rebalance history to two
+// simulated nodes in different shuffles. Both must converge to the
+// final map, stale deliveries must be ignored with ErrStaleVersion (not
+// rejected), and no adoption may ever lower the version.
+func TestShouldAdoptMonotoneConvergence(t *testing.T) {
+	rng := rand.New(rand.NewSource(0xfeed))
+	for iter := 0; iter < 50; iter++ {
+		// Build a linear history of single-bucket moves.
+		root, err := New(1, 5, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		root, err = root.WithReplicas(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		history := []*Map{root}
+		cur := root
+		for len(history) < 8 {
+			bucket, newOwner, ok := pickMove(cur, rng)
+			if !ok {
+				t.Fatal("no legal move on a 32-bucket/4-shard map")
+			}
+			next, err := cur.MoveBucket(bucket, newOwner)
+			if err != nil {
+				t.Fatal(err)
+			}
+			history = append(history, next)
+			cur = next
+		}
+		final := history[len(history)-1]
+
+		deliver := func(node *Map, cand *Map) *Map {
+			err := ShouldAdopt(node, cand)
+			switch {
+			case err == nil:
+				if cand.Version <= node.Version {
+					t.Fatalf("adoption moved version backward: %d -> %d", node.Version, cand.Version)
+				}
+				return cand
+			case errors.Is(err, ErrStaleVersion):
+				if cand.Version > node.Version {
+					t.Fatalf("version %d > %d flagged stale", cand.Version, node.Version)
+				}
+				return node
+			default:
+				t.Fatalf("history map v%d rejected at node v%d: %v", cand.Version, node.Version, err)
+				return nil
+			}
+		}
+
+		// Node A sees the history in a shuffle (gossip reordering); node B
+		// sees only the final map (a long partition healed by one pull —
+		// the far-jump admission).
+		a := root
+		for _, idx := range rng.Perm(len(history)) {
+			a = deliver(a, history[idx])
+		}
+		b := deliver(root, final)
+		if a.Version != final.Version || b.Version != final.Version {
+			t.Fatalf("iter %d: nodes at v%d/v%d, want v%d", iter, a.Version, b.Version, final.Version)
+		}
+		if !mapsEqual(a, b) {
+			t.Fatalf("iter %d: converged nodes disagree\na: %+v\nb: %+v", iter, a, b)
+		}
+		// Redelivering anything from the history is now a no-op.
+		for _, h := range history {
+			if got := deliver(a, h); got.Version != final.Version {
+				t.Fatalf("iter %d: redelivery moved node to v%d", iter, got.Version)
+			}
+		}
+	}
+}
+
+func TestShouldAdoptRejectsShapeChange(t *testing.T) {
+	cur, err := New(1, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherBits, err := New(5, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	otherShards, err := New(5, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, cand := range map[string]*Map{"prefix bits": otherBits, "shards": otherShards} {
+		if err := ShouldAdopt(cur, cand); err == nil || errors.Is(err, ErrStaleVersion) {
+			t.Fatalf("%s change admitted (err=%v)", name, err)
+		}
+	}
+	if err := ShouldAdopt(nil, cur); err == nil {
+		t.Fatal("nil current map admitted a candidate")
+	}
+	// An adjacent candidate moving two buckets violates the one-move
+	// rule even though a far jump with the same table would be admitted.
+	twoMoves := cur.Clone()
+	twoMoves.Version++
+	twoMoves.Assign[0] = (twoMoves.Assign[0] + 1) % 3
+	twoMoves.Assign[1] = (twoMoves.Assign[1] + 1) % 3
+	if err := ShouldAdopt(cur, twoMoves); err == nil || errors.Is(err, ErrStaleVersion) {
+		t.Fatalf("adjacent two-bucket move admitted (err=%v)", err)
+	}
+	farJump := twoMoves.Clone()
+	farJump.Version = cur.Version + 2
+	if err := ShouldAdopt(cur, farJump); err != nil {
+		t.Fatalf("far jump with same table rejected: %v", err)
+	}
+}

@@ -132,6 +132,25 @@ func (c *Cache) GetLocal(key string) ([]byte, bool) {
 	return c.tier.GetLocal(key)
 }
 
+// LocalKeys snapshots the memory tier's resident zone keys — what a
+// bucket handoff enumerates when draining to a new owner.
+func (c *Cache) LocalKeys() []string {
+	if c == nil {
+		return nil
+	}
+	return c.tier.LocalKeys()
+}
+
+// PutLocal stores val in the memory tier only — the write a replica
+// performs for a pushed copy it does not own, keeping its durable tier
+// shard-pure.
+func (c *Cache) PutLocal(key string, val []byte) {
+	if c == nil {
+		return
+	}
+	c.tier.PutLocal(key, val)
+}
+
 // Put stores val under key in both tiers.
 func (c *Cache) Put(key string, val []byte) {
 	if c == nil {

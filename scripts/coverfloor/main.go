@@ -1,13 +1,18 @@
 // Command coverfloor reads a Go cover profile and enforces per-package
-// coverage floors. Packages named with -floor fail the build when their
-// statement coverage is below the given percentage; every other package is
-// reported informationally, so the gate only bites where the bar has been
-// set.
+// and per-file coverage floors. Packages named with -floor (and files
+// named with -filefloor) fail the build when their statement coverage is
+// below the given percentage; every other package is reported
+// informationally, so the gate only bites where the bar has been set.
+// File floors exist for the files whose package-level number could hide
+// them — a routing layer diluted by a large package still has to carry
+// its own coverage.
 //
 // Usage:
 //
 //	go test -coverprofile=cover.out ./...
-//	go run ./scripts/coverfloor -profile cover.out -floor wavemin/internal/obs=70
+//	go run ./scripts/coverfloor -profile cover.out \
+//	    -floor wavemin/internal/obs=70 \
+//	    -filefloor wavemin/internal/server/shardroute.go=70
 package main
 
 import (
@@ -65,6 +70,8 @@ func main() {
 	profile := flag.String("profile", "cover.out", "cover profile to read")
 	want := floors{}
 	flag.Var(want, "floor", "package=percent minimum, repeatable; unlisted packages are report-only")
+	wantFile := floors{}
+	flag.Var(wantFile, "filefloor", "file=percent minimum (profile path, e.g. wavemin/internal/server/shardroute.go), repeatable")
 	flag.Parse()
 
 	f, err := os.Open(*profile)
@@ -76,6 +83,7 @@ func main() {
 	// Profile lines: "file.go:startL.startC,endL.endC numStmts count",
 	// after a leading "mode:" line. Coverage is statement-weighted.
 	byPkg := make(map[string]*pkgCov)
+	byFile := make(map[string]*pkgCov)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
 	lineNo := 0
@@ -110,6 +118,17 @@ func main() {
 		c.total += stmts
 		if count > 0 {
 			c.covered += stmts
+		}
+		if _, floored := wantFile[file]; floored {
+			fc := byFile[file]
+			if fc == nil {
+				fc = &pkgCov{}
+				byFile[file] = fc
+			}
+			fc.total += stmts
+			if count > 0 {
+				fc.covered += stmts
+			}
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -150,6 +169,29 @@ func main() {
 			fmt.Printf("%-*s  %9s  %8s  FAIL (floor %g%%, not in profile)\n", width, pkg, "-", "-", floor)
 			failed = true
 		}
+	}
+	// File floors: only floored files are shown (everything else already
+	// appears in its package's line); a missing file is the same silent
+	// gate removal as a missing package.
+	files := make([]string, 0, len(wantFile))
+	for file := range wantFile {
+		files = append(files, file)
+	}
+	sort.Strings(files)
+	for _, file := range files {
+		floor := wantFile[file]
+		c, ok := byFile[file]
+		if !ok {
+			fmt.Printf("%-*s  %9s  %8s  FAIL (file floor %g%%, not in profile)\n", width, file, "-", "-", floor)
+			failed = true
+			continue
+		}
+		mark := fmt.Sprintf("  ok (file floor %g%%)", floor)
+		if c.percent() < floor {
+			mark = fmt.Sprintf("  FAIL (file floor %g%%)", floor)
+			failed = true
+		}
+		fmt.Printf("%-*s  %9d  %7.1f%%%s\n", width, file, c.total, c.percent(), mark)
 	}
 	if failed {
 		os.Exit(1)
