@@ -2,7 +2,7 @@ GO ?= go
 BENCH_DATE := $(shell date +%F)
 BENCH_LATEST = $(lastword $(sort $(filter-out BENCH_baseline.json,$(wildcard BENCH_*.json))))
 
-.PHONY: build test vet race check verify bench benchdiff cover e2e e2e-dispatch e2e-crash e2e-eco e2e-shard e2e-rebalance test-flake fuzz-smoke
+.PHONY: build test vet race check verify bench benchdiff cover e2e e2e-dispatch e2e-crash e2e-eco e2e-shard e2e-rebalance e2e-yield test-flake fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -25,7 +25,7 @@ race: vet
 # worker count; the full -race suite stays in `make race`), the coverage
 # floor, a short fuzz smoke over the lease protocol and journal replay,
 # and the subprocess kill -9 recovery loop.
-check: test vet cover fuzz-smoke e2e-crash e2e-eco e2e-shard e2e-rebalance
+check: test vet cover fuzz-smoke e2e-crash e2e-eco e2e-shard e2e-rebalance e2e-yield
 	$(GO) test -race -run Parallel . ./internal/...
 
 # Coverage with floors: internal/obs (the telemetry layer every solver
@@ -47,6 +47,7 @@ cover:
 		-floor wavemin/internal/wal=70 \
 		-floor wavemin/internal/castore=70 \
 		-floor wavemin/internal/shard=70 \
+		-floor wavemin/internal/yield=70 \
 		-filefloor wavemin/internal/server/shardroute.go=70 \
 		-filefloor wavemin/internal/server/gossip.go=70
 	@rm -f cover.out
@@ -88,6 +89,14 @@ e2e-shard:
 	$(GO) test -race -timeout 180s -run 'ShardFleet' ./internal/server
 	$(GO) test -race -timeout 60s ./internal/shard
 
+# Yield e2e: statistical yield mode under the race detector — local
+# report shape, early-stop metrics, cache replay under the extended
+# key, and the distributed acceptance run: a 3-worker fleet with a
+# seeded mid-chunk worker kill must produce bytes identical to the
+# single-node reference.
+e2e-yield:
+	$(GO) test -race -timeout 180s -run 'Yield' ./internal/server ./internal/yield
+
 # Rebalance e2e: the live shard-map machinery under the race detector —
 # gossip convergence (a stale node catches up without restart, by
 # anti-entropy pull or by the 409 traffic path), drain-before-flip
@@ -122,13 +131,14 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzJournalReplay$$' -fuzztime 5s ./internal/wal
 	$(GO) test -run '^$$' -fuzz '^FuzzShardRoute$$' -fuzztime 5s ./internal/server
 	$(GO) test -run '^$$' -fuzz '^FuzzShardMapGossip$$' -fuzztime 5s ./internal/server
+	$(GO) test -run '^$$' -fuzz '^FuzzYieldRequest$$' -fuzztime 5s ./internal/server
 
 verify: test race
 
 # Benchmark snapshot: one pass over every benchmark, recorded as
 # BENCH_<date>.json for regression tracking against BENCH_baseline.json.
 bench: build
-	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . | tee bench.out
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x . ./internal/yield | tee bench.out
 	$(GO) run ./scripts/benchjson < bench.out > BENCH_$(BENCH_DATE).json
 	@rm -f bench.out
 	@echo wrote BENCH_$(BENCH_DATE).json

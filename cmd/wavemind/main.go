@@ -98,6 +98,9 @@ func main() {
 		peersList = flag.String("peers", "", "fleet: comma-separated coordinator base URLs in shard order, one per shard (this node's own entry included)")
 		replicas  = flag.Int("replicas", 0, "fleet: readers per bucket (ring successors of the owner); a dead owner's cached reads degrade to a replica instead of 503")
 		gossipInt = flag.Duration("gossip-interval", 2*time.Second, "fleet: anti-entropy map pull cadence (0 disables the loop; version piggybacking on forwards still converges active routes)")
+
+		yieldMaxSamples    = flag.Int("yield-max-samples", 0, "cap on a yield request's per-candidate Monte Carlo budget (0 = protocol ceiling)")
+		yieldMaxConcurrent = flag.Int("yield-max-concurrent", 2, "yield jobs driving the fleet at once; further admitted jobs wait queued")
 	)
 	flag.Parse()
 
@@ -111,21 +114,23 @@ func main() {
 	}
 
 	opts := server.Options{
-		QueueCapacity:     *queue,
-		Workers:           *workers,
-		MaxSolverWorkers:  *solverWorkers,
-		CacheMaxBytes:     *cacheBytes,
-		CacheMaxEntries:   *cacheEntries,
-		DefaultTimeout:    *defTimeout,
-		MaxTimeout:        *maxTimeout,
-		Debug:             *debug,
-		DataDir:           *dataDir,
-		Fsync:             *fsync,
-		RecoverBestEffort: *recoverBE,
-		StoreMaxBytes:     *storeBytes,
-		Eco:               *eco,
-		ZoneCacheMaxBytes: *zoneCacheBytes,
-		ZoneStoreMaxBytes: *zoneStoreBytes,
+		QueueCapacity:      *queue,
+		Workers:            *workers,
+		MaxSolverWorkers:   *solverWorkers,
+		CacheMaxBytes:      *cacheBytes,
+		CacheMaxEntries:    *cacheEntries,
+		DefaultTimeout:     *defTimeout,
+		MaxTimeout:         *maxTimeout,
+		Debug:              *debug,
+		DataDir:            *dataDir,
+		Fsync:              *fsync,
+		RecoverBestEffort:  *recoverBE,
+		StoreMaxBytes:      *storeBytes,
+		Eco:                *eco,
+		ZoneCacheMaxBytes:  *zoneCacheBytes,
+		ZoneStoreMaxBytes:  *zoneStoreBytes,
+		YieldMaxSamples:    *yieldMaxSamples,
+		YieldMaxConcurrent: *yieldMaxConcurrent,
 	}
 	if *role == "coordinator" {
 		opts.Dispatch = &dispatch.Options{

@@ -192,6 +192,21 @@ func (c *Coordinator) Submit(ctx context.Context, pri jobq.Priority, spec *JobSp
 	return c.q.SubmitLeasable(ctx, pri, spec, composeObservers(TraceObserver(tr), observe))
 }
 
+// SubmitSub enqueues a sub-lease: one sub-unit (a yield sample chunk) of
+// an already-accepted parent job. Sub-leases ride the same lease
+// protocol — workers cannot tell them apart — but are never journaled
+// (the parent re-derives them on recovery) and never persisted to the
+// result store (spec.Key is empty and NoCache is set by the caller).
+// During drain this returns jobq.ErrDraining and the caller must run the
+// chunk inline; the chunk determinism contract makes the fallback
+// byte-identical.
+func (c *Coordinator) SubmitSub(ctx context.Context, pri jobq.Priority, spec *JobSpec, observe func(jobq.LeaseEvent)) (*jobq.Ticket, error) {
+	if spec == nil || spec.Yield == nil {
+		return nil, errors.New("dispatch: sub-lease requires a yield chunk spec")
+	}
+	return c.q.SubmitSubLease(ctx, pri, spec, observe)
+}
+
 // MetricsSnapshot returns the coordinator's protocol counters.
 func (c *Coordinator) MetricsSnapshot() Metrics {
 	return Metrics{

@@ -34,6 +34,7 @@ import (
 	"wavemin"
 	"wavemin/internal/jobq"
 	"wavemin/internal/obs"
+	"wavemin/internal/yield"
 )
 
 // JobSpec is the self-contained, serializable description of one
@@ -63,6 +64,17 @@ type JobSpec struct {
 	// NoCache mirrors the request's cache opt-out, so a recovered job
 	// keeps the caching policy it was submitted with.
 	NoCache bool `json:"noCache,omitempty"`
+
+	// Yield, when non-nil, makes this spec a Monte Carlo sample chunk of
+	// a parent yield job instead of an optimization: the executor runs
+	// yield.ExecuteChunk over the chunk's own tree and returns the
+	// marshaled yield.ChunkStats as ResultJSON. Chunk specs ride the same
+	// lease protocol as full jobs (heartbeats, requeues, bounded retries)
+	// but are submitted as sub-leases — never journaled, never cached —
+	// because the parent re-derives them on recovery and their bytes are
+	// already a pure function of the chunk identity. The spec's Tree /
+	// Config / Modes fields are unused; the chunk carries its own tree.
+	Yield *yield.ChunkSpec `json:"yield,omitempty"`
 }
 
 // Outcome is the terminal result of a successfully completed job: the
@@ -112,6 +124,9 @@ func (e *RemoteError) Error() string {
 // solver's parallelism without affecting the bytes (the solvers are
 // bitwise worker-count independent).
 func ExecuteSpec(ctx context.Context, spec *JobSpec, solverWorkers int) (*Outcome, error) {
+	if spec.Yield != nil {
+		return executeYieldChunk(ctx, spec)
+	}
 	design, err := wavemin.LoadTree(bytes.NewReader(spec.Tree))
 	if err != nil {
 		return nil, &RemoteError{Code: "bad_spec", Message: fmt.Sprintf("tree: %v", err)}
@@ -181,6 +196,34 @@ func ExecuteSpec(ctx context.Context, spec *JobSpec, solverWorkers int) (*Outcom
 		out.TraceEvents = mem.Events()
 	}
 	return out, nil
+}
+
+// AlgorithmYieldChunk decorates chunk outcomes so the coordinator (and a
+// curious human reading a journal) can tell them from optimization runs.
+const AlgorithmYieldChunk = "yield-chunk"
+
+// executeYieldChunk runs a yield sample chunk. The outcome's ResultJSON
+// is the marshaled yield.ChunkStats — deterministic by the chunk seeding
+// contract, so requeues and retries reproduce identical bytes just like
+// optimization jobs.
+func executeYieldChunk(ctx context.Context, spec *JobSpec) (*Outcome, error) {
+	if !spec.Deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, spec.Deadline)
+		defer cancel()
+	}
+	st, err := yield.ExecuteChunk(ctx, spec.Yield)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			return nil, &RemoteError{Code: "expired", Message: err.Error()}
+		}
+		return nil, &RemoteError{Code: "bad_spec", Message: err.Error()}
+	}
+	blob, err := json.Marshal(st)
+	if err != nil {
+		return nil, &RemoteError{Code: "solver_failed", Message: fmt.Sprintf("marshal chunk stats: %v", err)}
+	}
+	return &Outcome{ResultJSON: blob, AlgorithmUsed: AlgorithmYieldChunk}, nil
 }
 
 // --- trace stitching ------------------------------------------------------

@@ -428,6 +428,47 @@ func (q *Queue) SubmitLeasable(ctx context.Context, pri Priority, payload any, o
 	return t, nil
 }
 
+// SubmitSubLease enqueues a pull-mode job that is a sub-unit of an
+// already-accepted parent job — internal/yield's Monte Carlo chunks. It
+// behaves exactly like SubmitLeasable except the job is never journaled:
+// durability belongs to the parent (which re-derives and resubmits its
+// sub-units on recovery), so journaling each chunk would only multiply
+// WAL traffic for records that are meaningless without the parent. The
+// un-journaled job keeps id 0, which the journal layer treats as
+// "skip every record for this job".
+//
+// Submissions during drain are refused with ErrDraining even though
+// push-mode workers may still be running: once the queue is draining,
+// workers exit as soon as the backlog empties, and a sub-lease enqueued
+// after that would hang forever. Callers fall back to inline execution —
+// which, by the chunk determinism contract, produces identical bytes.
+func (q *Queue) SubmitSubLease(ctx context.Context, pri Priority, payload any, onEvent func(LeaseEvent)) (*Ticket, error) {
+	if pri < High || pri > Low {
+		return nil, fmt.Errorf("jobq: invalid priority %d", int(pri))
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	q.mu.Lock()
+	if q.draining {
+		q.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if q.queued >= q.capacity {
+		q.rejected++
+		q.mu.Unlock()
+		return nil, ErrFull
+	}
+	t := &Ticket{done: make(chan struct{})}
+	j := &job{ctx: ctx, pri: pri, payload: payload, ticket: t, onEvent: onEvent}
+	q.lanes[pri] = append(q.lanes[pri], j)
+	q.queued++
+	q.outstanding++
+	q.cond.Broadcast()
+	q.mu.Unlock()
+	return t, nil
+}
+
 func (q *Queue) emitLocked(j *job, ev LeaseEvent) {
 	if j.onEvent != nil {
 		j.onEvent(ev)

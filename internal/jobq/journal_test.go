@@ -353,3 +353,65 @@ func TestRetryAfterHonorsConfiguredHintBeforeSamples(t *testing.T) {
 		t.Fatalf("post-sample estimate = %v, want 2s", got)
 	}
 }
+
+// TestSubLeaseNeverJournaled pins the sub-lease contract: a job submitted
+// with SubmitSubLease rides the full lease lifecycle but leaves no trace
+// in the journal — a parent job re-derives its sub-units on recovery, so
+// journaling them would only multiply WAL traffic, and replaying one
+// without its parent would be meaningless.
+func TestSubLeaseNeverJournaled(t *testing.T) {
+	dir := t.TempDir()
+	w := openJournal(t, dir)
+	q := New(16, 1)
+	q.AttachJournal(w, stringCodec)
+
+	// One journaled job so the journal is provably live, then a full
+	// sub-lease lifecycle (grant, complete) interleaved with it.
+	if _, err := q.SubmitLeasable(context.Background(), Normal, "parent", nil); err != nil {
+		t.Fatal(err)
+	}
+	tSub, err := q.SubmitSubLease(context.Background(), High, "sub-chunk", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, ok := q.Lease() // High first: the sub-lease
+	if !ok || l.Payload.(string) != "sub-chunk" {
+		t.Fatalf("first lease got %+v, want the sub-lease", l)
+	}
+	if err := q.Complete(l.ID, "chunk stats"); err != nil {
+		t.Fatal(err)
+	}
+	<-tSub.Done()
+	if res, err := tSub.Outcome(); err != nil || res.(string) != "chunk stats" {
+		t.Fatalf("sub-lease outcome = %v, %v", res, err)
+	}
+
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	w.Abort()
+
+	jobs, lastID := replayDir(t, dir)
+	if len(jobs) != 1 || jobs[0].Payload.(string) != "parent" {
+		t.Fatalf("replay recovered %+v, want only the parent", jobs)
+	}
+	if lastID != 1 {
+		t.Fatalf("lastID = %d, want 1 (the sub-lease must not burn journal IDs)", lastID)
+	}
+}
+
+// TestSubLeaseRefusedDuringDrain pins the fallback contract: once the
+// queue drains, sub-lease submission fails fast with ErrDraining so the
+// caller can evaluate inline instead of hanging on a queue whose workers
+// are gone.
+func TestSubLeaseRefusedDuringDrain(t *testing.T) {
+	q := New(4, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := q.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := q.SubmitSubLease(context.Background(), Normal, "late", nil); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit during drain: err = %v, want ErrDraining", err)
+	}
+}

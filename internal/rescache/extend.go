@@ -1,0 +1,22 @@
+package rescache
+
+import "wavemin/internal/canon"
+
+// ExtendKey derives a new content key from a base key plus a semantic
+// payload, under a format tag that names the derivation (and versions it:
+// changing what the payload means must change the tag).
+//
+// This is how derived workloads — internal/yield's Monte Carlo runs over
+// an optimization's inputs — get cacheable identities of their own: the
+// base key pins the underlying problem (tree, config, modes), the
+// semantic string pins every knob that can change the derived result's
+// bytes, and nothing execution-shaped (worker counts, chunking, dispatch
+// topology) may enter either. The result is a hex sha256 in the same
+// keyspace as the primary keys, so every tier — memory, disk store, peer
+// read-through, shard routing — accepts it unchanged.
+func ExtendKey(base, format, semantic string) string {
+	h := canon.NewHasher(format)
+	h.Section("base", base)
+	h.Section("semantic", semantic)
+	return h.Sum()
+}

@@ -1,0 +1,38 @@
+package rescache
+
+import "testing"
+
+func TestExtendKeyDerivation(t *testing.T) {
+	base := "aaaa1111"
+	k := ExtendKey(base, "fmt-v1", "knob=1")
+	if len(k) != 64 {
+		t.Fatalf("extended key %q is not a hex sha256", k)
+	}
+	if k == base {
+		t.Fatal("extended key equals the base key")
+	}
+	if ExtendKey(base, "fmt-v1", "knob=1") != k {
+		t.Fatal("derivation not deterministic")
+	}
+	if ExtendKey(base, "fmt-v1", "knob=2") == k {
+		t.Fatal("semantic change did not change the key")
+	}
+	if ExtendKey("bbbb2222", "fmt-v1", "knob=1") == k {
+		t.Fatal("base change did not change the key")
+	}
+	if ExtendKey(base, "fmt-v2", "knob=1") == k {
+		t.Fatal("format version change did not change the key")
+	}
+}
+
+// TestExtendKeyUsableAsPrimaryKey: extended keys must flow through every
+// cache tier unchanged — they are ordinary keys to the cache.
+func TestExtendKeyUsableAsPrimaryKey(t *testing.T) {
+	c := New(1<<20, 16)
+	k := ExtendKey("aaaa1111", "fmt-v1", "knob=1")
+	c.Put(k, []byte("blob"))
+	got, ok := c.Get(k)
+	if !ok || string(got) != "blob" {
+		t.Fatalf("extended key round-trip failed: %q %v", got, ok)
+	}
+}

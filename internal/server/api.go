@@ -10,6 +10,7 @@ import (
 
 	"wavemin"
 	"wavemin/internal/jobq"
+	"wavemin/internal/yield"
 )
 
 // maxModes bounds the power-mode list of one request: the multi-mode
@@ -51,6 +52,28 @@ type wireRequest struct {
 	// Trace captures a per-job telemetry trace, served at
 	// GET /v1/jobs/{id}/trace. Off by default: traces cost memory.
 	Trace bool `json:"trace"`
+	// Yield switches the job to statistical yield mode: solve the config's
+	// result plus perturbed-knob alternates, race them under seeded Monte
+	// Carlo process variation, and return the yield-maximizing assignment
+	// with confidence intervals (internal/yield). Incompatible with
+	// baseJobId and with multi-mode requests.
+	Yield *wireYield `json:"yield"`
+}
+
+// wireYield is the yield-mode block of a request. Epsilon is a pointer
+// because absence and zero mean different things: absent takes the
+// default early-stop width, an explicit 0 disables the width-based stop
+// (the full-budget reference mode).
+type wireYield struct {
+	Sigma       float64  `json:"sigma"`
+	Correlation float64  `json:"correlation"`
+	Kappa       float64  `json:"kappa"`
+	PeakCap     float64  `json:"peakCap"`
+	Samples     int      `json:"samples"`
+	Epsilon     *float64 `json:"epsilon"`
+	Confidence  float64  `json:"confidence"`
+	Candidates  int      `json:"candidates"`
+	Seed        int64    `json:"seed"`
 }
 
 type wireConfig struct {
@@ -101,6 +124,9 @@ type optimizeRequest struct {
 	// baseJobID is the raw (unresolved) ECO base reference; the server
 	// resolves it against its job registry and zone store at submit time.
 	baseJobID string
+	// yield, when non-nil, makes this a yield-mode job (internal/yield):
+	// key is then the extended yield key, not the base optimization key.
+	yield *yield.Params
 	// forwardedFrom is the shard that forwarded this submission to its
 	// owner, or -1 for direct submissions (and unsharded servers). Set by
 	// the routing layer after decode; feeds the forwarded-hop trace span.
@@ -211,6 +237,51 @@ func decodeOptimizeRequest(body []byte, opts Options) (*optimizeRequest, *apiErr
 		// 4xx, never a panic or a 500.
 		return nil, badRequest("cache key: %v", err)
 	}
+
+	var yp *yield.Params
+	if wire.Yield != nil {
+		if wire.BaseJobID != "" {
+			return nil, badRequest("yield: incompatible with baseJobId (an ECO delta has no candidate ladder to race)")
+		}
+		if len(modes) > 1 {
+			return nil, badRequest("yield: at most one power mode is supported (got %d)", len(modes))
+		}
+		p := yield.Params{
+			Sigma:       wire.Yield.Sigma,
+			Correlation: wire.Yield.Correlation,
+			Kappa:       wire.Yield.Kappa,
+			PeakCap:     wire.Yield.PeakCap,
+			Samples:     wire.Yield.Samples,
+			Confidence:  wire.Yield.Confidence,
+			Candidates:  wire.Yield.Candidates,
+			Seed:        wire.Yield.Seed,
+		}
+		if wire.Yield.Epsilon != nil {
+			// An explicit 0 means "full budget, no width stop"; only
+			// absence takes the default.
+			p.Epsilon = *wire.Yield.Epsilon
+		} else {
+			p.Epsilon = yield.DefaultEpsilon
+		}
+		p = p.WithDefaults()
+		if p.Kappa == 0 {
+			// The skew bound defaults to the optimization's effective κ —
+			// "how often does this assignment hold the bound it was
+			// optimized for" is the question most callers are asking.
+			p.Kappa = cfg.WithDefaults().Kappa
+		}
+		if opts.YieldMaxSamples > 0 && p.Samples > opts.YieldMaxSamples {
+			return nil, badRequest("yield: samples %d exceeds this server's cap of %d", p.Samples, opts.YieldMaxSamples)
+		}
+		if err := p.Validate(); err != nil {
+			return nil, badRequest("%v", err)
+		}
+		yp = &p
+		// The extended key replaces the base key wholesale: caching,
+		// replication, and shard routing all see one content identity per
+		// (problem, yield knobs) pair, in the same hex keyspace.
+		key = p.Key(key)
+	}
 	return &optimizeRequest{
 		design:        design,
 		cfg:           cfg,
@@ -222,6 +293,7 @@ func decodeOptimizeRequest(body []byte, opts Options) (*optimizeRequest, *apiErr
 		tree:          wire.Tree,
 		modes:         modes,
 		baseJobID:     wire.BaseJobID,
+		yield:         yp,
 		forwardedFrom: -1,
 	}, nil
 }

@@ -130,6 +130,16 @@ type Options struct {
 	// still converges the routes that carry traffic, but an idle node
 	// will not follow a rebalance on its own.
 	GossipInterval time.Duration
+
+	// YieldMaxSamples caps the per-candidate Monte Carlo budget a yield
+	// request may ask for, below the protocol ceiling (yield.MaxSamples).
+	// 0 = protocol ceiling only.
+	YieldMaxSamples int
+	// YieldMaxConcurrent bounds yield jobs driving the fleet at once
+	// (default 2): each one fans out many chunk sub-leases, so an
+	// unbounded count would let a burst of yield requests starve plain
+	// optimization jobs.
+	YieldMaxConcurrent int
 }
 
 func (o Options) withDefaults() Options {
@@ -174,6 +184,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.PeerTimeout == 0 {
 		o.PeerTimeout = 15 * time.Second
+	}
+	if o.YieldMaxConcurrent == 0 {
+		o.YieldMaxConcurrent = 2
 	}
 	return o
 }
@@ -256,6 +269,13 @@ type Metrics struct {
 	EcoZonesResolved int64 // zone instances solved by eco-enabled jobs
 	ZoneCache        rescache.TieredStats
 
+	// Yield-mode counters; zero until a yield request arrives.
+	YieldJobs         int64 // yield runs started
+	YieldChunks       int64 // sample chunks dispatched as sub-leases
+	YieldChunksInline int64 // chunks evaluated inline (no coordinator, or drain/full fallback)
+	YieldSamplesSaved int64 // budgeted samples early stopping never spent
+	YieldEarlyStops   int64 // yield runs that stopped before the full budget
+
 	// Shard-routing counters; zero values when Options.ShardMap is unset.
 	Shard ShardMetrics
 }
@@ -284,6 +304,12 @@ type counters struct {
 	rejectedDraining atomic.Int64
 	ecoReused        atomic.Int64
 	ecoResolved      atomic.Int64
+
+	yieldJobs         atomic.Int64
+	yieldChunks       atomic.Int64
+	yieldChunksInline atomic.Int64
+	yieldSamplesSaved atomic.Int64
+	yieldEarlyStops   atomic.Int64
 }
 
 // bump increments a counter and mirrors it into the process-wide expvar
@@ -303,6 +329,14 @@ type Server struct {
 
 	coord      *dispatch.Coordinator // non-nil iff Options.Dispatch was set
 	dispatchWG sync.WaitGroup        // finishDispatched goroutines in flight
+
+	// yieldSem bounds concurrent yield drivers (Options.YieldMaxConcurrent):
+	// each driver fans out chunk sub-leases, and the semaphore is what
+	// keeps a burst of yield jobs from monopolizing the lease queue.
+	// yieldPending counts admitted-but-unfinished yield jobs; past
+	// QueueCapacity, submissions get the queue's 429.
+	yieldSem     chan struct{}
+	yieldPending atomic.Int64
 
 	zones *zonecache.Cache // non-nil iff Options.Eco was set
 
@@ -347,9 +381,10 @@ func New(opts Options) (*Server, error) {
 		opts.Dispatch = &dispatch.Options{LocalExec: true}
 	}
 	s := &Server{
-		opts: opts,
-		q:    jobq.New(opts.QueueCapacity, opts.Workers),
-		jobs: make(map[string]*job),
+		opts:     opts,
+		q:        jobq.New(opts.QueueCapacity, opts.Workers),
+		jobs:     make(map[string]*job),
+		yieldSem: make(chan struct{}, opts.YieldMaxConcurrent),
 	}
 	if opts.ShardMap != nil {
 		sh, err := newShardState(opts)
@@ -761,6 +796,11 @@ func (s *Server) MetricsSnapshot() Metrics {
 	if s.sh != nil {
 		m.Shard = s.sh.metrics()
 	}
+	m.YieldJobs = s.met.yieldJobs.Load()
+	m.YieldChunks = s.met.yieldChunks.Load()
+	m.YieldChunksInline = s.met.yieldChunksInline.Load()
+	m.YieldSamplesSaved = s.met.yieldSamplesSaved.Load()
+	m.YieldEarlyStops = s.met.yieldEarlyStops.Load()
 	return m
 }
 
@@ -825,9 +865,12 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 	deadline := time.Now().Add(req.timeout)
 	jctx, cancel := context.WithDeadline(context.Background(), deadline)
 	j.cancel = cancel
-	if s.coord != nil {
+	switch {
+	case req.yield != nil:
+		err = s.submitYield(jctx, j, req)
+	case s.coord != nil:
 		err = s.submitDispatched(jctx, j, req, deadline)
-	} else {
+	default:
 		err = s.q.Submit(jctx, req.pri, func(ctx context.Context) { s.runJob(ctx, j, req) })
 	}
 	if err != nil {
@@ -851,6 +894,13 @@ func (s *Server) handleOptimize(w http.ResponseWriter, r *http.Request) {
 // is a 409 — never a 5xx: a bad base reference is a client error, and a
 // missing seed is at worst a cold solve, not a failure.
 func (s *Server) attachEco(req *optimizeRequest) *apiError {
+	if req.yield != nil {
+		// Yield candidate solves never record or replay zones: the
+		// candidate ladder perturbs zoning knobs, so zone keys would not
+		// line up across candidates — and the decoder already rejected
+		// yield+baseJobId.
+		return nil
+	}
 	if req.baseJobID != "" {
 		if s.zones == nil {
 			return &apiError{status: http.StatusBadRequest, code: "eco_disabled",

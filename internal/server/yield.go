@@ -1,0 +1,212 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"wavemin/internal/clocktree"
+	"wavemin/internal/dispatch"
+	"wavemin/internal/jobq"
+	"wavemin/internal/obs"
+	"wavemin/internal/yield"
+)
+
+// submitYield admits one yield-mode job. The driver runs on its own
+// goroutine (under dispatchWG, so Drain waits for it) rather than a
+// queue worker: it is a coordinator, not a unit of work — it solves the
+// candidate ladder, then fans sample chunks out as sub-leases of this
+// job and folds the stream. Admission is bounded twice: at most
+// QueueCapacity drivers may exist (pending + running, same backpressure
+// contract as the queue: past it submissions get 429), and at most
+// YieldMaxConcurrent may drive the fleet at once (the rest wait in
+// "queued", their deadlines ticking).
+func (s *Server) submitYield(jctx context.Context, j *job, req *optimizeRequest) error {
+	if n := s.yieldPending.Add(1); n > int64(s.opts.QueueCapacity) {
+		s.yieldPending.Add(-1)
+		return jobq.ErrFull
+	}
+	bump(&s.met.yieldJobs, "server_yield_jobs")
+	s.dispatchWG.Add(1)
+	go s.runYield(jctx, j, req)
+	return nil
+}
+
+// runYield drives one yield job end to end: candidate generation, the
+// sampling race, and landing the report in the job record and cache.
+func (s *Server) runYield(ctx context.Context, j *job, req *optimizeRequest) {
+	defer s.dispatchWG.Done()
+	defer s.yieldPending.Add(-1)
+	defer j.cancel()
+
+	select {
+	case s.yieldSem <- struct{}{}:
+		defer func() { <-s.yieldSem }()
+	case <-ctx.Done():
+		bump(&s.met.expired, "server_jobs_expired")
+		j.finishErr(StatusExpired, ctx.Err())
+		return
+	}
+	j.mu.Lock()
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.mu.Unlock()
+
+	if req.trace {
+		mem := &obs.Memory{}
+		tr := obs.New(obs.Options{})
+		tr.AttachSink(mem)
+		tr.AttachSink(obs.ExpvarSink{})
+		j.mu.Lock()
+		j.trace = mem
+		j.mu.Unlock()
+		s.recordForwardHop(tr, req)
+		ctx = obs.Into(ctx, tr)
+		defer tr.Flush()
+	}
+
+	p := *req.yield
+	var mode *clocktree.Mode
+	if len(req.modes) > 0 {
+		mode = &req.modes[0]
+	}
+
+	// Candidate solves run inline on the driver (they are few and the
+	// fleet path would gain nothing: each is a full optimization whose
+	// result the driver needs before any sampling can start).
+	s.met.solverRuns.Add(int64(p.Candidates))
+	obs.ExpvarCounters().Add("server_solver_runs", int64(p.Candidates))
+	cands, rejected, err := yield.GenerateCandidates(ctx, req.tree, req.cfg, req.modes, p)
+	if err != nil {
+		s.finishYieldErr(j, err)
+		return
+	}
+
+	var runner yield.Runner
+	if s.coord != nil {
+		runner = &fleetRunner{s: s, pri: req.pri, deadline: deadlineOf(ctx)}
+	} else {
+		runner = &yield.LocalRunner{Workers: req.cfg.Workers}
+	}
+	rep, err := yield.Run(ctx, cands, p, rejected, mode, runner)
+	if err != nil {
+		s.finishYieldErr(j, err)
+		return
+	}
+	blob, merr := json.Marshal(rep)
+	if merr != nil {
+		bump(&s.met.failed, "server_jobs_failed")
+		j.finishErr(StatusFailed, merr)
+		return
+	}
+	// Yield reports are pure functions of (tree, config, modes, knobs) —
+	// the chunk determinism contract — so they cache and replicate under
+	// the extended key exactly like optimization results.
+	if !req.noCache {
+		s.cache.Put(req.key, blob)
+		s.replicateResult(req.key, blob)
+	}
+	s.met.yieldSamplesSaved.Add(int64(rep.SamplesSaved))
+	obs.ExpvarCounters().Add("server_yield_samples_saved", int64(rep.SamplesSaved))
+	if rep.EarlyStopped {
+		bump(&s.met.yieldEarlyStops, "server_yield_early_stops")
+	}
+	bump(&s.met.completed, "server_jobs_completed")
+	j.mu.Lock()
+	j.status = StatusDone
+	j.finished = time.Now()
+	j.resultJSON = blob
+	j.algorithmUsed = rep.AlgorithmUsed
+	j.mu.Unlock()
+}
+
+// finishYieldErr classifies a yield failure the way runJob does: context
+// exhaustion (including a candidate solve degrading under the deadline)
+// is an expiry, everything else a failure.
+func (s *Server) finishYieldErr(j *job, err error) {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		bump(&s.met.expired, "server_jobs_expired")
+		j.finishErr(StatusExpired, err)
+		return
+	}
+	bump(&s.met.failed, "server_jobs_failed")
+	j.finishErr(StatusFailed, err)
+}
+
+// deadlineOf extracts ctx's deadline (zero time when none): sub-lease
+// specs carry it so workers bound chunk execution the same way the
+// driver is bound.
+func deadlineOf(ctx context.Context) time.Time {
+	if d, ok := ctx.Deadline(); ok {
+		return d
+	}
+	return time.Time{}
+}
+
+// fleetRunner fans a round's chunks out over the dispatch fleet as
+// sub-leases and folds the outcomes back into the slot order the driver
+// expects. Chunks refused by the queue (full, or draining) are evaluated
+// inline — the chunk determinism contract makes the fallback
+// byte-identical, so admission pressure can slow a yield run but never
+// change its answer.
+type fleetRunner struct {
+	s        *Server
+	pri      jobq.Priority
+	deadline time.Time
+}
+
+func (f *fleetRunner) RunChunks(ctx context.Context, specs []*yield.ChunkSpec) ([]*yield.ChunkStats, error) {
+	out := make([]*yield.ChunkStats, len(specs))
+	type pending struct {
+		i  int
+		tk *jobq.Ticket
+	}
+	pends := make([]pending, 0, len(specs))
+	for i, spec := range specs {
+		js := &dispatch.JobSpec{Yield: spec, Deadline: f.deadline, NoCache: true}
+		tk, err := f.s.coord.SubmitSub(ctx, f.pri, js, nil)
+		if err != nil {
+			if errors.Is(err, jobq.ErrFull) || errors.Is(err, jobq.ErrDraining) {
+				st, cerr := yield.ExecuteChunk(ctx, spec)
+				if cerr != nil {
+					return nil, cerr
+				}
+				out[i] = st
+				bump(&f.s.met.yieldChunksInline, "server_yield_chunks_inline")
+				continue
+			}
+			return nil, err
+		}
+		bump(&f.s.met.yieldChunks, "server_yield_chunks")
+		pends = append(pends, pending{i, tk})
+	}
+	for _, p := range pends {
+		<-p.tk.Done()
+		result, err := p.tk.Outcome()
+		if err != nil {
+			var re *dispatch.RemoteError
+			if errors.As(err, &re) && re.Code == "expired" {
+				return nil, fmt.Errorf("yield: chunk expired: %w", context.DeadlineExceeded)
+			}
+			return nil, err
+		}
+		o, ok := result.(*dispatch.Outcome)
+		if !ok {
+			return nil, fmt.Errorf("yield: unexpected chunk outcome %T", result)
+		}
+		var st yield.ChunkStats
+		if uerr := json.Unmarshal(o.ResultJSON, &st); uerr != nil {
+			return nil, fmt.Errorf("yield: chunk stats: %w", uerr)
+		}
+		// The lease protocol is open: a worker could complete a chunk
+		// with stats that answer a different spec (or none). Reject
+		// before they contaminate the fold.
+		if verr := st.Validate(specs[p.i]); verr != nil {
+			return nil, verr
+		}
+		out[p.i] = &st
+	}
+	return out, nil
+}

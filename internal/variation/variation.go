@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"wavemin/internal/clocktree"
 	"wavemin/internal/obs"
@@ -56,39 +57,94 @@ type Stats struct {
 	WorstSkew float64
 }
 
-// Perturb returns a randomized clone of the tree: every wire's R and C and
-// every node's delay/current scale drawn from N(1, σ²) (clamped at ±4σ to
-// avoid nonphysical negatives). Correlation ∈ [0,1] makes that fraction of
-// σ a die-wide shared draw (process corner) with the remainder per-device.
-func Perturb(t *clocktree.Tree, sigma, correlation float64, rng *rand.Rand) *clocktree.Tree {
+// drawState holds one instance's shared process-corner draws. Both
+// perturbation paths (the one-shot Perturb and the reusable Scratch) fold
+// it in the exact same RNG order, so they are bitwise interchangeable.
+type drawState struct {
+	sLocal                  float64
+	gWire, gDelay, gCurrent float64
+}
+
+func newDrawState(sigma, correlation float64, rng *rand.Rand) drawState {
 	if correlation < 0 {
 		correlation = 0
 	}
 	if correlation > 1 {
 		correlation = 1
 	}
-	cp := t.Clone()
 	sGlobal := sigma * correlation
-	sLocal := sigma * (1 - correlation)
 	// One shared draw per physical quantity (the process corner of this
-	// die), plus an independent draw per device.
-	globalWire := 1 + sGlobal*clampN(rng.NormFloat64())
-	globalDelay := 1 + sGlobal*clampN(rng.NormFloat64())
-	globalCurrent := 1 + sGlobal*clampN(rng.NormFloat64())
-	draw := func(global float64) float64 {
-		f := global * (1 + sLocal*clampN(rng.NormFloat64()))
-		if f < 0.01 {
-			f = 0.01
-		}
-		return f
+	// die), plus an independent draw per device (see draw).
+	return drawState{
+		sLocal:   sigma * (1 - correlation),
+		gWire:    1 + sGlobal*clampN(rng.NormFloat64()),
+		gDelay:   1 + sGlobal*clampN(rng.NormFloat64()),
+		gCurrent: 1 + sGlobal*clampN(rng.NormFloat64()),
 	}
+}
+
+func (d drawState) draw(global float64, rng *rand.Rand) float64 {
+	f := global * (1 + d.sLocal*clampN(rng.NormFloat64()))
+	if f < 0.01 {
+		f = 0.01
+	}
+	return f
+}
+
+// Perturb returns a randomized clone of the tree: every wire's R and C and
+// every node's delay/current scale drawn from N(1, σ²) (clamped at ±4σ to
+// avoid nonphysical negatives). Correlation ∈ [0,1] makes that fraction of
+// σ a die-wide shared draw (process corner) with the remainder per-device.
+//
+// Perturb allocates a fresh clone per call; hot loops that evaluate many
+// instances of one tree should hold a Scratch instead.
+func Perturb(t *clocktree.Tree, sigma, correlation float64, rng *rand.Rand) *clocktree.Tree {
+	cp := t.Clone()
+	ds := newDrawState(sigma, correlation, rng)
 	cp.Walk(func(n *clocktree.Node) {
-		n.WireRes *= draw(globalWire)
-		n.WireCap *= draw(globalWire)
-		n.DelayScale = draw(globalDelay)
-		n.CurrentScale = draw(globalCurrent)
+		n.WireRes *= ds.draw(ds.gWire, rng)
+		n.WireCap *= ds.draw(ds.gWire, rng)
+		n.DelayScale = ds.draw(ds.gDelay, rng)
+		n.CurrentScale = ds.draw(ds.gCurrent, rng)
 	})
 	return cp
+}
+
+// Scratch is a reusable perturbation buffer for one tree shape: a private
+// working clone plus the nominal parasitics needed to rewind it between
+// draws. Perturb's per-instance clone dominates the Monte Carlo allocation
+// profile (the same lesson as the MOSP arenas); a Scratch amortizes that
+// clone across every instance a worker evaluates. The draw sequence
+// matches Perturb exactly, so swapping one for the other never changes a
+// statistic. Not safe for concurrent use — pool one per goroutine.
+type Scratch struct {
+	work             *clocktree.Tree
+	nodes            []*clocktree.Node // work's nodes in preorder
+	wireRes, wireCap []float64         // nominal parasitics, same order
+}
+
+// NewScratch builds a scratch buffer seeded with t's nominal values.
+func NewScratch(t *clocktree.Tree) *Scratch {
+	s := &Scratch{work: t.Clone()}
+	s.work.Walk(func(n *clocktree.Node) {
+		s.nodes = append(s.nodes, n)
+		s.wireRes = append(s.wireRes, n.WireRes)
+		s.wireCap = append(s.wireCap, n.WireCap)
+	})
+	return s
+}
+
+// Perturb redraws the working tree in place and returns it. The returned
+// tree is only valid until the next Perturb on the same Scratch.
+func (s *Scratch) Perturb(sigma, correlation float64, rng *rand.Rand) *clocktree.Tree {
+	ds := newDrawState(sigma, correlation, rng)
+	for i, n := range s.nodes {
+		n.WireRes = s.wireRes[i] * ds.draw(ds.gWire, rng)
+		n.WireCap = s.wireCap[i] * ds.draw(ds.gWire, rng)
+		n.DelayScale = ds.draw(ds.gDelay, rng)
+		n.CurrentScale = ds.draw(ds.gCurrent, rng)
+	}
+	return s.work
 }
 
 func clampN(x float64) float64 {
@@ -129,9 +185,16 @@ func MonteCarlo(ctx context.Context, t *clocktree.Tree, p Params) (*Stats, error
 		skew, peak, vdd, gnd float64
 	}
 	results := make([]instResult, p.N)
+	// parallel.ForEach exposes no worker index, so per-worker scratch
+	// reuse rides a sync.Pool: each goroutine checks a Scratch out for
+	// the duration of one instance, and steady state settles at one
+	// buffer per live worker instead of one tree clone per instance.
+	scratch := sync.Pool{New: func() any { return NewScratch(t) }}
 	ferr := parallel.ForEach(ctx, p.Workers, p.N, func(i int) error {
 		rng := rand.New(rand.NewSource(instanceSeed(p.Seed, i)))
-		inst := Perturb(t, p.Sigma, p.Correlation, rng)
+		sc := scratch.Get().(*Scratch)
+		defer scratch.Put(sc)
+		inst := sc.Perturb(p.Sigma, p.Correlation, rng)
 		tm := inst.ComputeTiming(mode)
 		r := instResult{skew: tm.Skew(inst), peak: inst.PeakCurrent(tm)}
 		if p.Grid != nil {
@@ -178,6 +241,11 @@ func MonteCarlo(ctx context.Context, t *clocktree.Tree, p Params) (*Stats, error
 	}
 	return st, nil
 }
+
+// InstanceSeed derives instance i's RNG seed from the run seed — the
+// exported handle internal/yield uses to give every Monte Carlo sample a
+// chunking-independent seed.
+func InstanceSeed(seed int64, i int) int64 { return instanceSeed(seed, i) }
 
 // instanceSeed derives instance i's RNG seed from the run seed with a
 // splitmix64-style mix, so nearby (seed, i) pairs decorrelate fully.

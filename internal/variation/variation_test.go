@@ -155,3 +155,41 @@ func TestCorrelatedVariationNarrowsSkewSpread(t *testing.T) {
 		t.Fatalf("peak spread should survive correlation: %g vs %g", corr.NormSDev, indep.NormSDev)
 	}
 }
+
+// TestScratchPerturbMatchesPerturb pins the hot-path rewrite: the
+// scratch-tree in-place redraw must reproduce the clone-based Perturb
+// exactly (same draws in the same order, same parasitics), or MonteCarlo
+// and yield chunks would change bytes.
+func TestScratchPerturbMatchesPerturb(t *testing.T) {
+	tree := testTree(t)
+	sc := NewScratch(tree)
+	for seed := int64(1); seed <= 20; seed++ {
+		want := Perturb(tree, 0.08, 0.4, rand.New(rand.NewSource(seed)))
+		got := sc.Perturb(0.08, 0.4, rand.New(rand.NewSource(seed)))
+		wtm := want.ComputeTiming(clocktree.NominalMode)
+		gtm := got.ComputeTiming(clocktree.NominalMode)
+		if ws, gs := wtm.Skew(want), gtm.Skew(got); ws != gs {
+			t.Fatalf("seed %d: scratch skew %v != clone skew %v", seed, gs, ws)
+		}
+		if wp, gp := want.PeakCurrent(wtm), got.PeakCurrent(gtm); wp != gp {
+			t.Fatalf("seed %d: scratch peak %v != clone peak %v", seed, gp, wp)
+		}
+	}
+}
+
+// TestScratchReusableAcrossDraws checks that reusing one Scratch does not
+// leak state between draws: redrawing with the same seed after a
+// different draw reproduces the first result.
+func TestScratchReusableAcrossDraws(t *testing.T) {
+	tree := testTree(t)
+	sc := NewScratch(tree)
+	first := sc.Perturb(0.1, 0.2, rand.New(rand.NewSource(3)))
+	s1 := first.ComputeTiming(clocktree.NominalMode).Skew(first)
+	mid := sc.Perturb(0.3, 0.9, rand.New(rand.NewSource(99)))
+	_ = mid.ComputeTiming(clocktree.NominalMode)
+	again := sc.Perturb(0.1, 0.2, rand.New(rand.NewSource(3)))
+	s2 := again.ComputeTiming(clocktree.NominalMode).Skew(again)
+	if s1 != s2 {
+		t.Fatalf("scratch draw not reproducible after reuse: %v then %v", s1, s2)
+	}
+}

@@ -1,0 +1,46 @@
+package yield
+
+import (
+	"context"
+	"testing"
+)
+
+// BenchmarkYieldChunk is the hot path of the whole subsystem: one sample
+// chunk over a pre-parsed tree. Its allocs/op pin the scratch-tree reuse
+// in variation (one clone per chunk, in-place redraw per sample) — a
+// regression to clone-per-sample multiplies allocs by the tree size and
+// fails TestYieldChunkAllocBudget.
+func BenchmarkYieldChunk(b *testing.B) {
+	tree, _, _ := testCandidates(b)
+	parsed, err := ParseTree(tree)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := &ChunkSpec{
+		Tree: tree, Candidate: 0, Index: 0, Start: 0, N: ChunkSize,
+		Sigma: 0.08, Kappa: 200, Seed: 7,
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EvaluateChunk(ctx, parsed, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkYieldRun measures a whole small race end to end (candidate
+// solves excluded — the fixture caches them).
+func BenchmarkYieldRun(b *testing.B) {
+	_, cands, rejected := testCandidates(b)
+	p := testParams()
+	r := &LocalRunner{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(context.Background(), cands, p, rejected, nil, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package yield
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+
+	"wavemin"
+	"wavemin/internal/clocktree"
+)
+
+// knobVariant is one deterministic configuration alternate. Variants are
+// applied to the effective (defaults-resolved) base config, in this fixed
+// order, so the candidate list is a pure function of the request.
+type knobVariant struct {
+	label string
+	apply func(*wavemin.Config)
+}
+
+// knobVariants is the candidate ladder: the base result first, then the
+// alternates most likely to trade nominal optimality for robustness under
+// variation — a faster greedy assignment, coarser/finer zoning (different
+// polarity granularity), the peak-current-first solver, and wider search
+// budgets.
+var knobVariants = []knobVariant{
+	{"base", func(c *wavemin.Config) {}},
+	{"fast", func(c *wavemin.Config) { c.Algorithm = wavemin.WaveMinFast }},
+	{"zone+50%", func(c *wavemin.Config) { c.ZoneSize *= 1.5 }},
+	{"zone-25%", func(c *wavemin.Config) { c.ZoneSize *= 0.75 }},
+	{"peakmin", func(c *wavemin.Config) { c.Algorithm = wavemin.PeakMin }},
+	{"intervals*2", func(c *wavemin.Config) { c.MaxIntervals *= 2 }},
+	{"eps/2", func(c *wavemin.Config) { c.Epsilon /= 2 }},
+	{"samples*2", func(c *wavemin.Config) { c.Samples *= 2 }},
+}
+
+// MaxCandidates is the candidate-count ceiling: the knob ladder's length.
+const MaxCandidates = 8
+
+// Candidate is one fully solved assignment entering the Monte Carlo race.
+type Candidate struct {
+	// Label names the knob variant(s) that produced this tree; duplicates
+	// are merged with "+" in variant order.
+	Label string `json:"label"`
+	// TreeJSON is the optimized tree in canonical wavemin-clocktree-v1
+	// form — what every chunk spec carries.
+	TreeJSON json.RawMessage `json:"-"`
+	// ResultJSON is the candidate solve's canonical result bytes (Stats
+	// and Runtime zeroed, exactly the dispatch contract).
+	ResultJSON    json.RawMessage `json:"-"`
+	AlgorithmUsed string          `json:"algorithmUsed"`
+	// NominalSkew / NominalPeak are the unperturbed metrics of the
+	// optimized tree; candidates whose nominal skew violates κ never
+	// enter the race.
+	NominalSkew float64 `json:"nominalSkew"`
+	NominalPeak float64 `json:"nominalPeak"`
+}
+
+// GenerateCandidates solves the base config plus the first
+// p.Candidates−1 knob alternates, each on a private design reconstructed
+// from the canonical tree bytes, and returns the deduplicated candidate
+// list. Variants whose optimized tree violates κ at nominal are dropped
+// (counted in rejected); variants converging to an identical tree merge
+// into one candidate (their samples would be identical — racing them
+// would spend budget to learn nothing).
+//
+// Candidate solves never degrade: a yield result is cacheable, so its
+// bytes must be a pure function of the inputs, and a deadline-shaped
+// candidate set would not be. A solve that comes back degraded fails the
+// run with context.DeadlineExceeded semantics instead.
+func GenerateCandidates(ctx context.Context, treeJSON []byte, baseCfg wavemin.Config, modes []wavemin.Mode, p Params) (cands []Candidate, rejected int, err error) {
+	if p.Candidates < 1 || p.Candidates > MaxCandidates {
+		return nil, 0, fmt.Errorf("yield: invalid candidate count %d", p.Candidates)
+	}
+	mode := clocktree.NominalMode
+	if len(modes) > 0 {
+		mode = modes[0]
+	}
+	effective := baseCfg.WithDefaults()
+	byDigest := make(map[[sha256.Size]byte]int) // tree digest → index in cands
+	for i := 0; i < p.Candidates; i++ {
+		v := knobVariants[i]
+		cfg := effective
+		v.apply(&cfg)
+		if verr := cfg.Validate(); verr != nil {
+			// A knob pushed the config out of range (possible only with
+			// extreme base values); skip the variant rather than fail.
+			rejected++
+			continue
+		}
+		design, lerr := wavemin.LoadTree(bytes.NewReader(treeJSON))
+		if lerr != nil {
+			return nil, 0, fmt.Errorf("yield: candidate %q: tree: %w", v.label, lerr)
+		}
+		if len(modes) > 0 {
+			if merr := design.SetModes(modes); merr != nil {
+				return nil, 0, fmt.Errorf("yield: candidate %q: modes: %w", v.label, merr)
+			}
+		}
+		res, oerr := design.Optimize(ctx, cfg)
+		if oerr != nil {
+			return nil, 0, fmt.Errorf("yield: candidate %q: %w", v.label, oerr)
+		}
+		if res.Degraded {
+			return nil, 0, fmt.Errorf("yield: candidate %q degraded under the deadline: %w",
+				v.label, context.DeadlineExceeded)
+		}
+		var buf bytes.Buffer
+		if serr := design.SaveTree(&buf); serr != nil {
+			return nil, 0, fmt.Errorf("yield: candidate %q: save tree: %w", v.label, serr)
+		}
+		digest := sha256.Sum256(buf.Bytes())
+		if at, ok := byDigest[digest]; ok {
+			cands[at].Label += "+" + v.label
+			continue
+		}
+		tm := design.Tree.ComputeTiming(mode)
+		nomSkew := tm.Skew(design.Tree)
+		nomPeak := design.Tree.PeakCurrent(tm)
+		if nomSkew > p.Kappa {
+			// The winner must never violate κ at nominal — enforced here,
+			// by construction, so the invariant holds whatever the
+			// sampling says.
+			rejected++
+			continue
+		}
+		// Canonical result bytes: the dispatch contract (wall-clock
+		// fields zeroed), so the yield result is replayable bit-for-bit.
+		res.Stats = nil
+		res.Runtime = 0
+		blob, merr := json.Marshal(res)
+		if merr != nil {
+			return nil, 0, fmt.Errorf("yield: candidate %q: marshal result: %w", v.label, merr)
+		}
+		byDigest[digest] = len(cands)
+		cands = append(cands, Candidate{
+			Label:         v.label,
+			TreeJSON:      append(json.RawMessage(nil), buf.Bytes()...),
+			ResultJSON:    blob,
+			AlgorithmUsed: res.AlgorithmUsed,
+			NominalSkew:   nomSkew,
+			NominalPeak:   nomPeak,
+		})
+	}
+	return cands, rejected, nil
+}

@@ -1,0 +1,84 @@
+package yield
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"wavemin"
+)
+
+func TestGenerateCandidatesDeterministicAndDeduplicated(t *testing.T) {
+	tree, cands, _ := testCandidates(t)
+	// Regenerating must reproduce the exact candidate list (labels, tree
+	// bytes, result bytes) — candidate generation is inside the
+	// determinism boundary.
+	again, _, err := GenerateCandidates(context.Background(), tree,
+		wavemin.Config{Samples: 16, MaxIntervals: 2}, nil, testParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != len(cands) {
+		t.Fatalf("regeneration produced %d candidates, was %d", len(again), len(cands))
+	}
+	seen := make(map[string]bool)
+	for i := range cands {
+		if cands[i].Label != again[i].Label {
+			t.Errorf("candidate %d label %q != %q", i, cands[i].Label, again[i].Label)
+		}
+		if string(cands[i].TreeJSON) != string(again[i].TreeJSON) {
+			t.Errorf("candidate %d tree bytes differ across generations", i)
+		}
+		if string(cands[i].ResultJSON) != string(again[i].ResultJSON) {
+			t.Errorf("candidate %d result bytes differ across generations", i)
+		}
+		// Dedup: no two candidates may share tree bytes (identical trees
+		// would race budget to learn nothing).
+		key := string(cands[i].TreeJSON)
+		if seen[key] {
+			t.Errorf("candidate %d (%s) duplicates another candidate's tree", i, cands[i].Label)
+		}
+		seen[key] = true
+	}
+}
+
+func TestGenerateCandidatesFirstIsBase(t *testing.T) {
+	_, cands, _ := testCandidates(t)
+	if !strings.HasPrefix(cands[0].Label, "base") {
+		t.Fatalf("first candidate is %q, want the base config", cands[0].Label)
+	}
+}
+
+func TestGenerateCandidatesRejectsKappaViolators(t *testing.T) {
+	tree := testTreeJSON(t, 12)
+	p := testParams()
+	p.Kappa = 1e-6 // unmeetable: every candidate violates at nominal
+	cands, rejected, err := GenerateCandidates(context.Background(), tree,
+		wavemin.Config{Samples: 16, MaxIntervals: 2}, nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) != 0 {
+		t.Fatalf("%d candidates survived an unmeetable kappa", len(cands))
+	}
+	if rejected == 0 {
+		t.Fatal("no rejections recorded")
+	}
+	// And Run must turn the empty ladder into an error, not a panic.
+	if _, err := Run(context.Background(), cands, p, rejected, nil, &LocalRunner{}); err == nil {
+		t.Fatal("Run accepted an empty candidate list")
+	}
+}
+
+func TestGenerateCandidatesBoundsCount(t *testing.T) {
+	tree := testTreeJSON(t, 8)
+	p := testParams()
+	p.Candidates = MaxCandidates + 3
+	if _, _, err := GenerateCandidates(context.Background(), tree, wavemin.Config{}, nil, p); err == nil {
+		t.Fatal("candidate count above the ladder accepted")
+	}
+	p.Candidates = 0
+	if _, _, err := GenerateCandidates(context.Background(), tree, wavemin.Config{}, nil, p); err == nil {
+		t.Fatal("zero candidates accepted")
+	}
+}

@@ -1,0 +1,120 @@
+package yield
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+)
+
+// TestParallelDeterminismYield is the yield-mode bitwise-determinism
+// sweep (it runs under the Makefile's -race gate like the other Parallel
+// tests): the marshaled report must be byte-identical at every worker
+// count, under deterministic chunk-result shuffling (out-of-order
+// delivery), and with duplicated deliveries (retries observed twice) —
+// every topology and scheduling accident the fleet can produce.
+func TestParallelDeterminismYield(t *testing.T) {
+	p := testParams()
+	ref := mustRun(t, p, &LocalRunner{Workers: 1})
+	refBytes, err := json.Marshal(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runners := map[string]Runner{
+		"workers=4":      &LocalRunner{Workers: 4},
+		"workers=numcpu": &LocalRunner{Workers: runtime.NumCPU()},
+		"shuffled":       shufflingRunner{inner: &LocalRunner{Workers: 4}, seed: 11},
+		"shuffled+dup":   duplicatingRunner{shufflingRunner{inner: &LocalRunner{Workers: 3}, seed: 23}},
+	}
+	for name, r := range runners {
+		rep := mustRun(t, p, r)
+		got, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(refBytes) {
+			t.Errorf("%s: report bytes differ from the single-worker reference\nref: %s\ngot: %s",
+				name, refBytes, got)
+		}
+	}
+}
+
+// shufflingRunner permutes both the spec order it hands its inner runner
+// and the stat order it returns, with a deterministic seed — emulating a
+// fleet where chunk completion order has nothing to do with issue order.
+type shufflingRunner struct {
+	inner Runner
+	seed  int64
+}
+
+func (r shufflingRunner) RunChunks(ctx context.Context, specs []*ChunkSpec) ([]*ChunkStats, error) {
+	rng := rand.New(rand.NewSource(r.seed))
+	shuffled := append([]*ChunkSpec(nil), specs...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	out, err := r.inner.RunChunks(ctx, shuffled)
+	if err != nil {
+		return nil, err
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out, nil
+}
+
+// TestChunkStatsIndependentOfExecutionCount: re-executing the same spec
+// must reproduce identical stats — the property that makes lease-lapse
+// retries invisible.
+func TestChunkStatsIndependentOfExecutionCount(t *testing.T) {
+	tree, _, _ := testCandidates(t)
+	spec := &ChunkSpec{
+		Tree: tree, Candidate: 1, Index: 3, Start: 3 * ChunkSize, N: ChunkSize,
+		Sigma: 0.08, Kappa: 200, Seed: 7,
+	}
+	first, err := ExecuteChunk(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := ExecuteChunk(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if *again != *first {
+			t.Fatalf("re-execution %d changed stats: %+v != %+v", i, again, first)
+		}
+	}
+}
+
+// TestChunkStatsIndependentOfSiblingChunks: a chunk's stats must not
+// depend on which other chunks ran before it in the same process (shared
+// scratch state would break this).
+func TestChunkStatsIndependentOfSiblingChunks(t *testing.T) {
+	tree, _, _ := testCandidates(t)
+	mk := func(idx int) *ChunkSpec {
+		start, n := chunkBounds(idx, 4*ChunkSize)
+		return &ChunkSpec{Tree: tree, Candidate: 0, Index: idx, Start: start, N: n,
+			Sigma: 0.08, Kappa: 200, Seed: 7}
+	}
+	// Reference: each chunk alone in a fresh pass.
+	want := make([]*ChunkStats, 4)
+	for i := range want {
+		st, err := ExecuteChunk(context.Background(), mk(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = st
+	}
+	// Same chunks interleaved in reverse order through one runner.
+	specs := []*ChunkSpec{mk(3), mk(1), mk(2), mk(0)}
+	got, err := (&LocalRunner{Workers: 2}).RunChunks(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i].Index < got[j].Index })
+	for i := range want {
+		if *got[i] != *want[i] {
+			t.Fatalf("chunk %d stats depend on siblings: %+v != %+v", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,139 @@
+package yield
+
+import (
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// The invariant suite: properties every yield run must satisfy on every
+// input, pinned on seeded fixtures so violations reproduce exactly.
+
+func TestInvariantYieldAndCIInUnitInterval(t *testing.T) {
+	rep := mustRun(t, testParams(), &LocalRunner{Workers: 2})
+	for _, c := range rep.Candidates {
+		if c.Yield < 0 || c.Yield > 1 {
+			t.Errorf("candidate %d (%s): yield %v outside [0,1]", c.Index, c.Label, c.Yield)
+		}
+		if c.CILow < 0 || c.CIHigh > 1 || c.CILow > c.CIHigh {
+			t.Errorf("candidate %d (%s): CI [%v,%v] malformed", c.Index, c.Label, c.CILow, c.CIHigh)
+		}
+		if c.Yield < c.CILow || c.Yield > c.CIHigh {
+			t.Errorf("candidate %d (%s): point estimate %v outside its CI [%v,%v]",
+				c.Index, c.Label, c.Yield, c.CILow, c.CIHigh)
+		}
+		if c.OK < 0 || c.OK > c.Samples {
+			t.Errorf("candidate %d (%s): ok %d out of range for %d samples", c.Index, c.Label, c.OK, c.Samples)
+		}
+	}
+}
+
+// TestInvariantWilsonWidthShrinksWithSamples: at a fixed success rate the
+// interval must tighten monotonically as the sample count grows — that is
+// what makes "stop when the interval is tight enough" sound.
+func TestInvariantWilsonWidthShrinksWithSamples(t *testing.T) {
+	z := zScore(0.95)
+	for _, num := range []int{0, 1, 3} { // p̂ = 0, 1/4, 3/4 per quarter
+		prev := 2.0
+		for n := 4; n <= 1<<20; n *= 2 {
+			lo, hi := Wilson(n/4*num, n, z)
+			w := hi - lo
+			if w >= prev {
+				t.Fatalf("p̂=%d/4: width %v at n=%d did not shrink (was %v)", num, w, n, prev)
+			}
+			if lo < 0 || hi > 1 || lo > hi {
+				t.Fatalf("p̂=%d/4 n=%d: malformed interval [%v,%v]", num, n, lo, hi)
+			}
+			prev = w
+		}
+	}
+}
+
+// TestInvariantEarlyStopMatchesFullBudget: on a seeded fixture, the
+// early-stopped run must select the same winner as the exhaustive ε=0
+// full-budget run — early stopping may save samples, never change the
+// answer.
+func TestInvariantEarlyStopMatchesFullBudget(t *testing.T) {
+	early := mustRun(t, testParams(), &LocalRunner{})
+	full := testParams()
+	full.Epsilon = 0 // disable the width stop: the exhaustive reference
+	ref := mustRun(t, full, &LocalRunner{})
+	if early.Winner != ref.Winner {
+		t.Fatalf("early-stop winner %d (%s) != full-budget winner %d (%s)",
+			early.Winner, early.WinnerLabel, ref.Winner, ref.WinnerLabel)
+	}
+	if early.SamplesUsed > ref.SamplesUsed {
+		t.Fatalf("early stop used more samples (%d) than the full run (%d)",
+			early.SamplesUsed, ref.SamplesUsed)
+	}
+	if !bytesEqualJSON(t, early.Result, ref.Result) {
+		t.Fatal("early-stop winner result bytes differ from full-budget winner result bytes")
+	}
+}
+
+// TestInvariantWinnerMeetsKappaAtNominal: whatever the sampling says, the
+// returned assignment must hold the skew bound in the unperturbed corner.
+func TestInvariantWinnerMeetsKappaAtNominal(t *testing.T) {
+	p := testParams()
+	rep := mustRun(t, p, &LocalRunner{})
+	w := rep.Candidates[rep.Winner]
+	if w.NominalSkew > p.Kappa {
+		t.Fatalf("winner %q violates kappa at nominal: skew %v > %v", w.Label, w.NominalSkew, p.Kappa)
+	}
+	for _, c := range rep.Candidates {
+		if c.NominalSkew > p.Kappa {
+			t.Errorf("candidate %q entered the race violating kappa at nominal (skew %v > %v)",
+				c.Label, c.NominalSkew, p.Kappa)
+		}
+	}
+}
+
+// TestInvariantEarlyStopReducesSamplesOnSeparableFixture: with a loose ε
+// and a generous κ (all candidates near yield 1), the width stop must
+// fire before the full budget is spent — the "early stopping demonstrably
+// saves samples" acceptance criterion, at the library level.
+func TestInvariantEarlyStopReducesSamplesOnSeparableFixture(t *testing.T) {
+	p := testParams()
+	rep := mustRun(t, p, &LocalRunner{})
+	if !rep.EarlyStopped || rep.SamplesSaved <= 0 {
+		t.Fatalf("expected early stop on the seeded fixture: used %d of %d (saved %d)",
+			rep.SamplesUsed, rep.SamplesBudget, rep.SamplesSaved)
+	}
+}
+
+// TestInvariantDuplicateChunksDoNotDoubleCount: a runner that delivers
+// every chunk twice (the retry-observed-twice shape) must produce the
+// exact bytes of the clean run.
+func TestInvariantDuplicateChunksDoNotDoubleCount(t *testing.T) {
+	clean := mustRun(t, testParams(), &LocalRunner{})
+	dup := mustRun(t, testParams(), duplicatingRunner{&LocalRunner{}})
+	a, _ := json.Marshal(clean)
+	b, _ := json.Marshal(dup)
+	if string(a) != string(b) {
+		t.Fatal("duplicated chunk delivery changed the report bytes")
+	}
+}
+
+// duplicatingRunner delivers every chunk's stats twice, emulating a
+// retried chunk whose first execution's completion also surfaced.
+type duplicatingRunner struct{ inner Runner }
+
+func (r duplicatingRunner) RunChunks(ctx context.Context, specs []*ChunkSpec) ([]*ChunkStats, error) {
+	out, err := r.inner.RunChunks(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, out...), nil
+}
+
+func bytesEqualJSON(t *testing.T, a, b json.RawMessage) bool {
+	t.Helper()
+	return string(a) == string(b)
+}
+
+// TestRunErrorsOnEmptyCandidates pins the no-survivors error path.
+func TestRunErrorsOnEmptyCandidates(t *testing.T) {
+	if _, err := Run(context.Background(), nil, testParams(), 3, nil, &LocalRunner{}); err == nil {
+		t.Fatal("Run accepted an empty candidate list")
+	}
+}

@@ -1,0 +1,151 @@
+package yield
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+
+	"wavemin"
+	"wavemin/internal/cell"
+	"wavemin/internal/cts"
+)
+
+// testTreeJSON synthesizes a small clock tree and returns its canonical
+// JSON bytes — the same input POST /v1/optimize would carry.
+func testTreeJSON(t testing.TB, n int) []byte {
+	t.Helper()
+	lib := cell.DefaultLibrary()
+	var sinks []cts.Sink
+	for i := 0; i < n; i++ {
+		sinks = append(sinks, cts.Sink{X: float64(10 + i*13), Y: float64(10 + (i%4)*35), Cap: 8})
+	}
+	tree, err := cts.Synthesize(sinks, lib, cts.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tree.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// testParams is a small, fast parameter set: few samples, loose bound.
+func testParams() Params {
+	p := Params{
+		Sigma:      0.08,
+		Kappa:      200, // generous: most samples pass, CIs separate fast
+		Samples:    256,
+		Epsilon:    0.05,
+		Confidence: 0.95,
+		Candidates: 3,
+		Seed:       7,
+	}
+	return p.WithDefaults()
+}
+
+// fixture caches one candidate generation per test binary: solving the
+// ladder dominates test time and every test wants the same candidates.
+var fixture struct {
+	once     sync.Once
+	tree     []byte
+	cands    []Candidate
+	rejected int
+	err      error
+}
+
+func testCandidates(t testing.TB) ([]byte, []Candidate, int) {
+	t.Helper()
+	fixture.once.Do(func() {
+		fixture.tree = testTreeJSON(t, 12)
+		fixture.cands, fixture.rejected, fixture.err = GenerateCandidates(
+			context.Background(), fixture.tree, wavemin.Config{Samples: 16, MaxIntervals: 2}, nil, testParams())
+	})
+	if fixture.err != nil {
+		t.Fatal(fixture.err)
+	}
+	if len(fixture.cands) == 0 {
+		t.Fatal("fixture produced no candidates")
+	}
+	return fixture.tree, fixture.cands, fixture.rejected
+}
+
+func mustRun(t testing.TB, p Params, r Runner) *Report {
+	t.Helper()
+	_, cands, rejected := testCandidates(t)
+	rep, err := Run(context.Background(), cands, p, rejected, nil, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestParamsKeyDependsOnSemanticKnobsOnly(t *testing.T) {
+	base := "0123abcd"
+	p := testParams()
+	k1 := p.Key(base)
+	if k2 := p.Key(base); k2 != k1 {
+		t.Fatal("key not deterministic")
+	}
+	q := p
+	q.Seed++
+	if q.Key(base) == k1 {
+		t.Fatal("seed change did not change the key")
+	}
+	q = p
+	q.Epsilon = 0
+	if q.Key(base) == k1 {
+		t.Fatal("epsilon change did not change the key")
+	}
+	if p.Key("other-base") == k1 {
+		t.Fatal("base key change did not change the extended key")
+	}
+	if len(k1) != 64 {
+		t.Fatalf("extended key %q is not a hex sha256", k1)
+	}
+}
+
+func TestParamsValidateRejectsHostileValues(t *testing.T) {
+	mut := func(f func(*Params)) Params { q := testParams(); f(&q); return q }
+	bad := []Params{
+		mut(func(p *Params) { p.Sigma = -0.1 }),
+		mut(func(p *Params) { p.Sigma = 2 }),
+		mut(func(p *Params) { p.Correlation = 1.5 }),
+		mut(func(p *Params) { p.Kappa = 0 }),
+		mut(func(p *Params) { p.Kappa = -3 }),
+		mut(func(p *Params) { p.PeakCap = -1 }),
+		mut(func(p *Params) { p.Samples = -5 }),
+		mut(func(p *Params) { p.Samples = MaxSamples + 1 }),
+		mut(func(p *Params) { p.Epsilon = 0.6 }),
+		mut(func(p *Params) { p.Confidence = 0.2 }),
+		mut(func(p *Params) { p.Candidates = MaxCandidates + 1 }),
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: hostile params validated: %+v", i, p)
+		}
+	}
+	if err := testParams().Validate(); err != nil {
+		t.Fatalf("good params rejected: %v", err)
+	}
+}
+
+func TestChunkBoundsCoverBudgetExactly(t *testing.T) {
+	for _, budget := range []int{1, ChunkSize - 1, ChunkSize, ChunkSize + 1, 1000, 1024} {
+		total := 0
+		for idx := 0; idx < chunkCount(budget); idx++ {
+			start, n := chunkBounds(idx, budget)
+			if start != total {
+				t.Fatalf("budget %d chunk %d: start %d, want %d", budget, idx, start, total)
+			}
+			if n < 1 || n > ChunkSize {
+				t.Fatalf("budget %d chunk %d: size %d out of range", budget, idx, n)
+			}
+			total += n
+		}
+		if total != budget {
+			t.Fatalf("budget %d: chunks cover %d samples", budget, total)
+		}
+	}
+}

@@ -45,9 +45,15 @@ func main() {
 	}
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	pkg := ""
 	for sc.Scan() {
 		line := sc.Text()
+		if p, ok := strings.CutPrefix(strings.TrimSpace(line), "pkg: "); ok {
+			pkg = pkgPrefix(p)
+			continue
+		}
 		if b, ok := parseLine(line); ok {
+			b.Name = pkg + b.Name
 			snap.Benchmarks = append(snap.Benchmarks, b)
 		}
 	}
@@ -106,6 +112,18 @@ func parseLine(line string) (Benchmark, bool) {
 		}
 	}
 	return b, b.NsPerOp > 0
+}
+
+// pkgPrefix turns a `pkg:` header into a name prefix so benchmarks from
+// different packages cannot collide in one snapshot. The module root
+// package keeps bare names (the historical format of
+// BENCH_baseline.json); subpackages get their module-relative path,
+// e.g. "internal/yield:BenchmarkYieldChunk".
+func pkgPrefix(pkg string) string {
+	if i := strings.Index(pkg, "/"); i >= 0 {
+		return pkg[i+1:] + ":"
+	}
+	return ""
 }
 
 // trimProcs drops the trailing "-<gomaxprocs>" the bench runner appends,

@@ -165,6 +165,13 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// WithDefaults returns the config with every zero-valued knob replaced by
+// the paper default — the effective values Optimize runs with. Callers
+// that derive configuration variants (internal/yield's candidate knobs)
+// need the effective values: scaling a zero ZoneSize would silently be a
+// no-op.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	if c.Kappa == 0 {
 		c.Kappa = 20
